@@ -1,0 +1,127 @@
+//! Signatures of the soil runtime library (the paper's List. 1 plus the
+//! stats/list/packet helpers every Tab. I use case relies on).
+//!
+//! The type checker validates calls against these signatures; the seed
+//! interpreter in `farm-soil` provides the implementations.
+
+use crate::ast::Type;
+
+/// Signature of a runtime-library function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Builtin {
+    pub name: &'static str,
+    pub params: &'static [Type],
+    /// `None` means the call returns no value (unit).
+    pub ret: Option<Type>,
+    /// True when the first argument is mutated in place and must be an
+    /// lvalue (a plain variable), e.g. `list_push`.
+    pub mutates_first_arg: bool,
+}
+
+macro_rules! b {
+    ($name:literal, [$($p:expr),*], $ret:expr) => {
+        Builtin { name: $name, params: &[$($p),*], ret: $ret, mutates_first_arg: false }
+    };
+    ($name:literal, [$($p:expr),*], $ret:expr, mutates) => {
+        Builtin { name: $name, params: &[$($p),*], ret: $ret, mutates_first_arg: true }
+    };
+}
+
+/// The full runtime-library signature table.
+pub const BUILTINS: &[Builtin] = &[
+    // Resource monitoring (List. 1).
+    b!("res", [], Some(Type::Resources)),
+    // Dataplane (List. 1).
+    b!("addTCAMRule", [Type::Rule], None),
+    b!("removeTCAMRule", [Type::Filter], None),
+    b!("getTCAMRule", [Type::Filter], Some(Type::Rule)),
+    // Running external code (List. 1); `exec_n` runs `n` iterations of the
+    // command in one scheduling slot (the Fig. 6d partitioning knob).
+    b!("exec", [Type::Str], None),
+    b!("exec_n", [Type::Str, Type::Int], None),
+    // Math.
+    b!("min", [Type::Float, Type::Float], Some(Type::Float)),
+    b!("max", [Type::Float, Type::Float], Some(Type::Float)),
+    b!("abs", [Type::Float], Some(Type::Float)),
+    b!("log2", [Type::Float], Some(Type::Float)),
+    b!("to_float", [Type::Any], Some(Type::Float)),
+    b!("to_int", [Type::Any], Some(Type::Int)),
+    // Time (milliseconds since seed start).
+    b!("now", [], Some(Type::Long)),
+    // Action constructors.
+    b!("action_drop", [], Some(Type::Action)),
+    b!("action_rate_limit", [Type::Long], Some(Type::Action)),
+    b!("action_set_qos", [Type::Int], Some(Type::Action)),
+    b!("action_count", [], Some(Type::Action)),
+    b!("action_mirror", [], Some(Type::Action)),
+    b!("rule", [Type::Filter, Type::Action], Some(Type::Rule)),
+    // Lists.
+    b!("list_len", [Type::List], Some(Type::Int)),
+    b!("list_get", [Type::List, Type::Int], Some(Type::Any)),
+    b!("is_list_empty", [Type::List], Some(Type::Bool)),
+    b!("list_contains", [Type::List, Type::Any], Some(Type::Bool)),
+    b!("list_push", [Type::List, Type::Any], None, mutates),
+    b!("list_push_unique", [Type::List, Type::Any], None, mutates),
+    b!("list_clear", [Type::List], None, mutates),
+    b!("list_remove_at", [Type::List, Type::Int], None, mutates),
+    // Pairs (poor man's maps for per-key state).
+    b!("pair", [Type::Any, Type::Any], Some(Type::Any)),
+    b!("pair_first", [Type::Any], Some(Type::Any)),
+    b!("pair_second", [Type::Any], Some(Type::Any)),
+    // Statistics entries delivered by poll triggers.
+    b!("stat_port", [Type::Stat], Some(Type::Int)),
+    b!("stat_subject", [Type::Stat], Some(Type::Str)),
+    b!("stat_tx_bytes", [Type::Stat], Some(Type::Long)),
+    b!("stat_rx_bytes", [Type::Stat], Some(Type::Long)),
+    b!("stat_tx_packets", [Type::Stat], Some(Type::Long)),
+    b!("stat_rx_packets", [Type::Stat], Some(Type::Long)),
+    // Packet accessors for probe triggers.
+    b!("pkt_src_ip", [Type::Packet], Some(Type::Str)),
+    b!("pkt_dst_ip", [Type::Packet], Some(Type::Str)),
+    b!("pkt_src_port", [Type::Packet], Some(Type::Int)),
+    b!("pkt_dst_port", [Type::Packet], Some(Type::Int)),
+    b!("pkt_proto", [Type::Packet], Some(Type::Str)),
+    b!("pkt_len", [Type::Packet], Some(Type::Int)),
+    b!("pkt_is_syn", [Type::Packet], Some(Type::Bool)),
+    b!("pkt_is_fin", [Type::Packet], Some(Type::Bool)),
+    b!("pkt_is_ack", [Type::Packet], Some(Type::Bool)),
+    b!("filter_matches", [Type::Filter, Type::Packet], Some(Type::Bool)),
+    // Strings.
+    b!("to_string", [Type::Any], Some(Type::Str)),
+    b!("str_concat", [Type::Str, Type::Str], Some(Type::Str)),
+    b!("str_contains", [Type::Str, Type::Str], Some(Type::Bool)),
+];
+
+/// Looks up a builtin by name.
+pub fn builtin(name: &str) -> Option<&'static Builtin> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_the_papers_runtime_api() {
+        for name in ["res", "addTCAMRule", "removeTCAMRule", "getTCAMRule", "exec"] {
+            assert!(builtin(name).is_some(), "missing List. 1 builtin {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = BUILTINS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate builtin names");
+    }
+
+    #[test]
+    fn mutating_builtins_return_unit() {
+        for b in BUILTINS.iter().filter(|b| b.mutates_first_arg) {
+            assert_eq!(b.ret, None, "{} must return unit", b.name);
+            assert_eq!(b.params[0], Type::List, "{} must mutate a list", b.name);
+        }
+    }
+}

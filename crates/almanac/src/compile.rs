@@ -1,0 +1,358 @@
+//! The seeder's compilation front-end: Almanac source → deployable,
+//! analyzed machine definitions.
+//!
+//! Mirrors § III-B of the paper: a network operator supplies a task as a
+//! set of machines plus values for each machine's `external` variables.
+//! The seeder then (1) resolves `place` directives into seeds `S^m` with
+//! candidate sets `N^s`, (2) analyzes `util` into constraints `C^s` and
+//! utility `u^s`, and (3) derives poll variables' interval functions and
+//! subjects for aggregation.
+
+use std::collections::BTreeMap;
+
+use farm_netsim::controller::SdnController;
+
+use crate::analysis::{
+    analyze_trigger, analyze_util, const_eval, resolve_placements, ConstEnv, SeedSpec,
+    TriggerAnalysis, UtilAnalysis,
+};
+use crate::ast::{Machine, Program};
+use crate::error::{AlmanacError, Result};
+use crate::parser;
+use crate::typeck;
+use crate::value::Value;
+
+/// Utility assumed for states without a `util` callback.
+pub const DEFAULT_UTILITY: f64 = 1.0;
+
+/// A fully compiled and analyzed machine, ready for placement and
+/// deployment.
+#[derive(Debug, Clone)]
+pub struct CompiledMachine {
+    /// Flattened, type-checked machine definition.
+    pub machine: Machine,
+    /// Auxiliary functions visible to the machine.
+    pub functions: Vec<crate::ast::FunDecl>,
+    /// Deployment-time constants: externals plus const initializers.
+    pub consts: ConstEnv,
+    /// Per-state utility analysis (`C^s`, `u^s`).
+    pub utils: BTreeMap<String, UtilAnalysis>,
+    /// Trigger variable analyses (poll/probe/time).
+    pub triggers: Vec<TriggerAnalysis>,
+    /// The seeds this machine instantiates and where each may go.
+    pub seeds: Vec<SeedSpec>,
+    /// Name of the initial state (the first declared state).
+    pub initial_state: String,
+}
+
+impl CompiledMachine {
+    /// Utility analysis of a state (default constant for states without
+    /// `util`).
+    pub fn util_of(&self, state: &str) -> UtilAnalysis {
+        self.utils
+            .get(state)
+            .cloned()
+            .unwrap_or_else(|| UtilAnalysis::constant(DEFAULT_UTILITY))
+    }
+
+    /// The machine's minimum utility — utility of the initial state at the
+    /// cheapest feasible allocation. Drives Alg. 1's task ordering.
+    pub fn min_utility(&self) -> f64 {
+        self.util_of(&self.initial_state)
+            .min_feasible()
+            .map(|(_, u)| u)
+            .unwrap_or(0.0)
+    }
+
+    /// Analysis of a trigger variable by name.
+    pub fn trigger(&self, name: &str) -> Option<&TriggerAnalysis> {
+        self.triggers.iter().find(|t| t.name == name)
+    }
+}
+
+/// A compiled M&M task: one or more machines deployed together.
+#[derive(Debug, Clone)]
+pub struct CompiledTask {
+    pub name: String,
+    pub machines: Vec<CompiledMachine>,
+}
+
+impl CompiledTask {
+    /// Total number of seeds across machines (`|S^t|`).
+    pub fn num_seeds(&self) -> usize {
+        self.machines.iter().map(|m| m.seeds.len()).sum()
+    }
+
+    /// Minimum utility of the task: the sum over machines of per-machine
+    /// minimum utility times their seed count.
+    pub fn min_utility(&self) -> f64 {
+        self.machines
+            .iter()
+            .map(|m| m.min_utility() * m.seeds.len() as f64)
+            .sum()
+    }
+}
+
+/// Parses and type-checks a program (inheritance flattened).
+///
+/// # Errors
+///
+/// Any lex/parse/typecheck error with its source span.
+pub fn frontend(src: &str) -> Result<Program> {
+    let ast = parser::parse(src)?;
+    typeck::check(&ast)
+}
+
+/// Compiles one machine of a checked program with the given `external`
+/// assignments.
+///
+/// # Errors
+///
+/// Analysis errors (missing externals, non-constant placement filters,
+/// non-linear utilities/intervals, unresolvable placements).
+pub fn compile_machine(
+    program: &Program,
+    machine_name: &str,
+    externals: &ConstEnv,
+    controller: &SdnController<'_>,
+) -> Result<CompiledMachine> {
+    let machine = program
+        .machine(machine_name)
+        .ok_or_else(|| {
+            AlmanacError::analysis(
+                Default::default(),
+                format!("unknown machine `{machine_name}`"),
+            )
+        })?
+        .clone();
+
+    // Build the constant environment: externals take precedence, then
+    // constant initializers evaluated in declaration order.
+    let mut consts = ConstEnv::new();
+    for v in &machine.vars {
+        if v.external {
+            match externals.get(&v.name) {
+                Some(val) => {
+                    consts.insert(v.name.clone(), val.clone());
+                }
+                None => match &v.init {
+                    Some(init) => {
+                        let val = const_eval(init, &consts)?;
+                        consts.insert(v.name.clone(), val);
+                    }
+                    None => {
+                        return Err(AlmanacError::analysis(
+                            v.span,
+                            format!(
+                                "external variable `{}` of `{}` has no value and no default",
+                                v.name, machine.name
+                            ),
+                        ))
+                    }
+                },
+            }
+        } else if v.trigger().is_none() {
+            if let Some(init) = &v.init {
+                // Non-constant initializers are runtime state; skip them.
+                if let Ok(val) = const_eval(init, &consts) {
+                    consts.insert(v.name.clone(), val);
+                }
+            }
+        }
+    }
+    // Reject unknown externals early (typo protection).
+    for name in externals.keys() {
+        let known = machine
+            .vars
+            .iter()
+            .any(|v| v.external && v.name == *name);
+        if !known {
+            return Err(AlmanacError::analysis(
+                machine.span,
+                format!("`{}` has no external variable `{name}`", machine.name),
+            ));
+        }
+    }
+
+    let seeds = resolve_placements(&machine, &consts, controller)?;
+
+    let mut utils = BTreeMap::new();
+    for s in &machine.states {
+        if let Some(u) = &s.util {
+            utils.insert(s.name.clone(), analyze_util(u, &consts)?);
+        }
+    }
+
+    let mut triggers = Vec::new();
+    for v in machine.trigger_vars() {
+        triggers.push(analyze_trigger(v, &consts)?);
+    }
+
+    let initial_state = machine.states[0].name.clone();
+    Ok(CompiledMachine {
+        functions: program.functions.clone(),
+        consts,
+        utils,
+        triggers,
+        seeds,
+        initial_state,
+        machine,
+    })
+}
+
+/// Compiles a whole task: every machine of `src`, with per-machine
+/// external assignments.
+///
+/// # Errors
+///
+/// See [`frontend`] and [`compile_machine`].
+pub fn compile_task(
+    task_name: &str,
+    src: &str,
+    externals: &BTreeMap<String, ConstEnv>,
+    controller: &SdnController<'_>,
+) -> Result<CompiledTask> {
+    let program = frontend(src)?;
+    let empty = ConstEnv::new();
+    let mut machines = Vec::new();
+    for m in &program.machines {
+        let ext = externals.get(&m.name).unwrap_or(&empty);
+        machines.push(compile_machine(&program, &m.name, ext, controller)?);
+    }
+    Ok(CompiledTask {
+        name: task_name.to_string(),
+        machines,
+    })
+}
+
+/// Convenience: an external-assignment environment from `(name, value)`
+/// pairs.
+pub fn externals(pairs: &[(&str, Value)]) -> ConstEnv {
+    pairs
+        .iter()
+        .map(|(n, v)| (n.to_string(), v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_netsim::switch::SwitchModel;
+    use farm_netsim::topology::Topology;
+
+    fn fabric() -> Topology {
+        Topology::spine_leaf(
+            2,
+            3,
+            SwitchModel::test_model(8),
+            SwitchModel::test_model(8),
+        )
+    }
+
+    const HH: &str = r#"
+        machine HH {
+          place all;
+          poll pollStats = Poll { .ival = 10/res().PCIe, .what = port ANY };
+          external long threshold = 1000;
+          list hitters;
+          state observe {
+            util (res) {
+              if (res.vCPU >= 1 and res.RAM >= 100) then {
+                return min(res.vCPU, res.PCIe);
+              }
+            }
+            when (pollStats as stats) do { transit HHdetected; }
+          }
+          state HHdetected {
+            util (res) { return 100; }
+            when (enter) do { send hitters to harvester; transit observe; }
+          }
+          when (recv long newTh from harvester) do { threshold = newTh; }
+        }
+    "#;
+
+    #[test]
+    fn compiles_hh_end_to_end() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let program = frontend(HH).unwrap();
+        let cm = compile_machine(
+            &program,
+            "HH",
+            &externals(&[("threshold", Value::Int(5000))]),
+            &ctl,
+        )
+        .unwrap();
+        assert_eq!(cm.seeds.len(), 5, "place all on 5 switches");
+        assert_eq!(cm.initial_state, "observe");
+        assert_eq!(cm.consts.get("threshold"), Some(&Value::Int(5000)));
+        assert_eq!(cm.triggers.len(), 1);
+        assert_eq!(cm.utils.len(), 2);
+        // min utility of observe: min(vCPU, PCIe) at vCPU=1, RAM=100 → 0
+        // (PCIe unconstrained at 0).
+        assert_eq!(cm.min_utility(), 0.0);
+    }
+
+    #[test]
+    fn default_external_value_is_used() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let program = frontend(HH).unwrap();
+        let cm = compile_machine(&program, "HH", &ConstEnv::new(), &ctl).unwrap();
+        assert_eq!(cm.consts.get("threshold"), Some(&Value::Int(1000)));
+    }
+
+    #[test]
+    fn unknown_external_is_rejected() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let program = frontend(HH).unwrap();
+        let err = compile_machine(
+            &program,
+            "HH",
+            &externals(&[("thresold", Value::Int(1))]), // typo
+            &ctl,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no external variable"), "{err}");
+    }
+
+    #[test]
+    fn missing_external_without_default_fails() {
+        let src = r#"
+            machine M {
+              place any;
+              external long must_be_set;
+              state s { }
+            }
+        "#;
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let program = frontend(src).unwrap();
+        let err = compile_machine(&program, "M", &ConstEnv::new(), &ctl).unwrap_err();
+        assert!(err.message.contains("no value and no default"), "{err}");
+    }
+
+    #[test]
+    fn task_aggregates_machines() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let task = compile_task("hh-task", HH, &BTreeMap::new(), &ctl).unwrap();
+        assert_eq!(task.machines.len(), 1);
+        assert_eq!(task.num_seeds(), 5);
+    }
+
+    #[test]
+    fn states_without_util_get_default_utility() {
+        let src = "machine M { place any; state s { } }";
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let program = frontend(src).unwrap();
+        let cm = compile_machine(&program, "M", &ConstEnv::new(), &ctl).unwrap();
+        let u = cm.util_of("s");
+        assert_eq!(
+            u.eval(&farm_netsim::switch::Resources::ZERO),
+            Some(DEFAULT_UTILITY)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablation: the soil's poll aggregation on vs off — both the PCIe
+//! pressure it removes (Fig. 8) and the wall-clock cost of the scheduling
+//! round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farm_bench::support::{farm_with, hh_source_at, no_externals, single_switch};
+use farm_netsim::time::Time;
+use farm_soil::SoilConfig;
+use std::hint::black_box;
+
+fn advance_window(aggregation: bool, seeds: usize) -> f64 {
+    let cfg = SoilConfig {
+        aggregation,
+        ..Default::default()
+    };
+    let mut farm = farm_with(single_switch(), cfg);
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    let src = hh_source_at(10, leaf.0, i64::MAX / 4);
+    let tasks: Vec<(String, String)> = (0..seeds)
+        .map(|i| (format!("t{i}"), src.clone()))
+        .collect();
+    let refs: Vec<(&str, &str, std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>)> = tasks
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str(), no_externals()))
+        .collect();
+    farm.deploy_tasks(&refs).unwrap();
+    farm.advance(Time::from_millis(100));
+    farm.network()
+        .switch(leaf)
+        .unwrap()
+        .pcie()
+        .utilization_percent()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soil_aggregation");
+    g.sample_size(10);
+    for &agg in &[true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if agg { "on" } else { "off" }),
+            &agg,
+            |b, &agg| b.iter(|| black_box(advance_window(agg, 16))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Compiler-pipeline throughput: parse + typecheck of every Tab. I
+//! program, and the full seeder front-end for HH.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farm_almanac::analysis::ConstEnv;
+use farm_almanac::compile::{compile_machine, frontend};
+use farm_almanac::programs::USE_CASES;
+use farm_netsim::controller::SdnController;
+use farm_netsim::switch::SwitchModel;
+use farm_netsim::topology::Topology;
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("frontend_all_17_use_cases", |b| {
+        b.iter(|| {
+            for u in USE_CASES {
+                black_box(frontend(u.source).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let topo = Topology::spine_leaf(
+        4,
+        16,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    );
+    let program = frontend(farm_almanac::programs::HEAVY_HITTER).unwrap();
+    c.bench_function("compile_hh_with_placement", |b| {
+        b.iter(|| {
+            let ctl = SdnController::new(&topo);
+            black_box(compile_machine(&program, "HH", &ConstEnv::new(), &ctl).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_full_compile);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Tab. 4-adjacent: wall-clock cost of the end-to-end FARM HH detection
+//! simulation (the virtual-time detection figures come from `repro tab4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farm_bench::tab4;
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    g.sample_size(10);
+    g.bench_function("farm_hh_detection_sim", |b| {
+        b.iter(|| black_box(tab4::farm_detection_ms()))
+    });
+    g.bench_function("sflow_hh_detection_sim", |b| {
+        b.iter(|| black_box(tab4::sflow_detection_ms()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 10-adjacent: real shared-memory ring-buffer throughput and the
+//! channel cost models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farm_soil::{ChannelKind, CommModel, ExecMode, SharedRingBuffer};
+use std::hint::black_box;
+
+fn bench_ring_buffer(c: &mut Criterion) {
+    let rb: SharedRingBuffer<u64> = SharedRingBuffer::new(1024);
+    c.bench_function("ring_buffer_push_pop", |b| {
+        b.iter(|| {
+            rb.try_push(black_box(42)).unwrap();
+            black_box(rb.try_pop().unwrap());
+        })
+    });
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let grpc = CommModel {
+        exec: ExecMode::Threads,
+        channel: ChannelKind::Grpc,
+    };
+    c.bench_function("comm_model_eval", |b| {
+        b.iter(|| black_box(grpc.delivery_latency(black_box(150))))
+    });
+}
+
+criterion_group!(benches, bench_ring_buffer, bench_latency_model);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 7-adjacent: wall-clock scaling of the placement heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
+use farm_placement::workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement_heuristic");
+    g.sample_size(10);
+    for seeds in [200usize, 1000, 4000] {
+        let inst = generate(&WorkloadConfig {
+            n_switches: 256,
+            n_tasks: 8,
+            n_seeds: seeds,
+            rng_seed: 5,
+            ..Default::default()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(seeds), &inst, |b, inst| {
+            b.iter(|| black_box(solve_heuristic(inst, HeuristicOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristic);
+criterion_main!(benches);

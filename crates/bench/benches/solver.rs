@@ -1,0 +1,74 @@
+//! Microbenchmarks of the LP/MILP solver substrate (`farm-lp`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farm_lp::{solve_milp, Cmp, LinExpr, MilpOptions, Problem, Sense};
+use std::hint::black_box;
+
+/// A dense-ish random LP with `n` variables and `n` constraints.
+fn random_lp(n: usize, seed: u64) -> Problem {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| p.add_var(format!("x{i}"), 0.0, 10.0 + next() * 10.0))
+        .collect();
+    for _ in 0..n {
+        let mut e = LinExpr::new();
+        for &v in &vars {
+            if next() < 0.4 {
+                e.add_term(v, next() * 3.0);
+            }
+        }
+        p.add_constraint(e, Cmp::Le, 5.0 + next() * 50.0);
+    }
+    let mut obj = LinExpr::new();
+    for &v in &vars {
+        obj.add_term(v, next() * 10.0 - 2.0);
+    }
+    p.set_objective(obj);
+    p
+}
+
+fn knapsack(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut w = LinExpr::new();
+    let mut o = LinExpr::new();
+    for i in 0..n {
+        let v = p.add_binary(format!("b{i}"));
+        w.add_term(v, ((i * 7) % 13 + 1) as f64);
+        o.add_term(v, ((i * 11) % 17 + 1) as f64);
+    }
+    p.add_constraint(w, Cmp::Le, (n as f64) * 2.5);
+    p.set_objective(o);
+    p
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    g.sample_size(20);
+    for n in [10usize, 40, 100] {
+        let p = random_lp(n, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(farm_lp::simplex::solve(p).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp_knapsack");
+    g.sample_size(10);
+    for n in [12usize, 20] {
+        let p = knapsack(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(solve_milp(p, &MilpOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,349 @@
+//! Reproduces the FARM paper's tables and figures as text output.
+//!
+//! ```text
+//! repro [tab1|tab4|fig4|fig5|fig6|fig7|fig8|fig9|fig10|tab5|all] [--full]
+//! ```
+//!
+//! Quick mode (default) uses reduced axes/deadlines; `--full` runs the
+//! paper-scale study (notably Fig. 7 at 1 040 switches / 10 200 seeds).
+
+use farm_bench::support::render_table;
+use farm_bench::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, tab1, tab4, tab5};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let all = what == "all";
+    if all || what == "tab1" {
+        run_tab1();
+    }
+    if all || what == "tab4" {
+        run_tab4();
+    }
+    if all || what == "fig4" {
+        run_fig4(full);
+    }
+    if all || what == "fig5" {
+        run_fig5(full);
+    }
+    if all || what == "fig6" {
+        run_fig6(full);
+    }
+    if all || what == "fig7" {
+        run_fig7(full);
+    }
+    if all || what == "fig8" {
+        run_fig8(full);
+    }
+    if all || what == "fig9" {
+        run_fig9(full);
+    }
+    if all || what == "fig10" {
+        run_fig10(full);
+    }
+    if all || what == "tab5" {
+        run_tab5();
+    }
+    if !all
+        && !matches!(
+            what,
+            "tab1" | "tab4" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10"
+                | "tab5"
+        )
+    {
+        eprintln!(
+            "unknown experiment `{what}`; expected one of tab1 tab4 fig4 fig5 fig6 fig7 \
+             fig8 fig9 fig10 tab5 all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn run_tab1() {
+    let rows: Vec<Vec<String>> = tab1::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.our_loc.to_string(),
+                r.paper_seed_loc.to_string(),
+                r.paper_harvester_loc.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Tab. I — Almanac use cases (lines of code)",
+            &["use case", "ours", "paper seed", "paper harvester"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_tab4() {
+    let measured = tab4::run();
+    let paper = tab4::paper_values();
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|r| {
+            let paper_ms = paper
+                .iter()
+                .find(|(n, _)| *n == r.system)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN);
+            vec![
+                r.system.clone(),
+                r.kind.to_string(),
+                format!("{:.2}", r.detect_ms),
+                format!("{paper_ms:.0}"),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Tab. 4 — HH detection time (ms)",
+            &["system", "type", "measured", "paper"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_fig4(full: bool) {
+    let axis = if full { fig4::FULL_PORTS } else { fig4::QUICK_PORTS };
+    let rows: Vec<Vec<String>> = fig4::run(axis)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.ports.to_string(),
+                format!("{:.1}", r.farm_bps),
+                format!("{:.0}", r.sflow_1ms_bps),
+                format!("{:.0}", r.sflow_10ms_bps),
+                format!("{:.0}", r.sonata_bps),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 4 — network load for HH detection (bits/s)",
+            &["ports", "FARM", "sFlow 1ms", "sFlow 10ms", "Sonata 75%aggr"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_fig5(full: bool) {
+    let axis = if full { fig5::FULL_FLOWS } else { fig5::QUICK_FLOWS };
+    let rows: Vec<Vec<String>> = fig5::run(axis)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.flows.to_string(),
+                format!("{:.1}", r.farm_cpu_percent),
+                format!("{:.1}", r.sflow_cpu_percent),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 5 — switch CPU load, 10 ms accuracy (% of one core)",
+            &["flows", "FARM", "sFlow"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_fig6(full: bool) {
+    for panel in [
+        fig6::Panel::HhFast,
+        fig6::Panel::HhSlow,
+        fig6::Panel::MlParallel,
+        fig6::Panel::MlPartitioned,
+    ] {
+        let axis = if full {
+            panel.full_axis()
+        } else {
+            panel.quick_axis()
+        };
+        let rows: Vec<Vec<String>> = fig6::run(panel, axis)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.seeds.to_string(),
+                    format!("{:.1}", r.cpu_percent),
+                    format!("{:.1}", r.accuracy_percent),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!(
+                    "Fig. 6 — {} (CPU % of one core / polling accuracy %)",
+                    panel.label()
+                ),
+                &["seeds", "CPU %", "accuracy %"],
+                &rows
+            )
+        );
+        println!();
+    }
+}
+
+fn run_fig7(full: bool) {
+    let cfg = if full {
+        fig7::Fig7Config::full()
+    } else {
+        fig7::Fig7Config::quick()
+    };
+    let rows: Vec<Vec<String>> = fig7::run(&cfg)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.seeds.to_string(),
+                format!("{:.0}", r.heuristic_utility),
+                format!("{:.3}", r.heuristic_secs),
+                format!("{:.0}", r.milp_short_utility),
+                format!("{:.3}", r.milp_short_secs),
+                format!("{:.0}", r.milp_long_utility),
+                format!("{:.3}", r.milp_long_secs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Fig. 7 — placement at scale ({} switches, {} tasks, {} runs/point)",
+                cfg.n_switches, cfg.n_tasks, cfg.runs_per_point
+            ),
+            &[
+                "seeds",
+                "FARM MU",
+                "FARM s",
+                "MILP-short MU",
+                "MILP-short s",
+                "MILP-long MU",
+                "MILP-long s",
+            ],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_fig8(full: bool) {
+    let axis = if full { fig8::FULL_SEEDS } else { fig8::QUICK_SEEDS };
+    let rows: Vec<Vec<String>> = fig8::run(axis)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.seeds.to_string(),
+                format!("{:.1}", r.pcie_unaggregated_percent),
+                format!("{:.1}", r.pcie_aggregated_percent),
+                format!("{:.4}", r.asic_percent),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 8 — PCIe vs ASIC utilization, 1 ms polls (%)",
+            &["seeds", "PCIe (no aggr)", "PCIe (aggr)", "ASIC"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_fig9(full: bool) {
+    let axis = if full { fig9::FULL_SEEDS } else { fig9::QUICK_SEEDS };
+    let rows: Vec<Vec<String>> = fig9::run(axis)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.seeds.to_string(),
+                format!("{:.1}", r.threads_aggregated_percent),
+                format!("{:.1}", r.threads_unaggregated_percent),
+                format!("{:.1}", r.processes_aggregated_percent),
+                format!("{:.1}", r.processes_unaggregated_percent),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 9 — soil CPU cost of aggregation (% of one core)",
+            &["seeds", "thr+aggr", "thr", "proc+aggr", "proc"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn run_fig10(full: bool) {
+    let axis = if full { fig10::FULL_SEEDS } else { fig10::QUICK_SEEDS };
+    let rows: Vec<Vec<String>> = fig10::run(axis)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.seeds.to_string(),
+                format!("{:.2}", r.shared_threads_us),
+                format!("{:.2}", r.shared_processes_us),
+                format!("{:.2}", r.grpc_threads_us),
+                format!("{:.2}", r.grpc_processes_us),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 10 — soil↔seed delivery latency (µs)",
+            &["seeds", "shared/thr", "shared/proc", "gRPC/thr", "gRPC/proc"],
+            &rows
+        )
+    );
+    println!(
+        "real shared ring buffer (2 threads, one hop): {:.2} µs\n",
+        fig10::real_ring_buffer_round_trip(5000)
+    );
+}
+
+fn run_tab5() {
+    let rows: Vec<Vec<String>> = tab5::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                r.decentralized.glyph().to_string(),
+                r.expressive.glyph().to_string(),
+                r.optimized.glyph().to_string(),
+                r.platform_independent.glyph().to_string(),
+                r.local_reactions.glyph().to_string(),
+                r.dynamic_deployment.glyph().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Tab. V — features of generic M&M solutions (● yes ◐ partial ○ no)",
+            &["system", "[DEC]", "[EXP]", "[OPT]", "[IND]", "react", "dynamic"],
+            &rows
+        )
+    );
+    println!();
+}

@@ -1,0 +1,220 @@
+//! Shared experiment infrastructure: fabric builders, FARM task sources,
+//! and table rendering.
+
+use std::collections::BTreeMap;
+
+use farm_core::farm::{Farm, FarmConfig};
+use farm_netsim::switch::SwitchModel;
+use farm_netsim::topology::Topology;
+use farm_soil::SoilConfig;
+
+/// The production-cluster stand-in of § VI-A b: a 20-switch spine-leaf
+/// fabric (4 spines + 16 leaves) of Accton-class switches.
+pub fn sap_cluster() -> Topology {
+    Topology::spine_leaf(
+        4,
+        16,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    )
+}
+
+/// A single-switch rig for switch-local microbenchmarks.
+pub fn single_switch() -> Topology {
+    Topology::spine_leaf(
+        1,
+        1,
+        SwitchModel::accton_as5712(),
+        SwitchModel::accton_as5712(),
+    )
+}
+
+/// Builds a FARM instance over a topology with the given soil config.
+pub fn farm_with(topology: Topology, soil: SoilConfig) -> Farm {
+    Farm::new(topology, FarmConfig { soil })
+}
+
+/// A parametric HH machine polling every port at a fixed accuracy.
+/// `place any N` pins deployment to explicit switches so scaling studies
+/// control seed counts precisely.
+pub fn hh_source_at(accuracy_ms: u64, switch: u32, threshold: i64) -> String {
+    format!(
+        r#"
+fun getHH(list stats, long threshold): list {{
+  list result;
+  int i = 0;
+  while (i < list_len(stats)) {{
+    if (stat_tx_bytes(list_get(stats, i)) >= threshold) then {{
+      list_push(result, list_get(stats, i));
+    }}
+    i = i + 1;
+  }}
+  return result;
+}}
+machine HH {{
+  place any {switch};
+  poll pollStats = Poll {{ .ival = {accuracy_ms}, .what = port ANY }};
+  external long threshold = {threshold};
+  list hitters;
+  state observe {{
+    util (res) {{
+      if (res.vCPU >= 0 and res.RAM >= 0) then {{ return 1 + res.vCPU; }}
+    }}
+    when (pollStats as stats) do {{
+      hitters = getHH(stats, threshold);
+      if (not is_list_empty(hitters)) then {{
+        transit HHdetected;
+      }}
+    }}
+  }}
+  state HHdetected {{
+    util (res) {{ return 100; }}
+    when (enter) do {{
+      send hitters to harvester;
+      transit observe;
+    }}
+  }}
+  when (recv long newTh from harvester) do {{ threshold = newTh; }}
+}}
+"#
+    )
+}
+
+/// An HH variant with change detection: reports only *newly* heavy ports
+/// (the production behaviour behind Fig. 4's "1 packet per minute per 100
+/// additional ports" — steady heavy hitters are reported once, reports
+/// follow HH-set churn).
+pub fn hh_change_source_at(accuracy_ms: u64, switch: u32, threshold: i64) -> String {
+    format!(
+        r#"
+fun hitterPorts(list stats, long threshold): list {{
+  list ports;
+  int i = 0;
+  while (i < list_len(stats)) {{
+    if (stat_tx_bytes(list_get(stats, i)) >= threshold) then {{
+      list_push(ports, stat_port(list_get(stats, i)));
+    }}
+    i = i + 1;
+  }}
+  return ports;
+}}
+machine HH {{
+  place any {switch};
+  poll pollStats = Poll {{ .ival = {accuracy_ms}, .what = port ANY }};
+  external long threshold = {threshold};
+  list known;
+  state observe {{
+    util (res) {{
+      if (res.vCPU >= 0 and res.RAM >= 0) then {{ return 1 + res.vCPU; }}
+    }}
+    when (pollStats as stats) do {{
+      list current = hitterPorts(stats, threshold);
+      list fresh;
+      int i = 0;
+      while (i < list_len(current)) {{
+        if (not list_contains(known, list_get(current, i))) then {{
+          list_push(fresh, list_get(current, i));
+        }}
+        i = i + 1;
+      }}
+      known = current;
+      if (not is_list_empty(fresh)) then {{
+        send fresh to harvester;
+      }}
+    }}
+  }}
+  when (recv long newTh from harvester) do {{ threshold = newTh; }}
+}}
+"#
+    )
+}
+
+/// The CPU-intensive ML task of § VI-A c: statistics polling drives an
+/// SVR prediction (1000×1000 matrix multiplies) via `exec`, with an
+/// iteration count for the Fig. 6d partitioning.
+pub fn ml_source_at(accuracy_ms: u64, switch: u32, iterations: u32) -> String {
+    format!(
+        r#"
+machine ML {{
+  place any {switch};
+  poll pollStats = Poll {{ .ival = {accuracy_ms}, .what = port ANY }};
+  state predict {{
+    util (res) {{
+      if (res.vCPU >= 0) then {{ return 1 + res.vCPU; }}
+    }}
+    when (pollStats as stats) do {{
+      exec_n("svr-matmul-1000", {iterations});
+    }}
+  }}
+}}
+"#
+    )
+}
+
+/// No-external deployment helper.
+pub fn no_externals() -> BTreeMap<String, farm_almanac::analysis::ConstEnv> {
+    BTreeMap::new()
+}
+
+/// Renders rows as an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_almanac::compile::frontend;
+
+    #[test]
+    fn parametric_sources_compile() {
+        frontend(&hh_source_at(1, 0, 1_000_000)).unwrap();
+        frontend(&hh_source_at(10, 3, 500)).unwrap();
+        frontend(&hh_change_source_at(10, 1, 100_000)).unwrap();
+        frontend(&ml_source_at(1, 0, 1)).unwrap();
+        frontend(&ml_source_at(10, 2, 10)).unwrap();
+    }
+
+    #[test]
+    fn sap_cluster_has_20_switches() {
+        assert_eq!(sap_cluster().len(), 20);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yy".into(), "22".into()]],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("long-header"));
+    }
+}

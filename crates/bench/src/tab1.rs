@@ -1,0 +1,50 @@
+//! Tab. I — lines of code of the 16 Almanac use cases, ours vs paper.
+
+use farm_almanac::programs::{loc, USE_CASES};
+
+/// One row of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocRow {
+    pub name: &'static str,
+    pub our_loc: usize,
+    pub paper_seed_loc: usize,
+    pub paper_harvester_loc: usize,
+}
+
+/// Computes the table.
+pub fn run() -> Vec<LocRow> {
+    USE_CASES
+        .iter()
+        .map(|u| LocRow {
+            name: u.name,
+            our_loc: loc(u.source),
+            paper_seed_loc: u.paper_seed_loc,
+            paper_harvester_loc: u.paper_harvester_loc,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_17_rows() {
+        assert_eq!(run().len(), 17);
+    }
+
+    #[test]
+    fn relative_sizes_follow_the_paper() {
+        let rows = run();
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap().our_loc;
+        // Smallest and largest tasks match the paper's extremes.
+        let tc = by_name("Traffic change");
+        let fd = by_name("FloodDefender");
+        for r in &rows {
+            assert!(r.our_loc >= tc, "{} smaller than Traffic change", r.name);
+            assert!(r.our_loc <= fd, "{} larger than FloodDefender", r.name);
+        }
+        // Every program is succinct: well under 200 lines.
+        assert!(rows.iter().all(|r| r.our_loc < 200));
+    }
+}

@@ -1,0 +1,140 @@
+//! Tab. V — feature matrix of generic M&M solutions, as discussed in the
+//! paper's § VII related-work analysis.
+
+/// Feature support level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    Yes,
+    Partial,
+    No,
+}
+
+impl Support {
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Support::Yes => "●",
+            Support::Partial => "◐",
+            Support::No => "○",
+        }
+    }
+}
+
+/// One system's row.
+#[derive(Debug, Clone)]
+pub struct FeatureRow {
+    pub system: &'static str,
+    /// \[DEC\] decentralized processing (switch-local analysis).
+    pub decentralized: Support,
+    /// \[EXP\] expressive stateful tasks beyond aggregates.
+    pub expressive: Support,
+    /// \[OPT\] global resource optimization across concurrent tasks.
+    pub optimized: Support,
+    /// \[IND\] platform independence.
+    pub platform_independent: Support,
+    /// Switch-local reactions (management, not just monitoring).
+    pub local_reactions: Support,
+    /// Dynamic deployment / migration without disruption.
+    pub dynamic_deployment: Support,
+}
+
+/// The matrix (FARM plus the § VII generic systems).
+pub fn run() -> Vec<FeatureRow> {
+    use Support::*;
+    vec![
+        FeatureRow {
+            system: "FARM",
+            decentralized: Yes,
+            expressive: Yes,
+            optimized: Yes,
+            platform_independent: Yes,
+            local_reactions: Yes,
+            dynamic_deployment: Yes,
+        },
+        FeatureRow {
+            system: "sFlow",
+            decentralized: No,
+            expressive: No,
+            optimized: No,
+            platform_independent: Yes,
+            local_reactions: No,
+            dynamic_deployment: No,
+        },
+        FeatureRow {
+            system: "Sonata",
+            decentralized: Partial,
+            expressive: Partial,
+            optimized: Partial, // per-query MILP, not cross-task
+            platform_independent: No,
+            local_reactions: No,
+            dynamic_deployment: No,
+        },
+        FeatureRow {
+            system: "Newton",
+            decentralized: Partial,
+            expressive: Partial,
+            optimized: No,
+            platform_independent: No,
+            local_reactions: No,
+            dynamic_deployment: Partial, // dynamic queries, no migration
+        },
+        FeatureRow {
+            system: "OmniMon",
+            decentralized: Partial,
+            expressive: No,
+            optimized: No,
+            platform_independent: Partial,
+            local_reactions: No,
+            dynamic_deployment: No,
+        },
+        FeatureRow {
+            system: "BeauCoup",
+            decentralized: Partial,
+            expressive: No, // distinct-counting queries only
+            optimized: No,
+            platform_independent: No,
+            local_reactions: No,
+            dynamic_deployment: No,
+        },
+        FeatureRow {
+            system: "Marple",
+            decentralized: Partial,
+            expressive: Partial, // limited aggregation primitives
+            optimized: No,
+            platform_independent: Partial,
+            local_reactions: No,
+            dynamic_deployment: No,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farm_is_the_only_full_row() {
+        let rows = run();
+        let full = |r: &FeatureRow| {
+            [
+                r.decentralized,
+                r.expressive,
+                r.optimized,
+                r.platform_independent,
+                r.local_reactions,
+                r.dynamic_deployment,
+            ]
+            .iter()
+            .all(|s| *s == Support::Yes)
+        };
+        assert!(full(&rows[0]));
+        assert!(rows[1..].iter().all(|r| !full(r)));
+    }
+
+    #[test]
+    fn matrix_covers_the_section_vii_systems() {
+        let names: Vec<_> = run().iter().map(|r| r.system).collect();
+        for expected in ["FARM", "sFlow", "Sonata", "Newton", "OmniMon", "BeauCoup", "Marple"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+}

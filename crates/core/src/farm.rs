@@ -1,0 +1,613 @@
+//! The `Farm` facade: the whole framework wired together.
+//!
+//! Owns the simulated [`Network`], one [`Soil`] per switch, the
+//! [`Seeder`] and the per-task harvesters, and drives everything on
+//! virtual time: traffic application, probe sampling, trigger scheduling,
+//! message routing (seed ↔ seed and seed ↔ harvester), harvester
+//! commands, and placement (re)optimization with live migrations.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use farm_almanac::analysis::ConstEnv;
+use farm_almanac::compile::compile_task;
+use farm_almanac::value::{PacketRecord, Value};
+use farm_netsim::controller::SdnController;
+use farm_netsim::network::{Network, TrafficEvent};
+use farm_netsim::switch::Resources;
+use farm_netsim::time::{Dur, Time};
+use farm_netsim::topology::Topology;
+use farm_netsim::traffic::Workload;
+use farm_netsim::types::{Proto, SwitchId};
+use farm_soil::{Endpoint, OutboundMessage, SeedId, Soil, SoilConfig};
+
+use crate::harvester::{Harvester, HarvesterCommand, HarvesterCtx};
+use crate::metrics::Metrics;
+use crate::seeder::{PlannedAction, Plan, SeedKey, Seeder};
+
+/// Framework-level failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmError(pub String);
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "farm error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+impl From<farm_almanac::AlmanacError> for FarmError {
+    fn from(e: farm_almanac::AlmanacError) -> Self {
+        FarmError(e.to_string())
+    }
+}
+
+impl From<farm_soil::SoilError> for FarmError {
+    fn from(e: farm_soil::SoilError) -> Self {
+        FarmError(e.to_string())
+    }
+}
+
+impl From<String> for FarmError {
+    fn from(e: String) -> Self {
+        FarmError(e)
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FarmConfig {
+    /// Soil configuration applied to every switch.
+    pub soil: SoilConfig,
+}
+
+/// Maximum message-routing rounds per step (seed→harvester→seed→… chains).
+const MAX_ROUTING_ROUNDS: usize = 8;
+
+/// The assembled FARM framework over a simulated fabric.
+pub struct Farm {
+    network: Network,
+    soils: HashMap<SwitchId, Soil>,
+    seeder: Seeder,
+    seed_ids: HashMap<SeedKey, SeedId>,
+    harvesters: HashMap<String, Box<dyn Harvester>>,
+    now: Time,
+    metrics: Metrics,
+}
+
+impl Farm {
+    /// Builds the framework over a topology.
+    pub fn new(topology: Topology, config: FarmConfig) -> Farm {
+        let network = Network::new(topology);
+        let soils = network
+            .switch_ids()
+            .into_iter()
+            .map(|id| (id, Soil::new(id, config.soil)))
+            .collect();
+        Farm {
+            network,
+            soils,
+            seeder: Seeder::new(),
+            seed_ids: HashMap::new(),
+            harvesters: HashMap::new(),
+            now: Time::ZERO,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable network access (test workloads, fault injection).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// The soil running on a switch.
+    pub fn soil(&self, id: SwitchId) -> Option<&Soil> {
+        self.soils.get(&id)
+    }
+
+    /// The seeder (task catalog and placements).
+    pub fn seeder(&self) -> &Seeder {
+        &self.seeder
+    }
+
+    /// Mutable seeder access (heuristic options for ablations).
+    pub fn seeder_mut(&mut self) -> &mut Seeder {
+        &mut self.seeder
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Number of deployed seeds across the fabric.
+    pub fn deployed_seeds(&self) -> usize {
+        self.seed_ids.len()
+    }
+
+    /// Registers (or replaces) the harvester of a task.
+    pub fn set_harvester(&mut self, task: impl Into<String>, h: Box<dyn Harvester>) {
+        self.harvesters.insert(task.into(), h);
+    }
+
+    /// Typed view of a task's harvester.
+    pub fn harvester<T: 'static>(&self, task: &str) -> Option<&T> {
+        self.harvesters
+            .get(task)
+            .and_then(|h| h.as_any().downcast_ref::<T>())
+    }
+
+    /// Compiles and deploys an M&M task: parse/check/analyze the Almanac
+    /// source, register it, and re-run global placement (which deploys
+    /// the new seeds and may migrate existing ones).
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors, placement failures, or soil deployment errors.
+    pub fn deploy_task(
+        &mut self,
+        name: &str,
+        source: &str,
+        externals: &BTreeMap<String, ConstEnv>,
+    ) -> Result<Plan, FarmError> {
+        let task = {
+            let ctl = SdnController::new(self.network.topology());
+            compile_task(name, source, externals, &ctl)?
+        };
+        self.seeder.register_task(task);
+        self.replan()
+    }
+
+    /// Compiles and registers several tasks, then runs a *single* global
+    /// placement round — the efficient path for deploying fleets (the
+    /// paper's seeder also batches: placement runs when inputs change,
+    /// not per seed).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or plan-execution failures.
+    pub fn deploy_tasks(
+        &mut self,
+        tasks: &[(&str, &str, BTreeMap<String, ConstEnv>)],
+    ) -> Result<Plan, FarmError> {
+        for (name, source, externals) in tasks {
+            let task = {
+                let ctl = SdnController::new(self.network.topology());
+                compile_task(name, source, externals, &ctl)?
+            };
+            self.seeder.register_task(task);
+        }
+        self.replan()
+    }
+
+    /// Removes a task: undeploys its seeds and drops its harvester.
+    pub fn remove_task(&mut self, name: &str) -> Result<(), FarmError> {
+        self.seeder.remove_task(name);
+        self.harvesters.remove(name);
+        let orphans: Vec<SeedKey> = self
+            .seed_ids
+            .keys()
+            .filter(|k| k.task == name)
+            .cloned()
+            .collect();
+        for key in orphans {
+            if let Some(sid) = self.seed_ids.remove(&key) {
+                if let Some((switch, _)) = self.seeder.location_of(&key) {
+                    let _ = switch;
+                }
+                // Location is gone from the seeder after remove_task; scan
+                // the soils instead.
+                for (swid, soil) in self.soils.iter_mut() {
+                    if soil.seed(sid).is_some() {
+                        let switch = self
+                            .network
+                            .switch_mut(*swid)
+                            .expect("switch exists for soil");
+                        let _ = soil.undeploy(sid, switch);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-runs global placement over every registered task and executes
+    /// the resulting plan (deploy / migrate / realloc / undeploy).
+    ///
+    /// # Errors
+    ///
+    /// Soil-level failures while executing the plan.
+    pub fn replan(&mut self) -> Result<Plan, FarmError> {
+        let caps: Vec<(SwitchId, Resources)> = self
+            .network
+            .topology()
+            .switches()
+            .iter()
+            .map(|n| (n.id, n.model.total_resources()))
+            .collect();
+        let plan = self.seeder.plan(&caps)?;
+        let mut outbound = Vec::new();
+        for action in &plan.actions {
+            match action {
+                PlannedAction::Deploy { key, to, alloc } => {
+                    let def = self
+                        .seeder
+                        .machine_of(key)
+                        .ok_or_else(|| FarmError(format!("unknown machine for {key}")))?;
+                    let report = {
+                        let soil = self.soils.get_mut(to).expect("soil per switch");
+                        let switch = self.network.switch_mut(*to).expect("switch exists");
+                        let (sid, report) =
+                            soil.deploy(def, &key.task, *alloc, self.now, switch)?;
+                        self.seed_ids.insert(key.clone(), sid);
+                        report
+                    };
+                    self.metrics.seed_errors += report.errors.len() as u64;
+                    outbound.extend(report.messages);
+                }
+                PlannedAction::Migrate {
+                    key,
+                    from,
+                    to,
+                    alloc,
+                } => {
+                    let def = self
+                        .seeder
+                        .machine_of(key)
+                        .ok_or_else(|| FarmError(format!("unknown machine for {key}")))?;
+                    let sid = *self
+                        .seed_ids
+                        .get(key)
+                        .ok_or_else(|| FarmError(format!("{key} is not deployed")))?;
+                    let snapshot = {
+                        let soil = self.soils.get_mut(from).expect("soil per switch");
+                        let switch = self.network.switch_mut(*from).expect("switch exists");
+                        soil.undeploy(sid, switch)?
+                    };
+                    let bytes: u64 = snapshot
+                        .vars
+                        .iter()
+                        .map(|(_, v)| farm_soil::soil::value_bytes(v))
+                        .sum();
+                    let new_sid = {
+                        let soil = self.soils.get_mut(to).expect("soil per switch");
+                        let switch = self.network.switch_mut(*to).expect("switch exists");
+                        soil.import(Arc::clone(&def), &key.task, *alloc, &snapshot, self.now, switch)?
+                    };
+                    self.seed_ids.insert(key.clone(), new_sid);
+                    self.metrics.migrations += 1;
+                    self.metrics.migration_bytes += bytes;
+                }
+                PlannedAction::Realloc { key, alloc } => {
+                    if let (Some(sid), Some((swid, _))) =
+                        (self.seed_ids.get(key), self.seeder.location_of(key))
+                    {
+                        let soil = self.soils.get_mut(&swid).expect("soil per switch");
+                        let switch = self.network.switch_mut(swid).expect("switch exists");
+                        let report = soil.realloc(*sid, *alloc, self.now, switch)?;
+                        self.metrics.seed_errors += report.errors.len() as u64;
+                        outbound.extend(report.messages);
+                    }
+                }
+                PlannedAction::Undeploy { key, from } => {
+                    if let Some(sid) = self.seed_ids.remove(key) {
+                        let soil = self.soils.get_mut(from).expect("soil per switch");
+                        let switch = self.network.switch_mut(*from).expect("switch exists");
+                        let _ = soil.undeploy(sid, switch)?;
+                    }
+                }
+            }
+            self.seeder.commit(action);
+        }
+        self.metrics.replans += 1;
+        self.route(outbound);
+        Ok(plan)
+    }
+
+    /// Applies traffic to the fabric and offers per-event samples to
+    /// probe triggers.
+    pub fn apply_traffic(&mut self, events: &[TrafficEvent]) {
+        self.network.apply_traffic(events);
+        let mut per_switch: HashMap<SwitchId, Vec<PacketRecord>> = HashMap::new();
+        for e in events {
+            per_switch
+                .entry(e.switch)
+                .or_default()
+                .push(sample_packet(e));
+        }
+        let mut outbound = Vec::new();
+        for (swid, pkts) in per_switch {
+            if let Some(soil) = self.soils.get_mut(&swid) {
+                let switch = self.network.switch_mut(swid).expect("switch exists");
+                let report = soil.offer_packets(&pkts, self.now, switch);
+                self.metrics.seed_errors += report.errors.len() as u64;
+                outbound.extend(report.messages);
+            }
+        }
+        self.route(outbound);
+    }
+
+    /// Advances virtual time to `to`: every soil fires its due triggers
+    /// and resulting messages are routed.
+    pub fn advance(&mut self, to: Time) {
+        let ids = self.network.switch_ids();
+        let mut outbound = Vec::new();
+        for id in ids {
+            let soil = self.soils.get_mut(&id).expect("soil per switch");
+            let switch = self.network.switch_mut(id).expect("switch exists");
+            let report = soil.advance(to, switch);
+            self.metrics.seed_errors += report.errors.len() as u64;
+            outbound.extend(report.messages);
+        }
+        self.now = to;
+        self.route(outbound);
+    }
+
+    /// Runs workloads against the fabric until `until`, stepping traffic
+    /// and triggers every `tick`.
+    pub fn run(
+        &mut self,
+        workloads: &mut [&mut dyn Workload],
+        until: Time,
+        tick: Dur,
+    ) {
+        assert!(!tick.is_zero(), "tick must be positive");
+        while self.now < until {
+            let step_end = (self.now + tick).min(until);
+            let dt = step_end.since(self.now);
+            let mut events = Vec::new();
+            for w in workloads.iter_mut() {
+                events.extend(w.advance(self.now, dt));
+            }
+            self.apply_traffic(&events);
+            self.advance(step_end);
+        }
+    }
+
+    /// Routes outbound messages to harvesters and seeds, applying
+    /// harvester commands; message chains are bounded per step.
+    fn route(&mut self, mut messages: Vec<OutboundMessage>) {
+        for _round in 0..MAX_ROUTING_ROUNDS {
+            if messages.is_empty() {
+                return;
+            }
+            let mut next = Vec::new();
+            for msg in messages.drain(..) {
+                match &msg.to {
+                    Endpoint::Harvester => {
+                        self.metrics.collector_messages += 1;
+                        self.metrics.collector_bytes += msg.bytes;
+                        if let Some(h) = self.harvesters.get_mut(&msg.task) {
+                            let mut ctx = HarvesterCtx::new(self.now);
+                            h.on_message(&msg, &mut ctx);
+                            for cmd in ctx.commands {
+                                next.extend(self.apply_command(cmd));
+                            }
+                        }
+                    }
+                    Endpoint::Machine { name, at } => {
+                        self.metrics.seed_messages += 1;
+                        self.metrics.seed_bytes += msg.bytes;
+                        let targets: Vec<SwitchId> = match at {
+                            Some(sw) => vec![*sw],
+                            None => self
+                                .network
+                                .switch_ids()
+                                .into_iter()
+                                .filter(|id| *id != msg.from_switch)
+                                .collect(),
+                        };
+                        for swid in targets {
+                            if let Some(soil) = self.soils.get_mut(&swid) {
+                                let switch =
+                                    self.network.switch_mut(swid).expect("switch exists");
+                                let report = soil.deliver_to_machine(
+                                    name,
+                                    Some(&msg.from_machine),
+                                    &msg.value,
+                                    self.now,
+                                    switch,
+                                );
+                                self.metrics.seed_errors += report.errors.len() as u64;
+                                next.extend(report.messages);
+                            }
+                        }
+                    }
+                }
+            }
+            messages = next;
+        }
+        if !messages.is_empty() {
+            // Routing chain exceeded the bound: account and drop.
+            self.metrics.seed_errors += messages.len() as u64;
+        }
+    }
+
+    fn apply_command(&mut self, cmd: HarvesterCommand) -> Vec<OutboundMessage> {
+        match cmd {
+            HarvesterCommand::SendToMachine { machine, at, value } => {
+                self.metrics.control_messages += 1;
+                self.metrics.control_bytes += farm_soil::soil::value_bytes(&value);
+                let targets: Vec<SwitchId> = match at {
+                    Some(sw) => vec![sw],
+                    None => self.network.switch_ids(),
+                };
+                let mut out = Vec::new();
+                for swid in targets {
+                    if let Some(soil) = self.soils.get_mut(&swid) {
+                        let switch = self.network.switch_mut(swid).expect("switch exists");
+                        let report =
+                            soil.deliver_to_machine(&machine, None, &value, self.now, switch);
+                        self.metrics.seed_errors += report.errors.len() as u64;
+                        out.extend(report.messages);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Synthesizes a sampled packet from a flow-level traffic event. TCP
+/// flows with small average packets are treated as connection attempts
+/// (SYN) — the granularity the probe-based Tab. I tasks need.
+fn sample_packet(e: &TrafficEvent) -> PacketRecord {
+    let avg = if e.packets > 0 { e.bytes / e.packets } else { e.bytes };
+    let syn = e.flow.proto == Proto::Tcp && avg <= 128;
+    PacketRecord {
+        flow: e.flow,
+        len: avg.min(u32::MAX as u64) as u32,
+        syn,
+        fin: false,
+        ack: false,
+    }
+}
+
+/// Utility value helpers for external assignments.
+pub fn external(pairs: &[(&str, Value)]) -> ConstEnv {
+    farm_almanac::compile::externals(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvester::CollectingHarvester;
+    use farm_netsim::switch::SwitchModel;
+    use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
+
+    fn fabric() -> Topology {
+        Topology::spine_leaf(
+            2,
+            3,
+            SwitchModel::accton_as7712(),
+            SwitchModel::accton_as5712(),
+        )
+    }
+
+    #[test]
+    fn deploys_hh_task_on_every_switch() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        let plan = farm
+            .deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        assert_eq!(plan.actions.len(), 5);
+        assert_eq!(farm.deployed_seeds(), 5);
+        for id in farm.network().switch_ids() {
+            assert_eq!(farm.soil(id).unwrap().num_seeds(), 1);
+        }
+    }
+
+    #[test]
+    fn end_to_end_hh_detection() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        farm.set_harvester("hh", Box::new(CollectingHarvester::new()));
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        let leaf = farm.network().topology().leaves().next().unwrap();
+        let mut hh = HeavyHitterWorkload::new(HhConfig {
+            switch: leaf,
+            n_ports: 16,
+            hh_ratio: 0.1,
+            ..Default::default()
+        });
+        farm.run(
+            &mut [&mut hh],
+            Time::from_millis(50),
+            Dur::from_millis(1),
+        );
+        let h: &CollectingHarvester = farm.harvester("hh").unwrap();
+        assert!(
+            !h.received.is_empty(),
+            "harvester must receive HH reports"
+        );
+        // Detection comes from the leaf carrying the traffic.
+        assert!(h.received.iter().any(|m| m.from_switch == leaf));
+        assert!(farm.metrics().collector_bytes > 0);
+    }
+
+    #[test]
+    fn removing_a_task_cleans_up() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        assert_eq!(farm.deployed_seeds(), 5);
+        farm.remove_task("hh").unwrap();
+        assert_eq!(farm.deployed_seeds(), 0);
+        for id in farm.network().switch_ids() {
+            assert_eq!(farm.soil(id).unwrap().num_seeds(), 0);
+        }
+    }
+
+    #[test]
+    fn two_tasks_coexist() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        farm.deploy_task(
+            "traffic-change",
+            farm_almanac::programs::TRAFFIC_CHANGE,
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(farm.deployed_seeds(), 10);
+        // Both tasks poll `port ANY`: the soils should aggregate.
+        farm.advance(Time::from_millis(2000));
+        let saved: u64 = farm
+            .network()
+            .switch_ids()
+            .iter()
+            .map(|id| farm.soil(*id).unwrap().stats().polls_saved)
+            .sum();
+        assert!(saved > 0, "co-located tasks must share ASIC polls");
+    }
+
+    #[test]
+    fn external_assignment_reaches_seeds() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        let mut ext = BTreeMap::new();
+        ext.insert("HH".to_string(), external(&[("threshold", Value::Int(77))]));
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &ext)
+            .unwrap();
+        let leaf = farm.network().topology().leaves().next().unwrap();
+        let soil = farm.soil(leaf).unwrap();
+        let seed = soil.seeds().next().unwrap();
+        assert_eq!(seed.var("threshold"), Some(&Value::Int(77)));
+    }
+
+    #[test]
+    fn sample_packet_flags_syns() {
+        let e = TrafficEvent {
+            switch: SwitchId(0),
+            rx_port: None,
+            tx_port: None,
+            flow: farm_netsim::types::FlowKey::tcp(
+                farm_netsim::types::Ipv4::new(1, 1, 1, 1),
+                9,
+                farm_netsim::types::Ipv4::new(2, 2, 2, 2),
+                22,
+            ),
+            bytes: 64,
+            packets: 1,
+        };
+        assert!(sample_packet(&e).syn);
+        let big = TrafficEvent {
+            bytes: 1500 * 10,
+            packets: 10,
+            ..e
+        };
+        assert!(!sample_packet(&big).syn);
+    }
+}

@@ -1,0 +1,46 @@
+//! FARM core: the comprehensive network monitoring & management framework
+//! of the ICDCS 2024 paper, assembled over the simulated substrate.
+//!
+//! * [`seeder`] — the centralized control instance: task catalog, global
+//!   placement planning (via `farm-placement`), migration diffing.
+//! * [`harvester`] — per-task centralized components (collecting, HH
+//!   threshold tuning, DDoS release coordination).
+//! * [`farm`] — the [`farm::Farm`] facade: network + soils + seeder +
+//!   harvesters on one virtual clock, with message routing and metrics.
+//! * [`metrics`] — framework-wide accounting (collector bytes, migrations).
+//!
+//! # Example
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use farm_core::farm::{Farm, FarmConfig};
+//! use farm_core::harvester::CollectingHarvester;
+//! use farm_netsim::switch::SwitchModel;
+//! use farm_netsim::time::{Dur, Time};
+//! use farm_netsim::topology::Topology;
+//! use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
+//!
+//! let topo = Topology::spine_leaf(2, 3,
+//!     SwitchModel::accton_as7712(), SwitchModel::accton_as5712());
+//! let mut farm = Farm::new(topo, FarmConfig::default());
+//! farm.set_harvester("hh", Box::new(CollectingHarvester::new()));
+//! farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())?;
+//!
+//! let leaf = farm.network().topology().leaves().next().unwrap();
+//! let mut traffic = HeavyHitterWorkload::new(HhConfig { switch: leaf, ..Default::default() });
+//! farm.run(&mut [&mut traffic], Time::from_millis(30), Dur::from_millis(1));
+//!
+//! let h: &CollectingHarvester = farm.harvester("hh").unwrap();
+//! assert!(!h.received.is_empty());
+//! # Ok::<(), farm_core::farm::FarmError>(())
+//! ```
+
+pub mod farm;
+pub mod harvester;
+pub mod metrics;
+pub mod seeder;
+
+pub use farm::{Farm, FarmConfig, FarmError};
+pub use harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
+pub use metrics::Metrics;
+pub use seeder::{Plan, PlannedAction, SeedKey, Seeder};

@@ -1,0 +1,54 @@
+//! Framework-wide accounting: monitoring traffic, migrations, errors.
+
+use serde::Serialize;
+
+/// Cumulative metrics of a [`crate::farm::Farm`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Metrics {
+    /// Messages delivered to harvesters (centralized component load).
+    pub collector_messages: u64,
+    /// Payload bytes delivered to harvesters — FARM's share of the
+    /// Fig. 4 network-load axis.
+    pub collector_bytes: u64,
+    /// Seed-to-seed messages routed across switches.
+    pub seed_messages: u64,
+    /// Seed-to-seed payload bytes.
+    pub seed_bytes: u64,
+    /// Harvester→seed control messages.
+    pub control_messages: u64,
+    /// Harvester→seed control bytes.
+    pub control_bytes: u64,
+    /// Seed migrations executed.
+    pub migrations: u64,
+    /// State bytes moved by migrations.
+    pub migration_bytes: u64,
+    /// Runtime errors raised by seed handlers.
+    pub seed_errors: u64,
+    /// Placement optimization rounds.
+    pub replans: u64,
+}
+
+impl Metrics {
+    /// Total monitoring bytes crossing the network (to the collector,
+    /// between seeds, and control).
+    pub fn total_network_bytes(&self) -> u64 {
+        self.collector_bytes + self.seed_bytes + self.control_bytes + self.migration_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_flows() {
+        let m = Metrics {
+            collector_bytes: 10,
+            seed_bytes: 20,
+            control_bytes: 30,
+            migration_bytes: 40,
+            ..Default::default()
+        };
+        assert_eq!(m.total_network_bytes(), 100);
+    }
+}

@@ -1,0 +1,355 @@
+//! The seeder: FARM's centralized M&M control instance (§ II-C b).
+//!
+//! The seeder compiles Almanac tasks, keeps the global catalog of
+//! deployed tasks, and — whenever an input changes — re-runs placement
+//! optimization over *all* co-deployed tasks, producing a plan of
+//! deployments, migrations, reallocations and withdrawals that the
+//! [`crate::farm::Farm`] facade executes against the soils.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use farm_almanac::compile::{CompiledMachine, CompiledTask};
+use farm_netsim::switch::Resources;
+use farm_netsim::types::SwitchId;
+use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
+use farm_placement::model::{PlacementResult, PreviousPlacement};
+use farm_placement::build::instance_from_tasks;
+
+/// Stable identity of one seed across re-optimizations.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeedKey {
+    pub task: String,
+    /// Index of the machine within its task.
+    pub machine: usize,
+    /// Index of the seed within its machine's placement spec.
+    pub seed: usize,
+}
+
+impl std::fmt::Display for SeedKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/m{}/s{}", self.task, self.machine, self.seed)
+    }
+}
+
+/// One step of a placement plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedAction {
+    /// Fresh deployment.
+    Deploy {
+        key: SeedKey,
+        to: SwitchId,
+        alloc: Resources,
+    },
+    /// Move a running seed (state snapshot travels with it).
+    Migrate {
+        key: SeedKey,
+        from: SwitchId,
+        to: SwitchId,
+        alloc: Resources,
+    },
+    /// Same switch, new allocation.
+    Realloc { key: SeedKey, alloc: Resources },
+    /// Remove a seed (its task was dropped by the optimizer).
+    Undeploy { key: SeedKey, from: SwitchId },
+}
+
+/// Outcome of a planning round.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub actions: Vec<PlannedAction>,
+    /// The optimizer's result over all tasks.
+    pub result: PlacementResult,
+    /// Names of tasks the optimizer dropped entirely.
+    pub dropped_tasks: Vec<String>,
+}
+
+#[derive(Debug)]
+struct TaskEntry {
+    task: CompiledTask,
+    machines: Vec<Arc<CompiledMachine>>,
+}
+
+/// The seeder's task catalog and placement memory.
+#[derive(Debug, Default)]
+pub struct Seeder {
+    tasks: BTreeMap<String, TaskEntry>,
+    /// Current location and allocation per seed.
+    locations: HashMap<SeedKey, (SwitchId, Resources)>,
+    options: HeuristicOptions,
+}
+
+impl Seeder {
+    /// A seeder with default heuristic options.
+    pub fn new() -> Seeder {
+        Seeder::default()
+    }
+
+    /// Overrides the heuristic options (ablations).
+    pub fn set_options(&mut self, options: HeuristicOptions) {
+        self.options = options;
+    }
+
+    /// Registers a compiled task (replacing any same-named task).
+    pub fn register_task(&mut self, task: CompiledTask) {
+        let machines = task.machines.iter().cloned().map(Arc::new).collect();
+        self.tasks.insert(
+            task.name.clone(),
+            TaskEntry { task, machines },
+        );
+    }
+
+    /// Removes a task from the catalog together with its placement
+    /// memory (the caller is responsible for undeploying the live seeds).
+    pub fn remove_task(&mut self, name: &str) -> bool {
+        self.locations.retain(|k, _| k.task != name);
+        self.tasks.remove(name).is_some()
+    }
+
+    /// Registered task names in deterministic order.
+    pub fn task_names(&self) -> Vec<String> {
+        self.tasks.keys().cloned().collect()
+    }
+
+    /// The compiled machine definition behind a seed key.
+    pub fn machine_of(&self, key: &SeedKey) -> Option<Arc<CompiledMachine>> {
+        self.tasks
+            .get(&key.task)
+            .and_then(|e| e.machines.get(key.machine))
+            .cloned()
+    }
+
+    /// Current location of a seed.
+    pub fn location_of(&self, key: &SeedKey) -> Option<(SwitchId, Resources)> {
+        self.locations.get(key).copied()
+    }
+
+    /// All currently placed seeds.
+    pub fn placements(&self) -> impl Iterator<Item = (&SeedKey, &(SwitchId, Resources))> {
+        self.locations.iter()
+    }
+
+    /// Runs global placement over every registered task and diffs the
+    /// result against the current deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance-construction failures (non-linear demands).
+    pub fn plan(&self, switches: &[(SwitchId, Resources)]) -> Result<Plan, String> {
+        // Flatten tasks in deterministic order and build the key map.
+        let entries: Vec<&TaskEntry> = self.tasks.values().collect();
+        let task_refs: Vec<&CompiledTask> = entries.iter().map(|e| &e.task).collect();
+        let mut keys: Vec<SeedKey> = Vec::new();
+        for e in &entries {
+            for (mi, m) in e.task.machines.iter().enumerate() {
+                for si in 0..m.seeds.len() {
+                    keys.push(SeedKey {
+                        task: e.task.name.clone(),
+                        machine: mi,
+                        seed: si,
+                    });
+                }
+            }
+        }
+        let mut previous = PreviousPlacement::default();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(loc) = self.locations.get(key) {
+                previous.assignment.insert(i, *loc);
+            }
+        }
+        let has_previous = !previous.assignment.is_empty();
+        let instance = instance_from_tasks(
+            &task_refs,
+            switches,
+            has_previous.then_some(previous),
+        )?;
+        let result = solve_heuristic(&instance, self.options);
+
+        let mut actions = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let new = result.assignment[i];
+            let old = self.locations.get(key).copied();
+            match (old, new) {
+                (None, Some((n, alloc))) => actions.push(PlannedAction::Deploy {
+                    key: key.clone(),
+                    to: n,
+                    alloc,
+                }),
+                (Some((from, _)), Some((to, alloc))) if from != to => {
+                    actions.push(PlannedAction::Migrate {
+                        key: key.clone(),
+                        from,
+                        to,
+                        alloc,
+                    })
+                }
+                (Some((_, old_alloc)), Some((_, alloc))) => {
+                    if (0..4).any(|k| (old_alloc.0[k] - alloc.0[k]).abs() > 1e-9) {
+                        actions.push(PlannedAction::Realloc {
+                            key: key.clone(),
+                            alloc,
+                        });
+                    }
+                }
+                (Some((from, _)), None) => actions.push(PlannedAction::Undeploy {
+                    key: key.clone(),
+                    from,
+                }),
+                (None, None) => {}
+            }
+        }
+        let dropped_tasks = result
+            .dropped_tasks
+            .iter()
+            .map(|&t| instance.tasks[t].name.clone())
+            .collect();
+        Ok(Plan {
+            actions,
+            result,
+            dropped_tasks,
+        })
+    }
+
+    /// Records that a planned action was executed (keeps the placement
+    /// memory in sync).
+    pub fn commit(&mut self, action: &PlannedAction) {
+        match action {
+            PlannedAction::Deploy { key, to, alloc } => {
+                self.locations.insert(key.clone(), (*to, *alloc));
+            }
+            PlannedAction::Migrate { key, to, alloc, .. } => {
+                self.locations.insert(key.clone(), (*to, *alloc));
+            }
+            PlannedAction::Realloc { key, alloc } => {
+                if let Some(slot) = self.locations.get_mut(key) {
+                    slot.1 = *alloc;
+                }
+            }
+            PlannedAction::Undeploy { key, .. } => {
+                self.locations.remove(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_almanac::compile::compile_task;
+    use farm_netsim::controller::SdnController;
+    use farm_netsim::switch::SwitchModel;
+    use farm_netsim::topology::Topology;
+
+    fn fabric() -> Topology {
+        Topology::spine_leaf(
+            2,
+            3,
+            SwitchModel::accton_as7712(),
+            SwitchModel::accton_as5712(),
+        )
+    }
+
+    fn capacities(topo: &Topology) -> Vec<(SwitchId, Resources)> {
+        topo.switches()
+            .iter()
+            .map(|n| (n.id, n.model.total_resources()))
+            .collect()
+    }
+
+    #[test]
+    fn first_plan_deploys_every_seed() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let task = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let mut seeder = Seeder::new();
+        seeder.register_task(task);
+        let plan = seeder.plan(&capacities(&topo)).unwrap();
+        assert_eq!(plan.actions.len(), 5);
+        assert!(plan
+            .actions
+            .iter()
+            .all(|a| matches!(a, PlannedAction::Deploy { .. })));
+        for a in &plan.actions {
+            seeder.commit(a);
+        }
+        assert_eq!(seeder.placements().count(), 5);
+    }
+
+    #[test]
+    fn replanning_unchanged_world_is_a_noop() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let task = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let mut seeder = Seeder::new();
+        seeder.register_task(task);
+        let caps = capacities(&topo);
+        let plan = seeder.plan(&caps).unwrap();
+        for a in &plan.actions {
+            seeder.commit(a);
+        }
+        let plan2 = seeder.plan(&caps).unwrap();
+        let disruptive: Vec<_> = plan2
+            .actions
+            .iter()
+            .filter(|a| matches!(a, PlannedAction::Migrate { .. } | PlannedAction::Undeploy { .. }))
+            .collect();
+        assert!(
+            disruptive.is_empty(),
+            "stable world must not move seeds: {disruptive:?}"
+        );
+    }
+
+    #[test]
+    fn removing_a_task_undeploys_its_seeds() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let task = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let mut seeder = Seeder::new();
+        seeder.register_task(task);
+        let caps = capacities(&topo);
+        for a in &seeder.plan(&caps).unwrap().actions {
+            seeder.commit(a);
+        }
+        assert!(seeder.remove_task("hh"));
+        // With the task gone from the catalog the plan no longer knows the
+        // seeds; the Farm facade undeploys orphans (see farm.rs). The
+        // seeder itself reports no actions for unknown keys.
+        let plan = seeder.plan(&caps).unwrap();
+        assert!(plan.actions.is_empty());
+    }
+
+    #[test]
+    fn co_deployed_tasks_plan_together() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let mut seeder = Seeder::new();
+        for (name, src) in [
+            ("hh", farm_almanac::programs::HEAVY_HITTER),
+            ("traffic-change", farm_almanac::programs::TRAFFIC_CHANGE),
+        ] {
+            seeder.register_task(compile_task(name, src, &Default::default(), &ctl).unwrap());
+        }
+        let plan = seeder.plan(&capacities(&topo)).unwrap();
+        // Both `place all` tasks: 5 + 5 deployments.
+        assert_eq!(plan.actions.len(), 10);
+        assert!(plan.dropped_tasks.is_empty());
+    }
+}

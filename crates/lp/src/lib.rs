@@ -1,0 +1,43 @@
+//! Linear and mixed-integer linear programming for FARM's placement optimizer.
+//!
+//! The FARM paper (ICDCS 2024, § IV-D and § V-B) solves its seed-placement
+//! model with an off-the-shelf MILP library and compares against Gurobi.
+//! Neither is available offline, so this crate provides the solver substrate
+//! from scratch:
+//!
+//! * [`Problem`] — a small modelling API (variables with bounds and
+//!   integrality, linear constraints, linear objective),
+//! * [`simplex`] — a dense two-phase primal simplex for linear programs,
+//! * [`milp`] — branch & bound with a time budget, rounding-based primal
+//!   heuristics and incumbent reporting, mirroring the "Gurobi with a 1 s /
+//!   10 min timeout" regimes of the paper's Fig. 7.
+//!
+//! # Example
+//!
+//! ```
+//! use farm_lp::{Problem, Sense, Cmp};
+//!
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x", 0.0, 10.0);
+//! let y = p.add_var("y", 0.0, 10.0);
+//! p.add_constraint(x + y, Cmp::Le, 12.0);
+//! p.add_constraint(2.0 * x + y, Cmp::Le, 18.0);
+//! p.set_objective(3.0 * x + 2.0 * y);
+//! let sol = farm_lp::simplex::solve(&p).expect("solvable");
+//! assert!((sol.objective - 30.0).abs() < 1e-6);
+//! ```
+
+pub mod expr;
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use expr::{LinExpr, Var};
+pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use problem::{Cmp, Problem, Sense, VarKind};
+pub use solution::{SolveError, Solution, Status};
+
+/// Numerical tolerance used throughout the solver for feasibility and
+/// integrality tests.
+pub const EPS: f64 = 1e-7;

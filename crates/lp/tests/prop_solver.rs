@@ -1,0 +1,164 @@
+//! Property-based validation of the simplex and branch & bound solvers.
+//!
+//! Strategy: generate small random problems whose feasibility is guaranteed
+//! by construction (non-negative constraint coefficients with the origin
+//! feasible), then check solver invariants:
+//!
+//! * returned points are feasible,
+//! * LP objectives dominate any sampled feasible point (optimality witness),
+//! * MILP objectives match brute-force enumeration on all-binary problems.
+
+use farm_lp::{solve_milp, Cmp, LinExpr, MilpOptions, MilpStatus, Problem, Sense};
+use proptest::prelude::*;
+
+/// A randomly generated bounded-feasible LP instance.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    upper: Vec<f64>,
+    obj: Vec<f64>,
+    // rows of (coeffs >= 0, rhs >= 0)
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..5)
+        .prop_flat_map(|nvars| {
+            let upper = proptest::collection::vec(1.0f64..20.0, nvars);
+            let obj = proptest::collection::vec(-5.0f64..10.0, nvars);
+            let rows = proptest::collection::vec(
+                (
+                    proptest::collection::vec(0.0f64..4.0, nvars),
+                    1.0f64..30.0,
+                ),
+                1..5,
+            );
+            (Just(nvars), upper, obj, rows)
+        })
+        .prop_map(|(nvars, upper, obj, rows)| RandomLp {
+            nvars,
+            upper,
+            obj,
+            rows,
+        })
+}
+
+fn build(lp: &RandomLp, integer: bool) -> (Problem, Vec<farm_lp::Var>) {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..lp.nvars)
+        .map(|i| {
+            if integer {
+                p.add_integer(format!("x{i}"), 0.0, lp.upper[i].floor().max(1.0))
+            } else {
+                p.add_var(format!("x{i}"), 0.0, lp.upper[i])
+            }
+        })
+        .collect();
+    for (coeffs, rhs) in &lp.rows {
+        let mut e = LinExpr::new();
+        for (v, c) in vars.iter().zip(coeffs) {
+            e.add_term(*v, *c);
+        }
+        p.add_constraint(e, Cmp::Le, *rhs);
+    }
+    let mut o = LinExpr::new();
+    for (v, c) in vars.iter().zip(&lp.obj) {
+        o.add_term(*v, *c);
+    }
+    p.set_objective(o);
+    (p, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The simplex always returns a feasible point on feasible instances.
+    #[test]
+    fn lp_solution_is_feasible(lp in random_lp()) {
+        let (p, _) = build(&lp, false);
+        let sol = farm_lp::simplex::solve(&p).expect("origin is feasible");
+        prop_assert!(p.is_feasible(&sol.values),
+            "solver returned infeasible point {:?}", sol.values);
+        prop_assert!((p.objective_value(&sol.values) - sol.objective).abs() < 1e-6);
+    }
+
+    /// The LP objective dominates sampled feasible points (approximate
+    /// optimality witness: grid + vertex-ish samples can never beat it).
+    #[test]
+    fn lp_objective_dominates_samples(lp in random_lp(), seeds in proptest::collection::vec(0u64..1000, 32)) {
+        let (p, _) = build(&lp, false);
+        let sol = farm_lp::simplex::solve(&p).expect("feasible");
+        for s in seeds {
+            // Deterministic pseudo-random candidate scaled back into the
+            // feasible region along the ray from the origin.
+            let mut cand: Vec<f64> = (0..lp.nvars)
+                .map(|i| {
+                    let h = s.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695040888963407);
+                    (h >> 11) as f64 / (1u64 << 53) as f64 * lp.upper[i]
+                })
+                .collect();
+            // Shrink until feasible (origin is feasible so this terminates).
+            let mut scale = 1.0;
+            for _ in 0..60 {
+                let scaled: Vec<f64> = cand.iter().map(|v| v * scale).collect();
+                if p.is_feasible(&scaled) {
+                    cand = scaled;
+                    break;
+                }
+                scale *= 0.7;
+            }
+            if p.is_feasible(&cand) {
+                prop_assert!(p.objective_value(&cand) <= sol.objective + 1e-5,
+                    "sampled point beats 'optimal' objective: {} > {}",
+                    p.objective_value(&cand), sol.objective);
+            }
+        }
+    }
+
+    /// Branch & bound equals brute-force enumeration on small binary models.
+    #[test]
+    fn milp_matches_bruteforce_on_binaries(
+        obj in proptest::collection::vec(-6.0f64..10.0, 3..7),
+        w in proptest::collection::vec(0.5f64..5.0, 3..7),
+        cap in 2.0f64..12.0,
+    ) {
+        let n = obj.len().min(w.len());
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("b{i}"))).collect();
+        let mut we = LinExpr::new();
+        let mut oe = LinExpr::new();
+        for i in 0..n {
+            we.add_term(vars[i], w[i]);
+            oe.add_term(vars[i], obj[i]);
+        }
+        p.add_constraint(we, Cmp::Le, cap);
+        p.set_objective(oe);
+
+        let r = solve_milp(&p, &MilpOptions::default());
+        prop_assert_eq!(r.status, MilpStatus::Optimal);
+        let got = r.objective.unwrap();
+
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << n) {
+            let weight: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| w[i]).sum();
+            if weight <= cap + 1e-9 {
+                let val: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| obj[i]).sum();
+                best = best.max(val);
+            }
+        }
+        prop_assert!((got - best).abs() < 1e-6,
+            "milp {} != bruteforce {}", got, best);
+    }
+
+    /// MILP incumbents are always feasible, whatever the status.
+    #[test]
+    fn milp_incumbent_feasible(lp in random_lp()) {
+        let (p, _) = build(&lp, true);
+        let r = solve_milp(&p, &MilpOptions::default());
+        if let Some(values) = &r.values {
+            prop_assert!(p.is_feasible(values));
+        }
+        // Origin is integral-feasible, so a solution must exist.
+        prop_assert!(matches!(r.status, MilpStatus::Optimal | MilpStatus::Feasible));
+    }
+}

@@ -1,0 +1,242 @@
+//! Generic discrete-event engine.
+//!
+//! The engine is deliberately minimal: a virtual [`Clock`] plus a stable
+//! priority queue of typed events. Higher layers (the soil scheduler, the
+//! FARM runtime, the baselines) define their own event enums and drive the
+//! loop, which keeps this crate free of upward dependencies.
+//!
+//! Events scheduled for the same instant pop in insertion order (a stable
+//! tie-break via a monotonically increasing sequence number), which makes
+//! whole-system runs reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{Dur, Time};
+
+/// The simulation clock. Time only moves forward.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Time,
+}
+
+impl Clock {
+    /// A clock at the simulation epoch.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Current instant.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past — the event loop must pop in order.
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(t >= self.now, "clock moved backwards: {t} < {}", self.now);
+        self.now = t;
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E`.
+///
+/// ```
+/// use farm_netsim::engine::EventQueue;
+/// use farm_netsim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_millis(2), "second");
+/// q.push(Time::from_millis(1), "first");
+/// assert_eq!(q.pop(), Some((Time::from_millis(1), "first")));
+/// assert_eq!(q.pop(), Some((Time::from_millis(2), "second")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` a span after `now`.
+    pub fn push_after(&mut self, now: Time, delay: Dur, event: E) {
+        self.push(now + delay, event);
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A clock plus queue bundle with a run-to-horizon driver.
+#[derive(Debug)]
+pub struct Engine<E> {
+    pub clock: Clock,
+    pub queue: EventQueue<E>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine {
+            clock: Clock::new(),
+            queue: EventQueue::new(),
+        }
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instant.
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// Schedules an event `delay` after now.
+    pub fn schedule_in(&mut self, delay: Dur, event: E) {
+        let at = self.clock.now() + delay;
+        self.queue.push(at, event);
+    }
+
+    /// Schedules an event at an absolute instant.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Pops the next event not later than `horizon`, advancing the clock to
+    /// its timestamp. Returns `None` once the queue is exhausted or the next
+    /// event lies beyond the horizon (the clock then rests at `horizon`).
+    pub fn step_until(&mut self, horizon: Time) -> Option<(Time, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => {
+                let (at, e) = self.queue.pop().expect("peeked");
+                self.clock.advance_to(at);
+                Some((at, e))
+            }
+            _ => {
+                if horizon > self.clock.now() {
+                    self.clock.advance_to(horizon);
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(5), 5);
+        q.push(Time::from_millis(1), 1);
+        q.push(Time::from_millis(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_respects_horizon() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule_at(Time::from_millis(10), "late");
+        eng.schedule_at(Time::from_millis(1), "early");
+        let horizon = Time::from_millis(5);
+        assert_eq!(eng.step_until(horizon).map(|(_, e)| e), Some("early"));
+        assert_eq!(eng.step_until(horizon), None);
+        assert_eq!(eng.now(), horizon);
+        // The late event is still pending for a farther horizon.
+        assert_eq!(
+            eng.step_until(Time::from_millis(20)).map(|(_, e)| e),
+            Some("late")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_rejects_backwards_motion() {
+        let mut c = Clock::new();
+        c.advance_to(Time::from_millis(2));
+        c.advance_to(Time::from_millis(1));
+    }
+}

@@ -1,0 +1,134 @@
+//! A runnable network: topology plus instantiated switches.
+
+use std::collections::HashMap;
+
+use crate::switch::Switch;
+use crate::topology::Topology;
+use crate::types::{FlowKey, PortId, SwitchId};
+
+/// One parcel of traffic applied to a switch during a simulation tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficEvent {
+    pub switch: SwitchId,
+    pub rx_port: Option<PortId>,
+    pub tx_port: Option<PortId>,
+    pub flow: FlowKey,
+    pub bytes: u64,
+    pub packets: u64,
+}
+
+/// The simulated fabric with live per-switch state.
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    switches: HashMap<SwitchId, Switch>,
+}
+
+impl Network {
+    /// Instantiates one [`Switch`] per topology node.
+    pub fn new(topology: Topology) -> Network {
+        let switches = topology
+            .switches()
+            .iter()
+            .map(|n| (n.id, Switch::new(n.id, n.model.clone())))
+            .collect();
+        Network { topology, switches }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Shared access to a switch.
+    pub fn switch(&self, id: SwitchId) -> Option<&Switch> {
+        self.switches.get(&id)
+    }
+
+    /// Exclusive access to a switch.
+    pub fn switch_mut(&mut self, id: SwitchId) -> Option<&mut Switch> {
+        self.switches.get_mut(&id)
+    }
+
+    /// Iterates all switches in id order.
+    pub fn switches(&self) -> impl Iterator<Item = &Switch> {
+        let mut ids: Vec<SwitchId> = self.switches.keys().copied().collect();
+        ids.sort();
+        ids.into_iter().map(move |id| &self.switches[&id])
+    }
+
+    /// Ids of all switches in order.
+    pub fn switch_ids(&self) -> Vec<SwitchId> {
+        let mut ids: Vec<SwitchId> = self.switches.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Applies a batch of traffic events to the respective switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references an unknown switch.
+    pub fn apply_traffic(&mut self, events: &[TrafficEvent]) {
+        for e in events {
+            let sw = self
+                .switches
+                .get_mut(&e.switch)
+                .unwrap_or_else(|| panic!("traffic for unknown switch {}", e.switch));
+            sw.record_traffic(&e.flow, e.rx_port, e.tx_port, e.bytes, e.packets);
+        }
+    }
+
+    /// Resets the per-window meters (CPU, PCIe) of every switch.
+    pub fn reset_meters(&mut self) {
+        for sw in self.switches.values_mut() {
+            sw.reset_meters();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::SwitchModel;
+    use crate::types::Ipv4;
+
+    #[test]
+    fn network_instantiates_every_node() {
+        let topo = Topology::spine_leaf(
+            2,
+            2,
+            SwitchModel::test_model(4),
+            SwitchModel::test_model(4),
+        );
+        let net = Network::new(topo);
+        assert_eq!(net.switch_ids().len(), 4);
+        for id in net.switch_ids() {
+            assert!(net.switch(id).is_some());
+        }
+    }
+
+    #[test]
+    fn traffic_routes_to_the_right_switch() {
+        let topo = Topology::spine_leaf(
+            1,
+            2,
+            SwitchModel::test_model(4),
+            SwitchModel::test_model(4),
+        );
+        let mut net = Network::new(topo);
+        let leaf = net.topology().leaves().next().unwrap();
+        let flow = FlowKey::tcp(Ipv4::new(10, 1, 0, 1), 1, Ipv4::new(10, 2, 0, 1), 80);
+        net.apply_traffic(&[TrafficEvent {
+            switch: leaf,
+            rx_port: Some(PortId(0)),
+            tx_port: Some(PortId(1)),
+            flow,
+            bytes: 900,
+            packets: 2,
+        }]);
+        assert_eq!(net.switch(leaf).unwrap().port_counters(PortId(1)).tx_bytes, 900);
+        let other = net.topology().leaves().nth(1).unwrap();
+        assert_eq!(net.switch(other).unwrap().port_counters(PortId(1)).tx_bytes, 0);
+    }
+}

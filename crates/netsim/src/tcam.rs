@@ -1,0 +1,411 @@
+//! Ternary content-addressable memory (TCAM) model.
+//!
+//! FARM's soil "carefully divides the ASIC's TCAM between monitoring and
+//! packet forwarding such that the switching behavior is not affected when
+//! rearranging the TCAM due to FARM operation" (§ II-B, inspired by
+//! iSTAMP). This model keeps the two regions separate: forwarding rules
+//! decide packet handling; monitoring rules only count and mirror, and their
+//! region has its own capacity so monitoring churn can never evict a
+//! forwarding entry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{FilterFormula, FlowKey, PortId};
+
+/// Identifier of an installed TCAM rule (unique per switch lifetime).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RuleId(pub u64);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule{}", self.0)
+    }
+}
+
+/// Region of the TCAM a rule lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TcamRegion {
+    /// Packet-forwarding entries; never touched by monitoring churn.
+    Forwarding,
+    /// Monitoring entries installed by seeds (counting, mirroring,
+    /// reactions like rate limits).
+    Monitoring,
+}
+
+/// What a matching rule does to traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Forward out of a port.
+    Forward(PortId),
+    /// Drop matching traffic.
+    Drop,
+    /// Cap matching traffic to a byte rate (bytes/s) — the HH example's
+    /// typical local reaction.
+    RateLimit(u64),
+    /// Change QoS class of matching packets.
+    SetQos(u8),
+    /// Mirror matching packets to the CPU (probing support).
+    Mirror,
+    /// Count only — the default for polling subjects.
+    Count,
+}
+
+/// A TCAM entry: match pattern + action + priority.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcamRule {
+    pub id: RuleId,
+    pub priority: i32,
+    pub pattern: FilterFormula,
+    pub action: RuleAction,
+    pub region: TcamRegion,
+}
+
+/// Per-rule traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleStats {
+    pub bytes: u64,
+    pub packets: u64,
+}
+
+/// Errors from TCAM mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcamError {
+    /// The target region is full.
+    RegionFull(TcamRegion),
+    /// No rule matches the given pattern/id.
+    NoSuchRule,
+}
+
+impl fmt::Display for TcamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcamError::RegionFull(r) => write!(f, "tcam region {r:?} is full"),
+            TcamError::NoSuchRule => write!(f, "no such tcam rule"),
+        }
+    }
+}
+
+impl std::error::Error for TcamError {}
+
+/// The TCAM of one switch.
+#[derive(Debug, Clone)]
+pub struct Tcam {
+    capacity: usize,
+    monitoring_reserve: usize,
+    rules: Vec<TcamRule>,
+    stats: HashMap<RuleId, RuleStats>,
+    next_id: u64,
+}
+
+impl Tcam {
+    /// Creates a TCAM with `capacity` total entries, of which
+    /// `monitoring_reserve` are set aside for the monitoring region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reserve exceeds the capacity.
+    pub fn new(capacity: usize, monitoring_reserve: usize) -> Tcam {
+        assert!(
+            monitoring_reserve <= capacity,
+            "monitoring reserve exceeds TCAM capacity"
+        );
+        Tcam {
+            capacity,
+            monitoring_reserve,
+            rules: Vec::new(),
+            stats: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries available to the given region.
+    pub fn region_capacity(&self, region: TcamRegion) -> usize {
+        match region {
+            TcamRegion::Monitoring => self.monitoring_reserve,
+            TcamRegion::Forwarding => self.capacity - self.monitoring_reserve,
+        }
+    }
+
+    /// Entries currently used by the given region.
+    pub fn region_used(&self, region: TcamRegion) -> usize {
+        self.rules.iter().filter(|r| r.region == region).count()
+    }
+
+    /// Free monitoring entries — the `TCAM` resource seeds consume.
+    pub fn monitoring_free(&self) -> usize {
+        self.region_capacity(TcamRegion::Monitoring) - self.region_used(TcamRegion::Monitoring)
+    }
+
+    /// Installs a rule into a region.
+    ///
+    /// # Errors
+    ///
+    /// [`TcamError::RegionFull`] if the region has no free entries.
+    pub fn add_rule(
+        &mut self,
+        region: TcamRegion,
+        priority: i32,
+        pattern: FilterFormula,
+        action: RuleAction,
+    ) -> Result<RuleId, TcamError> {
+        if self.region_used(region) >= self.region_capacity(region) {
+            return Err(TcamError::RegionFull(region));
+        }
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        self.rules.push(TcamRule {
+            id,
+            priority,
+            pattern,
+            action,
+            region,
+        });
+        // Highest priority first; stable so equal priorities keep insertion
+        // order (deterministic match resolution).
+        self.rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        self.stats.insert(id, RuleStats::default());
+        Ok(id)
+    }
+
+    /// Removes a rule by id.
+    ///
+    /// # Errors
+    ///
+    /// [`TcamError::NoSuchRule`] if the id is not installed.
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<TcamRule, TcamError> {
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(TcamError::NoSuchRule)?;
+        self.stats.remove(&id);
+        Ok(self.rules.remove(pos))
+    }
+
+    /// Removes the first monitoring rule whose pattern equals `pattern`
+    /// (the runtime library's `removeTCAMRule(filter)`).
+    ///
+    /// # Errors
+    ///
+    /// [`TcamError::NoSuchRule`] if nothing matches.
+    pub fn remove_by_pattern(&mut self, pattern: &FilterFormula) -> Result<TcamRule, TcamError> {
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.region == TcamRegion::Monitoring && &r.pattern == pattern)
+            .ok_or(TcamError::NoSuchRule)?;
+        let rule = self.rules.remove(pos);
+        self.stats.remove(&rule.id);
+        Ok(rule)
+    }
+
+    /// Looks up a rule by id.
+    pub fn rule(&self, id: RuleId) -> Option<&TcamRule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// First monitoring rule with an equal pattern (`getTCAMRule(filter)`).
+    pub fn rule_by_pattern(&self, pattern: &FilterFormula) -> Option<&TcamRule> {
+        self.rules
+            .iter()
+            .find(|r| r.region == TcamRegion::Monitoring && &r.pattern == pattern)
+    }
+
+    /// All installed rules, highest priority first.
+    pub fn rules(&self) -> &[TcamRule] {
+        &self.rules
+    }
+
+    /// Highest-priority *forwarding* rule matching the flow. Monitoring
+    /// rules never influence forwarding — that is the invariant of the
+    /// region division.
+    pub fn forwarding_match(&self, flow: &FlowKey) -> Option<&TcamRule> {
+        self.rules
+            .iter()
+            .find(|r| r.region == TcamRegion::Forwarding && r.pattern.matches_flow(flow))
+    }
+
+    /// Records observed traffic against every matching rule's counters (in
+    /// both regions; counting is what monitoring rules are for) and returns
+    /// the effective rate limit, if any monitoring rule imposes one.
+    pub fn record_traffic(&mut self, flow: &FlowKey, bytes: u64, packets: u64) -> Option<u64> {
+        let mut limit = None;
+        for r in &self.rules {
+            if r.pattern.matches_flow(flow) {
+                let s = self.stats.entry(r.id).or_default();
+                s.bytes += bytes;
+                s.packets += packets;
+                if let RuleAction::RateLimit(bps) = r.action {
+                    limit = Some(limit.map_or(bps, |l: u64| l.min(bps)));
+                }
+            }
+        }
+        limit
+    }
+
+    /// Counter snapshot for one rule.
+    pub fn stats(&self, id: RuleId) -> Option<RuleStats> {
+        self.stats.get(&id).copied()
+    }
+
+    /// Iterates `(rule, stats)` for every installed rule.
+    pub fn iter_stats(&self) -> impl Iterator<Item = (&TcamRule, RuleStats)> + '_ {
+        self.rules
+            .iter()
+            .map(|r| (r, self.stats.get(&r.id).copied().unwrap_or_default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FilterAtom, Ipv4, Prefix};
+
+    fn pat(dst: &str) -> FilterFormula {
+        FilterFormula::Atom(FilterAtom::DstIp(dst.parse::<Prefix>().unwrap()))
+    }
+
+    fn flow(dst: Ipv4) -> FlowKey {
+        FlowKey::tcp(Ipv4::new(10, 9, 9, 9), 1234, dst, 80)
+    }
+
+    #[test]
+    fn region_division_is_enforced() {
+        let mut t = Tcam::new(10, 4);
+        assert_eq!(t.region_capacity(TcamRegion::Monitoring), 4);
+        assert_eq!(t.region_capacity(TcamRegion::Forwarding), 6);
+        for _ in 0..4 {
+            t.add_rule(
+                TcamRegion::Monitoring,
+                0,
+                pat("10.0.0.0/8"),
+                RuleAction::Count,
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            t.add_rule(
+                TcamRegion::Monitoring,
+                0,
+                pat("10.0.0.0/8"),
+                RuleAction::Count
+            ),
+            Err(TcamError::RegionFull(TcamRegion::Monitoring))
+        );
+        // Forwarding region unaffected by monitoring being full.
+        assert!(t
+            .add_rule(
+                TcamRegion::Forwarding,
+                0,
+                pat("0.0.0.0/0"),
+                RuleAction::Forward(PortId(1))
+            )
+            .is_ok());
+        assert_eq!(t.monitoring_free(), 0);
+    }
+
+    #[test]
+    fn monitoring_rules_never_affect_forwarding() {
+        let mut t = Tcam::new(10, 5);
+        t.add_rule(
+            TcamRegion::Monitoring,
+            100, // even at a higher priority
+            pat("10.0.1.0/24"),
+            RuleAction::Drop,
+        )
+        .unwrap();
+        let fwd = t
+            .add_rule(
+                TcamRegion::Forwarding,
+                0,
+                pat("10.0.0.0/8"),
+                RuleAction::Forward(PortId(7)),
+            )
+            .unwrap();
+        let m = t.forwarding_match(&flow(Ipv4::new(10, 0, 1, 5))).unwrap();
+        assert_eq!(m.id, fwd);
+        assert_eq!(m.action, RuleAction::Forward(PortId(7)));
+    }
+
+    #[test]
+    fn priority_orders_matches() {
+        let mut t = Tcam::new(10, 0);
+        t.add_rule(
+            TcamRegion::Forwarding,
+            1,
+            pat("10.0.0.0/8"),
+            RuleAction::Forward(PortId(1)),
+        )
+        .unwrap();
+        let hi = t
+            .add_rule(
+                TcamRegion::Forwarding,
+                9,
+                pat("10.0.1.0/24"),
+                RuleAction::Forward(PortId(2)),
+            )
+            .unwrap();
+        assert_eq!(
+            t.forwarding_match(&flow(Ipv4::new(10, 0, 1, 1))).unwrap().id,
+            hi
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_per_rule() {
+        let mut t = Tcam::new(10, 5);
+        let id = t
+            .add_rule(
+                TcamRegion::Monitoring,
+                0,
+                pat("10.0.1.0/24"),
+                RuleAction::Count,
+            )
+            .unwrap();
+        t.record_traffic(&flow(Ipv4::new(10, 0, 1, 1)), 1500, 1);
+        t.record_traffic(&flow(Ipv4::new(10, 0, 1, 2)), 500, 1);
+        t.record_traffic(&flow(Ipv4::new(10, 5, 0, 1)), 999, 1); // no match
+        let s = t.stats(id).unwrap();
+        assert_eq!(s.bytes, 2000);
+        assert_eq!(s.packets, 2);
+    }
+
+    #[test]
+    fn rate_limit_action_reported() {
+        let mut t = Tcam::new(10, 5);
+        t.add_rule(
+            TcamRegion::Monitoring,
+            0,
+            pat("10.0.1.0/24"),
+            RuleAction::RateLimit(1_000_000),
+        )
+        .unwrap();
+        assert_eq!(
+            t.record_traffic(&flow(Ipv4::new(10, 0, 1, 1)), 100, 1),
+            Some(1_000_000)
+        );
+        assert_eq!(t.record_traffic(&flow(Ipv4::new(10, 9, 1, 1)), 100, 1), None);
+    }
+
+    #[test]
+    fn remove_by_pattern_and_get_by_pattern() {
+        let mut t = Tcam::new(10, 5);
+        let p = pat("10.0.1.0/24");
+        t.add_rule(TcamRegion::Monitoring, 0, p.clone(), RuleAction::Count)
+            .unwrap();
+        assert!(t.rule_by_pattern(&p).is_some());
+        t.remove_by_pattern(&p).unwrap();
+        assert!(t.rule_by_pattern(&p).is_none());
+        assert_eq!(t.remove_by_pattern(&p), Err(TcamError::NoSuchRule));
+    }
+}

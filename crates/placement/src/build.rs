@@ -1,0 +1,176 @@
+//! Bridges compiled Almanac tasks into placement instances.
+//!
+//! This is the seeder's glue (§ III-B → § IV): per-seed candidate sets
+//! come from the placement analysis, utility branches from the `util`
+//! analysis of the machine's *initial* state, and polling demands from the
+//! trigger analysis (`demand(r̄) = 1000 / ival_ms(r̄)` polls per second,
+//! linear by construction).
+
+use farm_almanac::analysis::{PollSubject, Poly};
+use farm_almanac::compile::CompiledTask;
+use farm_netsim::switch::Resources;
+use farm_netsim::types::SwitchId;
+
+use crate::model::{
+    PlacementInstance, PlacementSeed, PlacementTask, PollDemand, PreviousPlacement,
+};
+
+/// Canonical subject key shared across machines/tasks so the optimizer
+/// sees aggregation opportunities (§ IV-B).
+pub fn subject_key(subject: &PollSubject) -> String {
+    match subject {
+        PollSubject::AllPorts => "ports:ANY".to_string(),
+        PollSubject::Port(i) => format!("ports:{i}"),
+        PollSubject::Rule(pat) => format!("rule:{pat}"),
+    }
+}
+
+/// Builds a placement instance from compiled tasks.
+///
+/// # Errors
+///
+/// Returns a description when a poll interval's inverse is not linear
+/// (which the DSL analysis should already have rejected).
+pub fn instance_from_tasks(
+    tasks: &[&CompiledTask],
+    switches: &[(SwitchId, Resources)],
+    previous: Option<PreviousPlacement>,
+) -> Result<PlacementInstance, String> {
+    let mut seeds = Vec::new();
+    let mut task_list = Vec::new();
+    for (t, task) in tasks.iter().enumerate() {
+        let mut ids = Vec::new();
+        for cm in &task.machines {
+            let util = cm.util_of(&cm.initial_state);
+            let mut polls = Vec::new();
+            for trig in &cm.triggers {
+                if trig.kind != farm_almanac::ast::TriggerType::Poll {
+                    continue;
+                }
+                // demand(r̄) = 1000 / ival_ms(r̄) polls per second.
+                let demand: Poly = trig
+                    .ival
+                    .recip()
+                    .as_poly()
+                    .map(|p| p.scale(1000.0))
+                    .ok_or_else(|| {
+                        format!(
+                            "trigger `{}` of `{}` has non-linear polling demand",
+                            trig.name, cm.machine.name
+                        )
+                    })?;
+                for s in &trig.subjects {
+                    polls.push(PollDemand {
+                        subject: subject_key(s),
+                        demand,
+                    });
+                }
+            }
+            for spec in &cm.seeds {
+                let id = seeds.len();
+                ids.push(id);
+                seeds.push(PlacementSeed {
+                    id,
+                    task: t,
+                    candidates: spec.candidates.clone(),
+                    util: util.clone(),
+                    polls: polls.clone(),
+                });
+            }
+        }
+        task_list.push(PlacementTask {
+            name: task.name.clone(),
+            seeds: ids,
+        });
+    }
+    Ok(PlacementInstance {
+        switches: switches.to_vec(),
+        tasks: task_list,
+        seeds,
+        previous,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{solve_heuristic, HeuristicOptions};
+    use crate::model::validate;
+    use farm_almanac::compile::compile_task;
+    use farm_netsim::controller::SdnController;
+    use farm_netsim::switch::SwitchModel;
+    use farm_netsim::topology::Topology;
+
+    #[test]
+    fn hh_task_becomes_a_placeable_instance() {
+        let topo = Topology::spine_leaf(
+            2,
+            3,
+            SwitchModel::accton_as7712(),
+            SwitchModel::accton_as5712(),
+        );
+        let ctl = SdnController::new(&topo);
+        let task = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let switches: Vec<(SwitchId, Resources)> = topo
+            .switches()
+            .iter()
+            .map(|n| (n.id, n.model.total_resources()))
+            .collect();
+        let inst = instance_from_tasks(&[&task], &switches, None).unwrap();
+        assert_eq!(inst.seeds.len(), 5, "place all → one seed per switch");
+        assert_eq!(inst.tasks.len(), 1);
+        // HH polls `port ANY` at ival = 10/PCIe ms → demand = 100·PCIe
+        // polls/s.
+        let seed = &inst.seeds[0];
+        assert_eq!(seed.polls.len(), 1);
+        assert_eq!(seed.polls[0].subject, "ports:ANY");
+        let r = Resources::new(0.0, 0.0, 0.0, 2.0);
+        assert!((seed.polls[0].demand.eval(&r) - 200.0).abs() < 1e-9);
+
+        let result = solve_heuristic(&inst, HeuristicOptions::default());
+        validate(&inst, &result).unwrap();
+        assert_eq!(result.placed(), 5, "pinned seeds all place");
+        assert!(result.utility > 0.0);
+    }
+
+    #[test]
+    fn shared_subjects_across_tasks_share_keys() {
+        let topo = Topology::spine_leaf(
+            1,
+            2,
+            SwitchModel::test_model(8),
+            SwitchModel::test_model(8),
+        );
+        let ctl = SdnController::new(&topo);
+        let hh = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let tc = compile_task(
+            "traffic-change",
+            farm_almanac::programs::TRAFFIC_CHANGE,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let switches: Vec<(SwitchId, Resources)> = topo
+            .switches()
+            .iter()
+            .map(|n| (n.id, n.model.total_resources()))
+            .collect();
+        let inst = instance_from_tasks(&[&hh, &tc], &switches, None).unwrap();
+        // Both tasks poll `port ANY`: the optimizer must see one subject.
+        let hh_subj = &inst.seeds[inst.tasks[0].seeds[0]].polls[0].subject;
+        let tc_subj = &inst.seeds[inst.tasks[1].seeds[0]].polls[0].subject;
+        assert_eq!(hh_subj, tc_subj, "aggregation needs shared keys");
+    }
+}

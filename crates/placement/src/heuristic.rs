@@ -1,0 +1,867 @@
+//! FARM's scalable placement heuristic (Alg. 1 of § IV-D).
+//!
+//! 1. Sort tasks by decreasing minimum utility.
+//! 2. Greedily place each task's seeds at their cheapest feasible
+//!    allocation, preferring the current switch (no unnecessary
+//!    migration) and, among candidates, the one where aggregation makes
+//!    polling cheapest and the most capacity remains. Tasks that cannot
+//!    be fully placed are dropped (C1).
+//! 3. Redistribute resources with one LP **per switch** — the
+//!    decomposition that makes the heuristic scale: once placement is
+//!    fixed, switches do not couple.
+//! 4. Compute per-seed migration benefits (utility gain at an alternative
+//!    candidate under its spare capacity).
+//! 5. Migrate in decreasing-benefit order, honouring double occupancy:
+//!    the source switch keeps the previous allocation reserved while
+//!    state transfers (§ IV-B a).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use farm_almanac::analysis::{Poly, UtilExpr};
+use farm_lp::{Cmp, LinExpr, Problem, Sense};
+use farm_netsim::switch::{ResourceKind, Resources};
+use farm_netsim::types::SwitchId;
+
+use crate::model::{
+    count_migrations, utility_of, PlacementInstance, PlacementResult, PlacementSeed,
+};
+
+/// Heuristic knobs (ablation switches for the design-choice benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicOptions {
+    /// Step 3: LP-based resource redistribution.
+    pub lp_redistribution: bool,
+    /// Steps 4–5: migration pass.
+    pub migration: bool,
+}
+
+impl Default for HeuristicOptions {
+    fn default() -> Self {
+        HeuristicOptions {
+            lp_redistribution: true,
+            migration: true,
+        }
+    }
+}
+
+/// Per-switch bookkeeping during the solve.
+#[derive(Debug, Clone)]
+struct SwitchState {
+    ares: Resources,
+    /// Non-poll resources in use (live seeds + lingering reservations).
+    used: Resources,
+    /// Poll demands per subject as a multiset; consumption is the max
+    /// (aggregation semantics of § IV-B).
+    poll: HashMap<String, Vec<f64>>,
+    /// Seeds currently hosted.
+    seeds: Vec<usize>,
+    /// Migration reservations: seed → previous allocation still occupying
+    /// this switch while the seed's state transfers away.
+    lingering: HashMap<usize, Resources>,
+}
+
+impl SwitchState {
+    fn new(ares: Resources) -> SwitchState {
+        SwitchState {
+            ares,
+            used: Resources::ZERO,
+            poll: HashMap::new(),
+            seeds: Vec::new(),
+            lingering: HashMap::new(),
+        }
+    }
+
+    fn poll_total(&self) -> f64 {
+        self.poll
+            .values()
+            .map(|v| v.iter().copied().fold(0.0, f64::max))
+            .sum()
+    }
+
+    fn poll_delta(&self, seed: &PlacementSeed, res: &Resources) -> f64 {
+        seed.polls
+            .iter()
+            .map(|p| {
+                let d = p.demand.eval(res).max(0.0);
+                let cur = self
+                    .poll
+                    .get(&p.subject)
+                    .map(|v| v.iter().copied().fold(0.0, f64::max))
+                    .unwrap_or(0.0);
+                (d - cur).max(0.0)
+            })
+            .sum()
+    }
+
+    fn fits(&self, seed: &PlacementSeed, res: &Resources) -> bool {
+        for k in ResourceKind::ALL {
+            if k == ResourceKind::PciePoll {
+                continue;
+            }
+            if self.used.get(k) + res.get(k) > self.ares.get(k) + 1e-9 {
+                return false;
+            }
+        }
+        self.poll_total() + self.poll_delta(seed, res)
+            <= self.ares.get(ResourceKind::PciePoll) + 1e-9
+    }
+
+    fn add_usage(&mut self, seed: &PlacementSeed, res: &Resources) {
+        for k in ResourceKind::ALL {
+            if k != ResourceKind::PciePoll {
+                self.used.0[k.index()] += res.get(k);
+            }
+        }
+        for p in &seed.polls {
+            let d = p.demand.eval(res).max(0.0);
+            self.poll.entry(p.subject.clone()).or_default().push(d);
+        }
+    }
+
+    fn remove_usage(&mut self, seed: &PlacementSeed, res: &Resources) {
+        for k in ResourceKind::ALL {
+            if k != ResourceKind::PciePoll {
+                self.used.0[k.index()] = (self.used.get(k) - res.get(k)).max(0.0);
+            }
+        }
+        for p in &seed.polls {
+            let d = p.demand.eval(res).max(0.0);
+            if let Some(v) = self.poll.get_mut(&p.subject) {
+                if let Some(pos) = v.iter().position(|x| (x - d).abs() < 1e-12) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    fn place(&mut self, seed: &PlacementSeed, res: &Resources) {
+        self.add_usage(seed, res);
+        self.seeds.push(seed.id);
+    }
+
+    fn unplace(&mut self, seed: &PlacementSeed, res: &Resources) {
+        self.remove_usage(seed, res);
+        self.seeds.retain(|&x| x != seed.id);
+    }
+
+    /// Remaining capacity for opportunistic allocation estimates.
+    fn spare(&self) -> Resources {
+        let mut s = self.ares.saturating_sub(&self.used);
+        s.set(
+            ResourceKind::PciePoll,
+            (self.ares.get(ResourceKind::PciePoll) - self.poll_total()).max(0.0),
+        );
+        s
+    }
+}
+
+/// Runs Alg. 1 on an instance.
+pub fn solve_heuristic(
+    instance: &PlacementInstance,
+    options: HeuristicOptions,
+) -> PlacementResult {
+    solve_heuristic_ordered(instance, options, None)
+}
+
+/// A deliberately *generic* randomized construction: random task order,
+/// a random feasible candidate per seed (no aggregation-aware scoring,
+/// no migration pass), minimum allocations, and optionally one LP
+/// redistribution polish. This approximates the primal-heuristic quality
+/// a general-purpose MIP solver reaches without domain knowledge — it is
+/// what the deadline-bounded MILP baseline falls back to at scales the
+/// exact branch & bound cannot handle (Fig. 7's "Gurobi with timeout").
+pub fn solve_randomized(
+    instance: &PlacementInstance,
+    rng_seed: u64,
+    lp_polish: bool,
+) -> PlacementResult {
+    use rand::seq::SliceRandom;
+    use rand::{RngExt, SeedableRng};
+    let start = Instant::now();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+    let mut states: HashMap<SwitchId, SwitchState> = instance
+        .switches
+        .iter()
+        .map(|(n, ares)| (*n, SwitchState::new(*ares)))
+        .collect();
+    let mut assignment: Vec<Option<(SwitchId, Resources)>> = vec![None; instance.seeds.len()];
+    let mut dropped = Vec::new();
+    let mut order: Vec<usize> = (0..instance.tasks.len()).collect();
+    order.shuffle(&mut rng);
+    for &t in &order {
+        let mut placed_here: Vec<(usize, SwitchId, Resources)> = Vec::new();
+        let mut ok = true;
+        for &s in &instance.tasks[t].seeds {
+            let seed = &instance.seeds[s];
+            let Some((min_res, _)) = seed.util.min_feasible() else {
+                ok = false;
+                break;
+            };
+            let feasible: Vec<SwitchId> = seed
+                .candidates
+                .iter()
+                .copied()
+                .filter(|n| states[n].fits(seed, &min_res))
+                .collect();
+            if feasible.is_empty() {
+                ok = false;
+                break;
+            }
+            let n = feasible[rng.random_range(0..feasible.len())];
+            states.get_mut(&n).expect("known switch").place(seed, &min_res);
+            placed_here.push((s, n, min_res));
+        }
+        if ok {
+            for (s, n, res) in placed_here {
+                assignment[s] = Some((n, res));
+            }
+        } else {
+            for (s, n, res) in placed_here {
+                states
+                    .get_mut(&n)
+                    .expect("known switch")
+                    .unplace(&instance.seeds[s], &res);
+            }
+            dropped.push(t);
+        }
+    }
+    if lp_polish {
+        let switch_ids: Vec<SwitchId> = states.keys().copied().collect();
+        for n in switch_ids {
+            let seeds_here = states[&n].seeds.clone();
+            if !seeds_here.is_empty() {
+                redistribute_switch(instance, n, &seeds_here, &states[&n], &mut assignment);
+            }
+        }
+    }
+    let utility = utility_of(instance, &assignment);
+    PlacementResult {
+        utility,
+        migrations: count_migrations(instance, &assignment),
+        runtime: start.elapsed(),
+        dropped_tasks: dropped,
+        assignment,
+    }
+}
+
+/// Alg. 1 with an optional explicit task order (used by the randomized
+/// restarts of the budgeted MILP fallback).
+pub fn solve_heuristic_ordered(
+    instance: &PlacementInstance,
+    options: HeuristicOptions,
+    task_order: Option<Vec<usize>>,
+) -> PlacementResult {
+    let start = Instant::now();
+    let mut states: HashMap<SwitchId, SwitchState> = instance
+        .switches
+        .iter()
+        .map(|(n, ares)| (*n, SwitchState::new(*ares)))
+        .collect();
+    // Reserve previous allocations as migration lingering; released when a
+    // seed is re-placed on its previous switch.
+    if let Some(prev) = &instance.previous {
+        for (&s, (n, res)) in &prev.assignment {
+            if let Some(st) = states.get_mut(n) {
+                st.add_usage(&instance.seeds[s], res);
+                st.lingering.insert(s, *res);
+            }
+        }
+    }
+    let mut assignment: Vec<Option<(SwitchId, Resources)>> = vec![None; instance.seeds.len()];
+    let mut dropped = Vec::new();
+
+    // Step 1: sort tasks by decreasing minimum utility.
+    let order = task_order.unwrap_or_else(|| {
+        let mut order: Vec<usize> = (0..instance.tasks.len()).collect();
+        let keys: Vec<f64> = (0..instance.tasks.len())
+            .map(|t| instance.task_min_utility(t))
+            .collect();
+        order.sort_by(|&a, &b| {
+            keys[b]
+                .partial_cmp(&keys[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    });
+
+    let release_lingering = |states: &mut HashMap<SwitchId, SwitchState>,
+                             instance: &PlacementInstance,
+                             s: usize,
+                             n: SwitchId| {
+        if let Some(st) = states.get_mut(&n) {
+            if let Some(res) = st.lingering.remove(&s) {
+                st.remove_usage(&instance.seeds[s], &res);
+            }
+        }
+    };
+
+    // Step 2: greedy placement per task, all-or-nothing.
+    for &t in &order {
+        let mut placed_here: Vec<(usize, SwitchId, Resources, bool)> = Vec::new();
+        let mut seed_ids = instance.tasks[t].seeds.clone();
+        seed_ids.sort_by_key(|&s| instance.seeds[s].candidates.len());
+        let mut ok = true;
+        for &s in &seed_ids {
+            let seed = &instance.seeds[s];
+            let Some((min_res, _)) = seed.util.min_feasible() else {
+                ok = false;
+                break;
+            };
+            let prev_switch = instance
+                .previous
+                .as_ref()
+                .and_then(|p| p.assignment.get(&s))
+                .map(|(n, _)| *n)
+                .filter(|n| seed.candidates.contains(n));
+            // Staying home releases the lingering reservation first, so
+            // feasibility there is checked against the released state.
+            let mut best: Option<(SwitchId, f64, bool)> = None;
+            for &n in &seed.candidates {
+                let st = &states[&n];
+                let home = prev_switch == Some(n);
+                let feasible = if home {
+                    let mut trial = st.clone();
+                    if let Some(res) = trial.lingering.remove(&s) {
+                        trial.remove_usage(seed, &res);
+                    }
+                    trial.fits(seed, &min_res)
+                } else {
+                    st.fits(seed, &min_res)
+                };
+                if !feasible {
+                    continue;
+                }
+                if home {
+                    best = Some((n, f64::INFINITY, true));
+                    break;
+                }
+                // Step 2a: "choose such s that adds the most to the
+                // utility" — score by the utility achievable on this
+                // switch given its spare capacity, discounted by the
+                // extra polling the placement would cost.
+                let poll_cap = st.ares.get(ResourceKind::PciePoll).max(1e-9);
+                let score = achievable_utility(seed, st).unwrap_or(0.0)
+                    - st.poll_delta(seed, &min_res) / poll_cap;
+                if best.as_ref().is_none_or(|(_, b, _)| score > *b) {
+                    best = Some((n, score, false));
+                }
+            }
+            match best {
+                Some((n, _, home)) => {
+                    if home {
+                        release_lingering(&mut states, instance, s, n);
+                    }
+                    states
+                        .get_mut(&n)
+                        .expect("known switch")
+                        .place(seed, &min_res);
+                    placed_here.push((s, n, min_res, home));
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            for (s, n, res, _) in placed_here {
+                assignment[s] = Some((n, res));
+            }
+        } else {
+            for (s, n, res, home) in placed_here {
+                let st = states.get_mut(&n).expect("known switch");
+                st.unplace(&instance.seeds[s], &res);
+                if home {
+                    // Restore the reservation we released.
+                    if let Some(prev) = &instance.previous {
+                        if let Some((pn, pres)) = prev.assignment.get(&s) {
+                            if *pn == n {
+                                st.add_usage(&instance.seeds[s], pres);
+                                st.lingering.insert(s, *pres);
+                            }
+                        }
+                    }
+                }
+            }
+            dropped.push(t);
+        }
+    }
+
+    // Step 3: LP redistribution per switch, then refresh the bookkeeping
+    // so the migration pass sees the boosted allocations.
+    if options.lp_redistribution {
+        let switch_ids: Vec<SwitchId> = states.keys().copied().collect();
+        for n in switch_ids {
+            let seeds_here = states[&n].seeds.clone();
+            if seeds_here.is_empty() {
+                continue;
+            }
+            redistribute_switch(instance, n, &seeds_here, &states[&n], &mut assignment);
+        }
+        for st in states.values_mut() {
+            let seeds = st.seeds.clone();
+            let lingering = st.lingering.clone();
+            st.used = Resources::ZERO;
+            st.poll.clear();
+            for &s in &seeds {
+                if let Some((_, res)) = &assignment[s] {
+                    st.add_usage(&instance.seeds[s], res);
+                }
+            }
+            for (s, res) in &lingering {
+                st.add_usage(&instance.seeds[*s], res);
+            }
+        }
+    }
+
+    // Steps 4–5: relocation by decreasing benefit. On re-optimization
+    // this is migration (with double occupancy); on a fresh placement it
+    // is a free improvement pass over the greedy choices.
+    let mut migrations = 0;
+    if options.migration {
+        let mut benefits: Vec<(f64, usize, SwitchId)> = Vec::new();
+        for (s, slot) in assignment.iter().enumerate() {
+            let Some((cur, cur_res)) = slot else { continue };
+            let seed = &instance.seeds[s];
+            let cur_u = seed.util.eval(cur_res).unwrap_or(0.0);
+            for &n in &seed.candidates {
+                if n == *cur {
+                    continue;
+                }
+                if let Some(u) = achievable_utility(seed, &states[&n]) {
+                    // Hysteresis: relocation must clearly pay (migration
+                    // costs state transfer and double occupancy; "without
+                    // unnecessary migration" per Alg. 1 step 2a), and the
+                    // benefit estimate is opportunistic, not exact.
+                    if u > cur_u * 1.15 + 1e-6 {
+                        benefits.push((u - cur_u, s, n));
+                    }
+                }
+            }
+        }
+        benefits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (_, s, n) in benefits {
+            let seed = &instance.seeds[s];
+            let Some((cur, cur_res)) = assignment[s] else { continue };
+            if cur == n {
+                continue;
+            }
+            let Some((min_res, _)) = seed.util.min_feasible() else {
+                continue;
+            };
+            let res = opportunistic_alloc(seed, &states[&n], &min_res);
+            if !states[&n].fits(seed, &res) {
+                continue;
+            }
+            // Commit only when the *realized* allocation clears the same
+            // hysteresis the estimate did — a migration must strictly pay
+            // for its state transfer and double occupancy.
+            let cur_u = seed.util.eval(&cur_res).unwrap_or(0.0);
+            let new_u = seed.util.eval(&res).unwrap_or(0.0);
+            if new_u <= cur_u * 1.15 + 1e-6 {
+                continue;
+            }
+            // Commit: occupy the target; on the source, swap the live
+            // allocation for the lingering reservation (the *previous*
+            // allocation stays until state transfer completes).
+            states.get_mut(&n).expect("known switch").place(seed, &res);
+            let src = states.get_mut(&cur).expect("known switch");
+            src.unplace(seed, &cur_res);
+            if let Some(prev) = &instance.previous {
+                if let Some((pn, pres)) = prev.assignment.get(&s) {
+                    if *pn == cur {
+                        src.add_usage(seed, pres);
+                        src.lingering.insert(s, *pres);
+                    }
+                }
+            }
+            assignment[s] = Some((n, res));
+            if instance.previous.is_some() {
+                migrations += 1;
+            }
+        }
+    }
+
+    let utility = utility_of(instance, &assignment);
+    PlacementResult {
+        utility,
+        migrations: migrations.max(count_migrations(instance, &assignment)),
+        runtime: start.elapsed(),
+        dropped_tasks: dropped,
+        assignment,
+    }
+}
+
+/// Utility the seed could reach on a switch given its spare capacity
+/// (the "migration benefit" of Alg. 1 step 4, approximated by one
+/// opportunistic allocation instead of a full LP).
+fn achievable_utility(seed: &PlacementSeed, st: &SwitchState) -> Option<f64> {
+    let (min_res, _) = seed.util.min_feasible()?;
+    if !st.fits(seed, &min_res) {
+        return None;
+    }
+    let res = opportunistic_alloc(seed, st, &min_res);
+    seed.util.eval(&res)
+}
+
+/// Minimum allocation plus half the switch's spare capacity (capped so the
+/// result still fits; the head-room is left for later seeds).
+fn opportunistic_alloc(
+    seed: &PlacementSeed,
+    st: &SwitchState,
+    min_res: &Resources,
+) -> Resources {
+    let spare = st.spare();
+    let mut res = *min_res;
+    for k in ResourceKind::ALL {
+        let extra = (spare.get(k) - min_res.get(k)).max(0.0);
+        res.0[k.index()] += extra * 0.5;
+    }
+    if st.fits(seed, &res) {
+        res
+    } else {
+        *min_res
+    }
+}
+
+/// Step 3: re-solve one switch's resource split as an LP — maximize the
+/// sum of (linearized, concave) seed utilities subject to the switch's
+/// capacities and aggregated polling.
+/// Above this many co-located seeds the per-switch LP's dense tableau
+/// stops paying for itself; greedy minimum allocations are kept instead.
+const LP_SEEDS_PER_SWITCH_CAP: usize = 150;
+
+fn redistribute_switch(
+    instance: &PlacementInstance,
+    n: SwitchId,
+    seeds_here: &[usize],
+    st: &SwitchState,
+    assignment: &mut [Option<(SwitchId, Resources)>],
+) {
+    if seeds_here.len() > LP_SEEDS_PER_SWITCH_CAP {
+        return;
+    }
+    // Capacity net of lingering reservations.
+    let mut cap = st.ares;
+    for (s, res) in &st.lingering {
+        for k in ResourceKind::ALL {
+            if k != ResourceKind::PciePoll {
+                cap.0[k.index()] = (cap.get(k) - res.get(k)).max(0.0);
+            }
+        }
+        let _ = s;
+    }
+    let lingering_poll: f64 = st
+        .lingering
+        .iter()
+        .map(|(s, res)| {
+            instance.seeds[*s]
+                .polls
+                .iter()
+                .map(|p| p.demand.eval(res).max(0.0))
+                .sum::<f64>()
+        })
+        .sum();
+    let poll_cap = (st.ares.get(ResourceKind::PciePoll) - lingering_poll).max(0.0);
+
+    let mut p = Problem::new(Sense::Maximize);
+    let mut res_vars = HashMap::new();
+    let mut objective = LinExpr::new();
+    for &s in seeds_here {
+        let seed = &instance.seeds[s];
+        let vars: Vec<farm_lp::Var> = ResourceKind::ALL
+            .iter()
+            .map(|k| p.add_var(format!("res{s}_{}", k.index()), 0.0, cap.get(*k)))
+            .collect();
+        let u = p.add_var(format!("u{s}"), 0.0, 1e9);
+        objective += LinExpr::from(u);
+        let cur = assignment[s].as_ref().map(|(_, r)| *r).unwrap_or_default();
+        let branch = seed
+            .util
+            .branches
+            .iter()
+            .find(|b| b.constraints.iter().all(|c| c.eval(&cur) >= -1e-9))
+            .or_else(|| seed.util.branches.first());
+        let Some(branch) = branch else { continue };
+        for c in &branch.constraints {
+            p.add_constraint(poly_expr(c, &vars), Cmp::Ge, 0.0);
+        }
+        for piece in utility_pieces(&branch.utility) {
+            let e = poly_expr(&piece, &vars);
+            p.add_constraint(LinExpr::from(u) - e, Cmp::Le, 0.0);
+        }
+        res_vars.insert(s, vars);
+    }
+    for k in ResourceKind::ALL {
+        if k == ResourceKind::PciePoll {
+            continue;
+        }
+        let mut total = LinExpr::new();
+        for &s in seeds_here {
+            if let Some(vars) = res_vars.get(&s) {
+                total.add_term(vars[k.index()], 1.0);
+            }
+        }
+        p.add_constraint(total, Cmp::Le, cap.get(k));
+    }
+    // Aggregated polling: pollres_p ≥ demand_s ∀ s; Σ pollres ≤ cap.
+    let mut subjects: Vec<&str> = seeds_here
+        .iter()
+        .flat_map(|&s| instance.seeds[s].polls.iter().map(|pd| pd.subject.as_str()))
+        .collect();
+    subjects.sort_unstable();
+    subjects.dedup();
+    let mut poll_sum = LinExpr::new();
+    let poll_vars: HashMap<&str, farm_lp::Var> = subjects
+        .iter()
+        .enumerate()
+        .map(|(i, &subj)| {
+            let v = p.add_var(format!("pollres{i}"), 0.0, f64::INFINITY);
+            poll_sum.add_term(v, 1.0);
+            (subj, v)
+        })
+        .collect();
+    for &s in seeds_here {
+        let Some(vars) = res_vars.get(&s) else { continue };
+        for pd in &instance.seeds[s].polls {
+            let pv = poll_vars[pd.subject.as_str()];
+            let demand = poly_expr(&pd.demand, vars);
+            p.add_constraint(LinExpr::from(pv) - demand, Cmp::Ge, 0.0);
+        }
+    }
+    p.add_constraint(poll_sum, Cmp::Le, poll_cap);
+    p.set_objective(objective);
+
+    let Ok(sol) = farm_lp::simplex::solve(&p) else {
+        return; // keep the greedy allocations
+    };
+    for &s in seeds_here {
+        if let Some(vars) = res_vars.get(&s) {
+            let mut r = Resources::ZERO;
+            for k in ResourceKind::ALL {
+                r.set(k, sol.value(vars[k.index()]).max(0.0));
+            }
+            if instance.seeds[s].util.eval(&r).is_some() {
+                assignment[s] = Some((n, r));
+            }
+        }
+    }
+}
+
+/// Linear pieces of a utility expression. `min` trees are concave and
+/// linearize exactly; a `max` is approximated by its upper envelope
+/// (documented in DESIGN.md — no shipped Tab. I program uses `max`).
+fn utility_pieces(e: &UtilExpr) -> Vec<Poly> {
+    e.pieces()
+}
+
+fn poly_expr(poly: &Poly, vars: &[farm_lp::Var]) -> LinExpr {
+    let mut e = LinExpr::constant_expr(poly.constant);
+    for (i, c) in poly.coeffs.iter().enumerate() {
+        if *c != 0.0 {
+            e.add_term(vars[i], *c);
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{validate, PlacementTask, PreviousPlacement};
+    use farm_almanac::analysis::{UtilAnalysis, UtilBranch};
+
+    fn linear_util(min_vcpu: f64, cap: f64) -> UtilAnalysis {
+        UtilAnalysis {
+            branches: vec![UtilBranch {
+                constraints: vec![Poly {
+                    coeffs: [1.0, 0.0, 0.0, 0.0],
+                    constant: -min_vcpu,
+                }],
+                utility: UtilExpr::Min(
+                    Box::new(UtilExpr::Poly(Poly::var(ResourceKind::VCpu))),
+                    Box::new(UtilExpr::Poly(Poly::constant(cap))),
+                ),
+            }],
+        }
+    }
+
+    fn instance(n_switches: usize, seeds_per_task: usize, tasks: usize) -> PlacementInstance {
+        let switches: Vec<(SwitchId, Resources)> = (0..n_switches)
+            .map(|i| {
+                (
+                    SwitchId(i as u32),
+                    Resources::new(4.0, 8192.0, 64.0, 125.0),
+                )
+            })
+            .collect();
+        let mut seeds = Vec::new();
+        let mut task_list = Vec::new();
+        for t in 0..tasks {
+            let mut ids = Vec::new();
+            for j in 0..seeds_per_task {
+                let id = seeds.len();
+                ids.push(id);
+                let candidates: Vec<SwitchId> = (0..n_switches)
+                    .filter(|i| (i + j) % 2 == 0 || n_switches == 1)
+                    .map(|i| SwitchId(i as u32))
+                    .collect();
+                seeds.push(PlacementSeed {
+                    id,
+                    task: t,
+                    candidates: if candidates.is_empty() {
+                        vec![SwitchId(0)]
+                    } else {
+                        candidates
+                    },
+                    util: linear_util(1.0, 3.0),
+                    polls: vec![crate::model::PollDemand {
+                        subject: format!("task{t}-stats"),
+                        demand: Poly {
+                            coeffs: [0.0, 0.0, 0.0, 0.1],
+                            constant: 1.0,
+                        },
+                    }],
+                });
+            }
+            task_list.push(PlacementTask {
+                name: format!("t{t}"),
+                seeds: ids,
+            });
+        }
+        PlacementInstance {
+            switches,
+            tasks: task_list,
+            seeds,
+            previous: None,
+        }
+    }
+
+    #[test]
+    fn heuristic_produces_feasible_placements() {
+        // 4 tasks × 3 seeds: per task two seeds restricted to switches
+        // {0,2} and one to {1,3}; 8 vCPU on {0,2} exactly hosts the 8
+        // restricted seeds at their 1-vCPU minimum.
+        let inst = instance(4, 3, 4);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        validate(&inst, &r).unwrap();
+        assert_eq!(r.dropped_tasks, Vec::<usize>::new());
+        assert_eq!(r.placed(), 12);
+        assert!(r.utility > 0.0);
+    }
+
+    #[test]
+    fn lp_redistribution_improves_utility() {
+        let inst = instance(2, 2, 3);
+        let without = solve_heuristic(
+            &inst,
+            HeuristicOptions {
+                lp_redistribution: false,
+                migration: false,
+            },
+        );
+        let with = solve_heuristic(
+            &inst,
+            HeuristicOptions {
+                lp_redistribution: true,
+                migration: false,
+            },
+        );
+        validate(&inst, &with).unwrap();
+        assert!(
+            with.utility > without.utility + 0.5,
+            "LP should exploit spare capacity: {} vs {}",
+            with.utility,
+            without.utility
+        );
+    }
+
+    #[test]
+    fn capacity_pressure_drops_whole_tasks() {
+        let mut inst = instance(1, 2, 3);
+        inst.switches[0].1 = Resources::new(4.0, 8192.0, 64.0, 125.0);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        validate(&inst, &r).unwrap();
+        assert!(!r.dropped_tasks.is_empty());
+        assert_eq!(r.placed() % 2, 0, "no partially placed task");
+    }
+
+    #[test]
+    fn sticky_placement_avoids_needless_migration() {
+        let inst0 = instance(4, 3, 4);
+        let r0 = solve_heuristic(&inst0, HeuristicOptions::default());
+        validate(&inst0, &r0).unwrap();
+        let mut inst1 = inst0.clone();
+        let mut prev = PreviousPlacement::default();
+        for (s, slot) in r0.assignment.iter().enumerate() {
+            if let Some((n, res)) = slot {
+                prev.assignment.insert(s, (*n, *res));
+            }
+        }
+        inst1.previous = Some(prev);
+        let r1 = solve_heuristic(&inst1, HeuristicOptions::default());
+        validate(&inst1, &r1).unwrap();
+        assert_eq!(r1.migrations, 0, "stable input must not migrate seeds");
+        assert_eq!(r1.placed(), r0.placed());
+    }
+
+    #[test]
+    fn migration_moves_seeds_to_freed_capacity() {
+        // Previous placement crowds switch 0; switch 1 is empty and every
+        // seed may use either switch. Re-optimization should migrate some
+        // seeds toward the free capacity for higher utility.
+        let mut inst = instance(2, 1, 4);
+        for s in &mut inst.seeds {
+            s.candidates = vec![SwitchId(0), SwitchId(1)];
+        }
+        let mut prev = PreviousPlacement::default();
+        for s in 0..4 {
+            prev.assignment
+                .insert(s, (SwitchId(0), Resources::new(1.0, 0.0, 0.0, 0.0)));
+        }
+        inst.previous = Some(prev);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        validate(&inst, &r).unwrap();
+        assert!(
+            r.migrations > 0,
+            "free capacity on switch 1 should attract migrations"
+        );
+        assert!(r.utility > 4.0, "migration should lift utility, got {}", r.utility);
+    }
+
+    #[test]
+    fn aggregation_lets_shared_subjects_exceed_solo_capacity() {
+        let mut inst = instance(1, 10, 1);
+        inst.switches[0].1 = Resources::new(16.0, 8192.0, 64.0, 5.0);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        validate(&inst, &r).unwrap();
+        assert_eq!(r.placed(), 10, "aggregation must allow co-location");
+    }
+
+    #[test]
+    fn infeasible_everywhere_drops_task_not_panics() {
+        let mut inst = instance(1, 1, 1);
+        inst.switches[0].1 = Resources::new(0.5, 1.0, 1.0, 1.0);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        assert_eq!(r.placed(), 0);
+        assert_eq!(r.dropped_tasks, vec![0]);
+        assert_eq!(r.utility, 0.0);
+    }
+
+    #[test]
+    fn scales_to_thousands_of_seeds() {
+        // A smoke-sized version of the Fig. 7 regime: the heuristic must
+        // stay well under a second for ~2k seeds.
+        let inst = instance(64, 8, 250); // 2000 seeds
+        let start = std::time::Instant::now();
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        let elapsed = start.elapsed();
+        validate(&inst, &r).unwrap();
+        assert!(r.placed() > 0);
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "heuristic too slow: {elapsed:?}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based validation of the placement solvers: every solver must
+//! produce assignments satisfying the paper's constraints (C1)–(C4) on
+//! arbitrary generated instances, and the documented dominance relations
+//! must hold.
+
+use farm_placement::heuristic::{solve_heuristic, solve_randomized, HeuristicOptions};
+use farm_placement::model::{validate, PreviousPlacement};
+use farm_placement::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..24, 1usize..6, 4usize..120, 0u64..1000, 0.0f64..0.9).prop_map(
+        |(n_switches, n_tasks, n_seeds, rng_seed, pinned_fraction)| WorkloadConfig {
+            n_switches,
+            n_tasks,
+            n_seeds,
+            candidates_per_seed: 3,
+            pinned_fraction,
+            rng_seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Alg. 1 always produces a C1–C4-feasible placement.
+    #[test]
+    fn heuristic_always_feasible(cfg in workload()) {
+        let inst = generate(&cfg);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        prop_assert!(validate(&inst, &r).is_ok(), "{:?}", validate(&inst, &r));
+        // Utility equals the sum over placed seeds of their util at the
+        // assigned allocation (MU definition).
+        let recomputed = farm_placement::model::utility_of(&inst, &r.assignment);
+        prop_assert!((recomputed - r.utility).abs() < 1e-6);
+    }
+
+    /// Every ablation variant is also feasible, and the LP step never
+    /// reduces utility.
+    #[test]
+    fn ablations_feasible_and_lp_monotone(cfg in workload()) {
+        let inst = generate(&cfg);
+        let greedy = solve_heuristic(
+            &inst,
+            HeuristicOptions { lp_redistribution: false, migration: false },
+        );
+        let with_lp = solve_heuristic(
+            &inst,
+            HeuristicOptions { lp_redistribution: true, migration: false },
+        );
+        prop_assert!(validate(&inst, &greedy).is_ok());
+        prop_assert!(validate(&inst, &with_lp).is_ok());
+        prop_assert!(
+            with_lp.utility >= greedy.utility - 1e-6,
+            "LP made things worse: {} < {}",
+            with_lp.utility,
+            greedy.utility
+        );
+    }
+
+    /// The generic randomized construction (the MILP fallback's primal
+    /// heuristic) is feasible with and without the LP polish, and the
+    /// polish never reduces utility.
+    #[test]
+    fn randomized_construction_feasible(cfg in workload(), seed in 0u64..100) {
+        let inst = generate(&cfg);
+        let raw = solve_randomized(&inst, seed, false);
+        let polished = solve_randomized(&inst, seed, true);
+        prop_assert!(validate(&inst, &raw).is_ok(), "{:?}", validate(&inst, &raw));
+        prop_assert!(validate(&inst, &polished).is_ok(), "{:?}", validate(&inst, &polished));
+        prop_assert!(polished.utility >= raw.utility - 1e-6);
+    }
+
+    /// Re-optimizing against a previous placement stays feasible under the
+    /// migration double-occupancy accounting, never loses utility, and any
+    /// migration it performs must strictly pay (no gratuitous churn in an
+    /// unchanged world).
+    #[test]
+    fn reoptimization_feasible_and_stable(cfg in workload()) {
+        let inst0 = generate(&cfg);
+        let first = solve_heuristic(&inst0, HeuristicOptions::default());
+        let mut prev = PreviousPlacement::default();
+        for (s, slot) in first.assignment.iter().enumerate() {
+            if let Some((n, res)) = slot {
+                prev.assignment.insert(s, (*n, *res));
+            }
+        }
+        let mut inst1 = inst0.clone();
+        inst1.previous = Some(prev);
+        let second = solve_heuristic(&inst1, HeuristicOptions::default());
+        prop_assert!(validate(&inst1, &second).is_ok(), "{:?}", validate(&inst1, &second));
+        prop_assert!(second.placed() >= first.placed());
+        prop_assert!(
+            second.utility >= first.utility - 1e-6,
+            "re-optimization lost utility: {} -> {}",
+            first.utility,
+            second.utility
+        );
+        if second.migrations > 0 {
+            prop_assert!(
+                second.utility > first.utility + 1e-9,
+                "migrations without utility gain: {} -> {} ({} moves)",
+                first.utility,
+                second.utility,
+                second.migrations
+            );
+        }
+    }
+
+    /// Dropped tasks really are all-or-nothing, and only infeasibility (or
+    /// capacity) justifies a drop: on generously provisioned instances
+    /// nothing is dropped.
+    #[test]
+    fn generous_capacity_places_everything(seed in 0u64..500) {
+        let cfg = WorkloadConfig {
+            n_switches: 32,
+            n_tasks: 4,
+            n_seeds: 40, // ≈ 1.25 seeds/switch: ample capacity
+            candidates_per_seed: 4,
+            pinned_fraction: 0.0,
+            rng_seed: seed,
+        };
+        let inst = generate(&cfg);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        prop_assert!(validate(&inst, &r).is_ok());
+        prop_assert_eq!(r.placed(), 40, "dropped: {:?}", r.dropped_tasks);
+    }
+}

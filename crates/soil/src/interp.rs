@@ -1,0 +1,1281 @@
+//! The seed virtual machine: executes compiled Almanac machines.
+//!
+//! Seeds are stateful, event-driven instances (§ II-B a of the paper).
+//! The interpreter evaluates one event handler at a time, producing
+//! [`Effect`]s (messages, TCAM mutations, external executions) that the
+//! soil applies, plus an abstract CPU cost the soil charges to the switch
+//! CPU meter. State transitions fire `exit`/`enter` handlers with a chain
+//! cap so misbehaving seeds cannot livelock a switch.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use farm_almanac::analysis::consteval::binary_op;
+use farm_almanac::ast::*;
+use farm_almanac::compile::CompiledMachine;
+use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
+use farm_netsim::switch::Resources;
+use farm_netsim::types::{FilterAtom, FilterFormula, PortSel, Prefix, Proto, SwitchId};
+
+/// Identifier of a deployed seed instance (unique per soil lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeedId(pub u64);
+
+impl fmt::Display for SeedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed{}", self.0)
+    }
+}
+
+/// Runtime failure inside a seed handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedError(pub String);
+
+impl fmt::Display for SeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed runtime error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+/// Message destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Endpoint {
+    Harvester,
+    /// A machine, optionally at a specific switch (broadcast if `None`).
+    Machine {
+        name: String,
+        at: Option<SwitchId>,
+    },
+}
+
+/// Side effect requested by a handler, applied by the soil.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    Send { to: Endpoint, value: Value },
+    AddRule(RuleValue),
+    RemoveRule(FilterFormula),
+    /// `exec(cmd)` / `exec_n(cmd, n)`: run external code `n` times.
+    Exec { cmd: String, iterations: u32 },
+}
+
+/// Input event delivered to a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedEvent {
+    Enter,
+    Exit,
+    Realloc,
+    /// A trigger variable fired with its payload (poll → list of stats,
+    /// probe → packet, time → tick count).
+    Trigger { name: String, payload: Value },
+    /// A message arrived (from another machine or the harvester).
+    Recv {
+        from_machine: Option<String>,
+        value: Value,
+    },
+}
+
+/// Result of delivering one event.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    pub effects: Vec<Effect>,
+    /// Abstract interpreter operations executed (converted to CPU cycles
+    /// by the soil's cost model).
+    pub ops: u64,
+    /// Whether a state transition occurred.
+    pub transitioned: bool,
+}
+
+/// Execution statistics of one seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedStats {
+    pub events_handled: u64,
+    pub transitions: u64,
+    pub messages_sent: u64,
+    pub ops: u64,
+}
+
+/// Host services the interpreter needs from its soil.
+pub trait SeedHost {
+    /// Resources currently allocated to the seed (`res()`).
+    fn resources(&self) -> Resources;
+    /// Milliseconds since the seed started (`now()`).
+    fn now_ms(&self) -> i64;
+    /// Installed monitoring rule with the given pattern (`getTCAMRule`).
+    fn get_rule(&self, pattern: &FilterFormula) -> Option<RuleValue>;
+}
+
+/// A fixed host for tests and detached execution.
+#[derive(Debug, Clone, Default)]
+pub struct FixedHost {
+    pub resources: Resources,
+    pub now_ms: i64,
+    pub rules: Vec<RuleValue>,
+}
+
+impl SeedHost for FixedHost {
+    fn resources(&self) -> Resources {
+        self.resources
+    }
+    fn now_ms(&self) -> i64 {
+        self.now_ms
+    }
+    fn get_rule(&self, pattern: &FilterFormula) -> Option<RuleValue> {
+        self.rules.iter().find(|r| &r.pattern == pattern).cloned()
+    }
+}
+
+/// Portable snapshot of a seed's mutable state (used for migration:
+/// "transferring its state over from the source switch", § IV-B a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedSnapshot {
+    pub machine: String,
+    pub state: String,
+    pub vars: Vec<(String, Value)>,
+}
+
+/// Maximum chained transitions per delivered event.
+const MAX_TRANSIT_CHAIN: usize = 16;
+/// Maximum loop iterations per handler (runaway protection).
+const MAX_LOOP_ITERS: u64 = 1_000_000;
+/// Maximum user-function call depth.
+const MAX_CALL_DEPTH: usize = 64;
+
+/// A live seed instance.
+#[derive(Debug, Clone)]
+pub struct SeedInstance {
+    pub id: SeedId,
+    def: Arc<CompiledMachine>,
+    state: String,
+    vars: HashMap<String, Value>,
+    allocated: Resources,
+    stats: SeedStats,
+}
+
+impl SeedInstance {
+    /// Creates an instance in the machine's initial state with variables
+    /// initialized from the compiled constants (externals included).
+    /// The caller should deliver [`SeedEvent::Enter`] afterwards.
+    pub fn new(id: SeedId, def: Arc<CompiledMachine>, allocated: Resources) -> SeedInstance {
+        let mut vars = HashMap::new();
+        for v in &def.machine.vars {
+            if v.trigger().is_some() {
+                continue;
+            }
+            let init = def
+                .consts
+                .get(&v.name)
+                .cloned()
+                .unwrap_or_else(|| default_value(v));
+            vars.insert(v.name.clone(), init);
+        }
+        SeedInstance {
+            id,
+            state: def.initial_state.clone(),
+            def,
+            vars,
+            allocated,
+            stats: SeedStats::default(),
+        }
+    }
+
+    /// The machine definition.
+    pub fn def(&self) -> &CompiledMachine {
+        &self.def
+    }
+
+    /// Machine name.
+    pub fn machine_name(&self) -> &str {
+        &self.def.machine.name
+    }
+
+    /// Current state name.
+    pub fn state(&self) -> &str {
+        &self.state
+    }
+
+    /// Current resource allocation.
+    pub fn allocated(&self) -> Resources {
+        self.allocated
+    }
+
+    /// Updates the allocation (the caller should deliver
+    /// [`SeedEvent::Realloc`]).
+    pub fn set_allocated(&mut self, r: Resources) {
+        self.allocated = r;
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> SeedStats {
+        self.stats
+    }
+
+    /// Reads a machine variable (tests/harvesters).
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Captures the mutable state for migration.
+    pub fn snapshot(&self) -> SeedSnapshot {
+        let mut vars: Vec<(String, Value)> =
+            self.vars.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        vars.sort_by(|a, b| a.0.cmp(&b.0));
+        SeedSnapshot {
+            machine: self.def.machine.name.clone(),
+            state: self.state.clone(),
+            vars,
+        }
+    }
+
+    /// Restores mutable state from a snapshot (migration target side).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot belongs to a different machine or names an
+    /// unknown state.
+    pub fn restore(&mut self, snap: &SeedSnapshot) -> Result<(), SeedError> {
+        if snap.machine != self.def.machine.name {
+            return Err(SeedError(format!(
+                "snapshot of `{}` cannot restore into `{}`",
+                snap.machine, self.def.machine.name
+            )));
+        }
+        if self.def.machine.state(&snap.state).is_none() {
+            return Err(SeedError(format!("unknown state `{}`", snap.state)));
+        }
+        self.state = snap.state.clone();
+        for (k, v) in &snap.vars {
+            self.vars.insert(k.clone(), v.clone());
+        }
+        Ok(())
+    }
+
+    /// Delivers an event, returning the effects and cost.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors (bad dynamic types, loop/recursion limits,
+    /// transition livelock).
+    pub fn handle(&mut self, event: &SeedEvent, host: &dyn SeedHost) -> Result<Outcome, SeedError> {
+        let mut out = Outcome::default();
+        self.stats.events_handled += 1;
+        self.dispatch(event, host, &mut out, 0)?;
+        self.stats.ops += out.ops;
+        self.stats.messages_sent += out
+            .effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { .. }))
+            .count() as u64;
+        Ok(out)
+    }
+
+    fn dispatch(
+        &mut self,
+        event: &SeedEvent,
+        host: &dyn SeedHost,
+        out: &mut Outcome,
+        chain: usize,
+    ) -> Result<(), SeedError> {
+        if chain > MAX_TRANSIT_CHAIN {
+            return Err(SeedError("transition chain exceeded limit".into()));
+        }
+        let Some(handler) = self.find_handler(event) else {
+            return Ok(()); // no handler in this state: event is dropped
+        };
+        let mut interp = Interp {
+            seed: self,
+            host,
+            out,
+            depth: 0,
+        };
+        let mut scope = Scope::new();
+        bind_event(&handler.trigger, event, &mut scope);
+        let flow = interp.run_block(&handler.actions, &mut scope)?;
+        if let Flow::Transit(next) = flow {
+            self.transition(&next, host, out, chain)?;
+        }
+        Ok(())
+    }
+
+    fn transition(
+        &mut self,
+        next: &str,
+        host: &dyn SeedHost,
+        out: &mut Outcome,
+        chain: usize,
+    ) -> Result<(), SeedError> {
+        out.transitioned = true;
+        self.stats.transitions += 1;
+        self.dispatch(&SeedEvent::Exit, host, out, chain + 1)?;
+        self.state = next.to_string();
+        self.dispatch(&SeedEvent::Enter, host, out, chain + 1)?;
+        Ok(())
+    }
+
+    /// State handlers take precedence over machine-level handlers with
+    /// the same trigger shape (§ III-A b: "with the possibility of
+    /// overriding such global definitions").
+    fn find_handler(&self, event: &SeedEvent) -> Option<EventDecl> {
+        let state = self.def.machine.state(&self.state)?;
+        state
+            .events
+            .iter()
+            .chain(self.def.machine.events.iter())
+            .find(|ev| trigger_matches(&ev.trigger, event))
+            .cloned()
+    }
+}
+
+fn default_value(v: &VarDecl) -> Value {
+    match v.kind {
+        DeclKind::Plain(t) => match t {
+            Type::Bool => Value::Bool(false),
+            Type::Int | Type::Long => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Str => Value::Str(String::new()),
+            Type::List => Value::List(Vec::new()),
+            Type::Filter => Value::Filter(FilterFormula::True),
+            Type::Action => Value::Action(ActionValue::Count),
+            _ => Value::Unit,
+        },
+        DeclKind::Trigger(_) => Value::Unit,
+    }
+}
+
+fn trigger_matches(decl: &Trigger, event: &SeedEvent) -> bool {
+    match (decl, event) {
+        (Trigger::Enter, SeedEvent::Enter) => true,
+        (Trigger::Exit, SeedEvent::Exit) => true,
+        (Trigger::Realloc, SeedEvent::Realloc) => true,
+        (Trigger::Var { name, .. }, SeedEvent::Trigger { name: n, .. }) => name == n,
+        (
+            Trigger::Recv { ty, from, .. },
+            SeedEvent::Recv {
+                from_machine,
+                value,
+            },
+        ) => {
+            let source_ok = match (from, from_machine) {
+                (MsgEndpoint::Harvester, None) => true,
+                (MsgEndpoint::Machine { name, .. }, Some(m)) => name == m,
+                _ => false,
+            };
+            source_ok && value_has_type(value, *ty)
+        }
+        _ => false,
+    }
+}
+
+fn value_has_type(v: &Value, t: Type) -> bool {
+    match t {
+        Type::Any => true,
+        Type::Bool => matches!(v, Value::Bool(_)),
+        Type::Int | Type::Long => matches!(v, Value::Int(_)),
+        Type::Float => matches!(v, Value::Float(_) | Value::Int(_)),
+        Type::Str => matches!(v, Value::Str(_)),
+        Type::List => matches!(v, Value::List(_)),
+        Type::Packet => matches!(v, Value::Packet(_)),
+        Type::Action => matches!(v, Value::Action(_)),
+        Type::Filter => matches!(v, Value::Filter(_)),
+        Type::Rule => matches!(v, Value::Rule(_)),
+        Type::Resources => matches!(v, Value::Resources(_)),
+        Type::Stat => matches!(v, Value::Stat(_)),
+    }
+}
+
+fn bind_event(decl: &Trigger, event: &SeedEvent, scope: &mut Scope) {
+    match (decl, event) {
+        (Trigger::Var { bind: Some(b), .. }, SeedEvent::Trigger { payload, .. }) => {
+            scope.declare(b.clone(), payload.clone());
+        }
+        (Trigger::Recv { bind, .. }, SeedEvent::Recv { value, .. }) => {
+            scope.declare(bind.clone(), value.clone());
+        }
+        _ => {}
+    }
+}
+
+/// Lexical scopes for handler execution (machine vars live in the seed).
+#[derive(Debug, Default)]
+struct Scope {
+    frames: Vec<HashMap<String, Value>>,
+}
+
+impl Scope {
+    fn new() -> Scope {
+        Scope {
+            frames: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn declare(&mut self, name: String, v: Value) {
+        self.frames
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name, v);
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+
+    fn set(&mut self, name: &str, v: Value) -> bool {
+        for f in self.frames.iter_mut().rev() {
+            if let Some(slot) = f.get_mut(name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Control flow result of running a block.
+enum Flow {
+    Normal,
+    Return(Value),
+    Transit(String),
+}
+
+struct Interp<'a> {
+    seed: &'a mut SeedInstance,
+    host: &'a dyn SeedHost,
+    out: &'a mut Outcome,
+    depth: usize,
+}
+
+impl Interp<'_> {
+    fn charge(&mut self, ops: u64) {
+        self.out.ops += ops;
+    }
+
+    fn run_block(&mut self, actions: &[Action], scope: &mut Scope) -> Result<Flow, SeedError> {
+        scope.push();
+        let flow = self.run_block_inner(actions, scope);
+        scope.pop();
+        flow
+    }
+
+    fn run_block_inner(
+        &mut self,
+        actions: &[Action],
+        scope: &mut Scope,
+    ) -> Result<Flow, SeedError> {
+        for a in actions {
+            self.charge(2);
+            match a {
+                Action::Local(v) => {
+                    let val = match &v.init {
+                        Some(e) => self.eval(e, scope)?,
+                        None => default_value(v),
+                    };
+                    scope.declare(v.name.clone(), val);
+                }
+                Action::Assign {
+                    target,
+                    field,
+                    value,
+                    ..
+                } => {
+                    let val = self.eval(value, scope)?;
+                    if field.is_some() {
+                        // Trigger reconfiguration (`p.ival = …`) is applied
+                        // by the soil, which recomputes schedules from the
+                        // analysis; at the VM level it is a no-op on vars.
+                        continue;
+                    }
+                    if !scope.set(target, val.clone()) {
+                        match self.seed.vars.get_mut(target) {
+                            Some(slot) => *slot = val,
+                            None => {
+                                return Err(SeedError(format!(
+                                    "assignment to unknown variable `{target}`"
+                                )))
+                            }
+                        }
+                    }
+                }
+                Action::Transit { state, .. } => return Ok(Flow::Transit(state.clone())),
+                Action::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let c = self
+                        .eval(cond, scope)?
+                        .as_bool()
+                        .ok_or_else(|| SeedError("if condition is not a bool".into()))?;
+                    let flow = if c {
+                        self.run_block(then_branch, scope)?
+                    } else {
+                        self.run_block(else_branch, scope)?
+                    };
+                    if !matches!(flow, Flow::Normal) {
+                        return Ok(flow);
+                    }
+                }
+                Action::While { cond, body, .. } => {
+                    let mut iters = 0u64;
+                    loop {
+                        let c = self
+                            .eval(cond, scope)?
+                            .as_bool()
+                            .ok_or_else(|| SeedError("while condition is not a bool".into()))?;
+                        if !c {
+                            break;
+                        }
+                        iters += 1;
+                        if iters > MAX_LOOP_ITERS {
+                            return Err(SeedError("loop iteration limit exceeded".into()));
+                        }
+                        let flow = self.run_block(body, scope)?;
+                        if !matches!(flow, Flow::Normal) {
+                            return Ok(flow);
+                        }
+                    }
+                }
+                Action::Return { value, .. } => {
+                    let v = match value {
+                        Some(e) => self.eval(e, scope)?,
+                        None => Value::Unit,
+                    };
+                    return Ok(Flow::Return(v));
+                }
+                Action::Send { value, to, .. } => {
+                    let v = self.eval(value, scope)?;
+                    let endpoint = match to {
+                        MsgEndpoint::Harvester => Endpoint::Harvester,
+                        MsgEndpoint::Machine { name, at } => {
+                            let at = match at {
+                                None => None,
+                                Some(e) => {
+                                    let id = self
+                                        .eval(e, scope)?
+                                        .as_int()
+                                        .ok_or_else(|| {
+                                            SeedError("@destination is not an integer".into())
+                                        })?;
+                                    Some(SwitchId(id as u32))
+                                }
+                            };
+                            Endpoint::Machine {
+                                name: name.clone(),
+                                at,
+                            }
+                        }
+                    };
+                    self.out.effects.push(Effect::Send {
+                        to: endpoint,
+                        value: v,
+                    });
+                }
+                Action::ExprStmt { expr, .. } => {
+                    self.eval(expr, scope)?;
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval(&mut self, e: &Expr, scope: &mut Scope) -> Result<Value, SeedError> {
+        self.charge(1);
+        match e {
+            Expr::Lit(l, _) => Ok(match l {
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Float(f) => Value::Float(*f),
+                Literal::Str(s) => Value::Str(s.clone()),
+            }),
+            Expr::Var(name, _) => scope
+                .get(name)
+                .or_else(|| self.seed.vars.get(name))
+                .cloned()
+                .ok_or_else(|| SeedError(format!("unknown variable `{name}`"))),
+            Expr::Filter(f, _) => self.eval_filter(f, scope),
+            Expr::Unary(op, inner, _) => {
+                let v = self.eval(inner, scope)?;
+                match op {
+                    UnOp::Not => match v {
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        Value::Filter(f) => Ok(Value::Filter(f.not())),
+                        other => Err(SeedError(format!("`not` on {}", other.type_name()))),
+                    },
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(SeedError(format!("negation of {}", other.type_name()))),
+                    },
+                }
+            }
+            Expr::Binary(op, a, b, _) => {
+                // Short-circuit booleans.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let va = self.eval(a, scope)?;
+                    if let Value::Bool(ba) = va {
+                        if (*op == BinOp::And && !ba) || (*op == BinOp::Or && ba) {
+                            return Ok(Value::Bool(ba));
+                        }
+                        let vb = self.eval(b, scope)?;
+                        return binary_op(*op, Value::Bool(ba), vb).map_err(SeedError);
+                    }
+                    let vb = self.eval(b, scope)?;
+                    return binary_op(*op, va, vb).map_err(SeedError);
+                }
+                let va = self.eval(a, scope)?;
+                let vb = self.eval(b, scope)?;
+                binary_op(*op, va, vb).map_err(SeedError)
+            }
+            Expr::Field(base, field, _) => {
+                let v = self.eval(base, scope)?;
+                match (&v, field.as_str()) {
+                    (Value::Resources(r), f) => {
+                        let kind = farm_netsim::switch::ResourceKind::from_field_name(f)
+                            .ok_or_else(|| SeedError(format!("unknown resource field {f}")))?;
+                        Ok(Value::Float(r.get(kind)))
+                    }
+                    (other, f) => Err(SeedError(format!(
+                        "no field `.{f}` on {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::StructLit { name, fields, .. } => {
+                if name == "Rule" {
+                    let mut pattern = None;
+                    let mut action = None;
+                    for (fname, fexpr) in fields {
+                        let v = self.eval(fexpr, scope)?;
+                        match (fname.as_str(), v) {
+                            ("pattern", Value::Filter(f)) => pattern = Some(f),
+                            ("act", Value::Action(a)) => action = Some(a),
+                            (f, other) => {
+                                return Err(SeedError(format!(
+                                    "bad Rule field .{f} = {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                    return Ok(Value::Rule(RuleValue {
+                        pattern: pattern.ok_or_else(|| SeedError("Rule without .pattern".into()))?,
+                        action: action.ok_or_else(|| SeedError("Rule without .act".into()))?,
+                    }));
+                }
+                // Poll/Probe literals are handled by the soil's scheduler.
+                Ok(Value::Unit)
+            }
+            Expr::Call { name, args, .. } => self.call(name, args, scope),
+        }
+    }
+
+    fn eval_filter(&mut self, f: &FilterExpr, scope: &mut Scope) -> Result<Value, SeedError> {
+        let atom = match f {
+            FilterExpr::SrcIp(e) => FilterAtom::SrcIp(self.eval_prefix(e, scope)?),
+            FilterExpr::DstIp(e) => FilterAtom::DstIp(self.eval_prefix(e, scope)?),
+            FilterExpr::SrcPort(e) => FilterAtom::SrcPort(self.eval_port(e, scope)?),
+            FilterExpr::DstPort(e) => FilterAtom::DstPort(self.eval_port(e, scope)?),
+            FilterExpr::IfPort(e) => FilterAtom::IfPort(PortSel::Id(self.eval_port(e, scope)?)),
+            FilterExpr::IfPortAny => FilterAtom::IfPort(PortSel::Any),
+            FilterExpr::Proto(e) => {
+                let v = self.eval(e, scope)?;
+                let p = match v.as_str() {
+                    Some("tcp") => Proto::Tcp,
+                    Some("udp") => Proto::Udp,
+                    Some("icmp") => Proto::Icmp,
+                    _ => return Err(SeedError(format!("bad protocol {v}"))),
+                };
+                FilterAtom::Proto(p)
+            }
+        };
+        Ok(Value::Filter(FilterFormula::Atom(atom)))
+    }
+
+    fn eval_prefix(&mut self, e: &Expr, scope: &mut Scope) -> Result<Prefix, SeedError> {
+        let v = self.eval(e, scope)?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| SeedError("IP filter expects a string".into()))?;
+        s.parse().map_err(|err| SeedError(format!("{err}")))
+    }
+
+    fn eval_port(&mut self, e: &Expr, scope: &mut Scope) -> Result<u16, SeedError> {
+        let v = self.eval(e, scope)?;
+        let i = v
+            .as_int()
+            .ok_or_else(|| SeedError("port expects an integer".into()))?;
+        u16::try_from(i).map_err(|_| SeedError(format!("port {i} out of range")))
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], scope: &mut Scope) -> Result<Value, SeedError> {
+        // User functions first (the checker forbids shadowing builtins).
+        if let Some(f) = self
+            .seed
+            .def
+            .functions
+            .iter()
+            .find(|f| f.name == name)
+            .cloned()
+        {
+            if self.depth >= MAX_CALL_DEPTH {
+                return Err(SeedError("call depth exceeded".into()));
+            }
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(self.eval(a, scope)?);
+            }
+            let mut fscope = Scope::new();
+            for ((_, pname), v) in f.params.iter().zip(vals) {
+                fscope.declare(pname.clone(), v);
+            }
+            self.depth += 1;
+            let flow = self.run_block(&f.body, &mut fscope);
+            self.depth -= 1;
+            return match flow? {
+                Flow::Return(v) => Ok(v),
+                Flow::Normal => Ok(Value::Unit),
+                Flow::Transit(_) => Err(SeedError("transit inside function".into())),
+            };
+        }
+        self.call_builtin(name, args, scope)
+    }
+
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        scope: &mut Scope,
+    ) -> Result<Value, SeedError> {
+        // Mutating list builtins operate on the variable in place.
+        if matches!(
+            name,
+            "list_push" | "list_push_unique" | "list_clear" | "list_remove_at"
+        ) {
+            let Expr::Var(var_name, _) = &args[0] else {
+                return Err(SeedError(format!("`{name}` needs a variable argument")));
+            };
+            let extra = if args.len() > 1 {
+                Some(self.eval(&args[1], scope)?)
+            } else {
+                None
+            };
+            let slot = match scope.get(var_name) {
+                Some(_) => None, // mutate through scope below
+                None => Some(()),
+            };
+            let list_val = scope
+                .get(var_name)
+                .or_else(|| self.seed.vars.get(var_name))
+                .cloned()
+                .ok_or_else(|| SeedError(format!("unknown list `{var_name}`")))?;
+            let Value::List(mut items) = list_val else {
+                return Err(SeedError(format!("`{var_name}` is not a list")));
+            };
+            self.charge(items.len() as u64 / 4 + 1);
+            match name {
+                "list_push" => items.push(extra.expect("arity checked")),
+                "list_push_unique" => {
+                    let v = extra.expect("arity checked");
+                    if !items.contains(&v) {
+                        items.push(v);
+                    }
+                }
+                "list_clear" => items.clear(),
+                "list_remove_at" => {
+                    let i = extra
+                        .and_then(|v| v.as_int())
+                        .ok_or_else(|| SeedError("list_remove_at expects an index".into()))?;
+                    if i < 0 || i as usize >= items.len() {
+                        return Err(SeedError(format!("index {i} out of bounds")));
+                    }
+                    items.remove(i as usize);
+                }
+                _ => unreachable!(),
+            }
+            let updated = Value::List(items);
+            if slot.is_none() {
+                scope.set(var_name, updated);
+            } else {
+                self.seed.vars.insert(var_name.clone(), updated);
+            }
+            return Ok(Value::Unit);
+        }
+
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(a, scope)?);
+        }
+        let arity_err = || SeedError(format!("bad arguments to `{name}`"));
+        let num = |v: &Value| v.as_f64().ok_or_else(arity_err);
+        match name {
+            "res" => Ok(Value::Resources(self.host.resources())),
+            "now" => Ok(Value::Int(self.host.now_ms())),
+            "min" => Ok(Value::Float(num(&vals[0])?.min(num(&vals[1])?))),
+            "max" => Ok(Value::Float(num(&vals[0])?.max(num(&vals[1])?))),
+            "abs" => Ok(Value::Float(num(&vals[0])?.abs())),
+            "log2" => Ok(Value::Float(num(&vals[0])?.log2())),
+            "to_float" => Ok(Value::Float(num(&vals[0])?)),
+            "to_int" => Ok(Value::Int(match &vals[0] {
+                Value::Int(i) => *i,
+                Value::Float(f) => *f as i64,
+                Value::Bool(b) => *b as i64,
+                Value::Str(s) => s.parse().unwrap_or(0),
+                _ => return Err(arity_err()),
+            })),
+            "to_string" => Ok(Value::Str(match &vals[0] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            })),
+            "str_concat" => match (&vals[0], &vals[1]) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                _ => Err(arity_err()),
+            },
+            "str_contains" => match (&vals[0], &vals[1]) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a.contains(b.as_str()))),
+                _ => Err(arity_err()),
+            },
+            "list_len" => Ok(Value::Int(
+                vals[0].as_list().ok_or_else(arity_err)?.len() as i64
+            )),
+            "is_list_empty" => Ok(Value::Bool(
+                vals[0].as_list().ok_or_else(arity_err)?.is_empty(),
+            )),
+            "list_get" => {
+                let items = vals[0].as_list().ok_or_else(arity_err)?;
+                let i = vals[1].as_int().ok_or_else(arity_err)?;
+                items
+                    .get(usize::try_from(i).map_err(|_| arity_err())?)
+                    .cloned()
+                    .ok_or_else(|| SeedError(format!("index {i} out of bounds")))
+            }
+            "list_contains" => {
+                let items = vals[0].as_list().ok_or_else(arity_err)?;
+                self.charge(items.len() as u64 / 4 + 1);
+                Ok(Value::Bool(items.contains(&vals[1])))
+            }
+            "pair" => Ok(Value::Pair(
+                Box::new(vals[0].clone()),
+                Box::new(vals[1].clone()),
+            )),
+            "pair_first" => match &vals[0] {
+                Value::Pair(a, _) => Ok((**a).clone()),
+                _ => Err(arity_err()),
+            },
+            "pair_second" => match &vals[0] {
+                Value::Pair(_, b) => Ok((**b).clone()),
+                _ => Err(arity_err()),
+            },
+            "stat_port" => match &vals[0] {
+                Value::Stat(s) => Ok(Value::Int(match s.subject {
+                    StatSubject::Port(p) => p as i64,
+                    StatSubject::Rule(_) => -1,
+                })),
+                _ => Err(arity_err()),
+            },
+            "stat_subject" => match &vals[0] {
+                Value::Stat(s) => Ok(Value::Str(match &s.subject {
+                    StatSubject::Port(p) => format!("port {p}"),
+                    StatSubject::Rule(r) => r.clone(),
+                })),
+                _ => Err(arity_err()),
+            },
+            "stat_tx_bytes" | "stat_rx_bytes" | "stat_tx_packets" | "stat_rx_packets" => {
+                match &vals[0] {
+                    Value::Stat(s) => Ok(Value::Int(match name {
+                        "stat_tx_bytes" => s.tx_bytes as i64,
+                        "stat_rx_bytes" => s.rx_bytes as i64,
+                        "stat_tx_packets" => s.tx_packets as i64,
+                        _ => s.rx_packets as i64,
+                    })),
+                    _ => Err(arity_err()),
+                }
+            }
+            "pkt_src_ip" => packet(&vals[0]).map(|p| Value::Str(p.flow.src.to_string())),
+            "pkt_dst_ip" => packet(&vals[0]).map(|p| Value::Str(p.flow.dst.to_string())),
+            "pkt_src_port" => packet(&vals[0]).map(|p| Value::Int(p.flow.src_port as i64)),
+            "pkt_dst_port" => packet(&vals[0]).map(|p| Value::Int(p.flow.dst_port as i64)),
+            "pkt_proto" => packet(&vals[0]).map(|p| Value::Str(p.flow.proto.to_string())),
+            "pkt_len" => packet(&vals[0]).map(|p| Value::Int(p.len as i64)),
+            "pkt_is_syn" => packet(&vals[0]).map(|p| Value::Bool(p.syn)),
+            "pkt_is_fin" => packet(&vals[0]).map(|p| Value::Bool(p.fin)),
+            "pkt_is_ack" => packet(&vals[0]).map(|p| Value::Bool(p.ack)),
+            "filter_matches" => match (&vals[0], &vals[1]) {
+                (Value::Filter(f), Value::Packet(p)) => {
+                    Ok(Value::Bool(f.matches_flow(&p.flow)))
+                }
+                _ => Err(arity_err()),
+            },
+            "action_drop" => Ok(Value::Action(ActionValue::Drop)),
+            "action_count" => Ok(Value::Action(ActionValue::Count)),
+            "action_mirror" => Ok(Value::Action(ActionValue::Mirror)),
+            "action_rate_limit" => Ok(Value::Action(ActionValue::RateLimit(
+                vals[0].as_int().ok_or_else(arity_err)?.max(0) as u64,
+            ))),
+            "action_set_qos" => Ok(Value::Action(ActionValue::SetQos(
+                vals[0].as_int().ok_or_else(arity_err)?.clamp(0, 255) as u8,
+            ))),
+            "rule" => match (&vals[0], &vals[1]) {
+                (Value::Filter(f), Value::Action(a)) => Ok(Value::Rule(RuleValue {
+                    pattern: f.clone(),
+                    action: a.clone(),
+                })),
+                _ => Err(arity_err()),
+            },
+            "addTCAMRule" => match &vals[0] {
+                Value::Rule(r) => {
+                    self.out.effects.push(Effect::AddRule(r.clone()));
+                    Ok(Value::Unit)
+                }
+                _ => Err(arity_err()),
+            },
+            "removeTCAMRule" => match &vals[0] {
+                Value::Filter(f) => {
+                    self.out.effects.push(Effect::RemoveRule(f.clone()));
+                    Ok(Value::Unit)
+                }
+                _ => Err(arity_err()),
+            },
+            "getTCAMRule" => match &vals[0] {
+                Value::Filter(f) => match self.host.get_rule(f) {
+                    Some(r) => Ok(Value::Rule(r)),
+                    None => Err(SeedError(format!("no TCAM rule matching {f}"))),
+                },
+                _ => Err(arity_err()),
+            },
+            "exec" => match &vals[0] {
+                Value::Str(cmd) => {
+                    self.out.effects.push(Effect::Exec {
+                        cmd: cmd.clone(),
+                        iterations: 1,
+                    });
+                    Ok(Value::Unit)
+                }
+                _ => Err(arity_err()),
+            },
+            "exec_n" => match (&vals[0], &vals[1]) {
+                (Value::Str(cmd), Value::Int(n)) => {
+                    self.out.effects.push(Effect::Exec {
+                        cmd: cmd.clone(),
+                        iterations: (*n).max(0) as u32,
+                    });
+                    Ok(Value::Unit)
+                }
+                _ => Err(arity_err()),
+            },
+            other => Err(SeedError(format!("unknown builtin `{other}`"))),
+        }
+    }
+}
+
+fn packet(v: &Value) -> Result<&PacketRecord, SeedError> {
+    match v {
+        Value::Packet(p) => Ok(p),
+        other => Err(SeedError(format!(
+            "expected packet, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Builds stat-entry values for a poll delivery.
+pub fn stats_payload(entries: Vec<StatEntry>) -> Value {
+    Value::List(entries.into_iter().map(Value::Stat).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_almanac::compile::{compile_machine, frontend};
+    use farm_almanac::analysis::ConstEnv;
+    use farm_netsim::controller::SdnController;
+    use farm_netsim::switch::SwitchModel;
+    use farm_netsim::topology::Topology;
+
+    fn compile(src: &str, machine: &str) -> Arc<CompiledMachine> {
+        let topo = Topology::spine_leaf(
+            1,
+            2,
+            SwitchModel::test_model(8),
+            SwitchModel::test_model(8),
+        );
+        let ctl = SdnController::new(&topo);
+        let program = frontend(src).unwrap();
+        Arc::new(compile_machine(&program, machine, &ConstEnv::new(), &ctl).unwrap())
+    }
+
+    fn hh_instance() -> SeedInstance {
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        SeedInstance::new(SeedId(1), def, Resources::new(2.0, 512.0, 16.0, 10.0))
+    }
+
+    fn stat(port: u16, tx_bytes: u64) -> StatEntry {
+        StatEntry {
+            subject: StatSubject::Port(port),
+            tx_bytes,
+            rx_bytes: 0,
+            tx_packets: tx_bytes / 1500,
+            rx_packets: 0,
+        }
+    }
+
+    #[test]
+    fn hh_detects_heavy_hitters_and_reacts_locally() {
+        let mut seed = hh_instance();
+        let host = FixedHost::default();
+        assert_eq!(seed.state(), "observe");
+        // Below threshold: nothing happens.
+        let out = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "pollStats".into(),
+                    payload: stats_payload(vec![stat(0, 10), stat(1, 20)]),
+                },
+                &host,
+            )
+            .unwrap();
+        assert!(out.effects.is_empty());
+        assert_eq!(seed.state(), "observe");
+        // Above threshold (default external threshold = 1_000_000):
+        // transition to HHdetected, send to harvester, install a TCAM
+        // rule, and bounce back to observe.
+        let out = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "pollStats".into(),
+                    payload: stats_payload(vec![stat(3, 5_000_000), stat(1, 10)]),
+                },
+                &host,
+            )
+            .unwrap();
+        assert_eq!(seed.state(), "observe");
+        assert!(out.transitioned);
+        let sends: Vec<_> = out
+            .effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { to: Endpoint::Harvester, .. }))
+            .collect();
+        assert_eq!(sends.len(), 1);
+        let rules: Vec<_> = out
+            .effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::AddRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(
+            rules[0].pattern,
+            FilterFormula::Atom(FilterAtom::IfPort(PortSel::Id(3)))
+        );
+    }
+
+    #[test]
+    fn harvester_can_retune_threshold() {
+        let mut seed = hh_instance();
+        let host = FixedHost::default();
+        seed.handle(
+            &SeedEvent::Recv {
+                from_machine: None,
+                value: Value::Int(10),
+            },
+            &host,
+        )
+        .unwrap();
+        assert_eq!(seed.var("threshold"), Some(&Value::Int(10)));
+        // Now a tiny flow is a heavy hitter.
+        let out = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "pollStats".into(),
+                    payload: stats_payload(vec![stat(0, 50)]),
+                },
+                &host,
+            )
+            .unwrap();
+        assert!(out.transitioned);
+    }
+
+    #[test]
+    fn recv_dispatches_on_payload_type() {
+        let mut seed = hh_instance();
+        let host = FixedHost::default();
+        // An action payload must hit the hitterAction handler, not the
+        // threshold one.
+        seed.handle(
+            &SeedEvent::Recv {
+                from_machine: None,
+                value: Value::Action(ActionValue::Drop),
+            },
+            &host,
+        )
+        .unwrap();
+        assert_eq!(seed.var("hitterAction"), Some(&Value::Action(ActionValue::Drop)));
+        assert_ne!(seed.var("threshold"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn unhandled_events_are_dropped() {
+        let mut seed = hh_instance();
+        let host = FixedHost::default();
+        let out = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "nonexistent".into(),
+                    payload: Value::Unit,
+                },
+                &host,
+            )
+            .unwrap();
+        assert!(out.effects.is_empty());
+        assert!(!out.transitioned);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut seed = hh_instance();
+        let host = FixedHost::default();
+        seed.handle(
+            &SeedEvent::Recv {
+                from_machine: None,
+                value: Value::Int(42),
+            },
+            &host,
+        )
+        .unwrap();
+        let snap = seed.snapshot();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let mut other = SeedInstance::new(SeedId(2), def, Resources::ZERO);
+        other.restore(&snap).unwrap();
+        assert_eq!(other.var("threshold"), Some(&Value::Int(42)));
+        assert_eq!(other.state(), seed.state());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_machine() {
+        let seed = hh_instance();
+        let snap = seed.snapshot();
+        let def = compile(farm_almanac::programs::TRAFFIC_CHANGE, "TrafficChange");
+        let mut other = SeedInstance::new(SeedId(3), def, Resources::ZERO);
+        assert!(other.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn transition_chain_is_bounded() {
+        let src = r#"
+            machine Loop {
+              place any;
+              state a { when (enter) do { transit b; } }
+              state b { when (enter) do { transit a; } }
+            }
+        "#;
+        let def = compile(src, "Loop");
+        let mut seed = SeedInstance::new(SeedId(4), def, Resources::ZERO);
+        let err = seed.handle(&SeedEvent::Enter, &FixedHost::default()).unwrap_err();
+        assert!(err.0.contains("transition chain"), "{err}");
+    }
+
+    #[test]
+    fn while_loops_are_bounded() {
+        let src = r#"
+            machine Spin {
+              place any;
+              long x = 0;
+              state s { when (enter) do { while (x <= 1) { x = 0; } } }
+            }
+        "#;
+        let def = compile(src, "Spin");
+        let mut seed = SeedInstance::new(SeedId(5), def, Resources::ZERO);
+        let err = seed.handle(&SeedEvent::Enter, &FixedHost::default()).unwrap_err();
+        assert!(err.0.contains("loop iteration"), "{err}");
+    }
+
+    #[test]
+    fn exec_task_emits_exec_effect() {
+        let src = r#"
+            machine Ml {
+              place any;
+              time tick = 10;
+              state s {
+                when (tick) do { exec_n("svr 1000x1000", 10); }
+              }
+            }
+        "#;
+        let def = compile(src, "Ml");
+        let mut seed = SeedInstance::new(SeedId(6), def, Resources::ZERO);
+        let out = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "tick".into(),
+                    payload: Value::Int(1),
+                },
+                &FixedHost::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            out.effects,
+            vec![Effect::Exec {
+                cmd: "svr 1000x1000".into(),
+                iterations: 10
+            }]
+        );
+    }
+
+    #[test]
+    fn ops_scale_with_work() {
+        let mut seed = hh_instance();
+        let host = FixedHost::default();
+        let small = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "pollStats".into(),
+                    payload: stats_payload((0..4).map(|p| stat(p, 10)).collect()),
+                },
+                &host,
+            )
+            .unwrap();
+        let big = seed
+            .handle(
+                &SeedEvent::Trigger {
+                    name: "pollStats".into(),
+                    payload: stats_payload((0..64).map(|p| stat(p, 10)).collect()),
+                },
+                &host,
+            )
+            .unwrap();
+        assert!(big.ops > small.ops * 4, "{} vs {}", big.ops, small.ops);
+    }
+
+    #[test]
+    fn entropy_program_computes_shannon_entropy() {
+        let def = compile(
+            farm_almanac::programs::ENTROPY_ESTIMATION,
+            "EntropyEstimation",
+        );
+        let mut seed = SeedInstance::new(SeedId(7), def, Resources::ZERO);
+        let host = FixedHost::default();
+        // Uniform traffic over 4 ports → entropy 2 bits.
+        seed.handle(
+            &SeedEvent::Trigger {
+                name: "portStats".into(),
+                payload: stats_payload((0..4).map(|p| stat(p, 1000)).collect()),
+            },
+            &host,
+        )
+        .unwrap();
+        let Some(Value::Float(h)) = seed.var("current") else {
+            panic!("entropy not computed")
+        };
+        assert!((h - 2.0).abs() < 1e-9, "expected 2 bits, got {h}");
+    }
+}

@@ -1,0 +1,1074 @@
+//! The soil: FARM's per-switch seed foundation layer (§ II-B b).
+//!
+//! The soil manages seed execution, tracks switch resources, aggregates
+//! polling across seeds (one ASIC transfer for all seeds sharing a
+//! subject), schedules trigger events on virtual time, applies seeds'
+//! local (re)actions to the TCAM, and queues outbound messages for the
+//! communication service. It also installs the monitoring-region `Count`
+//! rules backing flow-level polling subjects, reference-counted across
+//! seeds so shared subjects cost one TCAM entry.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use farm_almanac::analysis::PollSubject;
+use farm_almanac::ast::TriggerType;
+use farm_almanac::compile::CompiledMachine;
+use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
+use farm_netsim::switch::{Resources, Switch};
+use farm_netsim::tcam::{RuleAction, RuleId, TcamRegion};
+use farm_netsim::time::{Dur, Time};
+use farm_netsim::types::{FilterFormula, PortSel, SwitchId};
+
+use crate::channel::CommModel;
+use crate::interp::{
+    stats_payload, Effect, Endpoint, SeedError, SeedEvent, SeedHost, SeedId, SeedInstance,
+    SeedSnapshot,
+};
+
+/// Soil configuration knobs (the § VI-E microbenchmark axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoilConfig {
+    pub comm: CommModel,
+    /// Aggregate identical poll subjects across seeds (§ II-B b).
+    pub aggregation: bool,
+    /// CPU cycles one `exec()` iteration costs (the ML task's SVR
+    /// matrix-multiply payload; calibrated to Fig. 6c/d).
+    pub exec_cost_cycles: u64,
+    /// CPU cycles per abstract interpreter operation.
+    pub cycles_per_op: u64,
+}
+
+impl Default for SoilConfig {
+    fn default() -> Self {
+        SoilConfig {
+            comm: CommModel::default(),
+            aggregation: true,
+            exec_cost_cycles: 170_000,
+            cycles_per_op: 25,
+        }
+    }
+}
+
+/// Soil-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoilError(pub String);
+
+impl fmt::Display for SoilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soil error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SoilError {}
+
+/// A message leaving the switch toward a harvester or another seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutboundMessage {
+    pub from_switch: SwitchId,
+    pub from_seed: SeedId,
+    pub from_machine: String,
+    pub task: String,
+    pub to: Endpoint,
+    pub value: Value,
+    /// Instant the handler emitted the message.
+    pub at: Time,
+    /// Switch-local latency until the message hits the wire (PCIe +
+    /// compute + channel).
+    pub latency: Dur,
+    /// Estimated serialized size.
+    pub bytes: u64,
+}
+
+/// Accounting for one scheduling step / call.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Events delivered to seeds.
+    pub deliveries: u64,
+    /// ASIC polls actually issued over PCIe.
+    pub asic_polls: u64,
+    /// Seed-level poll deliveries served from an aggregated transfer.
+    pub polls_saved: u64,
+    pub messages: Vec<OutboundMessage>,
+    pub errors: Vec<(SeedId, SeedError)>,
+}
+
+impl TickReport {
+    fn merge(&mut self, other: TickReport) {
+        self.deliveries += other.deliveries;
+        self.asic_polls += other.asic_polls;
+        self.polls_saved += other.polls_saved;
+        self.messages.extend(other.messages);
+        self.errors.extend(other.errors);
+    }
+}
+
+/// Cumulative soil statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoilStats {
+    pub deliveries: u64,
+    pub asic_polls: u64,
+    pub polls_saved: u64,
+    pub exec_iterations: u64,
+    pub messages_out: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TriggerSched {
+    seed: SeedId,
+    name: String,
+    kind: TriggerType,
+    subjects: Vec<PollSubject>,
+    what: Option<FilterFormula>,
+    ival: Dur,
+    next_due: Time,
+    tick: u64,
+    /// Last-seen cumulative counters per subject: poll events deliver
+    /// *deltas since the previous poll* (monitoring semantics — counters
+    /// on real ASICs are cumulative since boot).
+    baseline: HashMap<StatSubject, [u64; 4]>,
+}
+
+struct SwitchHost<'a> {
+    resources: Resources,
+    now_ms: i64,
+    switch: &'a Switch,
+}
+
+impl SeedHost for SwitchHost<'_> {
+    fn resources(&self) -> Resources {
+        self.resources
+    }
+    fn now_ms(&self) -> i64 {
+        self.now_ms
+    }
+    fn get_rule(&self, pattern: &FilterFormula) -> Option<RuleValue> {
+        self.switch
+            .tcam()
+            .rules()
+            .iter()
+            .find(|r| r.region == TcamRegion::Monitoring && &r.pattern == pattern)
+            .map(|r| RuleValue {
+                pattern: r.pattern.clone(),
+                action: from_rule_action(&r.action),
+            })
+    }
+}
+
+fn to_rule_action(a: &ActionValue) -> RuleAction {
+    match a {
+        ActionValue::Drop => RuleAction::Drop,
+        ActionValue::RateLimit(bps) => RuleAction::RateLimit(*bps),
+        ActionValue::SetQos(q) => RuleAction::SetQos(*q),
+        ActionValue::Count => RuleAction::Count,
+        ActionValue::Mirror => RuleAction::Mirror,
+    }
+}
+
+fn from_rule_action(a: &RuleAction) -> ActionValue {
+    match a {
+        RuleAction::Drop => ActionValue::Drop,
+        RuleAction::RateLimit(bps) => ActionValue::RateLimit(*bps),
+        RuleAction::SetQos(q) => ActionValue::SetQos(*q),
+        RuleAction::Mirror => ActionValue::Mirror,
+        RuleAction::Count | RuleAction::Forward(_) => ActionValue::Count,
+    }
+}
+
+/// Rough serialized size of a value (network-load accounting).
+pub fn value_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Unit | Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Str(s) => 8 + s.len() as u64,
+        Value::List(items) => 8 + items.iter().map(value_bytes).sum::<u64>(),
+        Value::Packet(_) => 64,
+        Value::Filter(f) => 16 + f.to_string().len() as u64,
+        Value::Action(_) => 8,
+        Value::Rule(r) => 24 + r.pattern.to_string().len() as u64,
+        Value::Resources(_) => 32,
+        Value::Stat(_) => 40,
+        Value::Pair(a, b) => value_bytes(a) + value_bytes(b),
+    }
+}
+
+/// The per-switch soil instance.
+#[derive(Debug)]
+pub struct Soil {
+    switch_id: SwitchId,
+    config: SoilConfig,
+    seeds: BTreeMap<SeedId, SeedInstance>,
+    tasks: HashMap<SeedId, String>,
+    deployed_at: HashMap<SeedId, Time>,
+    triggers: Vec<TriggerSched>,
+    /// Canonical rule pattern → installed Count rule + refcount.
+    rule_refs: HashMap<String, (RuleId, usize)>,
+    next_id: u64,
+    stats: SoilStats,
+}
+
+impl Soil {
+    /// Creates the soil for a switch.
+    pub fn new(switch_id: SwitchId, config: SoilConfig) -> Soil {
+        Soil {
+            switch_id,
+            config,
+            seeds: BTreeMap::new(),
+            tasks: HashMap::new(),
+            deployed_at: HashMap::new(),
+            triggers: Vec::new(),
+            rule_refs: HashMap::new(),
+            next_id: 0,
+            stats: SoilStats::default(),
+        }
+    }
+
+    /// The switch this soil runs on.
+    pub fn switch_id(&self) -> SwitchId {
+        self.switch_id
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &SoilConfig {
+        &self.config
+    }
+
+    /// Number of deployed seeds.
+    pub fn num_seeds(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Iterates deployed seeds.
+    pub fn seeds(&self) -> impl Iterator<Item = &SeedInstance> {
+        self.seeds.values()
+    }
+
+    /// A deployed seed by id.
+    pub fn seed(&self, id: SeedId) -> Option<&SeedInstance> {
+        self.seeds.get(&id)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SoilStats {
+        self.stats
+    }
+
+    /// Sum of resources allocated to deployed seeds.
+    pub fn resources_in_use(&self) -> Resources {
+        self.seeds
+            .values()
+            .fold(Resources::ZERO, |acc, s| acc.add(&s.allocated()))
+    }
+
+    /// Deploys a seed of `def` with the given allocation.
+    ///
+    /// Installs monitoring `Count` rules for flow-level polling subjects
+    /// (reference-counted across seeds) and delivers the initial `enter`
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a trigger's interval is non-positive under the
+    /// allocation (e.g. no PCIe capacity assigned) or the monitoring TCAM
+    /// region is full.
+    pub fn deploy(
+        &mut self,
+        def: Arc<CompiledMachine>,
+        task: &str,
+        alloc: Resources,
+        now: Time,
+        switch: &mut Switch,
+    ) -> Result<(SeedId, TickReport), SoilError> {
+        let id = SeedId(self.next_id);
+        self.next_id += 1;
+
+        let mut scheds = Vec::new();
+        for t in &def.triggers {
+            let ival_ms = t.ival.eval(&alloc);
+            if !ival_ms.is_finite() || ival_ms <= 0.0 {
+                return Err(SoilError(format!(
+                    "trigger `{}` has interval {ival_ms} ms under allocation {alloc}",
+                    t.name
+                )));
+            }
+            scheds.push(TriggerSched {
+                seed: id,
+                name: t.name.clone(),
+                kind: t.kind,
+                subjects: t.subjects.clone(),
+                what: t.what.clone(),
+                ival: Dur::from_secs_f64(ival_ms / 1000.0),
+                next_due: now + Dur::from_secs_f64(ival_ms / 1000.0),
+                tick: 0,
+                baseline: HashMap::new(),
+            });
+        }
+        // Install flow-level polling subjects as Count rules.
+        let mut installed: Vec<String> = Vec::new();
+        for s in scheds.iter().flat_map(|t| t.subjects.iter()) {
+            if let PollSubject::Rule(key) = s {
+                if let Some((_, refs)) = self.rule_refs.get_mut(key) {
+                    *refs += 1;
+                    continue;
+                }
+                let formula = scheds
+                    .iter()
+                    .filter(|t| t.subjects.contains(s))
+                    .find_map(|t| t.what.clone())
+                    .expect("rule subject implies a formula");
+                match switch.tcam_mut().add_rule(
+                    TcamRegion::Monitoring,
+                    0,
+                    formula,
+                    RuleAction::Count,
+                ) {
+                    Ok(rid) => {
+                        self.rule_refs.insert(key.clone(), (rid, 1));
+                        installed.push(key.clone());
+                    }
+                    Err(e) => {
+                        // Roll back rules installed for this deploy.
+                        for key in installed {
+                            if let Some((rid, _)) = self.rule_refs.remove(&key) {
+                                let _ = switch.tcam_mut().remove_rule(rid);
+                            }
+                        }
+                        return Err(SoilError(format!("cannot install polling rule: {e}")));
+                    }
+                }
+            }
+        }
+
+        let seed = SeedInstance::new(id, def, alloc);
+        self.seeds.insert(id, seed);
+        self.tasks.insert(id, task.to_string());
+        self.deployed_at.insert(id, now);
+        self.triggers.extend(scheds);
+
+        let report = self.deliver(id, &SeedEvent::Enter, now, switch, Dur::ZERO);
+        self.stats.deliveries += report.deliveries;
+        Ok((id, report))
+    }
+
+    /// Removes a seed, returning its state snapshot (for migration).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the seed is unknown.
+    pub fn undeploy(
+        &mut self,
+        id: SeedId,
+        switch: &mut Switch,
+    ) -> Result<SeedSnapshot, SoilError> {
+        let seed = self
+            .seeds
+            .remove(&id)
+            .ok_or_else(|| SoilError(format!("unknown seed {id}")))?;
+        self.tasks.remove(&id);
+        self.deployed_at.remove(&id);
+        let removed: Vec<TriggerSched> = {
+            let (gone, keep): (Vec<_>, Vec<_>) =
+                self.triggers.drain(..).partition(|t| t.seed == id);
+            self.triggers = keep;
+            gone
+        };
+        for t in removed {
+            for s in &t.subjects {
+                if let PollSubject::Rule(key) = s {
+                    if let Some((rid, refs)) = self.rule_refs.get_mut(key) {
+                        *refs -= 1;
+                        if *refs == 0 {
+                            let rid = *rid;
+                            self.rule_refs.remove(key);
+                            let _ = switch.tcam_mut().remove_rule(rid);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(seed.snapshot())
+    }
+
+    /// Imports a migrated seed: deploy + state restore.
+    ///
+    /// # Errors
+    ///
+    /// See [`Soil::deploy`] and [`SeedInstance::restore`].
+    pub fn import(
+        &mut self,
+        def: Arc<CompiledMachine>,
+        task: &str,
+        alloc: Resources,
+        snapshot: &SeedSnapshot,
+        now: Time,
+        switch: &mut Switch,
+    ) -> Result<SeedId, SoilError> {
+        let (id, _) = self.deploy(def, task, alloc, now, switch)?;
+        self.seeds
+            .get_mut(&id)
+            .expect("just deployed")
+            .restore(snapshot)
+            .map_err(|e| SoilError(e.to_string()))?;
+        Ok(id)
+    }
+
+    /// Changes a seed's allocation (the seeder's `realloc`), recomputing
+    /// trigger intervals and delivering the `realloc` event.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the seed is unknown or the new allocation yields a
+    /// non-positive trigger interval.
+    pub fn realloc(
+        &mut self,
+        id: SeedId,
+        alloc: Resources,
+        now: Time,
+        switch: &mut Switch,
+    ) -> Result<TickReport, SoilError> {
+        let seed = self
+            .seeds
+            .get_mut(&id)
+            .ok_or_else(|| SoilError(format!("unknown seed {id}")))?;
+        seed.set_allocated(alloc);
+        let def = seed.def().clone();
+        for t in self.triggers.iter_mut().filter(|t| t.seed == id) {
+            if let Some(analysis) = def.triggers.iter().find(|a| a.name == t.name) {
+                let ival_ms = analysis.ival.eval(&alloc);
+                if !ival_ms.is_finite() || ival_ms <= 0.0 {
+                    return Err(SoilError(format!(
+                        "trigger `{}` has interval {ival_ms} ms after realloc",
+                        t.name
+                    )));
+                }
+                t.ival = Dur::from_secs_f64(ival_ms / 1000.0);
+                t.next_due = now + t.ival;
+            }
+        }
+        let report = self.deliver(id, &SeedEvent::Realloc, now, switch, Dur::ZERO);
+        Ok(report)
+    }
+
+    /// Current polling interval of a seed's trigger (ms), if scheduled.
+    pub fn trigger_interval_ms(&self, id: SeedId, name: &str) -> Option<f64> {
+        self.triggers
+            .iter()
+            .find(|t| t.seed == id && t.name == name)
+            .map(|t| t.ival.as_secs_f64() * 1000.0)
+    }
+
+    /// Advances the trigger scheduler to `to`, firing every due poll and
+    /// timer (aggregating identical poll subjects when enabled).
+    pub fn advance(&mut self, to: Time, switch: &mut Switch) -> TickReport {
+        let mut report = TickReport::default();
+        loop {
+            let Some(due) = self
+                .triggers
+                .iter()
+                .filter(|t| t.kind != TriggerType::Probe)
+                .map(|t| t.next_due)
+                .min()
+            else {
+                break;
+            };
+            if due > to {
+                break;
+            }
+            let due_idx: Vec<usize> = self
+                .triggers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.kind != TriggerType::Probe && t.next_due <= due)
+                .map(|(i, _)| i)
+                .collect();
+            // Context-switch pressure of this scheduling round.
+            switch.cpu_mut().schedule_round(due_idx.len() as u64);
+            let step = self.fire_round(&due_idx, due, switch);
+            report.merge(step);
+        }
+        self.stats.deliveries += report.deliveries;
+        self.stats.asic_polls += report.asic_polls;
+        self.stats.polls_saved += report.polls_saved;
+        self.stats.messages_out += report.messages.len() as u64;
+        report
+    }
+
+    /// Earliest pending (poll/time) trigger deadline.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.triggers
+            .iter()
+            .filter(|t| t.kind != TriggerType::Probe)
+            .map(|t| t.next_due)
+            .min()
+    }
+
+    fn fire_round(&mut self, due_idx: &[usize], now: Time, switch: &mut Switch) -> TickReport {
+        let mut report = TickReport::default();
+        // Group due polls by subject key for aggregation.
+        let mut poll_groups: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut timers: Vec<usize> = Vec::new();
+        for &i in due_idx {
+            let t = &self.triggers[i];
+            match t.kind {
+                TriggerType::Poll => {
+                    let key = format!("{:?}", t.subjects);
+                    poll_groups.entry(key).or_default().push(i);
+                }
+                TriggerType::Time => timers.push(i),
+                TriggerType::Probe => {}
+            }
+        }
+        for (_, group) in poll_groups {
+            let subjects = self.triggers[group[0]].subjects.clone();
+            if self.config.aggregation {
+                let (entries, latency) = self.poll_subjects(&subjects, switch);
+                report.asic_polls += 1;
+                report.polls_saved += group.len() as u64 - 1;
+                for &i in &group {
+                    let aggregated = group.len() > 1;
+                    let step =
+                        self.fire_poll(i, now, entries.clone(), latency, aggregated, switch);
+                    report.merge(step);
+                }
+            } else {
+                for &i in &group {
+                    let (entries, latency) = self.poll_subjects(&subjects, switch);
+                    report.asic_polls += 1;
+                    let step = self.fire_poll(i, now, entries, latency, false, switch);
+                    report.merge(step);
+                }
+            }
+        }
+        for i in timers {
+            let t = &mut self.triggers[i];
+            t.tick += 1;
+            let (seed, name, tick, ival) = (t.seed, t.name.clone(), t.tick, t.ival);
+            t.next_due = advance_deadline(t.next_due, ival, now);
+            let step = self.deliver(
+                seed,
+                &SeedEvent::Trigger {
+                    name,
+                    payload: Value::Int(tick as i64),
+                },
+                now,
+                switch,
+                Dur::ZERO,
+            );
+            report.merge(step);
+        }
+        report
+    }
+
+    fn fire_poll(
+        &mut self,
+        idx: usize,
+        now: Time,
+        entries: Vec<StatEntry>,
+        poll_latency: Dur,
+        aggregated: bool,
+        switch: &mut Switch,
+    ) -> TickReport {
+        if aggregated {
+            switch
+                .cpu_mut()
+                .charge_cycles(self.config.comm.aggregation_cpu_cycles());
+        }
+        let t = &mut self.triggers[idx];
+        let (seed, name, ival) = (t.seed, t.name.clone(), t.ival);
+        t.next_due = advance_deadline(t.next_due, ival, now);
+        // Convert cumulative counters into per-interval deltas against
+        // this trigger's own baseline (the first poll delivers absolute
+        // values; each trigger keeps its own view under aggregation).
+        let deltas: Vec<StatEntry> = entries
+            .into_iter()
+            .map(|e| {
+                let cur = [e.tx_bytes, e.rx_bytes, e.tx_packets, e.rx_packets];
+                let prev = t.baseline.insert(e.subject.clone(), cur).unwrap_or([0; 4]);
+                StatEntry {
+                    subject: e.subject,
+                    tx_bytes: cur[0].saturating_sub(prev[0]),
+                    rx_bytes: cur[1].saturating_sub(prev[1]),
+                    tx_packets: cur[2].saturating_sub(prev[2]),
+                    rx_packets: cur[3].saturating_sub(prev[3]),
+                }
+            })
+            .collect();
+        self.deliver(
+            seed,
+            &SeedEvent::Trigger {
+                name,
+                payload: stats_payload(deltas),
+            },
+            now,
+            switch,
+            poll_latency,
+        )
+    }
+
+    fn poll_subjects(
+        &self,
+        subjects: &[PollSubject],
+        switch: &mut Switch,
+    ) -> (Vec<StatEntry>, Dur) {
+        let mut entries = Vec::new();
+        let mut latency = Dur::ZERO;
+        for s in subjects {
+            match s {
+                PollSubject::AllPorts => {
+                    let (stats, l) = switch.poll_ports(PortSel::Any);
+                    latency = latency.max(l);
+                    entries.extend(stats.into_iter().map(|ps| StatEntry {
+                        subject: StatSubject::Port(ps.port.0),
+                        tx_bytes: ps.counters.tx_bytes,
+                        rx_bytes: ps.counters.rx_bytes,
+                        tx_packets: ps.counters.tx_packets,
+                        rx_packets: ps.counters.rx_packets,
+                    }));
+                }
+                PollSubject::Port(p) => {
+                    let (stats, l) = switch.poll_ports(PortSel::Id(*p));
+                    latency = latency.max(l);
+                    entries.extend(stats.into_iter().map(|ps| StatEntry {
+                        subject: StatSubject::Port(ps.port.0),
+                        tx_bytes: ps.counters.tx_bytes,
+                        rx_bytes: ps.counters.rx_bytes,
+                        tx_packets: ps.counters.tx_packets,
+                        rx_packets: ps.counters.rx_packets,
+                    }));
+                }
+                PollSubject::Rule(key) => {
+                    if let Some((rid, _)) = self.rule_refs.get(key) {
+                        let stats = switch.tcam().stats(*rid).unwrap_or_default();
+                        let l = switch
+                            .pcie_mut()
+                            .request(farm_netsim::switch::POLL_STAT_BYTES);
+                        latency = latency.max(l);
+                        entries.push(StatEntry {
+                            subject: StatSubject::Rule(key.clone()),
+                            tx_bytes: stats.bytes,
+                            rx_bytes: 0,
+                            tx_packets: stats.packets,
+                            rx_packets: 0,
+                        });
+                    }
+                }
+            }
+        }
+        (entries, latency)
+    }
+
+    /// Offers sampled packets to probe triggers (rate-limited by each
+    /// trigger's `.ival` lower bound). Charges PCIe for mirrored bytes.
+    pub fn offer_packets(
+        &mut self,
+        packets: &[PacketRecord],
+        now: Time,
+        switch: &mut Switch,
+    ) -> TickReport {
+        let mut report = TickReport::default();
+        for pkt in packets {
+            let due: Vec<(usize, SeedId, String)> = self
+                .triggers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    t.kind == TriggerType::Probe
+                        && t.next_due <= now
+                        && t.what
+                            .as_ref()
+                            .map(|f| f.matches_flow(&pkt.flow))
+                            .unwrap_or(true)
+                })
+                .map(|(i, t)| (i, t.seed, t.name.clone()))
+                .collect();
+            if due.is_empty() {
+                continue;
+            }
+            // Mirroring one packet over PCIe, shared by all probes.
+            let latency = switch.pcie_mut().request(pkt.len as u64);
+            for (i, seed, name) in due {
+                let ival = self.triggers[i].ival;
+                self.triggers[i].next_due = now + ival;
+                let step = self.deliver(
+                    seed,
+                    &SeedEvent::Trigger {
+                        name,
+                        payload: Value::Packet(*pkt),
+                    },
+                    now,
+                    switch,
+                    latency,
+                );
+                report.merge(step);
+            }
+        }
+        self.stats.deliveries += report.deliveries;
+        self.stats.messages_out += report.messages.len() as u64;
+        report
+    }
+
+    /// Delivers a message from the harvester or another machine to every
+    /// local seed of `machine`.
+    pub fn deliver_to_machine(
+        &mut self,
+        machine: &str,
+        from_machine: Option<&str>,
+        value: &Value,
+        now: Time,
+        switch: &mut Switch,
+    ) -> TickReport {
+        let ids: Vec<SeedId> = self
+            .seeds
+            .values()
+            .filter(|s| s.machine_name() == machine)
+            .map(|s| s.id)
+            .collect();
+        let mut report = TickReport::default();
+        for id in ids {
+            let step = self.deliver(
+                id,
+                &SeedEvent::Recv {
+                    from_machine: from_machine.map(str::to_string),
+                    value: value.clone(),
+                },
+                now,
+                switch,
+                Dur::ZERO,
+            );
+            report.merge(step);
+        }
+        self.stats.deliveries += report.deliveries;
+        self.stats.messages_out += report.messages.len() as u64;
+        report
+    }
+
+    fn deliver(
+        &mut self,
+        id: SeedId,
+        event: &SeedEvent,
+        now: Time,
+        switch: &mut Switch,
+        base_latency: Dur,
+    ) -> TickReport {
+        let mut report = TickReport::default();
+        let Some(seed) = self.seeds.get_mut(&id) else {
+            return report;
+        };
+        let started = self.deployed_at.get(&id).copied().unwrap_or(Time::ZERO);
+        let outcome = {
+            let host = SwitchHost {
+                resources: seed.allocated(),
+                now_ms: now.since(started).as_millis() as i64,
+                switch,
+            };
+            seed.handle(event, &host)
+        };
+        report.deliveries += 1;
+        let machine = seed.machine_name().to_string();
+        let task = self.tasks.get(&id).cloned().unwrap_or_default();
+        match outcome {
+            Err(e) => report.errors.push((id, e)),
+            Ok(out) => {
+                let compute = Dur::from_secs_f64(
+                    (out.ops * self.config.cycles_per_op) as f64
+                        / switch.cpu().spec().freq_hz as f64,
+                );
+                switch
+                    .cpu_mut()
+                    .charge_cycles(out.ops * self.config.cycles_per_op);
+                switch
+                    .cpu_mut()
+                    .charge_cycles(self.config.comm.delivery_cpu_cycles());
+                let channel_latency = self.config.comm.delivery_latency(self.seeds.len());
+                for effect in out.effects {
+                    match effect {
+                        Effect::Send { to, value } => {
+                            let bytes = value_bytes(&value);
+                            report.messages.push(OutboundMessage {
+                                from_switch: self.switch_id,
+                                from_seed: id,
+                                from_machine: machine.clone(),
+                                task: task.clone(),
+                                to,
+                                value,
+                                at: now,
+                                latency: base_latency + compute + channel_latency,
+                                bytes,
+                            });
+                        }
+                        Effect::AddRule(r) => {
+                            if let Err(e) = switch.tcam_mut().add_rule(
+                                TcamRegion::Monitoring,
+                                10,
+                                r.pattern,
+                                to_rule_action(&r.action),
+                            ) {
+                                report.errors.push((id, SeedError(e.to_string())));
+                            }
+                        }
+                        Effect::RemoveRule(pattern) => {
+                            // Removing a rule that is already gone is not
+                            // an error for idempotent reactions.
+                            let _ = switch.tcam_mut().remove_by_pattern(&pattern);
+                        }
+                        Effect::Exec { iterations, .. } => {
+                            switch
+                                .cpu_mut()
+                                .charge_cycles(self.config.exec_cost_cycles * iterations as u64);
+                            self.stats.exec_iterations += iterations as u64;
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Advances a periodic deadline past `now` without drift (catching up in
+/// whole periods when the scheduler fell behind).
+fn advance_deadline(due: Time, ival: Dur, now: Time) -> Time {
+    let mut next = due + ival;
+    if next <= now {
+        let behind = now.since(next).as_nanos();
+        let periods = behind / ival.as_nanos().max(1) + 1;
+        next = next + Dur::from_nanos(periods * ival.as_nanos());
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_almanac::analysis::ConstEnv;
+    use farm_almanac::compile::{compile_machine, frontend};
+    use farm_netsim::controller::SdnController;
+    use farm_netsim::switch::SwitchModel;
+    use farm_netsim::topology::Topology;
+    use farm_netsim::types::{FlowKey, Ipv4, PortId};
+
+    fn compile(src: &str, machine: &str) -> Arc<CompiledMachine> {
+        let topo = Topology::spine_leaf(
+            1,
+            2,
+            SwitchModel::test_model(8),
+            SwitchModel::test_model(8),
+        );
+        let ctl = SdnController::new(&topo);
+        let program = frontend(src).unwrap();
+        Arc::new(compile_machine(&program, machine, &ConstEnv::new(), &ctl).unwrap())
+    }
+
+    fn rig() -> (Soil, Switch) {
+        let soil = Soil::new(SwitchId(0), SoilConfig::default());
+        let switch = Switch::new(SwitchId(0), SwitchModel::test_model(8));
+        (soil, switch)
+    }
+
+    fn alloc() -> Resources {
+        Resources::new(2.0, 512.0, 16.0, 10.0)
+    }
+
+    #[test]
+    fn deploys_and_polls_hh_seed() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let (id, _) = soil
+            .deploy(def, "hh", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        // ival = 10/PCIe ms = 1 ms at PCIe=10.
+        assert!((soil.trigger_interval_ms(id, "pollStats").unwrap() - 1.0).abs() < 1e-9);
+        // Heavy traffic on port 2.
+        let flow = FlowKey::tcp(Ipv4::new(10, 0, 0, 1), 1, Ipv4::new(10, 1, 0, 1), 80);
+        switch.record_traffic(&flow, None, Some(PortId(2)), 5_000_000, 3000);
+        let report = soil.advance(Time::from_millis(2), &mut switch);
+        assert!(report.asic_polls >= 1);
+        assert_eq!(report.errors, vec![]);
+        let msgs: Vec<_> = report
+            .messages
+            .iter()
+            .filter(|m| m.to == Endpoint::Harvester)
+            .collect();
+        assert!(!msgs.is_empty(), "HH must report to its harvester");
+        // The local reaction installed a monitoring rule for port 2.
+        assert!(switch
+            .tcam()
+            .rules()
+            .iter()
+            .any(|r| r.region == TcamRegion::Monitoring && r.priority == 10));
+    }
+
+    #[test]
+    fn aggregation_shares_asic_polls() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        for _ in 0..4 {
+            soil.deploy(def.clone(), "hh", alloc(), Time::ZERO, &mut switch)
+                .unwrap();
+        }
+        let report = soil.advance(Time::from_millis(1), &mut switch);
+        // Four seeds share one AllPorts subject: 1 ASIC poll, 3 saved.
+        assert_eq!(report.asic_polls, 1);
+        assert_eq!(report.polls_saved, 3);
+        assert_eq!(report.deliveries, 4);
+    }
+
+    #[test]
+    fn no_aggregation_polls_per_seed() {
+        let mut cfg = SoilConfig::default();
+        cfg.aggregation = false;
+        let mut soil = Soil::new(SwitchId(0), cfg);
+        let mut switch = Switch::new(SwitchId(0), SwitchModel::test_model(8));
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        for _ in 0..4 {
+            soil.deploy(def.clone(), "hh", alloc(), Time::ZERO, &mut switch)
+                .unwrap();
+        }
+        let report = soil.advance(Time::from_millis(1), &mut switch);
+        assert_eq!(report.asic_polls, 4);
+        assert_eq!(report.polls_saved, 0);
+    }
+
+    #[test]
+    fn rule_subjects_install_refcounted_tcam_rules() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::DDOS, "DDoS");
+        let before = switch.tcam().region_used(TcamRegion::Monitoring);
+        let (a, _) = soil
+            .deploy(def.clone(), "ddos", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        let (b, _) = soil
+            .deploy(def, "ddos", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        // One shared Count rule despite two seeds.
+        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before + 1);
+        soil.undeploy(a, &mut switch).unwrap();
+        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before + 1);
+        soil.undeploy(b, &mut switch).unwrap();
+        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before);
+    }
+
+    #[test]
+    fn probes_deliver_matching_packets_only() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::SSH_BRUTE_FORCE, "SshBruteForce");
+        let (id, _) = soil
+            .deploy(def, "ssh", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        let ssh_syn = PacketRecord {
+            flow: FlowKey::tcp(Ipv4::new(9, 9, 9, 9), 1000, Ipv4::new(10, 1, 0, 1), 22),
+            len: 64,
+            syn: true,
+            fin: false,
+            ack: false,
+        };
+        let http = PacketRecord {
+            flow: FlowKey::tcp(Ipv4::new(9, 9, 9, 9), 1000, Ipv4::new(10, 1, 0, 1), 80),
+            len: 64,
+            syn: true,
+            fin: false,
+            ack: false,
+        };
+        let report = soil.offer_packets(&[ssh_syn, http], Time::from_millis(10), &mut switch);
+        assert_eq!(report.deliveries, 1, "only the port-22 packet matches");
+        let seed = soil.seed(id).unwrap();
+        let Some(Value::List(attempts)) = seed.var("attempts") else {
+            panic!("attempts missing")
+        };
+        assert_eq!(attempts.len(), 1);
+    }
+
+    #[test]
+    fn migration_snapshot_restores_on_another_soil() {
+        let (mut soil_a, mut switch_a) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let (id, _) = soil_a
+            .deploy(def.clone(), "hh", alloc(), Time::ZERO, &mut switch_a)
+            .unwrap();
+        // Harvester retunes the threshold on A.
+        soil_a.deliver_to_machine("HH", None, &Value::Int(777), Time::ZERO, &mut switch_a);
+        let snap = soil_a.undeploy(id, &mut switch_a).unwrap();
+
+        let mut soil_b = Soil::new(SwitchId(1), SoilConfig::default());
+        let mut switch_b = Switch::new(SwitchId(1), SwitchModel::test_model(8));
+        let new_id = soil_b
+            .import(def, "hh", alloc(), &snap, Time::from_millis(5), &mut switch_b)
+            .unwrap();
+        assert_eq!(
+            soil_b.seed(new_id).unwrap().var("threshold"),
+            Some(&Value::Int(777))
+        );
+    }
+
+    #[test]
+    fn realloc_rescales_polling() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let (id, _) = soil
+            .deploy(def, "hh", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        assert!((soil.trigger_interval_ms(id, "pollStats").unwrap() - 1.0).abs() < 1e-9);
+        soil.realloc(
+            id,
+            Resources::new(2.0, 512.0, 16.0, 5.0),
+            Time::from_millis(1),
+            &mut switch,
+        )
+        .unwrap();
+        assert!((soil.trigger_interval_ms(id, "pollStats").unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_pcie_allocation_is_rejected() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let err = soil
+            .deploy(
+                def,
+                "hh",
+                Resources::new(1.0, 128.0, 4.0, 0.0),
+                Time::ZERO,
+                &mut switch,
+            )
+            .unwrap_err();
+        assert!(err.0.contains("interval"), "{err}");
+    }
+
+    #[test]
+    fn exec_charges_cpu() {
+        let src = r#"
+            machine Ml {
+              place any;
+              time tick = 1;
+              state s { when (tick) do { exec("svr"); } }
+            }
+        "#;
+        let (mut soil, mut switch) = rig();
+        let def = compile(src, "Ml");
+        soil.deploy(def, "ml", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        switch.cpu_mut().reset();
+        soil.advance(Time::from_millis(10), &mut switch);
+        assert_eq!(soil.stats().exec_iterations, 10);
+        let expected_exec_secs = 10.0 * SoilConfig::default().exec_cost_cycles as f64
+            / switch.cpu().spec().freq_hz as f64;
+        assert!(switch.cpu().busy().as_secs_f64() >= expected_exec_secs);
+    }
+
+    #[test]
+    fn periodic_deadlines_do_not_drift() {
+        assert_eq!(
+            advance_deadline(Time::from_millis(5), Dur::from_millis(5), Time::from_millis(5)),
+            Time::from_millis(10)
+        );
+        // Fell behind: catch up in whole periods beyond `now`.
+        let next = advance_deadline(
+            Time::from_millis(5),
+            Dur::from_millis(5),
+            Time::from_millis(23),
+        );
+        assert!(next > Time::from_millis(23));
+        assert_eq!(next.as_nanos() % Dur::from_millis(5).as_nanos(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Port-scan detection: the PortScan seed samples SYN probes, counts
+//! distinct destination ports per source over a window, and drops the
+//! scanner in the TCAM the moment it crosses the limit.
+//!
+//! ```text
+//! cargo run --example portscan_detection
+//! ```
+
+use std::collections::BTreeMap;
+
+use farm_almanac::value::Value;
+use farm_core::farm::{external, Farm, FarmConfig};
+use farm_core::harvester::CollectingHarvester;
+use farm_netsim::switch::SwitchModel;
+use farm_netsim::tcam::RuleAction;
+use farm_netsim::time::{Dur, Time};
+use farm_netsim::topology::Topology;
+use farm_netsim::traffic::{PortScanConfig, PortScanWorkload, Workload};
+
+fn main() {
+    let topology = Topology::spine_leaf(
+        2,
+        4,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    );
+    let mut farm = Farm::new(topology, FarmConfig::default());
+    farm.set_harvester("portscan", Box::new(CollectingHarvester::new()));
+
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    let target = farm.network().topology().host_ip(leaf, 20).unwrap();
+    let scanner = farm_netsim::types::Ipv4::new(192, 0, 2, 66);
+
+    let mut ext = BTreeMap::new();
+    ext.insert(
+        "PortScan".to_string(),
+        external(&[("portLimit", Value::Int(50))]),
+    );
+    farm.deploy_task("portscan", farm_almanac::programs::PORT_SCAN, &ext)
+        .expect("PortScan task compiles and places");
+
+    let mut scan = PortScanWorkload::new(PortScanConfig {
+        switch: leaf,
+        scanner,
+        target,
+        ports_per_sec: 500,
+        ..Default::default()
+    });
+
+    let mut blocked_at = None;
+    let mut t = Time::ZERO;
+    while t < Time::from_secs(5) {
+        let next = t + Dur::from_millis(10);
+        let events = scan.advance(t, Dur::from_millis(10));
+        farm.apply_traffic(&events);
+        farm.advance(next);
+        t = next;
+        let dropped = farm
+            .network()
+            .switch(leaf)
+            .unwrap()
+            .tcam()
+            .rules()
+            .iter()
+            .any(|r| r.action == RuleAction::Drop);
+        if dropped {
+            blocked_at = Some(t);
+            break;
+        }
+    }
+
+    println!("scanner {scanner} probing {target} at 500 ports/s");
+    println!("distinct ports probed: {}", scan.ports_probed());
+    match blocked_at {
+        Some(t) => println!("scanner dropped in the TCAM at {t}"),
+        None => println!("scanner was not blocked (unexpected)"),
+    }
+    let harvester: &CollectingHarvester = farm.harvester("portscan").unwrap();
+    for m in &harvester.received {
+        println!("harvester report from {}: {}", m.from_switch, m.value);
+    }
+}

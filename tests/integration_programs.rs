@@ -1,0 +1,355 @@
+//! Integration: the Tab. I Almanac programs running end-to-end against
+//! matching attack/anomaly workloads — each program must detect its
+//! scenario and perform its documented local reaction.
+
+use std::collections::BTreeMap;
+
+use farm_almanac::value::Value;
+use farm_core::farm::{external, Farm, FarmConfig};
+use farm_core::harvester::CollectingHarvester;
+use farm_netsim::network::TrafficEvent;
+use farm_netsim::switch::SwitchModel;
+use farm_netsim::tcam::RuleAction;
+use farm_netsim::time::{Dur, Time};
+use farm_netsim::topology::Topology;
+use farm_netsim::traffic::{
+    DdosConfig, DdosWorkload, HeavyHitterWorkload, HhConfig, PortScanConfig, PortScanWorkload,
+    ZipfConfig, ZipfFlowWorkload,
+};
+use farm_netsim::types::{FlowKey, Ipv4, PortId, SwitchId};
+
+fn small_fabric() -> Topology {
+    Topology::spine_leaf(
+        1,
+        2,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    )
+}
+
+fn farm_with_task(
+    task: &str,
+    source: &str,
+    machine: &str,
+    ext: &[(&str, Value)],
+) -> (Farm, SwitchId) {
+    let mut farm = Farm::new(small_fabric(), FarmConfig::default());
+    farm.set_harvester(task, Box::new(CollectingHarvester::new()));
+    let mut externals = BTreeMap::new();
+    externals.insert(machine.to_string(), external(ext));
+    farm.deploy_task(task, source, &externals).unwrap();
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    (farm, leaf)
+}
+
+fn has_action(farm: &Farm, sw: SwitchId, pred: impl Fn(&RuleAction) -> bool) -> bool {
+    farm.network()
+        .switch(sw)
+        .unwrap()
+        .tcam()
+        .rules()
+        .iter()
+        .any(|r| pred(&r.action))
+}
+
+#[test]
+fn ddos_program_mitigates_and_recovers() {
+    let (mut farm, leaf) = farm_with_task(
+        "ddos",
+        farm_almanac::programs::DDOS,
+        "DDoS",
+        &[
+            ("protectedPrefix", Value::Str("10.0.1.0/24".into())),
+            ("volumeThreshold", Value::Int(1_000_000)),
+            ("sustainWindows", Value::Int(2)),
+        ],
+    );
+    let victim = farm.network().topology().host_ip(leaf, 5).unwrap();
+    let mut attack = DdosWorkload::new(DdosConfig {
+        switch: leaf,
+        victim,
+        onset: Time::from_millis(100),
+        n_sources: 100,
+        per_source_bps: 50_000_000,
+        background_bps: 1_000_000,
+        ..Default::default()
+    });
+    // Phase 1: attack rages → rate limit must appear.
+    farm.run(&mut [&mut attack], Time::from_millis(600), Dur::from_millis(10));
+    assert!(
+        has_action(&farm, leaf, |a| matches!(a, RuleAction::RateLimit(_))),
+        "DDoS mitigation missing"
+    );
+    let h: &CollectingHarvester = farm.harvester("ddos").unwrap();
+    assert!(!h.received.is_empty(), "harvester must be informed");
+    // Phase 2: attack stops → the seed recovers and removes the limit.
+    let mut calm = DdosWorkload::new(DdosConfig {
+        switch: leaf,
+        victim,
+        onset: Time::from_secs(10_000), // never
+        n_sources: 0,
+        per_source_bps: 0,
+        background_bps: 1_000_000,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut calm], Time::from_secs(3), Dur::from_millis(10));
+    assert!(
+        !has_action(&farm, leaf, |a| matches!(a, RuleAction::RateLimit(_))),
+        "mitigation must be lifted after the attack subsides"
+    );
+}
+
+#[test]
+fn port_scan_program_blocks_the_scanner() {
+    let (mut farm, leaf) = farm_with_task(
+        "scan",
+        farm_almanac::programs::PORT_SCAN,
+        "PortScan",
+        &[("portLimit", Value::Int(40))],
+    );
+    let target = farm.network().topology().host_ip(leaf, 3).unwrap();
+    let mut scan = PortScanWorkload::new(PortScanConfig {
+        switch: leaf,
+        target,
+        ports_per_sec: 400,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut scan], Time::from_secs(3), Dur::from_millis(5));
+    assert!(
+        has_action(&farm, leaf, |a| *a == RuleAction::Drop),
+        "scanner must be dropped"
+    );
+    let h: &CollectingHarvester = farm.harvester("scan").unwrap();
+    assert!(h
+        .received
+        .iter()
+        .any(|m| matches!(&m.value, Value::List(v) if !v.is_empty())));
+}
+
+#[test]
+fn ssh_brute_force_program_drops_the_attacker() {
+    let (mut farm, leaf) = farm_with_task(
+        "ssh",
+        farm_almanac::programs::SSH_BRUTE_FORCE,
+        "SshBruteForce",
+        &[("attemptLimit", Value::Int(15))],
+    );
+    let attacker = Ipv4::new(198, 51, 100, 7);
+    let victim = farm.network().topology().host_ip(leaf, 2).unwrap();
+    // 30 connection attempts spread over 6 s (probe ival is a 1 ms lower
+    // bound, so spacing events across ticks keeps them all sampled).
+    let mut t = Time::ZERO;
+    for i in 0..30u16 {
+        let ev = TrafficEvent {
+            switch: leaf,
+            rx_port: Some(PortId(0)),
+            tx_port: None,
+            flow: FlowKey::tcp(attacker, 40_000 + i, victim, 22),
+            bytes: 64,
+            packets: 1,
+        };
+        farm.apply_traffic(&[ev]);
+        t = t + Dur::from_millis(200);
+        farm.advance(t);
+    }
+    assert!(
+        has_action(&farm, leaf, |a| *a == RuleAction::Drop),
+        "SSH brute-forcer must be dropped"
+    );
+}
+
+#[test]
+fn syn_flood_program_rate_limits_the_target() {
+    let (mut farm, leaf) = farm_with_task(
+        "synflood",
+        farm_almanac::programs::TCP_SYN_FLOOD,
+        "SynFlood",
+        &[("imbalanceLimit", Value::Int(100))],
+    );
+    let victim = farm.network().topology().host_ip(leaf, 8).unwrap();
+    let mut t = Time::ZERO;
+    // 150 distinct half-open connections within one 1 s window.
+    for i in 0..150u16 {
+        let ev = TrafficEvent {
+            switch: leaf,
+            rx_port: Some(PortId(0)),
+            tx_port: None,
+            flow: FlowKey::tcp(Ipv4::new(203, 0, 113, (i % 250) as u8), 1000 + i, victim, 80),
+            bytes: 64,
+            packets: 1,
+        };
+        farm.apply_traffic(&[ev]);
+        t = t + Dur::from_millis(5);
+        farm.advance(t);
+    }
+    farm.advance(Time::from_millis(1200)); // window timer fires
+    assert!(
+        has_action(&farm, leaf, |a| matches!(a, RuleAction::RateLimit(_))),
+        "SYN flood target must be rate limited"
+    );
+}
+
+#[test]
+fn superspreader_program_flags_the_spreader() {
+    let (mut farm, leaf) = farm_with_task(
+        "spread",
+        farm_almanac::programs::SUPERSPREADER,
+        "Superspreader",
+        &[("fanoutLimit", Value::Int(50))],
+    );
+    let spreader = Ipv4::new(198, 51, 100, 99);
+    let mut t = Time::ZERO;
+    for i in 0..80u32 {
+        let dst = Ipv4::new(10, 0, 1, (i % 200) as u8 + 1);
+        let ev = TrafficEvent {
+            switch: leaf,
+            rx_port: Some(PortId(0)),
+            tx_port: None,
+            flow: FlowKey::udp(spreader, 5000, dst, (2000 + i) as u16),
+            bytes: 120,
+            packets: 1,
+        };
+        farm.apply_traffic(&[ev]);
+        t = t + Dur::from_millis(10);
+        farm.advance(t);
+    }
+    farm.advance(Time::from_millis(2500)); // window fires
+    let h: &CollectingHarvester = farm.harvester("spread").unwrap();
+    let flagged = h.received.iter().any(|m| {
+        matches!(&m.value, Value::List(v)
+            if v.contains(&Value::Str(spreader.to_string())))
+    });
+    assert!(flagged, "superspreader must be reported: {:?}", h.received);
+}
+
+#[test]
+fn link_failure_program_reports_dead_ports() {
+    let (mut farm, leaf) = farm_with_task(
+        "linkfail",
+        farm_almanac::programs::LINK_FAILURE,
+        "LinkFailure",
+        &[],
+    );
+    // Active traffic for a while…
+    let mut traffic = HeavyHitterWorkload::new(HhConfig {
+        switch: leaf,
+        n_ports: 8,
+        hh_ratio: 0.0,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut traffic], Time::from_millis(300), Dur::from_millis(10));
+    let h: &CollectingHarvester = farm.harvester("linkfail").unwrap();
+    let before = h.received.len();
+    // …then the link goes silent: counters freeze across polls.
+    farm.advance(Time::from_millis(900));
+    let h: &CollectingHarvester = farm.harvester("linkfail").unwrap();
+    assert!(
+        h.received.len() > before,
+        "silent previously-active ports must be reported"
+    );
+}
+
+#[test]
+fn entropy_program_alarms_on_traffic_concentration() {
+    let (mut farm, leaf) = farm_with_task(
+        "entropy",
+        farm_almanac::programs::ENTROPY_ESTIMATION,
+        "EntropyEstimation",
+        &[("alarmDrop", Value::Float(2.0))],
+    );
+    // Phase 1: uniform traffic across 32 ports → high entropy baseline.
+    let mut uniform = HeavyHitterWorkload::new(HhConfig {
+        switch: leaf,
+        n_ports: 32,
+        hh_ratio: 0.0,
+        normal_rate_bps: 100_000_000,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut uniform], Time::from_secs(2), Dur::from_millis(10));
+    let baseline_alarms = farm
+        .harvester::<CollectingHarvester>("entropy")
+        .unwrap()
+        .received
+        .len();
+    // Phase 2: everything concentrates on one port → entropy collapses.
+    let flow = FlowKey::udp(Ipv4::new(1, 2, 3, 4), 1, Ipv4::new(5, 6, 7, 8), 2);
+    let mut t = farm.now();
+    for _ in 0..100 {
+        farm.apply_traffic(&[TrafficEvent {
+            switch: leaf,
+            rx_port: None,
+            tx_port: Some(PortId(0)),
+            flow,
+            bytes: 50_000_000,
+            packets: 33_000,
+        }]);
+        t = t + Dur::from_millis(10);
+        farm.advance(t);
+    }
+    let h: &CollectingHarvester = farm.harvester("entropy").unwrap();
+    assert!(
+        h.received.len() > baseline_alarms,
+        "entropy collapse must raise an alarm"
+    );
+}
+
+#[test]
+fn flow_size_distribution_program_ships_histograms() {
+    let (mut farm, leaf) = farm_with_task(
+        "fsd",
+        farm_almanac::programs::FLOW_SIZE_DIST,
+        "FlowSizeDist",
+        &[("buckets", Value::Int(32))],
+    );
+    let mut zipf = ZipfFlowWorkload::new(ZipfConfig {
+        switch: leaf,
+        n_flows: 200,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut zipf], Time::from_secs(3), Dur::from_millis(50));
+    let h: &CollectingHarvester = farm.harvester("fsd").unwrap();
+    let hist = h
+        .received
+        .iter()
+        .find_map(|m| m.value.as_list().map(|l| l.to_vec()))
+        .expect("histogram report");
+    assert_eq!(hist.len(), 32);
+    let total: i64 = hist.iter().filter_map(|v| v.as_int()).sum();
+    assert!(total > 0, "histogram must count flows");
+}
+
+#[test]
+fn new_tcp_conn_program_counts_connections() {
+    let (mut farm, leaf) = farm_with_task(
+        "conncount",
+        farm_almanac::programs::NEW_TCP_CONN,
+        "NewTcpConn",
+        &[],
+    );
+    let mut t = Time::ZERO;
+    for i in 0..20u16 {
+        farm.apply_traffic(&[TrafficEvent {
+            switch: leaf,
+            rx_port: Some(PortId(0)),
+            tx_port: None,
+            flow: FlowKey::tcp(Ipv4::new(10, 0, 9, 9), 3000 + i, Ipv4::new(10, 0, 1, 1), 80),
+            bytes: 64,
+            packets: 1,
+        }]);
+        t = t + Dur::from_millis(20);
+        farm.advance(t);
+    }
+    farm.advance(Time::from_millis(1100)); // report timer
+    let h: &CollectingHarvester = farm.harvester("conncount").unwrap();
+    let counted: i64 = h
+        .received
+        .iter()
+        .filter_map(|m| m.value.as_int())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        counted >= 15,
+        "most SYNs must be counted, got {counted} (reports: {:?})",
+        h.received.len()
+    );
+}
