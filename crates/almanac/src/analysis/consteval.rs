@@ -33,19 +33,12 @@ pub fn const_eval(expr: &Expr, env: &ConstEnv) -> Result<Value> {
             Literal::Str(s) => Value::Str(s.clone()),
         }),
         Expr::Var(name, span) => env.get(name).cloned().ok_or_else(|| {
-            AlmanacError::analysis(
-                *span,
-                format!("`{name}` is not a compile-time constant"),
-            )
+            AlmanacError::analysis(*span, format!("`{name}` is not a compile-time constant"))
         }),
         Expr::Filter(f, span) => {
             let atom = match f {
-                FilterExpr::SrcIp(e) => {
-                    FilterAtom::SrcIp(eval_prefix(e, env)?)
-                }
-                FilterExpr::DstIp(e) => {
-                    FilterAtom::DstIp(eval_prefix(e, env)?)
-                }
+                FilterExpr::SrcIp(e) => FilterAtom::SrcIp(eval_prefix(e, env)?),
+                FilterExpr::DstIp(e) => FilterAtom::DstIp(eval_prefix(e, env)?),
                 FilterExpr::SrcPort(e) => FilterAtom::SrcPort(eval_u16(e, env)?),
                 FilterExpr::DstPort(e) => FilterAtom::DstPort(eval_u16(e, env)?),
                 FilterExpr::Proto(e) => {
@@ -139,9 +132,8 @@ pub fn const_eval(expr: &Expr, env: &ConstEnv) -> Result<Value> {
                     }
                 }
                 return Ok(Value::Rule(RuleValue {
-                    pattern: pattern.ok_or_else(|| {
-                        AlmanacError::analysis(*span, "Rule requires .pattern")
-                    })?,
+                    pattern: pattern
+                        .ok_or_else(|| AlmanacError::analysis(*span, "Rule requires .pattern"))?,
                     action: action
                         .ok_or_else(|| AlmanacError::analysis(*span, "Rule requires .act"))?,
                 }));
@@ -200,11 +192,9 @@ pub fn binary_op(op: BinOp, a: Value, b: Value) -> std::result::Result<Value, St
     use BinOp::*;
     match op {
         And | Or => match (&a, &b) {
-            (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(if op == And {
-                *x && *y
-            } else {
-                *x || *y
-            })),
+            (Value::Bool(x), Value::Bool(y)) => {
+                Ok(Value::Bool(if op == And { *x && *y } else { *x || *y }))
+            }
             (Value::Filter(_), Value::Filter(_)) => {
                 let (Value::Filter(x), Value::Filter(y)) = (a, b) else {
                     unreachable!()
@@ -217,46 +207,44 @@ pub fn binary_op(op: BinOp, a: Value, b: Value) -> std::result::Result<Value, St
                 y.type_name()
             )),
         },
-        Add | Sub | Mul | Div => {
-            match (&a, &b) {
-                (Value::Int(x), Value::Int(y)) => {
-                    let r = match op {
-                        Add => x.checked_add(*y),
-                        Sub => x.checked_sub(*y),
-                        Mul => x.checked_mul(*y),
-                        Div => {
-                            if *y == 0 {
-                                return Err("integer division by zero".into());
-                            }
-                            x.checked_div(*y)
+        Add | Sub | Mul | Div => match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => {
+                let r = match op {
+                    Add => x.checked_add(*y),
+                    Sub => x.checked_sub(*y),
+                    Mul => x.checked_mul(*y),
+                    Div => {
+                        if *y == 0 {
+                            return Err("integer division by zero".into());
                         }
-                        _ => unreachable!(),
-                    };
-                    r.map(Value::Int).ok_or_else(|| "integer overflow".into())
-                }
-                _ => {
-                    let x = a
-                        .as_f64()
-                        .ok_or_else(|| format!("arithmetic on {}", a.type_name()))?;
-                    let y = b
-                        .as_f64()
-                        .ok_or_else(|| format!("arithmetic on {}", b.type_name()))?;
-                    let r = match op {
-                        Add => x + y,
-                        Sub => x - y,
-                        Mul => x * y,
-                        Div => {
-                            if y == 0.0 {
-                                return Err("division by zero".into());
-                            }
-                            x / y
-                        }
-                        _ => unreachable!(),
-                    };
-                    Ok(Value::Float(r))
-                }
+                        x.checked_div(*y)
+                    }
+                    _ => unreachable!(),
+                };
+                r.map(Value::Int).ok_or_else(|| "integer overflow".into())
             }
-        }
+            _ => {
+                let x = a
+                    .as_f64()
+                    .ok_or_else(|| format!("arithmetic on {}", a.type_name()))?;
+                let y = b
+                    .as_f64()
+                    .ok_or_else(|| format!("arithmetic on {}", b.type_name()))?;
+                let r = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0.0 {
+                            return Err("division by zero".into());
+                        }
+                        x / y
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Float(r))
+            }
+        },
         Cmp(c) => {
             // Numeric comparison when both sides are numbers; structural
             // equality otherwise.
@@ -298,8 +286,7 @@ fn eval_u16(e: &Expr, env: &ConstEnv) -> Result<u16> {
     let i = v
         .as_int()
         .ok_or_else(|| AlmanacError::analysis(e.span(), "port expects an integer"))?;
-    u16::try_from(i)
-        .map_err(|_| AlmanacError::analysis(e.span(), format!("port {i} out of range")))
+    u16::try_from(i).map_err(|_| AlmanacError::analysis(e.span(), format!("port {i} out of range")))
 }
 
 #[cfg(test)]
@@ -318,13 +305,16 @@ mod tests {
 
     #[test]
     fn evaluates_the_papers_filter_example() {
-        let v = eval_str(r#"srcIP "10.1.1.4" and dstIP "10.0.1.0/24""#, &ConstEnv::new()).unwrap();
-        let Value::Filter(f) = v else { panic!("expected filter") };
+        let v = eval_str(
+            r#"srcIP "10.1.1.4" and dstIP "10.0.1.0/24""#,
+            &ConstEnv::new(),
+        )
+        .unwrap();
+        let Value::Filter(f) = v else {
+            panic!("expected filter")
+        };
         assert_eq!(f.atoms().len(), 2);
-        assert_eq!(
-            f.src_prefix().unwrap().to_string(),
-            "10.1.1.4/32"
-        );
+        assert_eq!(f.src_prefix().unwrap().to_string(), "10.1.1.4/32");
     }
 
     #[test]
@@ -333,7 +323,10 @@ mod tests {
         assert_eq!(eval_str("2 + 3 * 4", &env).unwrap(), Value::Int(14));
         assert_eq!(eval_str("10 / 4", &env).unwrap(), Value::Int(2));
         assert_eq!(eval_str("10.0 / 4", &env).unwrap(), Value::Float(2.5));
-        assert_eq!(eval_str("3 <= 4 and 1 <> 2", &env).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("3 <= 4 and 1 <> 2", &env).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("min(3, 7)", &env).unwrap(), Value::Float(3.0));
     }
 

@@ -207,7 +207,9 @@ fn nodes_in_range(path: &[SwitchId], role: PathRole, op: CmpOp, k: i64) -> Vec<S
                 } else {
                     let m1 = len / 2 - 1;
                     let m2 = len / 2;
-                    (i as i64 - m1 as i64).abs().min((i as i64 - m2 as i64).abs())
+                    (i as i64 - m1 as i64)
+                        .abs()
+                        .min((i as i64 - m2 as i64).abs())
                 }
             }
         }
@@ -244,12 +246,7 @@ mod tests {
     }
 
     fn fabric() -> Topology {
-        Topology::spine_leaf(
-            2,
-            3,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        )
+        Topology::spine_leaf(2, 3, SwitchModel::test_model(8), SwitchModel::test_model(8))
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub fn encode_filter(f: &FilterFormula) -> Vec<PollSubject> {
 /// constant.
 pub fn analyze_trigger(var: &VarDecl, consts: &ConstEnv) -> Result<TriggerAnalysis> {
     let kind = var.trigger().ok_or_else(|| {
-        AlmanacError::analysis(var.span, format!("`{}` is not a trigger variable", var.name))
+        AlmanacError::analysis(
+            var.span,
+            format!("`{}` is not a trigger variable", var.name),
+        )
     })?;
     match kind {
         TriggerType::Time => {
@@ -227,8 +230,12 @@ mod tests {
     #[test]
     fn identical_filters_share_canonical_subjects() {
         let mk = |src: &str| first_trigger(src).unwrap().subjects;
-        let a = mk(r#"machine M { poll p = Poll { .ival = 1, .what = dstIP "10.0.0.0/8" and dstPort 80 }; state s { } }"#);
-        let b = mk(r#"machine N { poll q = Poll { .ival = 9, .what = dstIP "10.0.0.0/8" and dstPort 80 }; state s { } }"#);
+        let a = mk(
+            r#"machine M { poll p = Poll { .ival = 1, .what = dstIP "10.0.0.0/8" and dstPort 80 }; state s { } }"#,
+        );
+        let b = mk(
+            r#"machine N { poll q = Poll { .ival = 9, .what = dstIP "10.0.0.0/8" and dstPort 80 }; state s { } }"#,
+        );
         assert_eq!(a, b, "identical .what must aggregate to the same subject");
     }
 }

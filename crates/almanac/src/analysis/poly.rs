@@ -129,7 +129,11 @@ pub struct NonlinearError(pub String);
 
 impl fmt::Display for NonlinearError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expression is not linear/rational in resources: {}", self.0)
+        write!(
+            f,
+            "expression is not linear/rational in resources: {}",
+            self.0
+        )
     }
 }
 
@@ -202,7 +206,9 @@ impl Ratio {
             .check("+");
         }
         if self.den.is_constant() && other.den.is_constant() {
-            let a = self.as_poly().ok_or_else(|| NonlinearError("division by zero".into()))?;
+            let a = self
+                .as_poly()
+                .ok_or_else(|| NonlinearError("division by zero".into()))?;
             let b = other
                 .as_poly()
                 .ok_or_else(|| NonlinearError("division by zero".into()))?;
@@ -247,7 +253,9 @@ fn mul_polys(a: &Poly, b: &Poly) -> Result<Poly, NonlinearError> {
     } else if b.is_constant() {
         Ok(a.scale(b.constant))
     } else {
-        Err(NonlinearError("product of two resource-dependent terms".into()))
+        Err(NonlinearError(
+            "product of two resource-dependent terms".into(),
+        ))
     }
 }
 

@@ -121,18 +121,13 @@ pub(crate) struct Cx<'a> {
     pub(crate) consts: &'a ConstEnv,
 }
 
-fn walk(
-    actions: &[Action],
-    cx: &Cx<'_>,
-    path: Vec<Poly>,
-    out: &mut Vec<UtilBranch>,
-) -> Result<()> {
+fn walk(actions: &[Action], cx: &Cx<'_>, path: Vec<Poly>, out: &mut Vec<UtilBranch>) -> Result<()> {
     for (idx, a) in actions.iter().enumerate() {
         match a {
             Action::Return { value, span } => {
-                let e = value.as_ref().ok_or_else(|| {
-                    AlmanacError::analysis(*span, "util must return a value")
-                })?;
+                let e = value
+                    .as_ref()
+                    .ok_or_else(|| AlmanacError::analysis(*span, "util must return a value"))?;
                 let utility = util_expr(e, cx)?;
                 out.push(UtilBranch {
                     constraints: path,
@@ -303,9 +298,8 @@ fn util_expr(e: &Expr, cx: &Cx<'_>) -> Result<UtilExpr> {
 /// Evaluates an expression to a linear polynomial over resources.
 fn linear_expr(e: &Expr, cx: &Cx<'_>) -> Result<Poly> {
     let r = resource_ratio(e, cx)?;
-    r.as_poly().ok_or_else(|| {
-        AlmanacError::analysis(e.span(), "expression must be linear in resources")
-    })
+    r.as_poly()
+        .ok_or_else(|| AlmanacError::analysis(e.span(), "expression must be linear in resources"))
 }
 
 /// Evaluates an expression to a [`Ratio`] over resources. Shared with the
@@ -321,9 +315,9 @@ pub(crate) fn resource_ratio(e: &Expr, cx: &Cx<'_>) -> Result<Ratio> {
                     format!("`{name}` is neither a resource field nor a constant"),
                 )
             })?;
-            let x = v.as_f64().ok_or_else(|| {
-                AlmanacError::analysis(*span, format!("`{name}` is not numeric"))
-            })?;
+            let x = v
+                .as_f64()
+                .ok_or_else(|| AlmanacError::analysis(*span, format!("`{name}` is not numeric")))?;
             Ok(Ratio::constant(x))
         }
         Expr::Field(base, field, span) => {
@@ -421,19 +415,13 @@ mod tests {
 
     #[test]
     fn or_splits_into_branches() {
-        let a = analyze(
-            "{ if (res.vCPU >= 2 or res.RAM >= 500) then { return 10; } }",
-        )
-        .unwrap();
+        let a = analyze("{ if (res.vCPU >= 2 or res.RAM >= 500) then { return 10; } }").unwrap();
         assert_eq!(a.branches.len(), 2, "or must split the seed into copies");
     }
 
     #[test]
     fn else_negates_condition() {
-        let a = analyze(
-            "{ if (res.vCPU >= 2) then { return 10; } else { return 1; } }",
-        )
-        .unwrap();
+        let a = analyze("{ if (res.vCPU >= 2) then { return 10; } else { return 1; } }").unwrap();
         assert_eq!(a.branches.len(), 2);
         assert_eq!(a.eval(&Resources::new(3.0, 0.0, 0.0, 0.0)), Some(10.0));
         assert_eq!(a.eval(&Resources::new(1.0, 0.0, 0.0, 0.0)), Some(1.0));
@@ -454,10 +442,8 @@ mod tests {
 
     #[test]
     fn min_feasible_solves_single_var_constraints() {
-        let a = analyze(
-            "{ if (res.vCPU >= 1 and res.RAM >= 100) then { return res.vCPU; } }",
-        )
-        .unwrap();
+        let a =
+            analyze("{ if (res.vCPU >= 1 and res.RAM >= 100) then { return res.vCPU; } }").unwrap();
         let (r, u) = a.min_feasible().unwrap();
         assert!((r.get(ResourceKind::VCpu) - 1.0).abs() < 1e-9);
         assert!((r.get(ResourceKind::RamMb) - 100.0).abs() < 1e-9);

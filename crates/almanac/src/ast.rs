@@ -371,7 +371,10 @@ pub enum Action {
         span: Span,
     },
     /// `transit sname;`
-    Transit { state: String, span: Span },
+    Transit {
+        state: String,
+        span: Span,
+    },
     If {
         cond: Expr,
         then_branch: Vec<Action>,
@@ -383,7 +386,10 @@ pub enum Action {
         body: Vec<Action>,
         span: Span,
     },
-    Return { value: Option<Expr>, span: Span },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
     /// `send e to harvester;` / `send e to M;` / `send e to M@dst;`
     Send {
         value: Expr,
@@ -391,7 +397,10 @@ pub enum Action {
         span: Span,
     },
     /// Bare call for side effects: `f(a, b);`
-    ExprStmt { expr: Expr, span: Span },
+    ExprStmt {
+        expr: Expr,
+        span: Span,
+    },
     /// Local declaration inside a block: `int i = 0;`
     Local(VarDecl),
 }

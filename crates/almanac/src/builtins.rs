@@ -85,7 +85,11 @@ pub const BUILTINS: &[Builtin] = &[
     b!("pkt_is_syn", [Type::Packet], Some(Type::Bool)),
     b!("pkt_is_fin", [Type::Packet], Some(Type::Bool)),
     b!("pkt_is_ack", [Type::Packet], Some(Type::Bool)),
-    b!("filter_matches", [Type::Filter, Type::Packet], Some(Type::Bool)),
+    b!(
+        "filter_matches",
+        [Type::Filter, Type::Packet],
+        Some(Type::Bool)
+    ),
     // Strings.
     b!("to_string", [Type::Any], Some(Type::Str)),
     b!("str_concat", [Type::Str, Type::Str], Some(Type::Str)),
@@ -103,7 +107,13 @@ mod tests {
 
     #[test]
     fn table_contains_the_papers_runtime_api() {
-        for name in ["res", "addTCAMRule", "removeTCAMRule", "getTCAMRule", "exec"] {
+        for name in [
+            "res",
+            "addTCAMRule",
+            "removeTCAMRule",
+            "getTCAMRule",
+            "exec",
+        ] {
             assert!(builtin(name).is_some(), "missing List. 1 builtin {name}");
         }
     }

@@ -162,10 +162,7 @@ pub fn compile_machine(
     }
     // Reject unknown externals early (typo protection).
     for name in externals.keys() {
-        let known = machine
-            .vars
-            .iter()
-            .any(|v| v.external && v.name == *name);
+        let known = machine.vars.iter().any(|v| v.external && v.name == *name);
         if !known {
             return Err(AlmanacError::analysis(
                 machine.span,
@@ -241,12 +238,7 @@ mod tests {
     use farm_netsim::topology::Topology;
 
     fn fabric() -> Topology {
-        Topology::spine_leaf(
-            2,
-            3,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        )
+        Topology::spine_leaf(2, 3, SwitchModel::test_model(8), SwitchModel::test_model(8))
     }
 
     const HH: &str = r#"

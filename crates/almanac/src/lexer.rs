@@ -209,31 +209,52 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 });
             }
             '{' => {
-                out.push(SpannedTok { tok: Tok::LBrace, span });
+                out.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    span,
+                });
                 bump!();
             }
             '}' => {
-                out.push(SpannedTok { tok: Tok::RBrace, span });
+                out.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    span,
+                });
                 bump!();
             }
             '(' => {
-                out.push(SpannedTok { tok: Tok::LParen, span });
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    span,
+                });
                 bump!();
             }
             ')' => {
-                out.push(SpannedTok { tok: Tok::RParen, span });
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    span,
+                });
                 bump!();
             }
             ';' => {
-                out.push(SpannedTok { tok: Tok::Semi, span });
+                out.push(SpannedTok {
+                    tok: Tok::Semi,
+                    span,
+                });
                 bump!();
             }
             ',' => {
-                out.push(SpannedTok { tok: Tok::Comma, span });
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    span,
+                });
                 bump!();
             }
             '.' => {
-                out.push(SpannedTok { tok: Tok::Dot, span });
+                out.push(SpannedTok {
+                    tok: Tok::Dot,
+                    span,
+                });
                 bump!();
             }
             '@' => {
@@ -241,23 +262,38 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 bump!();
             }
             ':' => {
-                out.push(SpannedTok { tok: Tok::Colon, span });
+                out.push(SpannedTok {
+                    tok: Tok::Colon,
+                    span,
+                });
                 bump!();
             }
             '+' => {
-                out.push(SpannedTok { tok: Tok::Plus, span });
+                out.push(SpannedTok {
+                    tok: Tok::Plus,
+                    span,
+                });
                 bump!();
             }
             '-' => {
-                out.push(SpannedTok { tok: Tok::Minus, span });
+                out.push(SpannedTok {
+                    tok: Tok::Minus,
+                    span,
+                });
                 bump!();
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Star, span });
+                out.push(SpannedTok {
+                    tok: Tok::Star,
+                    span,
+                });
                 bump!();
             }
             '/' => {
-                out.push(SpannedTok { tok: Tok::Slash, span });
+                out.push(SpannedTok {
+                    tok: Tok::Slash,
+                    span,
+                });
                 bump!();
             }
             '=' => {
@@ -266,7 +302,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     bump!();
                     out.push(SpannedTok { tok: Tok::Eq, span });
                 } else {
-                    out.push(SpannedTok { tok: Tok::Assign, span });
+                    out.push(SpannedTok {
+                        tok: Tok::Assign,
+                        span,
+                    });
                 }
             }
             '<' => {

@@ -567,8 +567,7 @@ impl Parser {
             // Local declaration: a type keyword followed by an identifier
             // (but `list_len(x)` must not be mistaken for a declaration).
             Tok::Ident(s)
-                if Self::type_of_kw(&s).is_some()
-                    && matches!(self.peek_at(1), Tok::Ident(_)) =>
+                if Self::type_of_kw(&s).is_some() && matches!(self.peek_at(1), Tok::Ident(_)) =>
             {
                 Ok(Action::Local(self.var_decl(false)?))
             }
@@ -607,10 +606,7 @@ impl Parser {
                 self.expect(Tok::Semi)?;
                 Ok(Action::ExprStmt { expr, span })
             }
-            other => Err(self.err(format!(
-                "expected statement, found {}",
-                other.describe()
-            ))),
+            other => Err(self.err(format!("expected statement, found {}", other.describe()))),
         }
     }
 
@@ -828,10 +824,7 @@ impl Parser {
                 }
                 Ok(Expr::Var(name, span))
             }
-            other => Err(self.err(format!(
-                "expected expression, found {}",
-                other.describe()
-            ))),
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
         }
     }
 }
@@ -944,7 +937,9 @@ mod tests {
             other => panic!("expected switch list, got {other:?}"),
         }
         match &p.machine("C").unwrap().placements[0].constraint {
-            PlaceConstraint::Range { role, filter, op, .. } => {
+            PlaceConstraint::Range {
+                role, filter, op, ..
+            } => {
                 assert_eq!(*role, Some(PathRole::Receiver));
                 assert!(filter.is_some());
                 assert_eq!(*op, CmpOp::Eq);
@@ -1042,8 +1037,7 @@ mod tests {
             } } }
         "#;
         let p = parse(src).unwrap();
-        let Action::If { else_branch, .. } = &p.machines[0].states[0].events[0].actions[0]
-        else {
+        let Action::If { else_branch, .. } = &p.machines[0].states[0].events[0].actions[0] else {
             panic!("expected if");
         };
         assert_eq!(else_branch.len(), 1);

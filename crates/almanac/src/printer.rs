@@ -108,7 +108,12 @@ fn place_to_source(p: &PlaceDirective, out: &mut String) {
             if let Some(f) = filter {
                 let _ = write!(out, " {}", expr_to_source(f));
             }
-            let _ = write!(out, " range {} {}", cmp_to_source(*op), expr_to_source(dist));
+            let _ = write!(
+                out,
+                " range {} {}",
+                cmp_to_source(*op),
+                expr_to_source(dist)
+            );
         }
     }
     out.push_str(";\n");
@@ -132,13 +137,13 @@ fn var_to_source(v: &VarDecl, level: usize, out: &mut String) {
 
 fn state_to_source(s: &StateDecl, out: &mut String) {
     indent(1, out);
-    let _ = write!(out, "state {} {{\n", s.name);
+    let _ = writeln!(out, "state {} {{", s.name);
     for v in &s.vars {
         var_to_source(v, 2, out);
     }
     if let Some(u) = &s.util {
         indent(2, out);
-        let _ = write!(out, "util ({}) {{\n", u.param);
+        let _ = writeln!(out, "util ({}) {{", u.param);
         for a in &u.body {
             action_to_source(a, 3, out);
         }
@@ -166,7 +171,12 @@ fn event_to_source(ev: &EventDecl, level: usize, out: &mut String) {
             }
         }
         Trigger::Recv { ty, bind, from } => {
-            let _ = write!(out, "recv {} {bind} from {}", ty.keyword(), endpoint_to_source(from));
+            let _ = write!(
+                out,
+                "recv {} {bind} from {}",
+                ty.keyword(),
+                endpoint_to_source(from)
+            );
         }
     }
     out.push_str(") do {\n");
@@ -198,16 +208,16 @@ fn action_to_source(a: &Action, level: usize, out: &mut String) {
             indent(level, out);
             match field {
                 Some(f) => {
-                    let _ = write!(out, "{target}.{f} = {};\n", expr_to_source(value));
+                    let _ = writeln!(out, "{target}.{f} = {};", expr_to_source(value));
                 }
                 None => {
-                    let _ = write!(out, "{target} = {};\n", expr_to_source(value));
+                    let _ = writeln!(out, "{target} = {};", expr_to_source(value));
                 }
             }
         }
         Action::Transit { state, .. } => {
             indent(level, out);
-            let _ = write!(out, "transit {state};\n");
+            let _ = writeln!(out, "transit {state};");
         }
         Action::If {
             cond,
@@ -216,7 +226,7 @@ fn action_to_source(a: &Action, level: usize, out: &mut String) {
             ..
         } => {
             indent(level, out);
-            let _ = write!(out, "if ({}) then {{\n", expr_to_source(cond));
+            let _ = writeln!(out, "if ({}) then {{", expr_to_source(cond));
             for b in then_branch {
                 action_to_source(b, level + 1, out);
             }
@@ -234,7 +244,7 @@ fn action_to_source(a: &Action, level: usize, out: &mut String) {
         }
         Action::While { cond, body, .. } => {
             indent(level, out);
-            let _ = write!(out, "while ({}) {{\n", expr_to_source(cond));
+            let _ = writeln!(out, "while ({}) {{", expr_to_source(cond));
             for b in body {
                 action_to_source(b, level + 1, out);
             }
@@ -245,23 +255,23 @@ fn action_to_source(a: &Action, level: usize, out: &mut String) {
             indent(level, out);
             match value {
                 Some(v) => {
-                    let _ = write!(out, "return {};\n", expr_to_source(v));
+                    let _ = writeln!(out, "return {};", expr_to_source(v));
                 }
                 None => out.push_str("return;\n"),
             }
         }
         Action::Send { value, to, .. } => {
             indent(level, out);
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "send {} to {};\n",
+                "send {} to {};",
                 expr_to_source(value),
                 endpoint_to_source(to)
             );
         }
         Action::ExprStmt { expr, .. } => {
             indent(level, out);
-            let _ = write!(out, "{};\n", expr_to_source(expr));
+            let _ = writeln!(out, "{};", expr_to_source(expr));
         }
         Action::Local(v) => var_to_source(v, level, out),
     }
@@ -388,11 +398,13 @@ mod tests {
     fn float_literals_keep_their_type() {
         let src = "machine M { float x = 2.0; state s { } }";
         let printed = normalize(src);
-        assert!(printed.contains("2.0") || printed.contains("2."), "{printed}");
+        assert!(
+            printed.contains("2.0") || printed.contains("2."),
+            "{printed}"
+        );
         // And the round trip still type-parses as float.
         let p = parse(&printed).unwrap();
-        let Expr::Lit(Literal::Float(_), _) = p.machines[0].vars[0].init.as_ref().unwrap()
-        else {
+        let Expr::Lit(Literal::Float(_), _) = p.machines[0].vars[0].init.as_ref().unwrap() else {
             panic!("float literal degraded to int");
         };
     }

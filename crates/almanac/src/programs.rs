@@ -1317,8 +1317,7 @@ mod tests {
     #[test]
     fn every_use_case_compiles() {
         for u in USE_CASES {
-            frontend(u.source)
-                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", u.name));
+            frontend(u.source).unwrap_or_else(|e| panic!("{} failed to compile: {e}", u.name));
         }
     }
 
@@ -1347,10 +1346,7 @@ mod tests {
         // We do not chase exact numbers (different concrete syntax), but
         // relative sizes must hold: TrafficChange is the smallest,
         // FloodDefender the largest.
-        let locs: Vec<(usize, &str)> = USE_CASES
-            .iter()
-            .map(|u| (loc(u.source), u.name))
-            .collect();
+        let locs: Vec<(usize, &str)> = USE_CASES.iter().map(|u| (loc(u.source), u.name)).collect();
         let tc = loc(TRAFFIC_CHANGE);
         let fd = loc(FLOOD_DEFENDER);
         assert!(tc <= 10, "traffic change should be tiny, got {tc}");

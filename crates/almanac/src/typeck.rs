@@ -103,7 +103,10 @@ fn flatten_one(
     let parent = program.machine(parent_name).ok_or_else(|| {
         AlmanacError::typeck(
             m.span,
-            format!("machine `{}` extends unknown machine `{parent_name}`", m.name),
+            format!(
+                "machine `{}` extends unknown machine `{parent_name}`",
+                m.name
+            ),
         )
     })?;
     stack.push(m.name.clone());
@@ -168,7 +171,9 @@ struct Env {
 
 impl Env {
     fn new() -> Env {
-        Env { scopes: vec![HashMap::new()] }
+        Env {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -205,7 +210,14 @@ impl Checker {
     fn check_function(&self, f: &FunDecl) -> Result<()> {
         let mut env = Env::new();
         for (ty, name) in &f.params {
-            env.declare(name, VarInfo { ty: *ty, trigger: None }, f.span)?;
+            env.declare(
+                name,
+                VarInfo {
+                    ty: *ty,
+                    trigger: None,
+                },
+                f.span,
+            )?;
         }
         let ctx = StmtCtx {
             machine: None,
@@ -220,7 +232,10 @@ impl Checker {
         // Declare all machine variables up front (machine scope is flat).
         for v in &m.vars {
             let info = match v.kind {
-                DeclKind::Plain(t) => VarInfo { ty: t, trigger: None },
+                DeclKind::Plain(t) => VarInfo {
+                    ty: t,
+                    trigger: None,
+                },
                 DeclKind::Trigger(t) => VarInfo {
                     ty: Type::Any,
                     trigger: Some(t),
@@ -264,7 +279,10 @@ impl Checker {
                     ));
                 }
                 let info = match v.kind {
-                    DeclKind::Plain(t) => VarInfo { ty: t, trigger: None },
+                    DeclKind::Plain(t) => VarInfo {
+                        ty: t,
+                        trigger: None,
+                    },
                     DeclKind::Trigger(t) => VarInfo {
                         ty: Type::Any,
                         trigger: Some(t),
@@ -589,7 +607,14 @@ impl Checker {
             }
             Trigger::Recv { ty, bind, from } => {
                 self.check_endpoint(from, env, ev.span)?;
-                env.declare(bind, VarInfo { ty: *ty, trigger: None }, ev.span)?;
+                env.declare(
+                    bind,
+                    VarInfo {
+                        ty: *ty,
+                        trigger: None,
+                    },
+                    ev.span,
+                )?;
             }
         }
         let ctx = StmtCtx {
@@ -644,8 +669,17 @@ impl Checker {
                         "trigger variables cannot be declared inside blocks",
                     ));
                 }
-                let DeclKind::Plain(t) = v.kind else { unreachable!() };
-                env.declare(&v.name, VarInfo { ty: t, trigger: None }, v.span)?;
+                let DeclKind::Plain(t) = v.kind else {
+                    unreachable!()
+                };
+                env.declare(
+                    &v.name,
+                    VarInfo {
+                        ty: t,
+                        trigger: None,
+                    },
+                    v.span,
+                )?;
                 self.check_var_init(v, env)
             }
             Action::Assign {
@@ -655,7 +689,10 @@ impl Checker {
                 span,
             } => {
                 let info = env.lookup(target).ok_or_else(|| {
-                    AlmanacError::typeck(*span, format!("assignment to unknown variable `{target}`"))
+                    AlmanacError::typeck(
+                        *span,
+                        format!("assignment to unknown variable `{target}`"),
+                    )
                 })?;
                 match (info.trigger, field) {
                     (Some(tt), None) => self.check_trigger_init(tt, value, env),
@@ -799,9 +836,8 @@ impl Checker {
 
     /// Types an expression, requiring it to produce a value.
     fn ty_expr_value(&self, e: &Expr, env: &mut Env) -> Result<Type> {
-        self.ty_expr(e, env)?.ok_or_else(|| {
-            AlmanacError::typeck(e.span(), "expression does not produce a value")
-        })
+        self.ty_expr(e, env)?
+            .ok_or_else(|| AlmanacError::typeck(e.span(), "expression does not produce a value"))
     }
 
     /// Types an expression; `None` means unit (a call used for effect).
@@ -879,9 +915,7 @@ impl Checker {
                 match op {
                     BinOp::And | BinOp::Or => match (ta, tb) {
                         (Type::Filter, Type::Filter) => Ok(Some(Type::Filter)),
-                        (x, y)
-                            if Type::Bool.accepts(x) && Type::Bool.accepts(y) =>
-                        {
+                        (x, y) if Type::Bool.accepts(x) && Type::Bool.accepts(y) => {
                             Ok(Some(Type::Bool))
                         }
                         _ => Err(AlmanacError::typeck(
@@ -907,16 +941,11 @@ impl Checker {
                         Ok(Some(numeric_join(ta, tb)))
                     }
                     BinOp::Cmp(_) => {
-                        let both_numeric =
-                            Type::Float.accepts(ta) && Type::Float.accepts(tb);
-                        if !both_numeric && !(ta.accepts(tb) || tb.accepts(ta)) {
+                        let both_numeric = Type::Float.accepts(ta) && Type::Float.accepts(tb);
+                        if !(both_numeric || ta.accepts(tb) || tb.accepts(ta)) {
                             return Err(AlmanacError::typeck(
                                 *span,
-                                format!(
-                                    "cannot compare {} with {}",
-                                    ta.keyword(),
-                                    tb.keyword()
-                                ),
+                                format!("cannot compare {} with {}", ta.keyword(), tb.keyword()),
                             ));
                         }
                         Ok(Some(Type::Bool))
@@ -938,7 +967,9 @@ impl Checker {
                     if b.mutates_first_arg && !matches!(args[0], Expr::Var(_, _)) {
                         return Err(AlmanacError::typeck(
                             args[0].span(),
-                            format!("`{name}` mutates its first argument, which must be a variable"),
+                            format!(
+                                "`{name}` mutates its first argument, which must be a variable"
+                            ),
                         ));
                     }
                     for (arg, expected) in args.iter().zip(b.params) {
@@ -1103,9 +1134,7 @@ fn check_resource_field(field: &str, span: Span) -> Result<()> {
     if farm_netsim::switch::ResourceKind::from_field_name(field).is_none() {
         return Err(AlmanacError::typeck(
             span,
-            format!(
-                "unknown resource field `.{field}` (expected one of vCPU, RAM, TCAM, PCIe)"
-            ),
+            format!("unknown resource field `.{field}` (expected one of vCPU, RAM, TCAM, PCIe)"),
         ));
     }
     Ok(())
@@ -1237,7 +1266,7 @@ mod tests {
         assert_eq!(c.states.len(), 2);
         assert_eq!(c.states[0].name, "observe"); // parent position kept
         assert!(!c.placements.is_empty()); // inherited place all
-        // The override took effect.
+                                           // The override took effect.
         let Action::Assign { value, .. } = &c.states[0].events[0].actions[0] else {
             panic!()
         };

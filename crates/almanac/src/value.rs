@@ -236,6 +236,9 @@ mod tests {
     #[test]
     fn type_names_are_stable() {
         assert_eq!(Value::List(vec![]).type_name(), "list");
-        assert_eq!(Value::Pair(Box::new(Value::Unit), Box::new(Value::Unit)).type_name(), "pair");
+        assert_eq!(
+            Value::Pair(Box::new(Value::Unit), Box::new(Value::Unit)).type_name(),
+            "pair"
+        );
     }
 }

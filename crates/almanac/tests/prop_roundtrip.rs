@@ -16,12 +16,57 @@ fn sp() -> Span {
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
         ![
-            "machine", "state", "when", "do", "if", "then", "else", "while", "return", "send",
-            "to", "transit", "place", "all", "any", "range", "recv", "from", "as", "enter",
-            "exit", "realloc", "external", "fun", "and", "or", "not", "true", "false", "util",
-            "extends", "bool", "int", "long", "float", "string", "list", "packet", "action",
-            "filter", "rule", "time", "poll", "probe", "port", "proto", "sender", "receiver",
-            "midpoint", "resources", "stat",
+            "machine",
+            "state",
+            "when",
+            "do",
+            "if",
+            "then",
+            "else",
+            "while",
+            "return",
+            "send",
+            "to",
+            "transit",
+            "place",
+            "all",
+            "any",
+            "range",
+            "recv",
+            "from",
+            "as",
+            "enter",
+            "exit",
+            "realloc",
+            "external",
+            "fun",
+            "and",
+            "or",
+            "not",
+            "true",
+            "false",
+            "util",
+            "extends",
+            "bool",
+            "int",
+            "long",
+            "float",
+            "string",
+            "list",
+            "packet",
+            "action",
+            "filter",
+            "rule",
+            "time",
+            "poll",
+            "probe",
+            "port",
+            "proto",
+            "sender",
+            "receiver",
+            "midpoint",
+            "resources",
+            "stat",
         ]
         .contains(&s.as_str())
     })
@@ -52,13 +97,13 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
             )),
             leaf.clone()
                 .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e), sp())),
-            (ident(), proptest::collection::vec(leaf.clone(), 0..3)).prop_map(
-                |(name, args)| Expr::Call {
+            (ident(), proptest::collection::vec(leaf.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::Call {
                     name,
                     args,
-                    span: sp()
+                    span: sp(),
                 }
-            ),
+            }),
         ]
         .boxed()
     }
@@ -124,7 +169,10 @@ fn machine() -> impl Strategy<Value = Machine> {
         "[A-Z][a-zA-Z0-9]{0,6}",
         proptest::collection::vec((ident(), expr(1)), 0..4),
         proptest::collection::vec(
-            ("[a-z][a-z0-9]{0,6}", proptest::collection::vec(action(2), 0..4)),
+            (
+                "[a-z][a-z0-9]{0,6}",
+                proptest::collection::vec(action(2), 0..4),
+            ),
             1..4,
         ),
     )

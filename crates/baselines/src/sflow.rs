@@ -122,8 +122,7 @@ impl SflowSystem {
             if samples > 0 {
                 self.collector.samples_received += samples;
                 self.collector.bytes_received += samples * self.cfg.sample_bytes;
-                self.collector.cpu_cycles +=
-                    samples * self.cfg.collector_cycles_per_record;
+                self.collector.cpu_cycles += samples * self.cfg.collector_cycles_per_record;
                 if let Some(sw) = net.switch_mut(agent.switch) {
                     sw.cpu_mut()
                         .charge_cycles(samples * self.cfg.agent_cycles_per_record);
@@ -149,20 +148,21 @@ impl SflowSystem {
                 let swid = self.agents[ai].switch;
                 let interval = self.cfg.counter_interval;
                 self.agents[ai].next_export = due + interval;
-                let Some(sw) = net.switch_mut(swid) else { continue };
+                let Some(sw) = net.switch_mut(swid) else {
+                    continue;
+                };
                 // The agent reads counters (over the same PCIe path FARM
                 // uses) and forwards one record per port — no filtering.
                 let (stats, _latency) = sw.poll_ports(PortSel::Any);
                 sw.cpu_mut()
                     .charge_cycles(stats.len() as u64 * self.cfg.agent_cycles_per_record);
                 self.collector.records_received += stats.len() as u64;
-                self.collector.bytes_received +=
-                    stats.len() as u64 * self.cfg.counter_record_bytes;
+                self.collector.bytes_received += stats.len() as u64 * self.cfg.counter_record_bytes;
                 self.collector.cpu_cycles +=
                     stats.len() as u64 * self.cfg.collector_cycles_per_record;
                 // Collector-side HH detection from counter deltas.
-                let per_interval_threshold = (self.cfg.hh_threshold_bps as f64 / 8.0
-                    * interval.as_secs_f64()) as u64;
+                let per_interval_threshold =
+                    (self.cfg.hh_threshold_bps as f64 / 8.0 * interval.as_secs_f64()) as u64;
                 for ps in stats {
                     let key = (swid, ps.port);
                     // Agents boot with the switch, so the first export's

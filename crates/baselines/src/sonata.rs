@@ -141,13 +141,12 @@ impl SonataSystem {
     pub fn advance(&mut self, to: Time) {
         while self.window_close <= to {
             let close = self.window_close;
-            let threshold = (self.cfg.hh_threshold_bps as f64 / 8.0
-                * self.cfg.window.as_secs_f64()) as u64;
+            let threshold =
+                (self.cfg.hh_threshold_bps as f64 / 8.0 * self.cfg.window.as_secs_f64()) as u64;
             // Tuples exported to the stream backend, post data-plane
             // aggregation.
             let tuples = self.window_bytes.len() as u64;
-            let exported =
-                ((tuples as f64) * (1.0 - self.cfg.aggregation_factor)).ceil() as u64;
+            let exported = ((tuples as f64) * (1.0 - self.cfg.aggregation_factor)).ceil() as u64;
             self.stream.tuples_received += exported;
             self.stream.bytes_received += exported * self.cfg.tuple_bytes;
             self.stream.batches += 1;
@@ -184,10 +183,8 @@ impl SonataSystem {
     /// Stream-export bandwidth in bits/s for `total_ports` active ports —
     /// the Fig. 4 Sonata line (post-aggregation tuple stream).
     pub fn export_bps(&self, total_ports: u64) -> f64 {
-        let tuples_per_window =
-            total_ports as f64 * (1.0 - self.cfg.aggregation_factor);
-        tuples_per_window * self.cfg.tuple_bytes as f64 * 8.0
-            / self.cfg.window.as_secs_f64()
+        let tuples_per_window = total_ports as f64 * (1.0 - self.cfg.aggregation_factor);
+        tuples_per_window * self.cfg.tuple_bytes as f64 * 8.0 / self.cfg.window.as_secs_f64()
     }
 }
 
@@ -224,7 +221,9 @@ mod tests {
             (3000..4000).contains(&ms),
             "Sonata pipeline should be in the ~3.4 s regime, got {ms} ms"
         );
-        assert!(SonataConfig::default().pipeline_latency() >= SonataConfig::default().min_latency());
+        assert!(
+            SonataConfig::default().pipeline_latency() >= SonataConfig::default().min_latency()
+        );
     }
 
     #[test]
@@ -282,12 +281,8 @@ mod tests {
 
     #[test]
     fn mirroring_pressures_the_pcie_bus() {
-        let topo = Topology::spine_leaf(
-            1,
-            1,
-            SwitchModel::test_model(4),
-            SwitchModel::test_model(4),
-        );
+        let topo =
+            Topology::spine_leaf(1, 1, SwitchModel::test_model(4), SwitchModel::test_model(4));
         let mut net = Network::new(topo);
         let leaf = net.topology().leaves().next().unwrap();
         let mut sonata = SonataSystem::new(&[leaf], SonataConfig::default());

@@ -16,10 +16,12 @@ fn advance_window(aggregation: bool, seeds: usize) -> f64 {
     let mut farm = farm_with(single_switch(), cfg);
     let leaf = farm.network().topology().leaves().next().unwrap();
     let src = hh_source_at(10, leaf.0, i64::MAX / 4);
-    let tasks: Vec<(String, String)> = (0..seeds)
-        .map(|i| (format!("t{i}"), src.clone()))
-        .collect();
-    let refs: Vec<(&str, &str, std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>)> = tasks
+    let tasks: Vec<(String, String)> = (0..seeds).map(|i| (format!("t{i}"), src.clone())).collect();
+    let refs: Vec<(
+        &str,
+        &str,
+        std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>,
+    )> = tasks
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_str(), no_externals()))
         .collect();

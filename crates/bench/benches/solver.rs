@@ -8,7 +8,9 @@ use std::hint::black_box;
 fn random_lp(n: usize, seed: u64) -> Problem {
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let mut p = Problem::new(Sense::Maximize);

@@ -53,7 +53,15 @@ fn main() {
     if !all
         && !matches!(
             what,
-            "tab1" | "tab4" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10"
+            "tab1"
+                | "tab4"
+                | "fig4"
+                | "fig5"
+                | "fig6"
+                | "fig7"
+                | "fig8"
+                | "fig9"
+                | "fig10"
                 | "tab5"
         )
     {
@@ -119,7 +127,11 @@ fn run_tab4() {
 }
 
 fn run_fig4(full: bool) {
-    let axis = if full { fig4::FULL_PORTS } else { fig4::QUICK_PORTS };
+    let axis = if full {
+        fig4::FULL_PORTS
+    } else {
+        fig4::QUICK_PORTS
+    };
     let rows: Vec<Vec<String>> = fig4::run(axis)
         .into_iter()
         .map(|r| {
@@ -144,7 +156,11 @@ fn run_fig4(full: bool) {
 }
 
 fn run_fig5(full: bool) {
-    let axis = if full { fig5::FULL_FLOWS } else { fig5::QUICK_FLOWS };
+    let axis = if full {
+        fig5::FULL_FLOWS
+    } else {
+        fig5::QUICK_FLOWS
+    };
     let rows: Vec<Vec<String>> = fig5::run(axis)
         .into_iter()
         .map(|r| {
@@ -246,7 +262,11 @@ fn run_fig7(full: bool) {
 }
 
 fn run_fig8(full: bool) {
-    let axis = if full { fig8::FULL_SEEDS } else { fig8::QUICK_SEEDS };
+    let axis = if full {
+        fig8::FULL_SEEDS
+    } else {
+        fig8::QUICK_SEEDS
+    };
     let rows: Vec<Vec<String>> = fig8::run(axis)
         .into_iter()
         .map(|r| {
@@ -270,7 +290,11 @@ fn run_fig8(full: bool) {
 }
 
 fn run_fig9(full: bool) {
-    let axis = if full { fig9::FULL_SEEDS } else { fig9::QUICK_SEEDS };
+    let axis = if full {
+        fig9::FULL_SEEDS
+    } else {
+        fig9::QUICK_SEEDS
+    };
     let rows: Vec<Vec<String>> = fig9::run(axis)
         .into_iter()
         .map(|r| {
@@ -295,7 +319,11 @@ fn run_fig9(full: bool) {
 }
 
 fn run_fig10(full: bool) {
-    let axis = if full { fig10::FULL_SEEDS } else { fig10::QUICK_SEEDS };
+    let axis = if full {
+        fig10::FULL_SEEDS
+    } else {
+        fig10::QUICK_SEEDS
+    };
     let rows: Vec<Vec<String>> = fig10::run(axis)
         .into_iter()
         .map(|r| {
@@ -312,7 +340,13 @@ fn run_fig10(full: bool) {
         "{}",
         render_table(
             "Fig. 10 — soil↔seed delivery latency (µs)",
-            &["seeds", "shared/thr", "shared/proc", "gRPC/thr", "gRPC/proc"],
+            &[
+                "seeds",
+                "shared/thr",
+                "shared/proc",
+                "gRPC/thr",
+                "gRPC/proc"
+            ],
             &rows
         )
     );

@@ -56,8 +56,12 @@ pub fn farm_bps(ports: u64) -> f64 {
     });
     // Run across two churn events; every report burst corresponds to one
     // HH-set change.
-    farm.run(&mut [&mut hh], Time::from_millis(1100), Dur::from_millis(10));
-    let bytes = farm.metrics().collector_bytes as f64;
+    farm.run(
+        &mut [&mut hh],
+        Time::from_millis(1100),
+        Dur::from_millis(10),
+    );
+    let bytes = farm.telemetry().snapshot().counter("farm.collector_bytes") as f64;
     // Two churn windows observed; in production the set changes at most
     // once a minute, so the amortized rate is bytes-per-change / 60 s.
     let bytes_per_change = bytes / 2.0;

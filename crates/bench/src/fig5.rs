@@ -12,7 +12,7 @@ use farm_netsim::network::Network;
 use farm_netsim::switch::SwitchModel;
 use farm_netsim::time::{Dur, Time};
 use farm_netsim::topology::Topology;
-use farm_netsim::traffic::{HhConfig, HeavyHitterWorkload, Workload};
+use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig, Workload};
 
 use crate::support::{farm_with, hh_source_at, no_externals};
 
@@ -61,10 +61,7 @@ pub fn farm_cpu_percent(flows: u64) -> f64 {
     let mut hh = traffic(leaf, flows);
     // Warm up, then measure one window.
     farm.run(&mut [&mut hh], Time::from_millis(100), Dur::from_millis(10));
-    farm.network_mut()
-        .switch_mut(leaf)
-        .unwrap()
-        .reset_meters();
+    farm.network_mut().switch_mut(leaf).unwrap().reset_meters();
     farm.run(
         &mut [&mut hh],
         Time::from_millis(100 + WINDOW.as_millis()),

@@ -78,10 +78,12 @@ pub fn measure(panel: Panel, seeds: usize) -> SeedScalingRow {
     let mut farm = farm_with(single_switch(), Default::default());
     let leaf = farm.network().topology().leaves().next().unwrap();
     let src = panel.source(leaf.0);
-    let tasks: Vec<(String, String)> = (0..seeds)
-        .map(|i| (format!("t{i}"), src.clone()))
-        .collect();
-    let refs: Vec<(&str, &str, std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>)> = tasks
+    let tasks: Vec<(String, String)> = (0..seeds).map(|i| (format!("t{i}"), src.clone())).collect();
+    let refs: Vec<(
+        &str,
+        &str,
+        std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>,
+    )> = tasks
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_str(), no_externals()))
         .collect();

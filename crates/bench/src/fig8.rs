@@ -24,15 +24,19 @@ pub struct PcieRow {
 const WINDOW_MS: u64 = 100;
 
 fn measure(seeds: usize, aggregation: bool) -> f64 {
-    let mut cfg = SoilConfig::default();
-    cfg.aggregation = aggregation;
+    let cfg = SoilConfig {
+        aggregation,
+        ..SoilConfig::default()
+    };
     let mut farm = farm_with(single_switch(), cfg);
     let leaf = farm.network().topology().leaves().next().unwrap();
     let src = hh_source_at(1, leaf.0, i64::MAX / 4);
-    let tasks: Vec<(String, String)> = (0..seeds)
-        .map(|i| (format!("t{i}"), src.clone()))
-        .collect();
-    let refs: Vec<(&str, &str, std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>)> = tasks
+    let tasks: Vec<(String, String)> = (0..seeds).map(|i| (format!("t{i}"), src.clone())).collect();
+    let refs: Vec<(
+        &str,
+        &str,
+        std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>,
+    )> = tasks
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_str(), no_externals()))
         .collect();

@@ -36,10 +36,12 @@ fn measure(seeds: usize, exec: ExecMode, aggregation: bool) -> f64 {
     let mut farm = farm_with(single_switch(), cfg);
     let leaf = farm.network().topology().leaves().next().unwrap();
     let src = hh_source_at(10, leaf.0, i64::MAX / 4);
-    let tasks: Vec<(String, String)> = (0..seeds)
-        .map(|i| (format!("t{i}"), src.clone()))
-        .collect();
-    let refs: Vec<(&str, &str, std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>)> = tasks
+    let tasks: Vec<(String, String)> = (0..seeds).map(|i| (format!("t{i}"), src.clone())).collect();
+    let refs: Vec<(
+        &str,
+        &str,
+        std::collections::BTreeMap<String, farm_almanac::analysis::ConstEnv>,
+    )> = tasks
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_str(), no_externals()))
         .collect();
@@ -78,11 +80,9 @@ mod tests {
         let rows = run(&[60]);
         let r = &rows[0];
         // Threads: aggregation is ~free.
-        let thread_overhead =
-            r.threads_aggregated_percent - r.threads_unaggregated_percent;
+        let thread_overhead = r.threads_aggregated_percent - r.threads_unaggregated_percent;
         // Processes: aggregation visibly costs soil CPU.
-        let process_overhead =
-            r.processes_aggregated_percent - r.processes_unaggregated_percent;
+        let process_overhead = r.processes_aggregated_percent - r.processes_unaggregated_percent;
         assert!(
             process_overhead > thread_overhead.abs() * 3.0 || process_overhead > 1.0,
             "process aggregation overhead ({process_overhead}%) must dominate \

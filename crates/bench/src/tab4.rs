@@ -8,7 +8,9 @@
 //! sFlow and Sonata also run for real against the same traffic; Planck
 //! and Helios are published-design latency models.
 
-use farm_baselines::{HeliosModel, PlanckModel, SflowConfig, SflowSystem, SonataConfig, SonataSystem};
+use farm_baselines::{
+    HeliosModel, PlanckModel, SflowConfig, SflowSystem, SonataConfig, SonataSystem,
+};
 use farm_core::harvester::CollectingHarvester;
 use farm_netsim::network::Network;
 use farm_netsim::time::{Dur, Time};

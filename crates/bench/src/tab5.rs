@@ -133,7 +133,9 @@ mod tests {
     #[test]
     fn matrix_covers_the_section_vii_systems() {
         let names: Vec<_> = run().iter().map(|r| r.system).collect();
-        for expected in ["FARM", "sFlow", "Sonata", "Newton", "OmniMon", "BeauCoup", "Marple"] {
+        for expected in [
+            "FARM", "sFlow", "Sonata", "Newton", "OmniMon", "BeauCoup", "Marple",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }

@@ -5,9 +5,15 @@
 //! virtual time: traffic application, probe sampling, trigger scheduling,
 //! message routing (seed ↔ seed and seed ↔ harvester), harvester
 //! commands, and placement (re)optimization with live migrations.
+//!
+//! Construction goes through [`FarmBuilder`] (also reachable as
+//! [`Farm::builder`]): topology, configuration, harvesters and telemetry
+//! sinks in one fluent chain. The builder wires a shared
+//! [`Telemetry`] handle through every layer — network, soils, seeder —
+//! so one registry accumulates the whole stack's counters and
+//! histograms and one sink set observes the whole event stream.
 
 use std::collections::{BTreeMap, HashMap};
-use std::fmt;
 use std::sync::Arc;
 
 use farm_almanac::analysis::ConstEnv;
@@ -21,40 +27,14 @@ use farm_netsim::topology::Topology;
 use farm_netsim::traffic::Workload;
 use farm_netsim::types::{Proto, SwitchId};
 use farm_soil::{Endpoint, OutboundMessage, SeedId, Soil, SoilConfig};
+use farm_telemetry::{
+    Counter, Event, EventSink, Histogram, ReplanOutcome, Telemetry, UndeployReason,
+};
 
+pub use crate::error::{Error, FarmError};
 use crate::harvester::{Harvester, HarvesterCommand, HarvesterCtx};
 use crate::metrics::Metrics;
-use crate::seeder::{PlannedAction, Plan, SeedKey, Seeder};
-
-/// Framework-level failure.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FarmError(pub String);
-
-impl fmt::Display for FarmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "farm error: {}", self.0)
-    }
-}
-
-impl std::error::Error for FarmError {}
-
-impl From<farm_almanac::AlmanacError> for FarmError {
-    fn from(e: farm_almanac::AlmanacError) -> Self {
-        FarmError(e.to_string())
-    }
-}
-
-impl From<farm_soil::SoilError> for FarmError {
-    fn from(e: farm_soil::SoilError) -> Self {
-        FarmError(e.to_string())
-    }
-}
-
-impl From<String> for FarmError {
-    fn from(e: String) -> Self {
-        FarmError(e)
-    }
-}
+use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};
 
 /// Framework configuration.
 #[derive(Debug, Clone, Default)]
@@ -66,6 +46,133 @@ pub struct FarmConfig {
 /// Maximum message-routing rounds per step (seed→harvester→seed→… chains).
 const MAX_ROUTING_ROUNDS: usize = 8;
 
+/// Cached handles for the framework-level instruments, so the routing
+/// hot path never takes the registry lock.
+struct FarmCounters {
+    collector_messages: Arc<Counter>,
+    collector_bytes: Arc<Counter>,
+    seed_messages: Arc<Counter>,
+    seed_bytes: Arc<Counter>,
+    control_messages: Arc<Counter>,
+    control_bytes: Arc<Counter>,
+    migrations: Arc<Counter>,
+    migration_bytes: Arc<Counter>,
+    seed_errors: Arc<Counter>,
+    replans: Arc<Counter>,
+    /// Source-to-harvester report latency, microseconds.
+    detection_latency_us: Arc<Histogram>,
+}
+
+impl FarmCounters {
+    fn new(telemetry: &Telemetry) -> FarmCounters {
+        FarmCounters {
+            collector_messages: telemetry.counter("farm.collector_messages"),
+            collector_bytes: telemetry.counter("farm.collector_bytes"),
+            seed_messages: telemetry.counter("farm.seed_messages"),
+            seed_bytes: telemetry.counter("farm.seed_bytes"),
+            control_messages: telemetry.counter("farm.control_messages"),
+            control_bytes: telemetry.counter("farm.control_bytes"),
+            migrations: telemetry.counter("farm.migrations"),
+            migration_bytes: telemetry.counter("farm.migration_bytes"),
+            seed_errors: telemetry.counter("farm.seed_errors"),
+            replans: telemetry.counter("farm.replans"),
+            detection_latency_us: telemetry.latency_histogram("detection.latency_us"),
+        }
+    }
+}
+
+/// Fluent constructor for [`Farm`]: topology, config, harvesters and
+/// telemetry sinks in one chain.
+///
+/// ```
+/// use std::sync::Arc;
+/// use farm_core::prelude::*;
+///
+/// let topo = Topology::spine_leaf(2, 3,
+///     SwitchModel::accton_as7712(), SwitchModel::accton_as5712());
+/// let events = Arc::new(RingBufferSink::new(1024));
+/// let farm = FarmBuilder::new(topo)
+///     .with_config(FarmConfig::default())
+///     .with_harvester("hh", Box::new(CollectingHarvester::new()))
+///     .with_sink(events.clone())
+///     .build();
+/// assert_eq!(farm.deployed_seeds(), 0);
+/// ```
+pub struct FarmBuilder {
+    topology: Topology,
+    config: FarmConfig,
+    sinks: Vec<Arc<dyn EventSink>>,
+    harvesters: Vec<(String, Box<dyn Harvester>)>,
+}
+
+impl FarmBuilder {
+    /// Starts a builder over a topology with default configuration.
+    pub fn new(topology: Topology) -> FarmBuilder {
+        FarmBuilder {
+            topology,
+            config: FarmConfig::default(),
+            sinks: Vec::new(),
+            harvesters: Vec::new(),
+        }
+    }
+
+    /// Replaces the framework configuration.
+    pub fn with_config(mut self, config: FarmConfig) -> FarmBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Registers a harvester for a task (replacing a previous one for
+    /// the same task).
+    pub fn with_harvester(mut self, task: impl Into<String>, h: Box<dyn Harvester>) -> FarmBuilder {
+        self.harvesters.push((task.into(), h));
+        self
+    }
+
+    /// Attaches an event sink; every [`Event`] from any layer reaches it.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> FarmBuilder {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Assembles the framework: one [`Telemetry`] handle is created and
+    /// threaded through the network, every soil, and the seeder.
+    pub fn build(self) -> Farm {
+        let telemetry = Telemetry::new();
+        for sink in self.sinks {
+            telemetry.add_sink(sink);
+        }
+        let mut network = Network::new(self.topology);
+        network.set_telemetry(&telemetry);
+        let soils: HashMap<SwitchId, Soil> = network
+            .switch_ids()
+            .into_iter()
+            .map(|id| {
+                let mut soil = Soil::new(id, self.config.soil);
+                soil.set_telemetry(telemetry.clone());
+                (id, soil)
+            })
+            .collect();
+        let mut seeder = Seeder::new();
+        seeder.set_telemetry(telemetry.clone());
+        let counters = FarmCounters::new(&telemetry);
+        let mut farm = Farm {
+            network,
+            soils,
+            seeder,
+            seed_ids: HashMap::new(),
+            harvesters: HashMap::new(),
+            now: Time::ZERO,
+            telemetry,
+            counters,
+        };
+        for (task, h) in self.harvesters {
+            farm.set_harvester(task, h);
+        }
+        farm
+    }
+}
+
 /// The assembled FARM framework over a simulated fabric.
 pub struct Farm {
     network: Network,
@@ -74,27 +181,21 @@ pub struct Farm {
     seed_ids: HashMap<SeedKey, SeedId>,
     harvesters: HashMap<String, Box<dyn Harvester>>,
     now: Time,
-    metrics: Metrics,
+    telemetry: Telemetry,
+    counters: FarmCounters,
 }
 
 impl Farm {
-    /// Builds the framework over a topology.
+    /// Builds the framework over a topology. Equivalent to
+    /// `Farm::builder(topology).with_config(config).build()`; prefer
+    /// [`FarmBuilder`] when attaching harvesters or sinks.
     pub fn new(topology: Topology, config: FarmConfig) -> Farm {
-        let network = Network::new(topology);
-        let soils = network
-            .switch_ids()
-            .into_iter()
-            .map(|id| (id, Soil::new(id, config.soil)))
-            .collect();
-        Farm {
-            network,
-            soils,
-            seeder: Seeder::new(),
-            seed_ids: HashMap::new(),
-            harvesters: HashMap::new(),
-            now: Time::ZERO,
-            metrics: Metrics::default(),
-        }
+        Farm::builder(topology).with_config(config).build()
+    }
+
+    /// Starts a [`FarmBuilder`] over a topology.
+    pub fn builder(topology: Topology) -> FarmBuilder {
+        FarmBuilder::new(topology)
     }
 
     /// Current virtual time.
@@ -127,9 +228,27 @@ impl Farm {
         &mut self.seeder
     }
 
-    /// Cumulative metrics.
+    /// The telemetry handle shared by every layer: registry of
+    /// counters/gauges/histograms plus the event-sink fan-out.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Cumulative metrics — a compatibility view computed from the
+    /// telemetry registry's `farm.*` counters.
     pub fn metrics(&self) -> Metrics {
-        self.metrics
+        Metrics {
+            collector_messages: self.counters.collector_messages.get(),
+            collector_bytes: self.counters.collector_bytes.get(),
+            seed_messages: self.counters.seed_messages.get(),
+            seed_bytes: self.counters.seed_bytes.get(),
+            control_messages: self.counters.control_messages.get(),
+            control_bytes: self.counters.control_bytes.get(),
+            migrations: self.counters.migrations.get(),
+            migration_bytes: self.counters.migration_bytes.get(),
+            seed_errors: self.counters.seed_errors.get(),
+            replans: self.counters.replans.get(),
+        }
     }
 
     /// Number of deployed seeds across the fabric.
@@ -161,7 +280,7 @@ impl Farm {
         name: &str,
         source: &str,
         externals: &BTreeMap<String, ConstEnv>,
-    ) -> Result<Plan, FarmError> {
+    ) -> Result<Plan, Error> {
         let task = {
             let ctl = SdnController::new(self.network.topology());
             compile_task(name, source, externals, &ctl)?
@@ -181,7 +300,7 @@ impl Farm {
     pub fn deploy_tasks(
         &mut self,
         tasks: &[(&str, &str, BTreeMap<String, ConstEnv>)],
-    ) -> Result<Plan, FarmError> {
+    ) -> Result<Plan, Error> {
         for (name, source, externals) in tasks {
             let task = {
                 let ctl = SdnController::new(self.network.topology());
@@ -193,7 +312,7 @@ impl Farm {
     }
 
     /// Removes a task: undeploys its seeds and drops its harvester.
-    pub fn remove_task(&mut self, name: &str) -> Result<(), FarmError> {
+    pub fn remove_task(&mut self, name: &str) -> Result<(), Error> {
         self.seeder.remove_task(name);
         self.harvesters.remove(name);
         let orphans: Vec<SeedKey> = self
@@ -204,9 +323,6 @@ impl Farm {
             .collect();
         for key in orphans {
             if let Some(sid) = self.seed_ids.remove(&key) {
-                if let Some((switch, _)) = self.seeder.location_of(&key) {
-                    let _ = switch;
-                }
                 // Location is gone from the seeder after remove_task; scan
                 // the soils instead.
                 for (swid, soil) in self.soils.iter_mut() {
@@ -215,7 +331,12 @@ impl Farm {
                             .network
                             .switch_mut(*swid)
                             .expect("switch exists for soil");
-                        let _ = soil.undeploy(sid, switch);
+                        let _ = soil.undeploy_with_reason(
+                            sid,
+                            UndeployReason::TaskRemoved,
+                            self.now,
+                            switch,
+                        );
                         break;
                     }
                 }
@@ -230,7 +351,7 @@ impl Farm {
     /// # Errors
     ///
     /// Soil-level failures while executing the plan.
-    pub fn replan(&mut self) -> Result<Plan, FarmError> {
+    pub fn replan(&mut self) -> Result<Plan, Error> {
         let caps: Vec<(SwitchId, Resources)> = self
             .network
             .topology()
@@ -238,7 +359,20 @@ impl Farm {
             .iter()
             .map(|n| (n.id, n.model.total_resources()))
             .collect();
-        let plan = self.seeder.plan(&caps)?;
+        let plan = match self.seeder.plan(&caps) {
+            Ok(plan) => plan,
+            Err(msg) => {
+                self.counters.replans.inc();
+                let at_ns = self.now.as_nanos();
+                self.telemetry.emit_with(|| Event::ReplanCompleted {
+                    at_ns,
+                    outcome: ReplanOutcome::Failed,
+                    actions: 0,
+                    dropped_tasks: 0,
+                });
+                return Err(Error::Planner(msg));
+            }
+        };
         let mut outbound = Vec::new();
         for action in &plan.actions {
             match action {
@@ -246,7 +380,7 @@ impl Farm {
                     let def = self
                         .seeder
                         .machine_of(key)
-                        .ok_or_else(|| FarmError(format!("unknown machine for {key}")))?;
+                        .ok_or_else(|| Error::UnknownMachine(key.to_string()))?;
                     let report = {
                         let soil = self.soils.get_mut(to).expect("soil per switch");
                         let switch = self.network.switch_mut(*to).expect("switch exists");
@@ -255,7 +389,7 @@ impl Farm {
                         self.seed_ids.insert(key.clone(), sid);
                         report
                     };
-                    self.metrics.seed_errors += report.errors.len() as u64;
+                    self.counters.seed_errors.add(report.errors.len() as u64);
                     outbound.extend(report.messages);
                 }
                 PlannedAction::Migrate {
@@ -267,15 +401,15 @@ impl Farm {
                     let def = self
                         .seeder
                         .machine_of(key)
-                        .ok_or_else(|| FarmError(format!("unknown machine for {key}")))?;
+                        .ok_or_else(|| Error::UnknownMachine(key.to_string()))?;
                     let sid = *self
                         .seed_ids
                         .get(key)
-                        .ok_or_else(|| FarmError(format!("{key} is not deployed")))?;
+                        .ok_or_else(|| Error::NotDeployed(key.to_string()))?;
                     let snapshot = {
                         let soil = self.soils.get_mut(from).expect("soil per switch");
                         let switch = self.network.switch_mut(*from).expect("switch exists");
-                        soil.undeploy(sid, switch)?
+                        soil.undeploy_with_reason(sid, UndeployReason::Migration, self.now, switch)?
                     };
                     let bytes: u64 = snapshot
                         .vars
@@ -285,11 +419,26 @@ impl Farm {
                     let new_sid = {
                         let soil = self.soils.get_mut(to).expect("soil per switch");
                         let switch = self.network.switch_mut(*to).expect("switch exists");
-                        soil.import(Arc::clone(&def), &key.task, *alloc, &snapshot, self.now, switch)?
+                        soil.import(
+                            Arc::clone(&def),
+                            &key.task,
+                            *alloc,
+                            &snapshot,
+                            self.now,
+                            switch,
+                        )?
                     };
                     self.seed_ids.insert(key.clone(), new_sid);
-                    self.metrics.migrations += 1;
-                    self.metrics.migration_bytes += bytes;
+                    self.counters.migrations.inc();
+                    self.counters.migration_bytes.add(bytes);
+                    let at_ns = self.now.as_nanos();
+                    self.telemetry.emit_with(|| Event::SeedMigrated {
+                        at_ns,
+                        from_switch: from.0,
+                        to_switch: to.0,
+                        task: key.task.clone(),
+                        state_bytes: bytes,
+                    });
                 }
                 PlannedAction::Realloc { key, alloc } => {
                     if let (Some(sid), Some((swid, _))) =
@@ -298,7 +447,7 @@ impl Farm {
                         let soil = self.soils.get_mut(&swid).expect("soil per switch");
                         let switch = self.network.switch_mut(swid).expect("switch exists");
                         let report = soil.realloc(*sid, *alloc, self.now, switch)?;
-                        self.metrics.seed_errors += report.errors.len() as u64;
+                        self.counters.seed_errors.add(report.errors.len() as u64);
                         outbound.extend(report.messages);
                     }
                 }
@@ -306,13 +455,31 @@ impl Farm {
                     if let Some(sid) = self.seed_ids.remove(key) {
                         let soil = self.soils.get_mut(from).expect("soil per switch");
                         let switch = self.network.switch_mut(*from).expect("switch exists");
-                        let _ = soil.undeploy(sid, switch)?;
+                        let _ = soil.undeploy_with_reason(
+                            sid,
+                            UndeployReason::Replanned,
+                            self.now,
+                            switch,
+                        )?;
                     }
                 }
             }
             self.seeder.commit(action);
         }
-        self.metrics.replans += 1;
+        self.counters.replans.inc();
+        let at_ns = self.now.as_nanos();
+        let outcome = if plan.dropped_tasks.is_empty() {
+            ReplanOutcome::Full
+        } else {
+            ReplanOutcome::Partial
+        };
+        let (actions, dropped) = (plan.actions.len() as u64, plan.dropped_tasks.len() as u64);
+        self.telemetry.emit_with(|| Event::ReplanCompleted {
+            at_ns,
+            outcome,
+            actions,
+            dropped_tasks: dropped,
+        });
         self.route(outbound);
         Ok(plan)
     }
@@ -333,7 +500,7 @@ impl Farm {
             if let Some(soil) = self.soils.get_mut(&swid) {
                 let switch = self.network.switch_mut(swid).expect("switch exists");
                 let report = soil.offer_packets(&pkts, self.now, switch);
-                self.metrics.seed_errors += report.errors.len() as u64;
+                self.counters.seed_errors.add(report.errors.len() as u64);
                 outbound.extend(report.messages);
             }
         }
@@ -349,7 +516,7 @@ impl Farm {
             let soil = self.soils.get_mut(&id).expect("soil per switch");
             let switch = self.network.switch_mut(id).expect("switch exists");
             let report = soil.advance(to, switch);
-            self.metrics.seed_errors += report.errors.len() as u64;
+            self.counters.seed_errors.add(report.errors.len() as u64);
             outbound.extend(report.messages);
         }
         self.now = to;
@@ -358,12 +525,7 @@ impl Farm {
 
     /// Runs workloads against the fabric until `until`, stepping traffic
     /// and triggers every `tick`.
-    pub fn run(
-        &mut self,
-        workloads: &mut [&mut dyn Workload],
-        until: Time,
-        tick: Dur,
-    ) {
+    pub fn run(&mut self, workloads: &mut [&mut dyn Workload], until: Time, tick: Dur) {
         assert!(!tick.is_zero(), "tick must be positive");
         while self.now < until {
             let step_end = (self.now + tick).min(until);
@@ -388,8 +550,19 @@ impl Farm {
             for msg in messages.drain(..) {
                 match &msg.to {
                     Endpoint::Harvester => {
-                        self.metrics.collector_messages += 1;
-                        self.metrics.collector_bytes += msg.bytes;
+                        self.counters.collector_messages.inc();
+                        self.counters.collector_bytes.add(msg.bytes);
+                        self.counters
+                            .detection_latency_us
+                            .record(msg.latency.as_nanos() / 1_000);
+                        let at_ns = self.now.as_nanos();
+                        self.telemetry.emit_with(|| Event::HarvesterReport {
+                            at_ns,
+                            task: msg.task.clone(),
+                            from_switch: msg.from_switch.0,
+                            bytes: msg.bytes,
+                            latency_ns: msg.latency.as_nanos(),
+                        });
                         if let Some(h) = self.harvesters.get_mut(&msg.task) {
                             let mut ctx = HarvesterCtx::new(self.now);
                             h.on_message(&msg, &mut ctx);
@@ -399,8 +572,8 @@ impl Farm {
                         }
                     }
                     Endpoint::Machine { name, at } => {
-                        self.metrics.seed_messages += 1;
-                        self.metrics.seed_bytes += msg.bytes;
+                        self.counters.seed_messages.inc();
+                        self.counters.seed_bytes.add(msg.bytes);
                         let targets: Vec<SwitchId> = match at {
                             Some(sw) => vec![*sw],
                             None => self
@@ -412,8 +585,7 @@ impl Farm {
                         };
                         for swid in targets {
                             if let Some(soil) = self.soils.get_mut(&swid) {
-                                let switch =
-                                    self.network.switch_mut(swid).expect("switch exists");
+                                let switch = self.network.switch_mut(swid).expect("switch exists");
                                 let report = soil.deliver_to_machine(
                                     name,
                                     Some(&msg.from_machine),
@@ -421,7 +593,7 @@ impl Farm {
                                     self.now,
                                     switch,
                                 );
-                                self.metrics.seed_errors += report.errors.len() as u64;
+                                self.counters.seed_errors.add(report.errors.len() as u64);
                                 next.extend(report.messages);
                             }
                         }
@@ -432,15 +604,17 @@ impl Farm {
         }
         if !messages.is_empty() {
             // Routing chain exceeded the bound: account and drop.
-            self.metrics.seed_errors += messages.len() as u64;
+            self.counters.seed_errors.add(messages.len() as u64);
         }
     }
 
     fn apply_command(&mut self, cmd: HarvesterCommand) -> Vec<OutboundMessage> {
         match cmd {
             HarvesterCommand::SendToMachine { machine, at, value } => {
-                self.metrics.control_messages += 1;
-                self.metrics.control_bytes += farm_soil::soil::value_bytes(&value);
+                self.counters.control_messages.inc();
+                self.counters
+                    .control_bytes
+                    .add(farm_soil::soil::value_bytes(&value));
                 let targets: Vec<SwitchId> = match at {
                     Some(sw) => vec![sw],
                     None => self.network.switch_ids(),
@@ -451,7 +625,7 @@ impl Farm {
                         let switch = self.network.switch_mut(swid).expect("switch exists");
                         let report =
                             soil.deliver_to_machine(&machine, None, &value, self.now, switch);
-                        self.metrics.seed_errors += report.errors.len() as u64;
+                        self.counters.seed_errors.add(report.errors.len() as u64);
                         out.extend(report.messages);
                     }
                 }
@@ -465,7 +639,7 @@ impl Farm {
 /// flows with small average packets are treated as connection attempts
 /// (SYN) — the granularity the probe-based Tab. I tasks need.
 fn sample_packet(e: &TrafficEvent) -> PacketRecord {
-    let avg = if e.packets > 0 { e.bytes / e.packets } else { e.bytes };
+    let avg = e.bytes.checked_div(e.packets).unwrap_or(e.bytes);
     let syn = e.flow.proto == Proto::Tcp && avg <= 128;
     PacketRecord {
         flow: e.flow,
@@ -487,6 +661,7 @@ mod tests {
     use crate::harvester::CollectingHarvester;
     use farm_netsim::switch::SwitchModel;
     use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
+    use farm_telemetry::RingBufferSink;
 
     fn fabric() -> Topology {
         Topology::spine_leaf(
@@ -512,8 +687,9 @@ mod tests {
 
     #[test]
     fn end_to_end_hh_detection() {
-        let mut farm = Farm::new(fabric(), FarmConfig::default());
-        farm.set_harvester("hh", Box::new(CollectingHarvester::new()));
+        let mut farm = Farm::builder(fabric())
+            .with_harvester("hh", Box::new(CollectingHarvester::new()))
+            .build();
         farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
             .unwrap();
         let leaf = farm.network().topology().leaves().next().unwrap();
@@ -523,19 +699,20 @@ mod tests {
             hh_ratio: 0.1,
             ..Default::default()
         });
-        farm.run(
-            &mut [&mut hh],
-            Time::from_millis(50),
-            Dur::from_millis(1),
-        );
+        farm.run(&mut [&mut hh], Time::from_millis(50), Dur::from_millis(1));
         let h: &CollectingHarvester = farm.harvester("hh").unwrap();
-        assert!(
-            !h.received.is_empty(),
-            "harvester must receive HH reports"
-        );
+        assert!(!h.received.is_empty(), "harvester must receive HH reports");
         // Detection comes from the leaf carrying the traffic.
         assert!(h.received.iter().any(|m| m.from_switch == leaf));
         assert!(farm.metrics().collector_bytes > 0);
+        // The compat view is computed from the registry: both must agree.
+        let snap = farm.telemetry().snapshot();
+        assert_eq!(
+            farm.metrics().collector_bytes,
+            snap.counter("farm.collector_bytes")
+        );
+        let detection = snap.histogram("detection.latency_us").unwrap();
+        assert_eq!(detection.count, farm.metrics().collector_messages);
     }
 
     #[test]
@@ -585,6 +762,28 @@ mod tests {
         let soil = farm.soil(leaf).unwrap();
         let seed = soil.seeds().next().unwrap();
         assert_eq!(seed.var("threshold"), Some(&Value::Int(77)));
+    }
+
+    #[test]
+    fn builder_sinks_see_lifecycle_and_replan_events() {
+        let events = Arc::new(RingBufferSink::new(4096));
+        let mut farm = Farm::builder(fabric()).with_sink(events.clone()).build();
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        let seen = events.events();
+        assert_eq!(
+            seen.iter()
+                .filter(|e| matches!(e, Event::SeedDeployed { .. }))
+                .count(),
+            5
+        );
+        assert!(seen.iter().any(|e| matches!(
+            e,
+            Event::ReplanCompleted {
+                outcome: ReplanOutcome::Full,
+                ..
+            }
+        )));
     }
 
     #[test]

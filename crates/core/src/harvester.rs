@@ -49,12 +49,7 @@ impl HarvesterCtx {
     }
 
     /// Queues a message to the seed of `machine` on one switch.
-    pub fn send_to_seed_at(
-        &mut self,
-        machine: impl Into<String>,
-        at: SwitchId,
-        value: Value,
-    ) {
+    pub fn send_to_seed_at(&mut self, machine: impl Into<String>, at: SwitchId, value: Value) {
         self.commands.push(HarvesterCommand::SendToMachine {
             machine: machine.into(),
             at: Some(at),
@@ -318,7 +313,10 @@ mod tests {
     fn ddos_harvester_releases_after_grace() {
         let mut h = DdosHarvester::new("DDoS", Dur::from_millis(100));
         let mut ctx = HarvesterCtx::new(Time::ZERO);
-        h.on_message(&msg(Value::List(vec![Value::Str("10.0.0.1".into())]), 10), &mut ctx);
+        h.on_message(
+            &msg(Value::List(vec![Value::Str("10.0.0.1".into())]), 10),
+            &mut ctx,
+        );
         assert_eq!(h.alarms, 1);
         // Quiet report before the grace elapses: no release.
         h.on_message(&msg(Value::Int(0), 50), &mut ctx);
@@ -328,7 +326,10 @@ mod tests {
         assert_eq!(h.releases, 1);
         assert!(matches!(
             &ctx.commands[0],
-            HarvesterCommand::SendToMachine { at: Some(SwitchId(3)), .. }
+            HarvesterCommand::SendToMachine {
+                at: Some(SwitchId(3)),
+                ..
+            }
         ));
     }
 }

@@ -6,24 +6,28 @@
 //! * [`harvester`] — per-task centralized components (collecting, HH
 //!   threshold tuning, DDoS release coordination).
 //! * [`farm`] — the [`farm::Farm`] facade: network + soils + seeder +
-//!   harvesters on one virtual clock, with message routing and metrics.
-//! * [`metrics`] — framework-wide accounting (collector bytes, migrations).
+//!   harvesters on one virtual clock, with message routing. Built via
+//!   [`farm::FarmBuilder`], which also attaches telemetry sinks.
+//! * [`metrics`] — the legacy cumulative-counters view, now computed
+//!   from the shared `farm-telemetry` registry.
+//! * [`error`] — the structured [`error::Error`] enum every fallible
+//!   API returns (`FarmError` remains as an alias).
 //!
 //! # Example
 //!
 //! ```
 //! use std::collections::BTreeMap;
-//! use farm_core::farm::{Farm, FarmConfig};
-//! use farm_core::harvester::CollectingHarvester;
-//! use farm_netsim::switch::SwitchModel;
-//! use farm_netsim::time::{Dur, Time};
-//! use farm_netsim::topology::Topology;
+//! use std::sync::Arc;
+//! use farm_core::prelude::*;
 //! use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
 //!
 //! let topo = Topology::spine_leaf(2, 3,
 //!     SwitchModel::accton_as7712(), SwitchModel::accton_as5712());
-//! let mut farm = Farm::new(topo, FarmConfig::default());
-//! farm.set_harvester("hh", Box::new(CollectingHarvester::new()));
+//! let events = Arc::new(RingBufferSink::new(4096));
+//! let mut farm = FarmBuilder::new(topo)
+//!     .with_harvester("hh", Box::new(CollectingHarvester::new()))
+//!     .with_sink(events.clone())
+//!     .build();
 //! farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())?;
 //!
 //! let leaf = farm.network().topology().leaves().next().unwrap();
@@ -32,15 +36,40 @@
 //!
 //! let h: &CollectingHarvester = farm.harvester("hh").unwrap();
 //! assert!(!h.received.is_empty());
-//! # Ok::<(), farm_core::farm::FarmError>(())
+//! // The sink saw the seed lifecycle; the registry has the counters.
+//! assert!(events.events().iter().any(|e| matches!(e, Event::SeedDeployed { .. })));
+//! assert!(farm.telemetry().snapshot().counter("farm.collector_messages") > 0);
+//! # Ok::<(), farm_core::Error>(())
 //! ```
 
+pub mod error;
 pub mod farm;
 pub mod harvester;
 pub mod metrics;
 pub mod seeder;
 
-pub use farm::{Farm, FarmConfig, FarmError};
+pub use error::{Error, FarmError};
+pub use farm::{external, Farm, FarmBuilder, FarmConfig};
 pub use harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
 pub use metrics::Metrics;
 pub use seeder::{Plan, PlannedAction, SeedKey, Seeder};
+
+/// One-stop imports for building and observing a farm.
+///
+/// ```
+/// use farm_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::error::{Error, FarmError};
+    pub use crate::farm::{external, Farm, FarmBuilder, FarmConfig};
+    pub use crate::harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
+    pub use crate::metrics::Metrics;
+    pub use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};
+    pub use farm_almanac::value::Value;
+    pub use farm_netsim::switch::SwitchModel;
+    pub use farm_netsim::time::{Dur, Time};
+    pub use farm_netsim::topology::Topology;
+    pub use farm_telemetry::{
+        Event, EventSink, JsonLinesSink, NullSink, RingBufferSink, Telemetry,
+    };
+}

@@ -34,11 +34,42 @@ impl Metrics {
     pub fn total_network_bytes(&self) -> u64 {
         self.collector_bytes + self.seed_bytes + self.control_bytes + self.migration_bytes
     }
+
+    /// Builds the compat view from a telemetry [`Snapshot`]'s `farm.*`
+    /// counters — the same mapping [`crate::farm::Farm::metrics`] uses
+    /// on its live registry.
+    ///
+    /// [`Snapshot`]: farm_telemetry::Snapshot
+    pub fn from_snapshot(snap: &farm_telemetry::Snapshot) -> Metrics {
+        Metrics {
+            collector_messages: snap.counter("farm.collector_messages"),
+            collector_bytes: snap.counter("farm.collector_bytes"),
+            seed_messages: snap.counter("farm.seed_messages"),
+            seed_bytes: snap.counter("farm.seed_bytes"),
+            control_messages: snap.counter("farm.control_messages"),
+            control_bytes: snap.counter("farm.control_bytes"),
+            migrations: snap.counter("farm.migrations"),
+            migration_bytes: snap.counter("farm.migration_bytes"),
+            seed_errors: snap.counter("farm.seed_errors"),
+            replans: snap.counter("farm.replans"),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_view_reads_farm_counters() {
+        let t = farm_telemetry::Telemetry::new();
+        t.counter("farm.collector_bytes").add(5);
+        t.counter("farm.replans").inc();
+        let m = Metrics::from_snapshot(&t.snapshot());
+        assert_eq!(m.collector_bytes, 5);
+        assert_eq!(m.replans, 1);
+        assert_eq!(m.seed_errors, 0);
+    }
 
     #[test]
     fn total_sums_all_flows() {

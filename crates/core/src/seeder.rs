@@ -12,9 +12,10 @@ use std::sync::Arc;
 use farm_almanac::compile::{CompiledMachine, CompiledTask};
 use farm_netsim::switch::Resources;
 use farm_netsim::types::SwitchId;
-use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
-use farm_placement::model::{PlacementResult, PreviousPlacement};
 use farm_placement::build::instance_from_tasks;
+use farm_placement::heuristic::{solve_heuristic_traced, HeuristicOptions};
+use farm_placement::model::{PlacementResult, PreviousPlacement};
+use farm_telemetry::Telemetry;
 
 /// Stable identity of one seed across re-optimizations.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -77,6 +78,8 @@ pub struct Seeder {
     /// Current location and allocation per seed.
     locations: HashMap<SeedKey, (SwitchId, Resources)>,
     options: HeuristicOptions,
+    /// Solver-phase timings land here when set (see [`Seeder::set_telemetry`]).
+    telemetry: Option<Telemetry>,
 }
 
 impl Seeder {
@@ -90,13 +93,17 @@ impl Seeder {
         self.options = options;
     }
 
+    /// Attaches telemetry: planning rounds record `solver.phase_us`
+    /// samples and emit [`farm_telemetry::Event::SolverPhase`] events.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Registers a compiled task (replacing any same-named task).
     pub fn register_task(&mut self, task: CompiledTask) {
         let machines = task.machines.iter().cloned().map(Arc::new).collect();
-        self.tasks.insert(
-            task.name.clone(),
-            TaskEntry { task, machines },
-        );
+        self.tasks
+            .insert(task.name.clone(), TaskEntry { task, machines });
     }
 
     /// Removes a task from the catalog together with its placement
@@ -158,12 +165,8 @@ impl Seeder {
             }
         }
         let has_previous = !previous.assignment.is_empty();
-        let instance = instance_from_tasks(
-            &task_refs,
-            switches,
-            has_previous.then_some(previous),
-        )?;
-        let result = solve_heuristic(&instance, self.options);
+        let instance = instance_from_tasks(&task_refs, switches, has_previous.then_some(previous))?;
+        let result = solve_heuristic_traced(&instance, self.options, self.telemetry.as_ref());
 
         let mut actions = Vec::new();
         for (i, key) in keys.iter().enumerate() {
@@ -303,7 +306,12 @@ mod tests {
         let disruptive: Vec<_> = plan2
             .actions
             .iter()
-            .filter(|a| matches!(a, PlannedAction::Migrate { .. } | PlannedAction::Undeploy { .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    PlannedAction::Migrate { .. } | PlannedAction::Undeploy { .. }
+                )
+            })
             .collect();
         assert!(
             disruptive.is_empty(),

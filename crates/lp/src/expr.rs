@@ -102,12 +102,7 @@ impl LinExpr {
     ///
     /// Panics if a referenced variable index is out of range for `values`.
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(v, c)| c * values[v.0])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
     }
 
     /// Multiplies every coefficient and the constant by `k` in place.

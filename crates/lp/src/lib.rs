@@ -32,11 +32,13 @@ pub mod milp;
 pub mod problem;
 pub mod simplex;
 pub mod solution;
+pub mod trace;
 
 pub use expr::{LinExpr, Var};
 pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
 pub use problem::{Cmp, Problem, Sense, VarKind};
-pub use solution::{SolveError, Solution, Status};
+pub use solution::{Solution, SolveError, Status};
+pub use trace::{record_phase, solve_milp_traced, solve_traced};
 
 /// Numerical tolerance used throughout the solver for feasibility and
 /// integrality tests.

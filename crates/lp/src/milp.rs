@@ -128,10 +128,7 @@ impl SearchState {
     fn out_of_budget(&self) -> bool {
         self.hit_limit
             || self.nodes >= self.opts.max_nodes
-            || self
-                .deadline
-                .map(|d| Instant::now() >= d)
-                .unwrap_or(false)
+            || self.deadline.map(|d| Instant::now() >= d).unwrap_or(false)
     }
 }
 
@@ -372,7 +369,11 @@ mod tests {
         p.set_objective(10.0 * a + 13.0 * b + 7.0 * c);
         let r = solve_milp(&p, &MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
-        assert!((r.objective.unwrap() - 20.0).abs() < 1e-6, "{:?}", r.objective);
+        assert!(
+            (r.objective.unwrap() - 20.0).abs() < 1e-6,
+            "{:?}",
+            r.objective
+        );
         let v = r.values.unwrap();
         assert!((v[1] - 1.0).abs() < 1e-6 && (v[2] - 1.0).abs() < 1e-6);
     }

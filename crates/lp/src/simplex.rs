@@ -243,11 +243,9 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
 
     // Phase-1 cost row: sum of artificials, reduced by the initial basis.
     let mut phase1 = vec![0.0f64; width];
-    for j in art_start..total {
-        phase1[j] = 1.0;
-    }
-    for i in 0..m {
-        if basis[i] >= art_start {
+    phase1[art_start..total].fill(1.0);
+    for (i, &b) in basis.iter().enumerate().take(m) {
+        if b >= art_start {
             // Subtract the basic artificial's row to zero its reduced cost.
             let (head, tail) = tab.split_at(i * width);
             let _ = head;
@@ -263,18 +261,18 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
     // Runs the simplex loop on cost row `cost`, restricting entering columns
     // to `..col_limit`. Returns Ok(true) on optimality, Err on unbounded.
     let pivot_loop = |tab: &mut Vec<f64>,
-                          basis: &mut Vec<usize>,
-                          cost: &mut Vec<f64>,
-                          other_cost: &mut Option<&mut Vec<f64>>,
-                          col_limit: usize,
-                          iterations: &mut usize|
+                      basis: &mut Vec<usize>,
+                      cost: &mut Vec<f64>,
+                      other_cost: &mut Option<&mut Vec<f64>>,
+                      col_limit: usize,
+                      iterations: &mut usize|
      -> Result<(), SolveError> {
         loop {
             if *iterations >= limits.max_iterations {
                 return Err(SolveError::LimitReached);
             }
             if let Some(dl) = limits.deadline {
-                if *iterations % 64 == 0 && Instant::now() >= dl {
+                if iterations.is_multiple_of(64) && Instant::now() >= dl {
                     return Err(SolveError::LimitReached);
                 }
             }
@@ -282,8 +280,7 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
             // Entering column.
             let mut enter = usize::MAX;
             let mut best = -EPS;
-            for j in 0..col_limit {
-                let c = cost[j];
+            for (j, &c) in cost.iter().enumerate().take(col_limit) {
                 if c < -EPS {
                     if bland {
                         enter = j;
@@ -479,7 +476,11 @@ mod tests {
         p.add_constraint(x + 3.0 * y, Cmp::Le, 6.0);
         p.set_objective(3.0 * x + 2.0 * y);
         let s = solve(&p).unwrap();
-        assert!((s.objective - 12.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 12.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.value(x) - 4.0).abs() < 1e-6);
     }
 

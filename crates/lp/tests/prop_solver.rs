@@ -27,10 +27,7 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
             let upper = proptest::collection::vec(1.0f64..20.0, nvars);
             let obj = proptest::collection::vec(-5.0f64..10.0, nvars);
             let rows = proptest::collection::vec(
-                (
-                    proptest::collection::vec(0.0f64..4.0, nvars),
-                    1.0f64..30.0,
-                ),
+                (proptest::collection::vec(0.0f64..4.0, nvars), 1.0f64..30.0),
                 1..5,
             );
             (Just(nvars), upper, obj, rows)

@@ -66,12 +66,7 @@ mod tests {
     use crate::types::{FilterAtom, Prefix};
 
     fn fabric() -> Topology {
-        Topology::spine_leaf(
-            2,
-            3,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        )
+        Topology::spine_leaf(2, 3, SwitchModel::test_model(8), SwitchModel::test_model(8))
     }
 
     #[test]

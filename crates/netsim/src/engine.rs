@@ -138,6 +138,7 @@ impl<E> EventQueue<E> {
 pub struct Engine<E> {
     pub clock: Clock,
     pub queue: EventQueue<E>,
+    telemetry: Option<farm_telemetry::Telemetry>,
 }
 
 impl<E> Default for Engine<E> {
@@ -145,6 +146,7 @@ impl<E> Default for Engine<E> {
         Engine {
             clock: Clock::new(),
             queue: EventQueue::new(),
+            telemetry: None,
         }
     }
 }
@@ -155,6 +157,12 @@ impl<E> Engine<E> {
         Self::default()
     }
 
+    /// Attaches a telemetry handle: scheduling and dispatch update the
+    /// `engine.*` counters and the `engine.queue_depth` gauge.
+    pub fn set_telemetry(&mut self, telemetry: farm_telemetry::Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Current instant.
     pub fn now(&self) -> Time {
         self.clock.now()
@@ -163,12 +171,16 @@ impl<E> Engine<E> {
     /// Schedules an event `delay` after now.
     pub fn schedule_in(&mut self, delay: Dur, event: E) {
         let at = self.clock.now() + delay;
-        self.queue.push(at, event);
+        self.schedule_at(at, event);
     }
 
     /// Schedules an event at an absolute instant.
     pub fn schedule_at(&mut self, at: Time, event: E) {
         self.queue.push(at, event);
+        if let Some(t) = &self.telemetry {
+            t.counter("engine.events_scheduled").inc();
+            t.gauge("engine.queue_depth").set(self.queue.len() as f64);
+        }
     }
 
     /// Pops the next event not later than `horizon`, advancing the clock to
@@ -179,6 +191,10 @@ impl<E> Engine<E> {
             Some(t) if t <= horizon => {
                 let (at, e) = self.queue.pop().expect("peeked");
                 self.clock.advance_to(at);
+                if let Some(t) = &self.telemetry {
+                    t.counter("engine.events_dispatched").inc();
+                    t.gauge("engine.queue_depth").set(self.queue.len() as f64);
+                }
                 Some((at, e))
             }
             _ => {

@@ -57,4 +57,6 @@ pub use network::{Network, TrafficEvent};
 pub use switch::{ResourceKind, Resources, Switch, SwitchModel};
 pub use time::{Dur, Time};
 pub use topology::Topology;
-pub use types::{FilterAtom, FilterFormula, FlowKey, Ipv4, PortId, PortSel, Prefix, Proto, SwitchId};
+pub use types::{
+    FilterAtom, FilterFormula, FlowKey, Ipv4, PortId, PortSel, Prefix, Proto, SwitchId,
+};

@@ -79,6 +79,14 @@ impl Network {
         }
     }
 
+    /// Attaches a telemetry handle to every switch (PCIe and polling
+    /// instruments); switches added later must be wired individually.
+    pub fn set_telemetry(&mut self, telemetry: &farm_telemetry::Telemetry) {
+        for sw in self.switches.values_mut() {
+            sw.set_telemetry(telemetry.clone());
+        }
+    }
+
     /// Resets the per-window meters (CPU, PCIe) of every switch.
     pub fn reset_meters(&mut self) {
         for sw in self.switches.values_mut() {
@@ -95,12 +103,8 @@ mod tests {
 
     #[test]
     fn network_instantiates_every_node() {
-        let topo = Topology::spine_leaf(
-            2,
-            2,
-            SwitchModel::test_model(4),
-            SwitchModel::test_model(4),
-        );
+        let topo =
+            Topology::spine_leaf(2, 2, SwitchModel::test_model(4), SwitchModel::test_model(4));
         let net = Network::new(topo);
         assert_eq!(net.switch_ids().len(), 4);
         for id in net.switch_ids() {
@@ -110,12 +114,8 @@ mod tests {
 
     #[test]
     fn traffic_routes_to_the_right_switch() {
-        let topo = Topology::spine_leaf(
-            1,
-            2,
-            SwitchModel::test_model(4),
-            SwitchModel::test_model(4),
-        );
+        let topo =
+            Topology::spine_leaf(1, 2, SwitchModel::test_model(4), SwitchModel::test_model(4));
         let mut net = Network::new(topo);
         let leaf = net.topology().leaves().next().unwrap();
         let flow = FlowKey::tcp(Ipv4::new(10, 1, 0, 1), 1, Ipv4::new(10, 2, 0, 1), 80);
@@ -127,8 +127,14 @@ mod tests {
             bytes: 900,
             packets: 2,
         }]);
-        assert_eq!(net.switch(leaf).unwrap().port_counters(PortId(1)).tx_bytes, 900);
+        assert_eq!(
+            net.switch(leaf).unwrap().port_counters(PortId(1)).tx_bytes,
+            900
+        );
         let other = net.topology().leaves().nth(1).unwrap();
-        assert_eq!(net.switch(other).unwrap().port_counters(PortId(1)).tx_bytes, 0);
+        assert_eq!(
+            net.switch(other).unwrap().port_counters(PortId(1)).tx_bytes,
+            0
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! with a queueing delay that explodes as utilization approaches capacity
 //! (an M/M/1-style `base/(1-ρ)` law, capped for stability).
 
+use farm_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::time::Dur;
@@ -47,6 +48,11 @@ pub struct PcieBus {
     window: Dur,
     bytes_requested: u64,
     requests: u64,
+    telemetry: Option<Telemetry>,
+    /// Raw id of the owning switch, for event context.
+    switch_id: u32,
+    /// Congestion state at the last observation, to emit transitions only.
+    was_congested: bool,
 }
 
 impl PcieBus {
@@ -57,7 +63,18 @@ impl PcieBus {
             window: Dur::from_secs(1),
             bytes_requested: 0,
             requests: 0,
+            telemetry: None,
+            switch_id: 0,
+            was_congested: false,
         }
+    }
+
+    /// Attaches a telemetry handle; subsequent requests update the
+    /// `pcie.*` counters and saturation transitions emit
+    /// [`Event::PcieSaturation`] tagged with `switch_id`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, switch_id: u32) {
+        self.telemetry = Some(telemetry);
+        self.switch_id = switch_id;
     }
 
     /// Static description.
@@ -76,9 +93,35 @@ impl PcieBus {
     pub fn request(&mut self, bytes: u64) -> Dur {
         self.bytes_requested += bytes;
         self.requests += 1;
-        let transfer =
-            Dur::from_secs_f64(bytes as f64 * 8.0 / self.spec.poll_capacity_bps as f64);
+        if let Some(t) = &self.telemetry {
+            t.counter("pcie.requests").inc();
+            t.counter("pcie.bytes").add(bytes);
+        }
+        self.observe_saturation();
+        let transfer = Dur::from_secs_f64(bytes as f64 * 8.0 / self.spec.poll_capacity_bps as f64);
         PCIE_BASE_LATENCY + transfer + self.queueing_delay()
+    }
+
+    /// Emits a [`Event::PcieSaturation`] when the bus crosses the
+    /// congestion threshold in either direction.
+    fn observe_saturation(&mut self) {
+        let congested = self.is_congested();
+        if congested == self.was_congested {
+            return;
+        }
+        self.was_congested = congested;
+        if let Some(t) = &self.telemetry {
+            if congested {
+                t.counter("pcie.saturation_events").inc();
+            }
+            let utilization = self.utilization();
+            let switch = self.switch_id;
+            t.emit_with(|| Event::PcieSaturation {
+                switch,
+                utilization,
+                saturated: congested,
+            });
+        }
     }
 
     /// Extra delay from contention: `base · ρ/(1-ρ)`, capped at 1000× base
@@ -116,10 +159,12 @@ impl PcieBus {
         self.requests
     }
 
-    /// Resets window counters.
+    /// Resets window counters (and reports saturation recovery if the
+    /// previous window was congested).
     pub fn reset(&mut self) {
         self.bytes_requested = 0;
         self.requests = 0;
+        self.observe_saturation();
     }
 }
 
@@ -162,6 +207,36 @@ mod tests {
         let mut bus = PcieBus::new(PcieSpec::measured());
         bus.request(100_000_000); // way past saturation
         assert!(bus.queueing_delay() <= PCIE_BASE_LATENCY.mul_f64(1000.0));
+    }
+
+    #[test]
+    fn saturation_transitions_are_reported_once() {
+        use farm_telemetry::RingBufferSink;
+        use std::sync::Arc;
+
+        let telemetry = Telemetry::new();
+        let ring = Arc::new(RingBufferSink::new(16));
+        telemetry.add_sink(ring.clone());
+        let mut bus = PcieBus::new(PcieSpec::measured());
+        bus.set_telemetry(telemetry.clone(), 7);
+
+        bus.request(2_000_000); // way past saturation
+        bus.request(64); // still saturated: no second event
+        bus.reset(); // recovery
+
+        let events: Vec<_> = ring
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::PcieSaturation {
+                    switch, saturated, ..
+                } => Some((switch, saturated)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events, [(7, true), (7, false)]);
+        assert_eq!(telemetry.snapshot().counter("pcie.saturation_events"), 1);
+        assert_eq!(telemetry.snapshot().counter("pcie.requests"), 2);
     }
 
     #[test]

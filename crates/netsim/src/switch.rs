@@ -246,6 +246,7 @@ pub struct Switch {
     tcam: Tcam,
     cpu: CpuMeter,
     pcie: PcieBus,
+    telemetry: Option<farm_telemetry::Telemetry>,
 }
 
 impl Switch {
@@ -262,6 +263,7 @@ impl Switch {
             tcam,
             cpu,
             pcie,
+            telemetry: None,
         }
     }
 
@@ -295,6 +297,13 @@ impl Switch {
 
     pub fn pcie_mut(&mut self) -> &mut PcieBus {
         &mut self.pcie
+    }
+
+    /// Attaches a telemetry handle: PCIe requests and port/rule polls on
+    /// this switch start updating `pcie.*`/`switch.*` instruments.
+    pub fn set_telemetry(&mut self, telemetry: farm_telemetry::Telemetry) {
+        self.telemetry = Some(telemetry.clone());
+        self.pcie.set_telemetry(telemetry, self.id.0);
     }
 
     /// Number of physical ports.
@@ -368,19 +377,31 @@ impl Switch {
             }],
         };
         let latency = self.pcie.request(stats.len() as u64 * POLL_STAT_BYTES);
+        if let Some(t) = &self.telemetry {
+            t.counter("switch.port_polls").inc();
+            t.counter("switch.port_stats_read").add(stats.len() as u64);
+        }
         (stats, latency)
     }
 
     /// Polls every monitoring-region TCAM rule's counters over PCIe.
     /// Returns `(rule id, stats)` pairs and the transfer latency.
-    pub fn poll_monitoring_rules(&mut self) -> (Vec<(crate::tcam::RuleId, crate::tcam::RuleStats)>, Dur) {
+    pub fn poll_monitoring_rules(
+        &mut self,
+    ) -> (Vec<(crate::tcam::RuleId, crate::tcam::RuleStats)>, Dur) {
         let stats: Vec<_> = self
             .tcam
             .iter_stats()
             .filter(|(r, _)| r.region == crate::tcam::TcamRegion::Monitoring)
             .map(|(r, s)| (r.id, s))
             .collect();
-        let latency = self.pcie.request(stats.len().max(1) as u64 * POLL_STAT_BYTES);
+        let latency = self
+            .pcie
+            .request(stats.len().max(1) as u64 * POLL_STAT_BYTES);
+        if let Some(t) = &self.telemetry {
+            t.counter("switch.rule_polls").inc();
+            t.counter("switch.rule_stats_read").add(stats.len() as u64);
+        }
         (stats, latency)
     }
 
@@ -429,10 +450,7 @@ mod tests {
         let before = sw.pcie().bytes_requested();
         let (stats, latency) = sw.poll_ports(PortSel::Any);
         assert_eq!(stats.len(), 4);
-        assert_eq!(
-            sw.pcie().bytes_requested() - before,
-            4 * POLL_STAT_BYTES
-        );
+        assert_eq!(sw.pcie().bytes_requested() - before, 4 * POLL_STAT_BYTES);
         assert!(latency > Dur::ZERO);
     }
 

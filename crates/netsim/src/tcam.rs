@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::types::{FilterFormula, FlowKey, PortId};
 
 /// Identifier of an installed TCAM rule (unique per switch lifetime).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RuleId(pub u64);
 
 impl fmt::Display for RuleId {
@@ -172,7 +170,7 @@ impl Tcam {
         });
         // Highest priority first; stable so equal priorities keep insertion
         // order (deterministic match resolution).
-        self.rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        self.rules.sort_by_key(|r| std::cmp::Reverse(r.priority));
         self.stats.insert(id, RuleStats::default());
         Ok(id)
     }
@@ -356,7 +354,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(
-            t.forwarding_match(&flow(Ipv4::new(10, 0, 1, 1))).unwrap().id,
+            t.forwarding_match(&flow(Ipv4::new(10, 0, 1, 1)))
+                .unwrap()
+                .id,
             hi
         );
     }
@@ -394,7 +394,10 @@ mod tests {
             t.record_traffic(&flow(Ipv4::new(10, 0, 1, 1)), 100, 1),
             Some(1_000_000)
         );
-        assert_eq!(t.record_traffic(&flow(Ipv4::new(10, 9, 1, 1)), 100, 1), None);
+        assert_eq!(
+            t.record_traffic(&flow(Ipv4::new(10, 9, 1, 1)), 100, 1),
+            None
+        );
     }
 
     #[test]

@@ -249,12 +249,7 @@ mod tests {
     use super::*;
 
     fn fabric() -> Topology {
-        Topology::spine_leaf(
-            2,
-            3,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        )
+        Topology::spine_leaf(2, 3, SwitchModel::test_model(8), SwitchModel::test_model(8))
     }
 
     #[test]
@@ -325,7 +320,10 @@ mod tests {
         let t = Topology::from_parts(nodes, links);
         let paths = t.paths(SwitchId(0), SwitchId(3));
         assert_eq!(paths.len(), 1);
-        assert_eq!(paths[0], vec![SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3)]);
+        assert_eq!(
+            paths[0],
+            vec![SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3)]
+        );
     }
 
     #[test]

@@ -60,8 +60,8 @@ impl Default for HhConfig {
             n_ports: 48,
             hh_ratio: 0.01,
             churn_interval: Dur::from_secs(60),
-            normal_rate_bps: 10_000_000,    // 10 Mbit/s
-            hh_rate_bps: 5_000_000_000,     // 5 Gbit/s
+            normal_rate_bps: 10_000_000, // 10 Mbit/s
+            hh_rate_bps: 5_000_000_000,  // 5 Gbit/s
             seed: 7,
         }
     }
@@ -112,8 +112,10 @@ impl HeavyHitterWorkload {
     }
 
     fn reshuffle(&mut self) {
-        let n_heavy = ((self.cfg.n_ports as f64 * self.cfg.hh_ratio).round() as usize)
-            .clamp(usize::from(self.cfg.hh_ratio > 0.0), self.cfg.n_ports as usize);
+        let n_heavy = ((self.cfg.n_ports as f64 * self.cfg.hh_ratio).round() as usize).clamp(
+            usize::from(self.cfg.hh_ratio > 0.0),
+            self.cfg.n_ports as usize,
+        );
         let mut idx: Vec<usize> = (0..self.cfg.n_ports as usize).collect();
         idx.shuffle(&mut self.rng);
         self.heavy.iter_mut().for_each(|h| *h = false);
@@ -382,9 +384,7 @@ impl ZipfFlowWorkload {
     /// `k^-α / Σ j^-α` of the aggregate rate.
     pub fn new(cfg: ZipfConfig) -> ZipfFlowWorkload {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let harmonics: f64 = (1..=cfg.n_flows)
-            .map(|k| (k as f64).powf(-cfg.alpha))
-            .sum();
+        let harmonics: f64 = (1..=cfg.n_flows).map(|k| (k as f64).powf(-cfg.alpha)).sum();
         let flows = (1..=cfg.n_flows)
             .map(|k| {
                 let share = (k as f64).powf(-cfg.alpha) / harmonics;
@@ -536,11 +536,9 @@ mod tests {
         let after = w.advance(Time::from_secs(2), Dur::from_millis(100));
         assert_eq!(after.len(), 6, "background + 5 sources after onset");
         // All attack flows hit the same victim from distinct sources.
-        let victims: std::collections::HashSet<_> =
-            after.iter().map(|e| e.flow.dst).collect();
+        let victims: std::collections::HashSet<_> = after.iter().map(|e| e.flow.dst).collect();
         assert_eq!(victims.len(), 1);
-        let sources: std::collections::HashSet<_> =
-            after.iter().map(|e| e.flow.src).collect();
+        let sources: std::collections::HashSet<_> = after.iter().map(|e| e.flow.src).collect();
         assert_eq!(sources.len(), 6);
     }
 
@@ -552,8 +550,7 @@ mod tests {
         });
         let events = w.advance(Time::ZERO, Dur::from_millis(100));
         assert_eq!(events.len(), 100);
-        let ports: std::collections::HashSet<_> =
-            events.iter().map(|e| e.flow.dst_port).collect();
+        let ports: std::collections::HashSet<_> = events.iter().map(|e| e.flow.dst_port).collect();
         assert_eq!(ports.len(), 100, "every probe hits a fresh port");
         assert!(events.iter().all(|e| e.bytes == 64));
     }

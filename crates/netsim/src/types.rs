@@ -7,9 +7,7 @@ use std::str::FromStr;
 use serde::{Deserialize, Serialize};
 
 /// A switch in the simulated fabric.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SwitchId(pub u32);
 
 impl fmt::Display for SwitchId {
@@ -19,9 +17,7 @@ impl fmt::Display for SwitchId {
 }
 
 /// A physical port on a switch.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PortId(pub u16);
 
 impl fmt::Display for PortId {
@@ -91,9 +87,7 @@ impl FromStr for Ipv4 {
 }
 
 /// CIDR prefix (`addr/len`); `len == 32` matches a single host.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Prefix {
     pub addr: Ipv4,
     pub len: u8,
@@ -170,9 +164,7 @@ impl FromStr for Prefix {
 }
 
 /// Transport protocol of a flow.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Proto {
     Tcp,
     Udp,
@@ -191,9 +183,7 @@ impl fmt::Display for Proto {
 }
 
 /// Five-tuple identifying a flow.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
     pub src: Ipv4,
     pub dst: Ipv4,
@@ -237,9 +227,7 @@ impl fmt::Display for FlowKey {
 }
 
 /// Selection of switch interfaces for polling subjects.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PortSel {
     /// Every port of the switch.
     Any,
@@ -249,9 +237,7 @@ pub enum PortSel {
 
 /// An atomic filter proposition (the `fil` non-terminal of Almanac's
 /// grammar, Fig. 3 of the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FilterAtom {
     SrcIp(Prefix),
     DstIp(Prefix),
@@ -430,18 +416,10 @@ mod tests {
 
     #[test]
     fn filter_formula_evaluation() {
-        let flow = FlowKey::tcp(
-            Ipv4::new(10, 1, 1, 4),
-            5555,
-            Ipv4::new(10, 0, 1, 9),
-            80,
+        let flow = FlowKey::tcp(Ipv4::new(10, 1, 1, 4), 5555, Ipv4::new(10, 0, 1, 9), 80);
+        let f = FilterFormula::Atom(FilterAtom::SrcIp("10.1.1.4/32".parse().unwrap())).and(
+            FilterFormula::Atom(FilterAtom::DstIp("10.0.1.0/24".parse().unwrap())),
         );
-        let f = FilterFormula::Atom(FilterAtom::SrcIp(
-            "10.1.1.4/32".parse().unwrap(),
-        ))
-        .and(FilterFormula::Atom(FilterAtom::DstIp(
-            "10.0.1.0/24".parse().unwrap(),
-        )));
         assert!(f.matches_flow(&flow));
         let g = f.clone().and(FilterFormula::Atom(FilterAtom::DstPort(443)));
         assert!(!g.matches_flow(&flow));

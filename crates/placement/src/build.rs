@@ -141,12 +141,8 @@ mod tests {
 
     #[test]
     fn shared_subjects_across_tasks_share_keys() {
-        let topo = Topology::spine_leaf(
-            1,
-            2,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        );
+        let topo =
+            Topology::spine_leaf(1, 2, SwitchModel::test_model(8), SwitchModel::test_model(8));
         let ctl = SdnController::new(&topo);
         let hh = compile_task(
             "hh",

@@ -19,9 +19,10 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use farm_almanac::analysis::{Poly, UtilExpr};
-use farm_lp::{Cmp, LinExpr, Problem, Sense};
+use farm_lp::{record_phase, Cmp, LinExpr, Problem, Sense};
 use farm_netsim::switch::{ResourceKind, Resources};
 use farm_netsim::types::SwitchId;
+use farm_telemetry::Telemetry;
 
 use crate::model::{
     count_migrations, utility_of, PlacementInstance, PlacementResult, PlacementSeed,
@@ -157,11 +158,19 @@ impl SwitchState {
 }
 
 /// Runs Alg. 1 on an instance.
-pub fn solve_heuristic(
+pub fn solve_heuristic(instance: &PlacementInstance, options: HeuristicOptions) -> PlacementResult {
+    solve_heuristic_inner(instance, options, None, None)
+}
+
+/// [`solve_heuristic`] with per-phase telemetry: each of the greedy,
+/// LP-redistribution and migration phases emits a
+/// [`farm_telemetry::Event::SolverPhase`] and samples `solver.phase_us`.
+pub fn solve_heuristic_traced(
     instance: &PlacementInstance,
     options: HeuristicOptions,
+    telemetry: Option<&Telemetry>,
 ) -> PlacementResult {
-    solve_heuristic_ordered(instance, options, None)
+    solve_heuristic_inner(instance, options, None, telemetry)
 }
 
 /// A deliberately *generic* randomized construction: random task order,
@@ -209,7 +218,10 @@ pub fn solve_randomized(
                 break;
             }
             let n = feasible[rng.random_range(0..feasible.len())];
-            states.get_mut(&n).expect("known switch").place(seed, &min_res);
+            states
+                .get_mut(&n)
+                .expect("known switch")
+                .place(seed, &min_res);
             placed_here.push((s, n, min_res));
         }
         if ok {
@@ -251,6 +263,15 @@ pub fn solve_heuristic_ordered(
     instance: &PlacementInstance,
     options: HeuristicOptions,
     task_order: Option<Vec<usize>>,
+) -> PlacementResult {
+    solve_heuristic_inner(instance, options, task_order, None)
+}
+
+fn solve_heuristic_inner(
+    instance: &PlacementInstance,
+    options: HeuristicOptions,
+    task_order: Option<Vec<usize>>,
+    telemetry: Option<&Telemetry>,
 ) -> PlacementResult {
     let start = Instant::now();
     let mut states: HashMap<SwitchId, SwitchState> = instance
@@ -387,17 +408,36 @@ pub fn solve_heuristic_ordered(
             dropped.push(t);
         }
     }
+    if let Some(t) = telemetry {
+        record_phase(
+            t,
+            "greedy",
+            start.elapsed().as_nanos() as u64,
+            instance.tasks.len() as u64,
+        );
+    }
 
     // Step 3: LP redistribution per switch, then refresh the bookkeeping
     // so the migration pass sees the boosted allocations.
+    let lp_start = Instant::now();
     if options.lp_redistribution {
         let switch_ids: Vec<SwitchId> = states.keys().copied().collect();
+        let mut lp_switches = 0u64;
         for n in switch_ids {
             let seeds_here = states[&n].seeds.clone();
             if seeds_here.is_empty() {
                 continue;
             }
+            lp_switches += 1;
             redistribute_switch(instance, n, &seeds_here, &states[&n], &mut assignment);
+        }
+        if let Some(t) = telemetry {
+            record_phase(
+                t,
+                "lp_redistribution",
+                lp_start.elapsed().as_nanos() as u64,
+                lp_switches,
+            );
         }
         for st in states.values_mut() {
             let seeds = st.seeds.clone();
@@ -418,6 +458,7 @@ pub fn solve_heuristic_ordered(
     // Steps 4–5: relocation by decreasing benefit. On re-optimization
     // this is migration (with double occupancy); on a fresh placement it
     // is a free improvement pass over the greedy choices.
+    let migration_start = Instant::now();
     let mut migrations = 0;
     if options.migration {
         let mut benefits: Vec<(f64, usize, SwitchId)> = Vec::new();
@@ -443,7 +484,9 @@ pub fn solve_heuristic_ordered(
         benefits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         for (_, s, n) in benefits {
             let seed = &instance.seeds[s];
-            let Some((cur, cur_res)) = assignment[s] else { continue };
+            let Some((cur, cur_res)) = assignment[s] else {
+                continue;
+            };
             if cur == n {
                 continue;
             }
@@ -481,6 +524,14 @@ pub fn solve_heuristic_ordered(
                 migrations += 1;
             }
         }
+        if let Some(t) = telemetry {
+            record_phase(
+                t,
+                "migration",
+                migration_start.elapsed().as_nanos() as u64,
+                migrations as u64,
+            );
+        }
     }
 
     let utility = utility_of(instance, &assignment);
@@ -507,11 +558,7 @@ fn achievable_utility(seed: &PlacementSeed, st: &SwitchState) -> Option<f64> {
 
 /// Minimum allocation plus half the switch's spare capacity (capped so the
 /// result still fits; the head-room is left for later seeds).
-fn opportunistic_alloc(
-    seed: &PlacementSeed,
-    st: &SwitchState,
-    min_res: &Resources,
-) -> Resources {
+fn opportunistic_alloc(seed: &PlacementSeed, st: &SwitchState, min_res: &Resources) -> Resources {
     let spare = st.spare();
     let mut res = *min_res;
     for k in ResourceKind::ALL {
@@ -623,7 +670,9 @@ fn redistribute_switch(
         })
         .collect();
     for &s in seeds_here {
-        let Some(vars) = res_vars.get(&s) else { continue };
+        let Some(vars) = res_vars.get(&s) else {
+            continue;
+        };
         for pd in &instance.seeds[s].polls {
             let pv = poll_vars[pd.subject.as_str()];
             let demand = poly_expr(&pd.demand, vars);
@@ -689,12 +738,7 @@ mod tests {
 
     fn instance(n_switches: usize, seeds_per_task: usize, tasks: usize) -> PlacementInstance {
         let switches: Vec<(SwitchId, Resources)> = (0..n_switches)
-            .map(|i| {
-                (
-                    SwitchId(i as u32),
-                    Resources::new(4.0, 8192.0, 64.0, 125.0),
-                )
-            })
+            .map(|i| (SwitchId(i as u32), Resources::new(4.0, 8192.0, 64.0, 125.0)))
             .collect();
         let mut seeds = Vec::new();
         let mut task_list = Vec::new();
@@ -827,7 +871,11 @@ mod tests {
             r.migrations > 0,
             "free capacity on switch 1 should attract migrations"
         );
-        assert!(r.utility > 4.0, "migration should lift utility, got {}", r.utility);
+        assert!(
+            r.utility > 4.0,
+            "migration should lift utility, got {}",
+            r.utility
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod model;
 pub mod workload;
 
 pub use build::instance_from_tasks;
-pub use heuristic::{solve_heuristic, HeuristicOptions};
+pub use heuristic::{solve_heuristic, solve_heuristic_traced, HeuristicOptions};
 pub use milp::{solve_placement_milp, MilpPlacementOptions, MilpPlacementResult};
 pub use model::{
     validate, PlacementInstance, PlacementResult, PlacementSeed, PlacementTask, PollDemand,

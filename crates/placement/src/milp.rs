@@ -70,9 +70,7 @@ pub fn solve_placement_milp(
             ..Default::default()
         };
         let r = solve_milp(&encoded.problem, &milp_opts);
-        if let (Some(values), MilpStatus::Optimal | MilpStatus::Feasible) =
-            (&r.values, r.status)
-        {
+        if let (Some(values), MilpStatus::Optimal | MilpStatus::Feasible) = (&r.values, r.status) {
             let assignment = encoded.extract(instance, values);
             let utility = utility_of(instance, &assignment);
             let dropped = (0..instance.tasks.len())
@@ -98,7 +96,11 @@ pub fn solve_placement_milp(
         }
     }
     // Budgeted primal search until the deadline.
-    let mut result = solve_budgeted(instance, opts.time_limit.saturating_sub(start.elapsed()), opts.search_seed);
+    let mut result = solve_budgeted(
+        instance,
+        opts.time_limit.saturating_sub(start.elapsed()),
+        opts.search_seed,
+    );
     result.runtime = start.elapsed();
     MilpPlacementResult {
         result,
@@ -182,16 +184,11 @@ impl Encoded {
         let mut assignment = vec![None; instance.seeds.len()];
         for (s, seed) in instance.seeds.iter().enumerate() {
             for (ci, &n) in seed.candidates.iter().enumerate() {
-                let placed = self.y_vars[s][ci]
-                    .iter()
-                    .any(|y| values[y.index()] > 0.5);
+                let placed = self.y_vars[s][ci].iter().any(|y| values[y.index()] > 0.5);
                 if placed {
                     let mut r = Resources::ZERO;
                     for k in ResourceKind::ALL {
-                        r.set(
-                            k,
-                            values[self.res_vars[s][ci][k.index()].index()].max(0.0),
-                        );
+                        r.set(k, values[self.res_vars[s][ci][k.index()].index()].max(0.0));
                     }
                     assignment[s] = Some((n, r));
                     break;
@@ -218,9 +215,8 @@ fn encode(instance: &PlacementInstance) -> Encoded {
         let mut per_cand_y = Vec::new();
         for (ci, &n) in seed.candidates.iter().enumerate() {
             let ares = instance.ares(n).unwrap_or(Resources::ZERO);
-            let rv: [farm_lp::Var; 4] = std::array::from_fn(|k| {
-                p.add_var(format!("res_s{s}_c{ci}_r{k}"), 0.0, ares.0[k])
-            });
+            let rv: [farm_lp::Var; 4] =
+                std::array::from_fn(|k| p.add_var(format!("res_s{s}_c{ci}_r{k}"), 0.0, ares.0[k]));
             let branches = seed.util.branches.len().max(1);
             let mut ys = Vec::with_capacity(branches);
             for (b, branch) in seed.util.branches.iter().enumerate() {

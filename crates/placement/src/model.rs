@@ -70,7 +70,10 @@ pub struct PlacementInstance {
 impl PlacementInstance {
     /// Available resources of a switch.
     pub fn ares(&self, n: SwitchId) -> Option<Resources> {
-        self.switches.iter().find(|(id, _)| *id == n).map(|(_, r)| *r)
+        self.switches
+            .iter()
+            .find(|(id, _)| *id == n)
+            .map(|(_, r)| *r)
     }
 
     /// Minimum utility of a task (Alg. 1 step 1's sort key): the sum of
@@ -114,7 +117,10 @@ impl PlacementResult {
 
 /// Computes the MU objective of an assignment: `Σ plc(s,n) · u^s(res)`.
 /// Seeds outside every utility-branch domain contribute zero.
-pub fn utility_of(instance: &PlacementInstance, assignment: &[Option<(SwitchId, Resources)>]) -> f64 {
+pub fn utility_of(
+    instance: &PlacementInstance,
+    assignment: &[Option<(SwitchId, Resources)>],
+) -> f64 {
     assignment
         .iter()
         .enumerate()
@@ -148,10 +154,7 @@ pub fn count_migrations(
 /// # Errors
 ///
 /// A human-readable description of the first violated constraint.
-pub fn validate(
-    instance: &PlacementInstance,
-    result: &PlacementResult,
-) -> Result<(), String> {
+pub fn validate(instance: &PlacementInstance, result: &PlacementResult) -> Result<(), String> {
     let a = &result.assignment;
     if a.len() != instance.seeds.len() {
         return Err(format!(
@@ -213,8 +216,8 @@ pub fn validate(
             // state transfers (§ IV-B a).
             if let Some(prev) = &instance.previous {
                 if let Some((old_n, old_res)) = prev.assignment.get(&s) {
-                    let migrated_away = old_n == n
-                        && matches!(&a[s], Some((new_n, _)) if new_n != n);
+                    let migrated_away =
+                        old_n == n && matches!(&a[s], Some((new_n, _)) if new_n != n);
                     if migrated_away {
                         for k in ResourceKind::ALL {
                             if k != ResourceKind::PciePoll {

@@ -125,7 +125,9 @@ pub fn generate(cfg: &WorkloadConfig) -> PlacementInstance {
                 ],
                 utility: UtilExpr::Min(
                     Box::new(UtilExpr::Poly(
-                        Poly::var(ResourceKind::VCpu).scale(gain).add(&Poly::constant(base)),
+                        Poly::var(ResourceKind::VCpu)
+                            .scale(gain)
+                            .add(&Poly::constant(base)),
                     )),
                     Box::new(UtilExpr::Poly(Poly::constant(cap))),
                 ),

@@ -14,7 +14,33 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use farm_netsim::time::Dur;
+use farm_telemetry::{Event, Telemetry};
 use parking_lot::{Condvar, Mutex};
+
+/// Records one soil→seed channel delivery: bumps the `ipc.messages`
+/// counter, samples the `ipc.latency_us` histogram (the Fig. 10 metric)
+/// and emits an [`Event::ChannelDelivery`].
+pub fn record_ipc_delivery(
+    telemetry: &Telemetry,
+    switch: u32,
+    seed: u64,
+    bytes: u64,
+    at_ns: u64,
+    latency: Dur,
+) {
+    telemetry.counter("ipc.messages").inc();
+    telemetry.counter("ipc.bytes").add(bytes);
+    telemetry
+        .latency_histogram("ipc.latency_us")
+        .record(latency.as_nanos() / 1_000);
+    telemetry.emit_with(|| Event::ChannelDelivery {
+        at_ns,
+        switch,
+        seed,
+        bytes,
+        latency_ns: latency.as_nanos(),
+    });
+}
 
 /// How seeds execute on the switch (§ V-A b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -257,5 +283,30 @@ mod tests {
     fn pop_timeout_elapses_on_empty_buffer() {
         let rb: SharedRingBuffer<u8> = SharedRingBuffer::new(1);
         assert_eq!(rb.pop_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn ipc_deliveries_feed_the_latency_histogram() {
+        use farm_telemetry::RingBufferSink;
+
+        let telemetry = Telemetry::new();
+        let ring = Arc::new(RingBufferSink::new(8));
+        telemetry.add_sink(ring.clone());
+        record_ipc_delivery(&telemetry, 2, 5, 48, 1_000, Dur::from_micros(3));
+        record_ipc_delivery(&telemetry, 2, 5, 48, 2_000, Dur::from_micros(9));
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("ipc.messages"), 2);
+        assert_eq!(snap.counter("ipc.bytes"), 96);
+        let h = snap.histogram("ipc.latency_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 12);
+        assert!(matches!(
+            ring.events()[0],
+            farm_telemetry::Event::ChannelDelivery {
+                latency_ns: 3_000,
+                ..
+            }
+        ));
     }
 }

@@ -54,11 +54,17 @@ pub enum Endpoint {
 /// Side effect requested by a handler, applied by the soil.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Effect {
-    Send { to: Endpoint, value: Value },
+    Send {
+        to: Endpoint,
+        value: Value,
+    },
     AddRule(RuleValue),
     RemoveRule(FilterFormula),
     /// `exec(cmd)` / `exec_n(cmd, n)`: run external code `n` times.
-    Exec { cmd: String, iterations: u32 },
+    Exec {
+        cmd: String,
+        iterations: u32,
+    },
 }
 
 /// Input event delivered to a seed.
@@ -69,7 +75,10 @@ pub enum SeedEvent {
     Realloc,
     /// A trigger variable fired with its payload (poll → list of stats,
     /// probe → packet, time → tick count).
-    Trigger { name: String, payload: Value },
+    Trigger {
+        name: String,
+        payload: Value,
+    },
     /// A message arrived (from another machine or the harvester).
     Recv {
         from_machine: Option<String>,
@@ -219,8 +228,11 @@ impl SeedInstance {
 
     /// Captures the mutable state for migration.
     pub fn snapshot(&self) -> SeedSnapshot {
-        let mut vars: Vec<(String, Value)> =
-            self.vars.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut vars: Vec<(String, Value)> = self
+            .vars
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         vars.sort_by(|a, b| a.0.cmp(&b.0));
         SeedSnapshot {
             machine: self.def.machine.name.clone(),
@@ -560,12 +572,9 @@ impl Interp<'_> {
                             let at = match at {
                                 None => None,
                                 Some(e) => {
-                                    let id = self
-                                        .eval(e, scope)?
-                                        .as_int()
-                                        .ok_or_else(|| {
-                                            SeedError("@destination is not an integer".into())
-                                        })?;
+                                    let id = self.eval(e, scope)?.as_int().ok_or_else(|| {
+                                        SeedError("@destination is not an integer".into())
+                                    })?;
                                     Some(SwitchId(id as u32))
                                 }
                             };
@@ -668,7 +677,8 @@ impl Interp<'_> {
                         }
                     }
                     return Ok(Value::Rule(RuleValue {
-                        pattern: pattern.ok_or_else(|| SeedError("Rule without .pattern".into()))?,
+                        pattern: pattern
+                            .ok_or_else(|| SeedError("Rule without .pattern".into()))?,
                         action: action.ok_or_else(|| SeedError("Rule without .act".into()))?,
                     }));
                 }
@@ -910,9 +920,7 @@ impl Interp<'_> {
             "pkt_is_fin" => packet(&vals[0]).map(|p| Value::Bool(p.fin)),
             "pkt_is_ack" => packet(&vals[0]).map(|p| Value::Bool(p.ack)),
             "filter_matches" => match (&vals[0], &vals[1]) {
-                (Value::Filter(f), Value::Packet(p)) => {
-                    Ok(Value::Bool(f.matches_flow(&p.flow)))
-                }
+                (Value::Filter(f), Value::Packet(p)) => Ok(Value::Bool(f.matches_flow(&p.flow))),
                 _ => Err(arity_err()),
             },
             "action_drop" => Ok(Value::Action(ActionValue::Drop)),
@@ -995,19 +1003,15 @@ pub fn stats_payload(entries: Vec<StatEntry>) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use farm_almanac::compile::{compile_machine, frontend};
     use farm_almanac::analysis::ConstEnv;
+    use farm_almanac::compile::{compile_machine, frontend};
     use farm_netsim::controller::SdnController;
     use farm_netsim::switch::SwitchModel;
     use farm_netsim::topology::Topology;
 
     fn compile(src: &str, machine: &str) -> Arc<CompiledMachine> {
-        let topo = Topology::spine_leaf(
-            1,
-            2,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        );
+        let topo =
+            Topology::spine_leaf(1, 2, SwitchModel::test_model(8), SwitchModel::test_model(8));
         let ctl = SdnController::new(&topo);
         let program = frontend(src).unwrap();
         Arc::new(compile_machine(&program, machine, &ConstEnv::new(), &ctl).unwrap())
@@ -1062,7 +1066,15 @@ mod tests {
         let sends: Vec<_> = out
             .effects
             .iter()
-            .filter(|e| matches!(e, Effect::Send { to: Endpoint::Harvester, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        to: Endpoint::Harvester,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(sends.len(), 1);
         let rules: Vec<_> = out
@@ -1120,7 +1132,10 @@ mod tests {
             &host,
         )
         .unwrap();
-        assert_eq!(seed.var("hitterAction"), Some(&Value::Action(ActionValue::Drop)));
+        assert_eq!(
+            seed.var("hitterAction"),
+            Some(&Value::Action(ActionValue::Drop))
+        );
         assert_ne!(seed.var("threshold"), Some(&Value::Int(0)));
     }
 
@@ -1181,7 +1196,9 @@ mod tests {
         "#;
         let def = compile(src, "Loop");
         let mut seed = SeedInstance::new(SeedId(4), def, Resources::ZERO);
-        let err = seed.handle(&SeedEvent::Enter, &FixedHost::default()).unwrap_err();
+        let err = seed
+            .handle(&SeedEvent::Enter, &FixedHost::default())
+            .unwrap_err();
         assert!(err.0.contains("transition chain"), "{err}");
     }
 
@@ -1196,7 +1213,9 @@ mod tests {
         "#;
         let def = compile(src, "Spin");
         let mut seed = SeedInstance::new(SeedId(5), def, Resources::ZERO);
-        let err = seed.handle(&SeedEvent::Enter, &FixedHost::default()).unwrap_err();
+        let err = seed
+            .handle(&SeedEvent::Enter, &FixedHost::default())
+            .unwrap_err();
         assert!(err.0.contains("loop iteration"), "{err}");
     }
 

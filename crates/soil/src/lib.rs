@@ -44,6 +44,6 @@ pub mod channel;
 pub mod interp;
 pub mod soil;
 
-pub use channel::{ChannelKind, CommModel, ExecMode, SharedRingBuffer};
+pub use channel::{record_ipc_delivery, ChannelKind, CommModel, ExecMode, SharedRingBuffer};
 pub use interp::{Effect, Endpoint, SeedError, SeedEvent, SeedId, SeedInstance, SeedSnapshot};
 pub use soil::{OutboundMessage, Soil, SoilConfig, SoilError, SoilStats, TickReport};

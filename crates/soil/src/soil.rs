@@ -21,7 +21,9 @@ use farm_netsim::tcam::{RuleAction, RuleId, TcamRegion};
 use farm_netsim::time::{Dur, Time};
 use farm_netsim::types::{FilterFormula, PortSel, SwitchId};
 
-use crate::channel::CommModel;
+use farm_telemetry::{Counter, Event, Histogram, Telemetry, UndeployReason};
+
+use crate::channel::{record_ipc_delivery, CommModel};
 use crate::interp::{
     stats_payload, Effect, Endpoint, SeedError, SeedEvent, SeedHost, SeedId, SeedInstance,
     SeedSnapshot,
@@ -52,12 +54,44 @@ impl Default for SoilConfig {
 }
 
 /// Soil-level failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SoilError(pub String);
+///
+/// `#[non_exhaustive]`: more variants may appear as the soil grows;
+/// callers must keep a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SoilError {
+    /// A trigger's interval is non-positive or non-finite under the
+    /// given allocation (e.g. zero PCIe budget).
+    BadTriggerInterval {
+        trigger: String,
+        interval_ms: f64,
+        context: String,
+    },
+    /// The monitoring TCAM region rejected a polling rule.
+    TcamInstall(String),
+    /// The referenced seed is not deployed on this soil.
+    UnknownSeed(SeedId),
+    /// A migrated snapshot could not be restored into the new instance.
+    Restore(String),
+}
 
 impl fmt::Display for SoilError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "soil error: {}", self.0)
+        match self {
+            SoilError::BadTriggerInterval {
+                trigger,
+                interval_ms,
+                context,
+            } => write!(
+                f,
+                "soil error: trigger `{trigger}` has interval {interval_ms} ms {context}"
+            ),
+            SoilError::TcamInstall(e) => {
+                write!(f, "soil error: cannot install polling rule: {e}")
+            }
+            SoilError::UnknownSeed(id) => write!(f, "soil error: unknown seed {id}"),
+            SoilError::Restore(e) => write!(f, "soil error: cannot restore snapshot: {e}"),
+        }
     }
 }
 
@@ -193,6 +227,32 @@ pub fn value_bytes(v: &Value) -> u64 {
     }
 }
 
+/// Cached instrument handles so hot paths skip the registry name lookup.
+#[derive(Debug, Clone)]
+struct SoilInstruments {
+    telemetry: Telemetry,
+    deliveries: Arc<Counter>,
+    asic_polls: Arc<Counter>,
+    polls_saved: Arc<Counter>,
+    seed_errors: Arc<Counter>,
+    messages_out: Arc<Counter>,
+    poll_latency_us: Arc<Histogram>,
+}
+
+impl SoilInstruments {
+    fn new(telemetry: Telemetry) -> SoilInstruments {
+        SoilInstruments {
+            deliveries: telemetry.counter("soil.deliveries"),
+            asic_polls: telemetry.counter("soil.asic_polls"),
+            polls_saved: telemetry.counter("soil.polls_saved"),
+            seed_errors: telemetry.counter("soil.seed_errors"),
+            messages_out: telemetry.counter("soil.messages_out"),
+            poll_latency_us: telemetry.latency_histogram("poll.latency_us"),
+            telemetry,
+        }
+    }
+}
+
 /// The per-switch soil instance.
 #[derive(Debug)]
 pub struct Soil {
@@ -206,6 +266,7 @@ pub struct Soil {
     rule_refs: HashMap<String, (RuleId, usize)>,
     next_id: u64,
     stats: SoilStats,
+    instruments: Option<SoilInstruments>,
 }
 
 impl Soil {
@@ -221,7 +282,15 @@ impl Soil {
             rule_refs: HashMap::new(),
             next_id: 0,
             stats: SoilStats::default(),
+            instruments: None,
         }
+    }
+
+    /// Attaches a telemetry handle: seed lifecycle, poll aggregation and
+    /// IPC deliveries start updating the `soil.*` instruments and
+    /// emitting [`Event`]s.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.instruments = Some(SoilInstruments::new(telemetry));
     }
 
     /// The switch this soil runs on.
@@ -287,10 +356,11 @@ impl Soil {
         for t in &def.triggers {
             let ival_ms = t.ival.eval(&alloc);
             if !ival_ms.is_finite() || ival_ms <= 0.0 {
-                return Err(SoilError(format!(
-                    "trigger `{}` has interval {ival_ms} ms under allocation {alloc}",
-                    t.name
-                )));
+                return Err(SoilError::BadTriggerInterval {
+                    trigger: t.name.clone(),
+                    interval_ms: ival_ms,
+                    context: format!("under allocation {alloc}"),
+                });
             }
             scheds.push(TriggerSched {
                 seed: id,
@@ -334,7 +404,7 @@ impl Soil {
                                 let _ = switch.tcam_mut().remove_rule(rid);
                             }
                         }
-                        return Err(SoilError(format!("cannot install polling rule: {e}")));
+                        return Err(SoilError::TcamInstall(e.to_string()));
                     }
                 }
             }
@@ -344,7 +414,19 @@ impl Soil {
         self.seeds.insert(id, seed);
         self.tasks.insert(id, task.to_string());
         self.deployed_at.insert(id, now);
+        let poll_interval_ns = scheds.iter().map(|t| t.ival.as_nanos()).min().unwrap_or(0);
         self.triggers.extend(scheds);
+        if let Some(ins) = &self.instruments {
+            ins.telemetry.counter("soil.seeds_deployed").inc();
+            let (switch_id, task) = (self.switch_id.0, task.to_string());
+            ins.telemetry.emit_with(|| Event::SeedDeployed {
+                at_ns: now.as_nanos(),
+                switch: switch_id,
+                seed: id.0,
+                task,
+                poll_interval_ns,
+            });
+        }
 
         let report = self.deliver(id, &SeedEvent::Enter, now, switch, Dur::ZERO);
         self.stats.deliveries += report.deliveries;
@@ -356,15 +438,32 @@ impl Soil {
     /// # Errors
     ///
     /// Fails when the seed is unknown.
-    pub fn undeploy(
+    pub fn undeploy(&mut self, id: SeedId, switch: &mut Switch) -> Result<SeedSnapshot, SoilError> {
+        self.undeploy_with_reason(id, UndeployReason::TaskRemoved, Time::ZERO, switch)
+    }
+
+    /// [`Soil::undeploy`] with explicit event context: the reason and
+    /// instant recorded in the emitted [`Event::SeedUndeployed`].
+    pub fn undeploy_with_reason(
         &mut self,
         id: SeedId,
+        reason: UndeployReason,
+        now: Time,
         switch: &mut Switch,
     ) -> Result<SeedSnapshot, SoilError> {
-        let seed = self
-            .seeds
-            .remove(&id)
-            .ok_or_else(|| SoilError(format!("unknown seed {id}")))?;
+        let seed = self.seeds.remove(&id).ok_or(SoilError::UnknownSeed(id))?;
+        if let Some(ins) = &self.instruments {
+            ins.telemetry.counter("soil.seeds_undeployed").inc();
+            let task = self.tasks.get(&id).cloned().unwrap_or_default();
+            let switch_id = self.switch_id.0;
+            ins.telemetry.emit_with(|| Event::SeedUndeployed {
+                at_ns: now.as_nanos(),
+                switch: switch_id,
+                seed: id.0,
+                task,
+                reason,
+            });
+        }
         self.tasks.remove(&id);
         self.deployed_at.remove(&id);
         let removed: Vec<TriggerSched> = {
@@ -409,7 +508,7 @@ impl Soil {
             .get_mut(&id)
             .expect("just deployed")
             .restore(snapshot)
-            .map_err(|e| SoilError(e.to_string()))?;
+            .map_err(|e| SoilError::Restore(e.to_string()))?;
         Ok(id)
     }
 
@@ -427,20 +526,18 @@ impl Soil {
         now: Time,
         switch: &mut Switch,
     ) -> Result<TickReport, SoilError> {
-        let seed = self
-            .seeds
-            .get_mut(&id)
-            .ok_or_else(|| SoilError(format!("unknown seed {id}")))?;
+        let seed = self.seeds.get_mut(&id).ok_or(SoilError::UnknownSeed(id))?;
         seed.set_allocated(alloc);
         let def = seed.def().clone();
         for t in self.triggers.iter_mut().filter(|t| t.seed == id) {
             if let Some(analysis) = def.triggers.iter().find(|a| a.name == t.name) {
                 let ival_ms = analysis.ival.eval(&alloc);
                 if !ival_ms.is_finite() || ival_ms <= 0.0 {
-                    return Err(SoilError(format!(
-                        "trigger `{}` has interval {ival_ms} ms after realloc",
-                        t.name
-                    )));
+                    return Err(SoilError::BadTriggerInterval {
+                        trigger: t.name.clone(),
+                        interval_ms: ival_ms,
+                        context: "after realloc".to_string(),
+                    });
                 }
                 t.ival = Dur::from_secs_f64(ival_ms / 1000.0);
                 t.next_due = now + t.ival;
@@ -462,16 +559,13 @@ impl Soil {
     /// timer (aggregating identical poll subjects when enabled).
     pub fn advance(&mut self, to: Time, switch: &mut Switch) -> TickReport {
         let mut report = TickReport::default();
-        loop {
-            let Some(due) = self
-                .triggers
-                .iter()
-                .filter(|t| t.kind != TriggerType::Probe)
-                .map(|t| t.next_due)
-                .min()
-            else {
-                break;
-            };
+        while let Some(due) = self
+            .triggers
+            .iter()
+            .filter(|t| t.kind != TriggerType::Probe)
+            .map(|t| t.next_due)
+            .min()
+        {
             if due > to {
                 break;
             }
@@ -525,16 +619,29 @@ impl Soil {
                 let (entries, latency) = self.poll_subjects(&subjects, switch);
                 report.asic_polls += 1;
                 report.polls_saved += group.len() as u64 - 1;
+                self.observe_poll(self.triggers[group[0]].seed, entries.len(), latency, now);
+                if group.len() > 1 {
+                    if let Some(ins) = &self.instruments {
+                        ins.polls_saved.add(group.len() as u64 - 1);
+                        let (switch_id, group_len) = (self.switch_id.0, group.len() as u64);
+                        ins.telemetry.emit_with(|| Event::PollAggregated {
+                            at_ns: now.as_nanos(),
+                            switch: switch_id,
+                            group: group_len,
+                            saved: group_len - 1,
+                        });
+                    }
+                }
                 for &i in &group {
                     let aggregated = group.len() > 1;
-                    let step =
-                        self.fire_poll(i, now, entries.clone(), latency, aggregated, switch);
+                    let step = self.fire_poll(i, now, entries.clone(), latency, aggregated, switch);
                     report.merge(step);
                 }
             } else {
                 for &i in &group {
                     let (entries, latency) = self.poll_subjects(&subjects, switch);
                     report.asic_polls += 1;
+                    self.observe_poll(self.triggers[i].seed, entries.len(), latency, now);
                     let step = self.fire_poll(i, now, entries, latency, false, switch);
                     report.merge(step);
                 }
@@ -558,6 +665,23 @@ impl Soil {
             report.merge(step);
         }
         report
+    }
+
+    /// Records one actual ASIC poll into the instruments.
+    fn observe_poll(&self, seed: SeedId, subjects: usize, latency: Dur, now: Time) {
+        let Some(ins) = &self.instruments else {
+            return;
+        };
+        ins.asic_polls.inc();
+        ins.poll_latency_us.record(latency.as_nanos() / 1_000);
+        let switch_id = self.switch_id.0;
+        ins.telemetry.emit_with(|| Event::PollIssued {
+            at_ns: now.as_nanos(),
+            switch: switch_id,
+            seed: seed.0,
+            subjects: subjects as u64,
+            latency_ns: latency.as_nanos(),
+        });
     }
 
     fn fire_poll(
@@ -743,6 +867,21 @@ impl Soil {
         report
     }
 
+    /// Records one seed runtime error into the instruments.
+    fn observe_seed_error(&self, id: SeedId, err: &SeedError, now: Time) {
+        let Some(ins) = &self.instruments else {
+            return;
+        };
+        ins.seed_errors.inc();
+        let switch_id = self.switch_id.0;
+        ins.telemetry.emit_with(|| Event::SeedErrored {
+            at_ns: now.as_nanos(),
+            switch: switch_id,
+            seed: id.0,
+            message: err.to_string(),
+        });
+    }
+
     fn deliver(
         &mut self,
         id: SeedId,
@@ -765,10 +904,16 @@ impl Soil {
             seed.handle(event, &host)
         };
         report.deliveries += 1;
+        if let Some(ins) = &self.instruments {
+            ins.deliveries.inc();
+        }
         let machine = seed.machine_name().to_string();
         let task = self.tasks.get(&id).cloned().unwrap_or_default();
         match outcome {
-            Err(e) => report.errors.push((id, e)),
+            Err(e) => {
+                self.observe_seed_error(id, &e, now);
+                report.errors.push((id, e));
+            }
             Ok(out) => {
                 let compute = Dur::from_secs_f64(
                     (out.ops * self.config.cycles_per_op) as f64
@@ -785,6 +930,17 @@ impl Soil {
                     match effect {
                         Effect::Send { to, value } => {
                             let bytes = value_bytes(&value);
+                            if let Some(ins) = &self.instruments {
+                                ins.messages_out.inc();
+                                record_ipc_delivery(
+                                    &ins.telemetry,
+                                    self.switch_id.0,
+                                    id.0,
+                                    bytes,
+                                    now.as_nanos(),
+                                    channel_latency,
+                                );
+                            }
                             report.messages.push(OutboundMessage {
                                 from_switch: self.switch_id,
                                 from_seed: id,
@@ -804,7 +960,9 @@ impl Soil {
                                 r.pattern,
                                 to_rule_action(&r.action),
                             ) {
-                                report.errors.push((id, SeedError(e.to_string())));
+                                let err = SeedError(e.to_string());
+                                self.observe_seed_error(id, &err, now);
+                                report.errors.push((id, err));
                             }
                         }
                         Effect::RemoveRule(pattern) => {
@@ -833,7 +991,7 @@ fn advance_deadline(due: Time, ival: Dur, now: Time) -> Time {
     if next <= now {
         let behind = now.since(next).as_nanos();
         let periods = behind / ival.as_nanos().max(1) + 1;
-        next = next + Dur::from_nanos(periods * ival.as_nanos());
+        next += Dur::from_nanos(periods * ival.as_nanos());
     }
     next
 }
@@ -849,12 +1007,8 @@ mod tests {
     use farm_netsim::types::{FlowKey, Ipv4, PortId};
 
     fn compile(src: &str, machine: &str) -> Arc<CompiledMachine> {
-        let topo = Topology::spine_leaf(
-            1,
-            2,
-            SwitchModel::test_model(8),
-            SwitchModel::test_model(8),
-        );
+        let topo =
+            Topology::spine_leaf(1, 2, SwitchModel::test_model(8), SwitchModel::test_model(8));
         let ctl = SdnController::new(&topo);
         let program = frontend(src).unwrap();
         Arc::new(compile_machine(&program, machine, &ConstEnv::new(), &ctl).unwrap())
@@ -916,8 +1070,10 @@ mod tests {
 
     #[test]
     fn no_aggregation_polls_per_seed() {
-        let mut cfg = SoilConfig::default();
-        cfg.aggregation = false;
+        let cfg = SoilConfig {
+            aggregation: false,
+            ..SoilConfig::default()
+        };
         let mut soil = Soil::new(SwitchId(0), cfg);
         let mut switch = Switch::new(SwitchId(0), SwitchModel::test_model(8));
         let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
@@ -942,9 +1098,15 @@ mod tests {
             .deploy(def, "ddos", alloc(), Time::ZERO, &mut switch)
             .unwrap();
         // One shared Count rule despite two seeds.
-        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before + 1);
+        assert_eq!(
+            switch.tcam().region_used(TcamRegion::Monitoring),
+            before + 1
+        );
         soil.undeploy(a, &mut switch).unwrap();
-        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before + 1);
+        assert_eq!(
+            switch.tcam().region_used(TcamRegion::Monitoring),
+            before + 1
+        );
         soil.undeploy(b, &mut switch).unwrap();
         assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before);
     }
@@ -993,7 +1155,14 @@ mod tests {
         let mut soil_b = Soil::new(SwitchId(1), SoilConfig::default());
         let mut switch_b = Switch::new(SwitchId(1), SwitchModel::test_model(8));
         let new_id = soil_b
-            .import(def, "hh", alloc(), &snap, Time::from_millis(5), &mut switch_b)
+            .import(
+                def,
+                "hh",
+                alloc(),
+                &snap,
+                Time::from_millis(5),
+                &mut switch_b,
+            )
             .unwrap();
         assert_eq!(
             soil_b.seed(new_id).unwrap().var("threshold"),
@@ -1032,7 +1201,8 @@ mod tests {
                 &mut switch,
             )
             .unwrap_err();
-        assert!(err.0.contains("interval"), "{err}");
+        assert!(matches!(err, SoilError::BadTriggerInterval { .. }), "{err}");
+        assert!(err.to_string().contains("interval"), "{err}");
     }
 
     #[test]
@@ -1059,7 +1229,11 @@ mod tests {
     #[test]
     fn periodic_deadlines_do_not_drift() {
         assert_eq!(
-            advance_deadline(Time::from_millis(5), Dur::from_millis(5), Time::from_millis(5)),
+            advance_deadline(
+                Time::from_millis(5),
+                Dur::from_millis(5),
+                Time::from_millis(5)
+            ),
             Time::from_millis(10)
         );
         // Fell behind: catch up in whole periods beyond `now`.

@@ -14,12 +14,7 @@ use farm_soil::Effect;
 use proptest::prelude::*;
 
 fn compile(src: &str, machine: &str) -> Arc<CompiledMachine> {
-    let topo = Topology::spine_leaf(
-        1,
-        2,
-        SwitchModel::test_model(8),
-        SwitchModel::test_model(8),
-    );
+    let topo = Topology::spine_leaf(1, 2, SwitchModel::test_model(8), SwitchModel::test_model(8));
     let ctl = SdnController::new(&topo);
     let program = frontend(src).unwrap();
     Arc::new(compile_machine(&program, machine, &ConstEnv::new(), &ctl).unwrap())

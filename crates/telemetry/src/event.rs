@@ -1,0 +1,195 @@
+//! The typed event stream.
+//!
+//! Every observable state change in the FARM stack maps to one [`Event`]
+//! variant. Events carry plain scalars (switch ids as `u32`, times and
+//! latencies as nanoseconds in `u64`) so this crate sits below every
+//! runtime crate without depending on any of them.
+
+use std::fmt;
+
+/// Why a seed left a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UndeployReason {
+    /// The owning task was removed.
+    TaskRemoved,
+    /// The seed is leaving as the first half of a migration.
+    Migration,
+    /// The replanner dropped the placement.
+    Replanned,
+}
+
+/// Outcome of one replanning round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplanOutcome {
+    /// Every task kept or obtained a feasible placement.
+    Full,
+    /// Some tasks had to be dropped.
+    Partial,
+    /// The solver failed outright.
+    Failed,
+}
+
+/// One observable state change somewhere in the FARM stack.
+///
+/// All times are absolute simulation nanoseconds (`at_ns`), all
+/// durations are nanoseconds, all byte quantities are bytes. Switch ids
+/// are the raw `u32` behind `farm_netsim::types::SwitchId`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A seed instance started executing on a switch.
+    SeedDeployed {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        task: String,
+        /// PCIe poll budget granted, polls per second.
+        poll_interval_ns: u64,
+    },
+    /// A seed instance stopped executing on a switch.
+    SeedUndeployed {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        task: String,
+        reason: UndeployReason,
+    },
+    /// A seed moved between switches (emitted once per move, at commit).
+    SeedMigrated {
+        at_ns: u64,
+        from_switch: u32,
+        to_switch: u32,
+        task: String,
+        /// Serialized state carried across, bytes.
+        state_bytes: u64,
+    },
+    /// A seed's interpreter hit a runtime error.
+    SeedErrored {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        message: String,
+    },
+    /// A seed issued an ASIC poll over PCIe.
+    PollIssued {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        /// Port-stat entries fetched by the poll.
+        subjects: u64,
+        /// Queueing + transfer time on the PCIe bus.
+        latency_ns: u64,
+    },
+    /// Poll aggregation served a group of seeds from one ASIC read.
+    PollAggregated {
+        at_ns: u64,
+        switch: u32,
+        /// Seeds sharing the single poll.
+        group: u64,
+        /// ASIC reads avoided (`group - 1`).
+        saved: u64,
+    },
+    /// The PCIe bus of a switch crossed into (or out of) saturation.
+    PcieSaturation {
+        switch: u32,
+        /// Offered load / capacity for the current window.
+        utilization: f64,
+        /// True when entering saturation, false when recovering.
+        saturated: bool,
+    },
+    /// A message crossed the soil↔seed channel.
+    ChannelDelivery {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        bytes: u64,
+        /// Modeled one-hop IPC latency.
+        latency_ns: u64,
+    },
+    /// One named phase of a placement/LP solve finished.
+    SolverPhase {
+        /// Phase label, e.g. `"greedy"`, `"lp_redistribution"`.
+        phase: &'static str,
+        elapsed_ns: u64,
+        /// Items handled in the phase (tasks, switches, pivots...).
+        items: u64,
+    },
+    /// A replanning round completed.
+    ReplanCompleted {
+        at_ns: u64,
+        outcome: ReplanOutcome,
+        actions: u64,
+        dropped_tasks: u64,
+    },
+    /// A report reached a harvester (detection path closed).
+    HarvesterReport {
+        at_ns: u64,
+        task: String,
+        from_switch: u32,
+        bytes: u64,
+        /// Source-to-harvester latency of the report.
+        latency_ns: u64,
+    },
+}
+
+impl Event {
+    /// Stable kebab-case tag for the variant, used as the JSON `event`
+    /// field and for quick filtering in sinks.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SeedDeployed { .. } => "seed-deployed",
+            Event::SeedUndeployed { .. } => "seed-undeployed",
+            Event::SeedMigrated { .. } => "seed-migrated",
+            Event::SeedErrored { .. } => "seed-errored",
+            Event::PollIssued { .. } => "poll-issued",
+            Event::PollAggregated { .. } => "poll-aggregated",
+            Event::PcieSaturation { .. } => "pcie-saturation",
+            Event::ChannelDelivery { .. } => "channel-delivery",
+            Event::SolverPhase { .. } => "solver-phase",
+            Event::ReplanCompleted { .. } => "replan-completed",
+            Event::HarvesterReport { .. } => "harvester-report",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_kebab_case() {
+        let events = [
+            Event::SeedDeployed {
+                at_ns: 0,
+                switch: 0,
+                seed: 0,
+                task: String::new(),
+                poll_interval_ns: 0,
+            },
+            Event::PollAggregated {
+                at_ns: 0,
+                switch: 0,
+                group: 2,
+                saved: 1,
+            },
+            Event::SolverPhase {
+                phase: "greedy",
+                elapsed_ns: 1,
+                items: 1,
+            },
+        ];
+        let kinds: Vec<_> = events.iter().map(Event::kind).collect();
+        assert_eq!(kinds, ["seed-deployed", "poll-aggregated", "solver-phase"]);
+        for k in kinds {
+            assert!(k.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Pluggable event sinks.
+//!
+//! A sink receives every [`Event`] emitted anywhere in the stack. Sinks
+//! must be cheap and non-blocking: they run inline on simulation hot
+//! paths. Three implementations ship here — [`NullSink`] (drop
+//! everything), [`RingBufferSink`] (keep the last N in memory) and
+//! [`JsonLinesSink`] (serialize to any `Write`).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives emitted events. Implementations must tolerate concurrent
+/// calls (`Send + Sync`) and should never panic.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn record(&self, event: &Event);
+}
+
+/// Discards every event. Useful as an explicit "no observer" marker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory, dropping the
+/// oldest on overflow and counting how many were lost.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    inner: Mutex<Ring>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> RingBufferSink {
+        assert!(capacity > 0, "ring buffer sink needs capacity >= 1");
+        RingBufferSink {
+            inner: Mutex::new(Ring::default()),
+            capacity,
+        }
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("ring sink poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events lost to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring sink poisoned").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring sink poisoned").events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained events (the overflow count is kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("ring sink poisoned")
+            .events
+            .clear();
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&self, event: &Event) {
+        let mut ring = self.inner.lock().expect("ring sink poisoned");
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+/// Serializes each event as one JSON object per line to a `Write`.
+///
+/// The serialization is hand-rolled (this crate has zero dependencies):
+/// every event becomes `{"event":"<kind>",...fields}` with the fields in
+/// declaration order. Write errors are swallowed — telemetry must never
+/// take the simulation down.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// Wraps any writer (a `File`, `Vec<u8>`, `io::stdout()`, ...).
+    pub fn new(out: Box<dyn Write + Send>) -> JsonLinesSink {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("json sink poisoned").flush();
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn record(&self, event: &Event) {
+        let line = to_json_line(event);
+        let mut out = self.out.lock().expect("json sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+}
+
+/// Escapes a string for embedding in a JSON value.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one event as a single-line JSON object.
+pub fn to_json_line(event: &Event) -> String {
+    let mut f = JsonObj::new(event.kind());
+    match event {
+        Event::SeedDeployed {
+            at_ns,
+            switch,
+            seed,
+            task,
+            poll_interval_ns,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .str("task", task)
+                .num("poll_interval_ns", *poll_interval_ns);
+        }
+        Event::SeedUndeployed {
+            at_ns,
+            switch,
+            seed,
+            task,
+            reason,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .str("task", task)
+                .str("reason", &format!("{reason:?}"));
+        }
+        Event::SeedMigrated {
+            at_ns,
+            from_switch,
+            to_switch,
+            task,
+            state_bytes,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("from_switch", *from_switch as u64)
+                .num("to_switch", *to_switch as u64)
+                .str("task", task)
+                .num("state_bytes", *state_bytes);
+        }
+        Event::SeedErrored {
+            at_ns,
+            switch,
+            seed,
+            message,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .str("message", message);
+        }
+        Event::PollIssued {
+            at_ns,
+            switch,
+            seed,
+            subjects,
+            latency_ns,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .num("subjects", *subjects)
+                .num("latency_ns", *latency_ns);
+        }
+        Event::PollAggregated {
+            at_ns,
+            switch,
+            group,
+            saved,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("group", *group)
+                .num("saved", *saved);
+        }
+        Event::PcieSaturation {
+            switch,
+            utilization,
+            saturated,
+        } => {
+            f.num("switch", *switch as u64)
+                .float("utilization", *utilization)
+                .bool("saturated", *saturated);
+        }
+        Event::ChannelDelivery {
+            at_ns,
+            switch,
+            seed,
+            bytes,
+            latency_ns,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .num("bytes", *bytes)
+                .num("latency_ns", *latency_ns);
+        }
+        Event::SolverPhase {
+            phase,
+            elapsed_ns,
+            items,
+        } => {
+            f.str("phase", phase)
+                .num("elapsed_ns", *elapsed_ns)
+                .num("items", *items);
+        }
+        Event::ReplanCompleted {
+            at_ns,
+            outcome,
+            actions,
+            dropped_tasks,
+        } => {
+            f.num("at_ns", *at_ns)
+                .str("outcome", &format!("{outcome:?}"))
+                .num("actions", *actions)
+                .num("dropped_tasks", *dropped_tasks);
+        }
+        Event::HarvesterReport {
+            at_ns,
+            task,
+            from_switch,
+            bytes,
+            latency_ns,
+        } => {
+            f.num("at_ns", *at_ns)
+                .str("task", task)
+                .num("from_switch", *from_switch as u64)
+                .num("bytes", *bytes)
+                .num("latency_ns", *latency_ns);
+        }
+    }
+    f.finish()
+}
+
+/// Tiny JSON-object builder for [`to_json_line`].
+struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    fn new(kind: &str) -> JsonObj {
+        JsonObj {
+            buf: format!("{{\"event\":\"{}\"", escape(kind)),
+        }
+    }
+
+    fn num(&mut self, key: &str, v: u64) -> &mut JsonObj {
+        self.buf.push_str(&format!(",\"{key}\":{v}"));
+        self
+    }
+
+    fn float(&mut self, key: &str, v: f64) -> &mut JsonObj {
+        if v.is_finite() {
+            self.buf.push_str(&format!(",\"{key}\":{v}"));
+        } else {
+            self.buf.push_str(&format!(",\"{key}\":null"));
+        }
+        self
+    }
+
+    fn bool(&mut self, key: &str, v: bool) -> &mut JsonObj {
+        self.buf.push_str(&format!(",\"{key}\":{v}"));
+        self
+    }
+
+    fn str(&mut self, key: &str, v: &str) -> &mut JsonObj {
+        self.buf.push_str(&format!(",\"{key}\":\"{}\"", escape(v)));
+        self
+    }
+
+    fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deploy(seed: u64) -> Event {
+        Event::SeedDeployed {
+            at_ns: 1_000,
+            switch: 3,
+            seed,
+            task: "hh".to_string(),
+            poll_interval_ns: 50_000,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_retains_and_overflows() {
+        let sink = RingBufferSink::new(3);
+        for i in 0..5 {
+            sink.record(&deploy(i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let seeds: Vec<u64> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::SeedDeployed { seed, .. } => *seed,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seeds, [2, 3, 4], "oldest events are dropped first");
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 2, "clear keeps the overflow count");
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_event() {
+        let buf: Vec<u8> = Vec::new();
+        let line = to_json_line(&deploy(7));
+        assert_eq!(
+            line,
+            "{\"event\":\"seed-deployed\",\"at_ns\":1000,\"switch\":3,\
+             \"seed\":7,\"task\":\"hh\",\"poll_interval_ns\":50000}"
+        );
+        drop(buf);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let e = Event::SeedErrored {
+            at_ns: 0,
+            switch: 0,
+            seed: 0,
+            message: "bad \"value\"\nline2".to_string(),
+        };
+        let line = to_json_line(&e);
+        assert!(line.contains("bad \\\"value\\\"\\nline2"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn null_sink_ignores_everything() {
+        NullSink.record(&deploy(0));
+    }
+}

@@ -9,13 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use farm_almanac::value::Value;
-use farm_core::farm::{external, Farm, FarmConfig};
-use farm_core::harvester::CollectingHarvester;
-use farm_netsim::switch::SwitchModel;
+use farm_core::prelude::*;
 use farm_netsim::tcam::RuleAction;
-use farm_netsim::time::{Dur, Time};
-use farm_netsim::topology::Topology;
 use farm_netsim::traffic::{DdosConfig, DdosWorkload, Workload};
 
 fn main() {
@@ -25,8 +20,9 @@ fn main() {
         SwitchModel::accton_as7712(),
         SwitchModel::accton_as5712(),
     );
-    let mut farm = Farm::new(topology, FarmConfig::default());
-    farm.set_harvester("ddos", Box::new(CollectingHarvester::new()));
+    let mut farm = FarmBuilder::new(topology)
+        .with_harvester("ddos", Box::new(CollectingHarvester::new()))
+        .build();
 
     let leaf = farm.network().topology().leaves().next().unwrap();
     let victim_prefix = farm

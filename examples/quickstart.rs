@@ -8,32 +8,27 @@
 
 use std::collections::BTreeMap;
 
-use farm_core::farm::{Farm, FarmConfig};
-use farm_core::harvester::CollectingHarvester;
-use farm_netsim::switch::SwitchModel;
-use farm_netsim::time::{Dur, Time};
-use farm_netsim::topology::Topology;
+use farm_core::prelude::*;
 use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
 
 fn main() {
-    // 1. A 2-spine / 4-leaf fabric of the paper's Accton switches.
+    // 1. A 2-spine / 4-leaf fabric of the paper's Accton switches, with
+    //    the harvester registered up front via the builder.
     let topology = Topology::spine_leaf(
         2,
         4,
         SwitchModel::accton_as7712(),
         SwitchModel::accton_as5712(),
     );
-    let mut farm = Farm::new(topology, FarmConfig::default());
+    let mut farm = FarmBuilder::new(topology)
+        .with_config(FarmConfig::default())
+        .with_harvester("hh", Box::new(CollectingHarvester::new()))
+        .build();
 
-    // 2. Register a harvester and deploy the Tab. I heavy-hitter task —
-    //    `place all` puts one seed on every switch, placement-optimized.
-    farm.set_harvester("hh", Box::new(CollectingHarvester::new()));
+    // 2. Deploy the Tab. I heavy-hitter task — `place all` puts one seed
+    //    on every switch, placement-optimized.
     let plan = farm
-        .deploy_task(
-            "hh",
-            farm_almanac::programs::HEAVY_HITTER,
-            &BTreeMap::new(),
-        )
+        .deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
         .expect("HH compiles and places");
     println!(
         "deployed {} seeds (placement utility {:.1})",
@@ -53,7 +48,11 @@ fn main() {
     println!("ground truth heavy ports: {:?}", traffic.heavy_ports());
 
     // 4. Run 100 ms of virtual time at 1 ms ticks.
-    farm.run(&mut [&mut traffic], Time::from_millis(100), Dur::from_millis(1));
+    farm.run(
+        &mut [&mut traffic],
+        Time::from_millis(100),
+        Dur::from_millis(1),
+    );
 
     // 5. The seeds detected the hitters, installed TCAM reactions locally,
     //    and reported to the harvester.
@@ -80,4 +79,16 @@ fn main() {
         "monitoring traffic to the collector: {} bytes in 100 ms",
         farm.metrics().collector_bytes
     );
+    if let Some(d) = farm
+        .telemetry()
+        .snapshot()
+        .histogram("detection.latency_us")
+    {
+        println!(
+            "detection latency: p50 {:.0} µs, p99 {:.0} µs over {} reports",
+            d.p50.unwrap_or(0.0),
+            d.p99.unwrap_or(0.0),
+            d.count
+        );
+    }
 }

@@ -67,7 +67,11 @@ machine HH {{
         );
         farm.deploy_task("hh", &src, &BTreeMap::new()).unwrap();
         let mut traffic = HeavyHitterWorkload::new(hh_config(leaf));
-        farm.run(&mut [&mut traffic], Time::from_millis(100), Dur::from_millis(1));
+        farm.run(
+            &mut [&mut traffic],
+            Time::from_millis(100),
+            Dur::from_millis(1),
+        );
         let h: &CollectingHarvester = farm.harvester("hh").unwrap();
         h.first_arrival_after(Time::ZERO).unwrap().as_nanos() as f64 / 1e6
     };
@@ -94,7 +98,11 @@ machine HH {{
             now += Dur::from_millis(10);
             sflow.advance(now, &mut net);
         }
-        sflow.first_detection_after(Time::ZERO, leaf).unwrap().as_nanos() as f64 / 1e6
+        sflow
+            .first_detection_after(Time::ZERO, leaf)
+            .unwrap()
+            .as_nanos() as f64
+            / 1e6
     };
 
     // Sonata on an identical fresh fabric.
@@ -118,14 +126,21 @@ machine HH {{
             now += Dur::from_millis(50);
             sonata.advance(now);
         }
-        sonata.first_detection_after(Time::ZERO, leaf).unwrap().as_nanos() as f64 / 1e6
+        sonata
+            .first_detection_after(Time::ZERO, leaf)
+            .unwrap()
+            .as_nanos() as f64
+            / 1e6
     };
 
     assert!(
         farm_ms < sflow_ms && sflow_ms < sonata_ms,
         "detection ordering: FARM {farm_ms} < sFlow {sflow_ms} < Sonata {sonata_ms}"
     );
-    assert!(farm_ms < 5.0, "FARM must be in the millisecond band, got {farm_ms}");
+    assert!(
+        farm_ms < 5.0,
+        "FARM must be in the millisecond band, got {farm_ms}"
+    );
     assert!(
         sonata_ms / farm_ms > 500.0,
         "headline speedup must be orders of magnitude"
@@ -142,7 +157,11 @@ fn farm_collector_traffic_is_orders_of_magnitude_below_sflow() {
         farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
             .unwrap();
         let mut traffic = HeavyHitterWorkload::new(hh_config(leaf));
-        farm.run(&mut [&mut traffic], Time::from_secs(1), Dur::from_millis(10));
+        farm.run(
+            &mut [&mut traffic],
+            Time::from_secs(1),
+            Dur::from_millis(10),
+        );
         farm.metrics().collector_bytes
     };
 

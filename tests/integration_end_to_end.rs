@@ -3,9 +3,9 @@
 
 use std::collections::BTreeMap;
 
+use farm_almanac::value::Value;
 use farm_core::farm::{external, Farm, FarmConfig};
 use farm_core::harvester::{CollectingHarvester, HhThresholdHarvester};
-use farm_almanac::value::Value;
 use farm_netsim::switch::SwitchModel;
 use farm_netsim::tcam::RuleAction;
 use farm_netsim::time::{Dur, Time};
@@ -36,7 +36,11 @@ fn hh_detection_reaction_and_harvester_reporting() {
         ..Default::default()
     });
     let truth = traffic.heavy_ports();
-    farm.run(&mut [&mut traffic], Time::from_millis(60), Dur::from_millis(1));
+    farm.run(
+        &mut [&mut traffic],
+        Time::from_millis(60),
+        Dur::from_millis(1),
+    );
 
     // Reports reached the harvester from the loaded leaf.
     let h: &CollectingHarvester = farm.harvester("hh").unwrap();
@@ -49,9 +53,9 @@ fn hh_detection_reaction_and_harvester_reporting() {
             r.action == RuleAction::SetQos(1)
                 && r.pattern
                     == farm_netsim::types::FilterFormula::Atom(
-                        farm_netsim::types::FilterAtom::IfPort(
-                            farm_netsim::types::PortSel::Id(p.0),
-                        ),
+                        farm_netsim::types::FilterAtom::IfPort(farm_netsim::types::PortSel::Id(
+                            p.0,
+                        )),
                     )
         });
         assert!(reacted, "no local reaction for heavy port {p}");
@@ -82,7 +86,11 @@ fn harvester_retunes_thresholds_network_wide() {
         hh_ratio: 0.2,
         ..Default::default()
     });
-    farm.run(&mut [&mut traffic], Time::from_millis(50), Dur::from_millis(1));
+    farm.run(
+        &mut [&mut traffic],
+        Time::from_millis(50),
+        Dur::from_millis(1),
+    );
 
     let h: &HhThresholdHarvester = farm.harvester("hh").unwrap();
     assert!(h.retunes > 0, "harvester never retuned");
@@ -120,7 +128,11 @@ fn co_deployed_tasks_aggregate_polling_and_stay_isolated() {
         n_ports: 48,
         ..Default::default()
     });
-    farm.run(&mut [&mut traffic], Time::from_secs(3), Dur::from_millis(10));
+    farm.run(
+        &mut [&mut traffic],
+        Time::from_secs(3),
+        Dur::from_millis(10),
+    );
 
     // Aggregation: both tasks poll `port ANY`; the soils must have shared
     // ASIC transfers.
@@ -185,7 +197,11 @@ fn deterministic_given_the_same_seed() {
             seed: 99,
             ..Default::default()
         });
-        farm.run(&mut [&mut traffic], Time::from_millis(30), Dur::from_millis(1));
+        farm.run(
+            &mut [&mut traffic],
+            Time::from_millis(30),
+            Dur::from_millis(1),
+        );
         let h: &CollectingHarvester = farm.harvester("hh").unwrap();
         (
             farm.metrics().collector_bytes,
@@ -193,5 +209,9 @@ fn deterministic_given_the_same_seed() {
             h.first_arrival_after(Time::ZERO),
         )
     };
-    assert_eq!(run_once(), run_once(), "virtual-time runs must be reproducible");
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "virtual-time runs must be reproducible"
+    );
 }

@@ -3,9 +3,9 @@
 
 use std::collections::BTreeMap;
 
+use farm_almanac::value::Value;
 use farm_core::farm::{Farm, FarmConfig};
 use farm_core::seeder::PlannedAction;
-use farm_almanac::value::Value;
 use farm_netsim::switch::SwitchModel;
 use farm_netsim::topology::Topology;
 use farm_placement::heuristic::HeuristicOptions;
@@ -53,10 +53,7 @@ fn placement_spreads_flexible_seeds_for_utility() {
         .map(|id| farm.soil(*id).unwrap().num_seeds())
         .collect();
     let max = per_switch.iter().max().copied().unwrap();
-    assert!(
-        max <= 4,
-        "seeds piled up: distribution {per_switch:?}"
-    );
+    assert!(max <= 4, "seeds piled up: distribution {per_switch:?}");
 }
 
 #[test]
@@ -87,10 +84,7 @@ machine Big {
     }
     assert!(dropped_any, "capacity pressure must drop tasks");
     // Deployed seeds correspond exactly to the seeder's placements.
-    assert_eq!(
-        farm.deployed_seeds(),
-        farm.seeder().placements().count()
-    );
+    assert_eq!(farm.deployed_seeds(), farm.seeder().placements().count());
 }
 
 #[test]
@@ -115,7 +109,10 @@ fn reoptimization_migrates_seed_state() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    assert!(states_before.iter().any(|t| *t > 0), "seeds accumulated state");
+    assert!(
+        states_before.iter().any(|t| *t > 0),
+        "seeds accumulated state"
+    );
 
     // Re-plan; a stable world must not migrate.
     let plan = farm.replan().unwrap();
@@ -152,7 +149,10 @@ machine Pin {{
     farm.deploy_task("pin", &pin_src, &BTreeMap::new()).unwrap();
     let m = farm.metrics();
     if m.migrations > 0 {
-        assert!(m.migration_bytes > 0, "migrations must transfer state bytes");
+        assert!(
+            m.migration_bytes > 0,
+            "migrations must transfer state bytes"
+        );
     }
     // Whatever happened, every seed still runs and no state was lost to
     // zero across the fleet.

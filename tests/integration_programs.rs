@@ -75,7 +75,11 @@ fn ddos_program_mitigates_and_recovers() {
         ..Default::default()
     });
     // Phase 1: attack rages → rate limit must appear.
-    farm.run(&mut [&mut attack], Time::from_millis(600), Dur::from_millis(10));
+    farm.run(
+        &mut [&mut attack],
+        Time::from_millis(600),
+        Dur::from_millis(10),
+    );
     assert!(
         has_action(&farm, leaf, |a| matches!(a, RuleAction::RateLimit(_))),
         "DDoS mitigation missing"
@@ -149,7 +153,7 @@ fn ssh_brute_force_program_drops_the_attacker() {
             packets: 1,
         };
         farm.apply_traffic(&[ev]);
-        t = t + Dur::from_millis(200);
+        t += Dur::from_millis(200);
         farm.advance(t);
     }
     assert!(
@@ -174,12 +178,17 @@ fn syn_flood_program_rate_limits_the_target() {
             switch: leaf,
             rx_port: Some(PortId(0)),
             tx_port: None,
-            flow: FlowKey::tcp(Ipv4::new(203, 0, 113, (i % 250) as u8), 1000 + i, victim, 80),
+            flow: FlowKey::tcp(
+                Ipv4::new(203, 0, 113, (i % 250) as u8),
+                1000 + i,
+                victim,
+                80,
+            ),
             bytes: 64,
             packets: 1,
         };
         farm.apply_traffic(&[ev]);
-        t = t + Dur::from_millis(5);
+        t += Dur::from_millis(5);
         farm.advance(t);
     }
     farm.advance(Time::from_millis(1200)); // window timer fires
@@ -210,7 +219,7 @@ fn superspreader_program_flags_the_spreader() {
             packets: 1,
         };
         farm.apply_traffic(&[ev]);
-        t = t + Dur::from_millis(10);
+        t += Dur::from_millis(10);
         farm.advance(t);
     }
     farm.advance(Time::from_millis(2500)); // window fires
@@ -237,7 +246,11 @@ fn link_failure_program_reports_dead_ports() {
         hh_ratio: 0.0,
         ..Default::default()
     });
-    farm.run(&mut [&mut traffic], Time::from_millis(300), Dur::from_millis(10));
+    farm.run(
+        &mut [&mut traffic],
+        Time::from_millis(300),
+        Dur::from_millis(10),
+    );
     let h: &CollectingHarvester = farm.harvester("linkfail").unwrap();
     let before = h.received.len();
     // …then the link goes silent: counters freeze across polls.
@@ -265,7 +278,11 @@ fn entropy_program_alarms_on_traffic_concentration() {
         normal_rate_bps: 100_000_000,
         ..Default::default()
     });
-    farm.run(&mut [&mut uniform], Time::from_secs(2), Dur::from_millis(10));
+    farm.run(
+        &mut [&mut uniform],
+        Time::from_secs(2),
+        Dur::from_millis(10),
+    );
     let baseline_alarms = farm
         .harvester::<CollectingHarvester>("entropy")
         .unwrap()
@@ -283,7 +300,7 @@ fn entropy_program_alarms_on_traffic_concentration() {
             bytes: 50_000_000,
             packets: 33_000,
         }]);
-        t = t + Dur::from_millis(10);
+        t += Dur::from_millis(10);
         farm.advance(t);
     }
     let h: &CollectingHarvester = farm.harvester("entropy").unwrap();
@@ -336,7 +353,7 @@ fn new_tcp_conn_program_counts_connections() {
             bytes: 64,
             packets: 1,
         }]);
-        t = t + Dur::from_millis(20);
+        t += Dur::from_millis(20);
         farm.advance(t);
     }
     farm.advance(Time::from_millis(1100)); // report timer
