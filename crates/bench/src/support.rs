@@ -31,7 +31,13 @@ pub fn single_switch() -> Topology {
 
 /// Builds a FARM instance over a topology with the given soil config.
 pub fn farm_with(topology: Topology, soil: SoilConfig) -> Farm {
-    Farm::new(topology, FarmConfig { soil })
+    Farm::new(
+        topology,
+        FarmConfig {
+            soil,
+            ..FarmConfig::default()
+        },
+    )
 }
 
 /// A parametric HH machine polling every port at a fixed accuracy.

@@ -13,20 +13,21 @@
 //! so one registry accumulates the whole stack's counters and
 //! histograms and one sink set observes the whole event stream.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use farm_almanac::analysis::ConstEnv;
 use farm_almanac::compile::compile_task;
 use farm_almanac::value::{PacketRecord, Value};
+use farm_faults::{Delivery, FaultInjector, FaultKind, FaultPlan, LossModel};
 use farm_netsim::controller::SdnController;
 use farm_netsim::network::{Network, TrafficEvent};
-use farm_netsim::switch::Resources;
+use farm_netsim::switch::{ResourceKind, Resources};
 use farm_netsim::time::{Dur, Time};
 use farm_netsim::topology::Topology;
 use farm_netsim::traffic::Workload;
 use farm_netsim::types::{Proto, SwitchId};
-use farm_soil::{Endpoint, OutboundMessage, SeedId, Soil, SoilConfig};
+use farm_soil::{Endpoint, OutboundMessage, SeedId, SeedSnapshot, Soil, SoilConfig};
 use farm_telemetry::{
     Counter, Event, EventSink, Histogram, ReplanOutcome, Telemetry, UndeployReason,
 };
@@ -41,6 +42,58 @@ use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};
 pub struct FarmConfig {
     /// Soil configuration applied to every switch.
     pub soil: SoilConfig,
+    /// Failure detection and recovery knobs.
+    pub fault_tolerance: FaultToleranceConfig,
+}
+
+/// Failure detection and recovery knobs (§ "Failure model & recovery"
+/// in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultToleranceConfig {
+    /// Soil heartbeat period. Each round checkpoints live seeds and
+    /// drives the missed-heartbeat detector.
+    pub heartbeat_interval: Dur,
+    /// Consecutive missed heartbeats before a switch is declared failed
+    /// and its seeds are orphaned for re-placement.
+    pub miss_threshold: u32,
+    /// Re-placement attempts per orphaned seed before recovery is
+    /// abandoned.
+    pub max_recovery_attempts: u32,
+    /// Backoff before the first recovery retry; doubles per attempt.
+    pub recovery_backoff: Dur,
+    /// Extra delivery attempts for a harvester report dropped by a lossy
+    /// control channel before it is dead-lettered.
+    pub delivery_retries: u32,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            heartbeat_interval: Dur::from_millis(10),
+            miss_threshold: 3,
+            max_recovery_attempts: 5,
+            recovery_backoff: Dur::from_millis(5),
+            delivery_retries: 3,
+        }
+    }
+}
+
+/// Base seed for control-channel loss decision streams; per-switch
+/// models fork off it so runs replay identically.
+const LOSS_SEED_BASE: u64 = 0xFA12_5EED;
+
+/// One orphaned or shed seed awaiting re-placement.
+#[derive(Debug, Clone)]
+struct RecoveryItem {
+    /// Last checkpointed state, when one exists (warm restore).
+    snapshot: Option<SeedSnapshot>,
+    /// When the seed's host was lost (crash instant when known,
+    /// detection instant otherwise) — the MTTR clock starts here.
+    lost_at: Time,
+    /// Re-placement attempts consumed so far.
+    attempts: u32,
+    /// Earliest instant of the next attempt (exponential backoff).
+    next_at: Time,
 }
 
 /// Maximum message-routing rounds per step (seed→harvester→seed→… chains).
@@ -59,8 +112,14 @@ struct FarmCounters {
     migration_bytes: Arc<Counter>,
     seed_errors: Arc<Counter>,
     replans: Arc<Counter>,
+    heartbeats: Arc<Counter>,
+    delivery_retries: Arc<Counter>,
+    dead_letters: Arc<Counter>,
+    recoveries: Arc<Counter>,
     /// Source-to-harvester report latency, microseconds.
     detection_latency_us: Arc<Histogram>,
+    /// Seed outage duration (host lost → re-deployed), microseconds.
+    mttr_us: Arc<Histogram>,
 }
 
 impl FarmCounters {
@@ -76,7 +135,12 @@ impl FarmCounters {
             migration_bytes: telemetry.counter("farm.migration_bytes"),
             seed_errors: telemetry.counter("farm.seed_errors"),
             replans: telemetry.counter("farm.replans"),
+            heartbeats: telemetry.counter("farm.heartbeats"),
+            delivery_retries: telemetry.counter("farm.delivery_retries"),
+            dead_letters: telemetry.counter("farm.dead_letters"),
+            recoveries: telemetry.counter("farm.recoveries"),
             detection_latency_us: telemetry.latency_histogram("detection.latency_us"),
+            mttr_us: telemetry.latency_histogram("recovery.mttr_us"),
         }
     }
 }
@@ -103,6 +167,7 @@ pub struct FarmBuilder {
     config: FarmConfig,
     sinks: Vec<Arc<dyn EventSink>>,
     harvesters: Vec<(String, Box<dyn Harvester>)>,
+    fault_plan: FaultPlan,
 }
 
 impl FarmBuilder {
@@ -113,7 +178,15 @@ impl FarmBuilder {
             config: FarmConfig::default(),
             sinks: Vec::new(),
             harvesters: Vec::new(),
+            fault_plan: FaultPlan::new(),
         }
+    }
+
+    /// Schedules a deterministic fault plan; the farm injects its events
+    /// as virtual time advances. Equal plans yield equal runs.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> FarmBuilder {
+        self.fault_plan = plan;
+        self
     }
 
     /// Replaces the framework configuration.
@@ -156,6 +229,7 @@ impl FarmBuilder {
         let mut seeder = Seeder::new();
         seeder.set_telemetry(telemetry.clone());
         let counters = FarmCounters::new(&telemetry);
+        let ft = self.config.fault_tolerance;
         let mut farm = Farm {
             network,
             soils,
@@ -165,6 +239,17 @@ impl FarmBuilder {
             now: Time::ZERO,
             telemetry,
             counters,
+            soil_config: self.config.soil,
+            ft,
+            injector: FaultInjector::new(self.fault_plan),
+            heartbeat_due: Time::ZERO + ft.heartbeat_interval,
+            missed: BTreeMap::new(),
+            fenced: BTreeSet::new(),
+            down_since: BTreeMap::new(),
+            checkpoints: HashMap::new(),
+            recovery: BTreeMap::new(),
+            global_loss: None,
+            switch_loss: BTreeMap::new(),
         };
         for (task, h) in self.harvesters {
             farm.set_harvester(task, h);
@@ -183,6 +268,29 @@ pub struct Farm {
     now: Time,
     telemetry: Telemetry,
     counters: FarmCounters,
+    /// Kept so switches restarting after a crash get a fresh soil with
+    /// the same configuration.
+    soil_config: SoilConfig,
+    ft: FaultToleranceConfig,
+    injector: FaultInjector,
+    /// Next heartbeat round.
+    heartbeat_due: Time,
+    /// Consecutive missed heartbeats per unreachable switch.
+    missed: BTreeMap<SwitchId, u32>,
+    /// Switches declared failed; their stale seeds are killed when (if)
+    /// they rejoin, and they host nothing until then.
+    fenced: BTreeSet<SwitchId>,
+    /// Crash instant per currently-affected switch (starts the MTTR
+    /// clock for the seeds it hosted).
+    down_since: BTreeMap<SwitchId, Time>,
+    /// Last heartbeat checkpoint per live seed (restored on recovery).
+    checkpoints: HashMap<SeedKey, SeedSnapshot>,
+    /// Orphaned/shed seeds awaiting re-placement.
+    recovery: BTreeMap<SeedKey, RecoveryItem>,
+    /// Control-channel impairment for the whole management network.
+    global_loss: Option<LossModel>,
+    /// Control-channel impairment per switch (wins over `global_loss`).
+    switch_loss: BTreeMap<SwitchId, LossModel>,
 }
 
 impl Farm {
@@ -352,13 +460,7 @@ impl Farm {
     ///
     /// Soil-level failures while executing the plan.
     pub fn replan(&mut self) -> Result<Plan, Error> {
-        let caps: Vec<(SwitchId, Resources)> = self
-            .network
-            .topology()
-            .switches()
-            .iter()
-            .map(|n| (n.id, n.model.total_resources()))
-            .collect();
+        let caps = self.live_capacities();
         let plan = match self.seeder.plan(&caps) {
             Ok(plan) => plan,
             Err(msg) => {
@@ -406,10 +508,24 @@ impl Farm {
                         .seed_ids
                         .get(key)
                         .ok_or_else(|| Error::NotDeployed(key.to_string()))?;
-                    let snapshot = {
-                        let soil = self.soils.get_mut(from).expect("soil per switch");
-                        let switch = self.network.switch_mut(*from).expect("switch exists");
-                        soil.undeploy_with_reason(sid, UndeployReason::Migration, self.now, switch)?
+                    // A crashed source has no soil; fall back to the last
+                    // heartbeat checkpoint (or a cold snapshot) so the
+                    // migration degrades into a recovery-style import.
+                    let snapshot = match self.soils.get_mut(from) {
+                        Some(soil) => {
+                            let switch = self.network.switch_mut(*from).expect("switch exists");
+                            soil.undeploy_with_reason(
+                                sid,
+                                UndeployReason::Migration,
+                                self.now,
+                                switch,
+                            )?
+                        }
+                        None => self
+                            .checkpoints
+                            .get(key)
+                            .cloned()
+                            .ok_or_else(|| Error::NotDeployed(key.to_string()))?,
                     };
                     let bytes: u64 = snapshot
                         .vars
@@ -444,23 +560,26 @@ impl Farm {
                     if let (Some(sid), Some((swid, _))) =
                         (self.seed_ids.get(key), self.seeder.location_of(key))
                     {
-                        let soil = self.soils.get_mut(&swid).expect("soil per switch");
-                        let switch = self.network.switch_mut(swid).expect("switch exists");
-                        let report = soil.realloc(*sid, *alloc, self.now, switch)?;
-                        self.counters.seed_errors.add(report.errors.len() as u64);
-                        outbound.extend(report.messages);
+                        if let Some(soil) = self.soils.get_mut(&swid) {
+                            let switch = self.network.switch_mut(swid).expect("switch exists");
+                            let report = soil.realloc(*sid, *alloc, self.now, switch)?;
+                            self.counters.seed_errors.add(report.errors.len() as u64);
+                            outbound.extend(report.messages);
+                        }
                     }
                 }
                 PlannedAction::Undeploy { key, from } => {
                     if let Some(sid) = self.seed_ids.remove(key) {
-                        let soil = self.soils.get_mut(from).expect("soil per switch");
-                        let switch = self.network.switch_mut(*from).expect("switch exists");
-                        let _ = soil.undeploy_with_reason(
-                            sid,
-                            UndeployReason::Replanned,
-                            self.now,
-                            switch,
-                        )?;
+                        // A crashed host already lost the seed with it.
+                        if let Some(soil) = self.soils.get_mut(from) {
+                            let switch = self.network.switch_mut(*from).expect("switch exists");
+                            let _ = soil.undeploy_with_reason(
+                                sid,
+                                UndeployReason::Replanned,
+                                self.now,
+                                switch,
+                            )?;
+                        }
                     }
                 }
             }
@@ -488,7 +607,10 @@ impl Farm {
     /// probe triggers.
     pub fn apply_traffic(&mut self, events: &[TrafficEvent]) {
         self.network.apply_traffic(events);
-        let mut per_switch: HashMap<SwitchId, Vec<PacketRecord>> = HashMap::new();
+        // BTreeMap: switches process their samples in id order, so event
+        // traces are identical across runs (a HashMap here would make
+        // fault-replay traces nondeterministic).
+        let mut per_switch: BTreeMap<SwitchId, Vec<PacketRecord>> = BTreeMap::new();
         for e in events {
             per_switch
                 .entry(e.switch)
@@ -497,6 +619,9 @@ impl Farm {
         }
         let mut outbound = Vec::new();
         for (swid, pkts) in per_switch {
+            if !self.network.is_up(swid) {
+                continue;
+            }
             if let Some(soil) = self.soils.get_mut(&swid) {
                 let switch = self.network.switch_mut(swid).expect("switch exists");
                 let report = soil.offer_packets(&pkts, self.now, switch);
@@ -507,20 +632,462 @@ impl Farm {
         self.route(outbound);
     }
 
-    /// Advances virtual time to `to`: every soil fires its due triggers
-    /// and resulting messages are routed.
+    /// Advances virtual time to `to`: scheduled faults and heartbeat
+    /// rounds apply in timestamp order, every live soil fires its due
+    /// triggers, due recoveries run, and resulting messages are routed.
     pub fn advance(&mut self, to: Time) {
+        // Interleave fault injection and heartbeat rounds by timestamp;
+        // faults win ties so a heartbeat at the crash instant already
+        // sees the switch down.
+        loop {
+            let next_fault = self.injector.next_at().filter(|t| *t <= to);
+            let next_hb = Some(self.heartbeat_due).filter(|t| *t <= to);
+            match (next_fault, next_hb) {
+                (Some(f), Some(h)) if f <= h => self.apply_due_faults(f),
+                (Some(f), None) => self.apply_due_faults(f),
+                (None, Some(h)) | (Some(_), Some(h)) => {
+                    self.heartbeat_round(h);
+                    self.heartbeat_due = h + self.ft.heartbeat_interval;
+                }
+                (None, None) => break,
+            }
+        }
         let ids = self.network.switch_ids();
         let mut outbound = Vec::new();
         for id in ids {
-            let soil = self.soils.get_mut(&id).expect("soil per switch");
+            if !self.network.is_up(id) {
+                continue;
+            }
+            let Some(soil) = self.soils.get_mut(&id) else {
+                continue;
+            };
             let switch = self.network.switch_mut(id).expect("switch exists");
             let report = soil.advance(to, switch);
             self.counters.seed_errors.add(report.errors.len() as u64);
             outbound.extend(report.messages);
         }
         self.now = to;
+        outbound.extend(self.process_recovery());
         self.route(outbound);
+    }
+
+    /// Capacities the planner may use right now: up, reachable,
+    /// non-fenced switches at their *effective* (PCIe-degraded)
+    /// resources.
+    fn live_capacities(&self) -> Vec<(SwitchId, Resources)> {
+        self.network
+            .switch_ids()
+            .into_iter()
+            .filter(|id| {
+                self.network.is_up(*id)
+                    && self.network.is_reachable(*id)
+                    && !self.fenced.contains(id)
+            })
+            .map(|id| {
+                let sw = self.network.switch(id).expect("switch exists");
+                (id, sw.effective_resources())
+            })
+            .collect()
+    }
+
+    /// Applies every scheduled fault due at or before `at`.
+    fn apply_due_faults(&mut self, at: Time) {
+        for event in self.injector.take_due(at) {
+            self.apply_fault(event.at, event.kind);
+        }
+    }
+
+    fn apply_fault(&mut self, at: Time, kind: FaultKind) {
+        let at_ns = at.as_nanos();
+        match kind {
+            FaultKind::SwitchCrash { switch } => {
+                if !self.network.is_up(switch) {
+                    return;
+                }
+                self.network.set_switch_up(switch, false);
+                // The soil runtime dies with the switch: every seed on it
+                // is lost along with its un-checkpointed state.
+                self.soils.remove(&switch);
+                self.down_since.entry(switch).or_insert(at);
+                self.telemetry.emit_with(|| Event::SwitchCrashed {
+                    at_ns,
+                    switch: switch.0,
+                });
+            }
+            FaultKind::SwitchRestart { switch } => {
+                if self.network.is_up(switch) {
+                    return;
+                }
+                self.network.set_switch_up(switch, true);
+                let mut soil = Soil::new(switch, self.soil_config);
+                soil.set_telemetry(self.telemetry.clone());
+                self.soils.insert(switch, soil);
+                self.missed.remove(&switch);
+                self.telemetry.emit_with(|| Event::SwitchRestarted {
+                    at_ns,
+                    switch: switch.0,
+                });
+            }
+            FaultKind::LinkDown { a, b } => {
+                self.network.set_link_up(a, b, false);
+                self.telemetry.emit_with(|| Event::LinkDown {
+                    at_ns,
+                    a: a.0,
+                    b: b.0,
+                });
+            }
+            FaultKind::LinkUp { a, b } => {
+                self.network.set_link_up(a, b, true);
+                self.telemetry.emit_with(|| Event::LinkUp {
+                    at_ns,
+                    a: a.0,
+                    b: b.0,
+                });
+            }
+            FaultKind::ControlLoss { switch, spec } => match switch {
+                Some(sw) => {
+                    self.switch_loss
+                        .insert(sw, LossModel::new(spec, LOSS_SEED_BASE ^ (sw.0 as u64 + 1)));
+                }
+                None => self.global_loss = Some(LossModel::new(spec, LOSS_SEED_BASE)),
+            },
+            FaultKind::ControlHeal { switch } => match switch {
+                Some(sw) => {
+                    self.switch_loss.remove(&sw);
+                }
+                None => self.global_loss = None,
+            },
+            FaultKind::PcieDegrade { switch, factor } => {
+                let Some(sw) = self.network.switch_mut(switch) else {
+                    return;
+                };
+                sw.pcie_mut().set_degradation(factor);
+                // Graceful degradation: shed lowest-priority seeds until
+                // the surviving polling rate fits the degraded bus; shed
+                // seeds re-enter placement through the recovery queue.
+                let budget = sw.effective_resources().get(ResourceKind::PciePoll);
+                let shed = match self.soils.get_mut(&switch) {
+                    Some(soil) => soil.shed_over_poll_budget(budget, at, sw),
+                    None => Vec::new(),
+                };
+                for s in shed {
+                    let key = self
+                        .seed_ids
+                        .iter()
+                        .find(|(k, sid)| {
+                            **sid == s.seed
+                                && self.seeder.location_of(k).map(|(n, _)| n) == Some(switch)
+                        })
+                        .map(|(k, _)| k.clone());
+                    let Some(key) = key else { continue };
+                    self.seed_ids.remove(&key);
+                    self.seeder.forget(&key);
+                    self.checkpoints.remove(&key);
+                    self.recovery.insert(
+                        key,
+                        RecoveryItem {
+                            snapshot: Some(s.snapshot),
+                            lost_at: at,
+                            attempts: 0,
+                            next_at: at,
+                        },
+                    );
+                }
+            }
+            FaultKind::PcieRestore { switch } => {
+                if let Some(sw) = self.network.switch_mut(switch) {
+                    sw.pcie_mut().set_degradation(1.0);
+                }
+            }
+        }
+    }
+
+    /// One heartbeat round: reachable soils checkpoint their seeds (and
+    /// reveal state loss after a fast restart); unreachable switches
+    /// accumulate misses until the detector declares them failed and
+    /// orphans their seeds.
+    fn heartbeat_round(&mut self, at: Time) {
+        self.counters.heartbeats.inc();
+        let placements: BTreeMap<SeedKey, SwitchId> = self
+            .seeder
+            .placements()
+            .map(|(k, (n, _))| (k.clone(), *n))
+            .collect();
+        for id in self.network.switch_ids() {
+            let alive = self.network.is_up(id) && self.network.is_reachable(id);
+            if alive {
+                self.missed.remove(&id);
+                if self.fenced.remove(&id) {
+                    self.kill_stale_seeds(id, at, &placements);
+                }
+                for (key, _) in placements.iter().filter(|(_, n)| **n == id) {
+                    let snap = self
+                        .seed_ids
+                        .get(key)
+                        .and_then(|sid| self.soils.get(&id).and_then(|soil| soil.seed(*sid)))
+                        .map(|inst| inst.snapshot());
+                    match snap {
+                        Some(snap) => {
+                            self.checkpoints.insert(key.clone(), snap);
+                        }
+                        // The soil answers heartbeats but no longer hosts
+                        // the seed: the switch restarted cold before the
+                        // detector fired. Recover now.
+                        None => self.orphan_seed(key.clone(), id, at),
+                    }
+                }
+                self.down_since.remove(&id);
+            } else {
+                let missed = {
+                    let m = self.missed.entry(id).or_insert(0);
+                    *m += 1;
+                    *m
+                };
+                if missed >= self.ft.miss_threshold && !self.fenced.contains(&id) {
+                    self.fenced.insert(id);
+                    let at_ns = at.as_nanos();
+                    self.telemetry.emit_with(|| Event::SwitchDeclaredFailed {
+                        at_ns,
+                        switch: id.0,
+                        missed: missed as u64,
+                    });
+                    for key in self.seeder.evict_switch(id) {
+                        self.orphan_seed(key, id, at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kills seeds still running on a switch that rejoined after being
+    /// declared failed: their replacements live elsewhere, so keeping
+    /// the originals would double-run the task (split brain).
+    fn kill_stale_seeds(
+        &mut self,
+        id: SwitchId,
+        at: Time,
+        placements: &BTreeMap<SeedKey, SwitchId>,
+    ) {
+        let valid: BTreeSet<SeedId> = placements
+            .iter()
+            .filter(|(_, n)| **n == id)
+            .filter_map(|(k, _)| self.seed_ids.get(k).copied())
+            .collect();
+        let Some(soil) = self.soils.get_mut(&id) else {
+            return;
+        };
+        let stale: Vec<SeedId> = soil
+            .seeds()
+            .map(|s| s.id)
+            .filter(|sid| !valid.contains(sid))
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        let switch = self.network.switch_mut(id).expect("switch exists");
+        for sid in stale {
+            let _ = soil.undeploy_with_reason(sid, UndeployReason::Fenced, at, switch);
+        }
+    }
+
+    /// Moves one seed into the recovery queue: drops its placement
+    /// bookkeeping, grabs the last checkpoint and emits
+    /// [`Event::SeedOrphaned`].
+    fn orphan_seed(&mut self, key: SeedKey, from: SwitchId, at: Time) {
+        self.seeder.forget(&key);
+        let sid = self.seed_ids.remove(&key);
+        let snapshot = self.checkpoints.remove(&key);
+        let lost_at = self.down_since.get(&from).copied().unwrap_or(at);
+        let (at_ns, switch, seed, task, has_snapshot) = (
+            at.as_nanos(),
+            from.0,
+            sid.map_or(0, |s| s.0),
+            key.task.clone(),
+            snapshot.is_some(),
+        );
+        self.telemetry.emit_with(|| Event::SeedOrphaned {
+            at_ns,
+            switch,
+            seed,
+            task,
+            has_snapshot,
+        });
+        self.recovery.insert(
+            key,
+            RecoveryItem {
+                snapshot,
+                lost_at,
+                attempts: 0,
+                next_at: at,
+            },
+        );
+    }
+
+    /// Attempts to re-place every due orphaned/shed seed through the
+    /// regular placement heuristic. Seeds that cannot be placed yet back
+    /// off exponentially; after `max_recovery_attempts` recovery is
+    /// abandoned with an event.
+    fn process_recovery(&mut self) -> Vec<OutboundMessage> {
+        let now = self.now;
+        let due: Vec<SeedKey> = self
+            .recovery
+            .iter()
+            .filter(|(_, r)| r.next_at <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        if due.is_empty() {
+            return Vec::new();
+        }
+        let caps = self.live_capacities();
+        let plan = self.seeder.plan(&caps).ok();
+        let mut outbound = Vec::new();
+        for key in due {
+            let Some(mut item) = self.recovery.remove(&key) else {
+                continue;
+            };
+            item.attempts += 1;
+            let slot = plan.as_ref().and_then(|p| {
+                p.actions.iter().find_map(|a| match a {
+                    PlannedAction::Deploy { key: k, to, alloc } if *k == key => Some((*to, *alloc)),
+                    _ => None,
+                })
+            });
+            let deployed = slot.and_then(|(to, alloc)| {
+                self.try_recover_deploy(&key, to, alloc, &item, now, &mut outbound)
+            });
+            if deployed.is_some() {
+                continue;
+            }
+            if item.attempts >= self.ft.max_recovery_attempts {
+                let (at_ns, task) = (now.as_nanos(), key.task.clone());
+                let seed = key.seed as u64;
+                let attempts = item.attempts as u64;
+                self.telemetry.emit_with(|| Event::RecoveryAbandoned {
+                    at_ns,
+                    task,
+                    seed,
+                    attempts,
+                });
+                continue;
+            }
+            // Exponential backoff: base × 2^(attempts-1).
+            let factor = 1u64 << (item.attempts - 1).min(16);
+            item.next_at = now + Dur::from_nanos(self.ft.recovery_backoff.as_nanos() * factor);
+            self.recovery.insert(key, item);
+        }
+        outbound
+    }
+
+    /// One recovery deployment: cold deploy, then restore the checkpoint
+    /// when one exists. Returns `None` when the deploy failed (the
+    /// caller backs off and retries).
+    fn try_recover_deploy(
+        &mut self,
+        key: &SeedKey,
+        to: SwitchId,
+        alloc: Resources,
+        item: &RecoveryItem,
+        now: Time,
+        outbound: &mut Vec<OutboundMessage>,
+    ) -> Option<SeedId> {
+        let def = self.seeder.machine_of(key)?;
+        let soil = self.soils.get_mut(&to)?;
+        let switch = self.network.switch_mut(to).expect("switch exists");
+        let (sid, report) = soil.deploy(def, &key.task, alloc, now, switch).ok()?;
+        // A stale or mismatched checkpoint falls back to the cold start
+        // the deploy already performed.
+        let cold_start = match &item.snapshot {
+            Some(snap) => soil.restore_seed(sid, snap).is_err(),
+            None => true,
+        };
+        self.counters.seed_errors.add(report.errors.len() as u64);
+        outbound.extend(report.messages);
+        self.seed_ids.insert(key.clone(), sid);
+        self.seeder.commit(&PlannedAction::Deploy {
+            key: key.clone(),
+            to,
+            alloc,
+        });
+        let mttr = now.since(item.lost_at);
+        self.counters.recoveries.inc();
+        self.counters.mttr_us.record(mttr.as_nanos() / 1_000);
+        let (at_ns, switch_id, seed, task, attempts) = (
+            now.as_nanos(),
+            to.0,
+            sid.0,
+            key.task.clone(),
+            item.attempts as u64,
+        );
+        let mttr_ns = mttr.as_nanos();
+        self.telemetry.emit_with(|| Event::SeedRecovered {
+            at_ns,
+            switch: switch_id,
+            seed,
+            task,
+            cold_start,
+            mttr_ns,
+            attempts,
+        });
+        Some(sid)
+    }
+
+    /// Seeds currently waiting in the recovery queue.
+    pub fn recovery_pending(&self) -> usize {
+        self.recovery.len()
+    }
+
+    /// Switches currently declared failed by the heartbeat detector.
+    pub fn fenced_switches(&self) -> Vec<SwitchId> {
+        self.fenced.iter().copied().collect()
+    }
+
+    /// Replaces the scheduled fault plan (events already handed out are
+    /// not replayed).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = FaultInjector::new(plan);
+    }
+
+    /// Rolls the control-channel loss model for one harvester delivery
+    /// (the per-switch model wins over the global one). Dropped sends
+    /// retry up to `delivery_retries` times; after that the report is
+    /// dead-lettered. Returns the copies to deliver (0 = dead-lettered)
+    /// plus the channel's added delay.
+    fn roll_delivery(&mut self, from: SwitchId, task: &str) -> (u8, Dur) {
+        let Some(model) = self
+            .switch_loss
+            .get_mut(&from)
+            .or(self.global_loss.as_mut())
+        else {
+            return (1, Dur::ZERO);
+        };
+        let mut attempt: u64 = 0;
+        loop {
+            match model.roll() {
+                Delivery::Delivered { copies } => return (copies, model.delay()),
+                Delivery::Dropped => {
+                    attempt += 1;
+                    let at_ns = self.now.as_nanos();
+                    let task = task.to_string();
+                    if attempt > self.ft.delivery_retries as u64 {
+                        self.counters.dead_letters.inc();
+                        self.telemetry.emit_with(|| Event::DeliveryDeadLettered {
+                            at_ns,
+                            from_switch: from.0,
+                            task,
+                            attempts: attempt,
+                        });
+                        return (0, Dur::ZERO);
+                    }
+                    self.counters.delivery_retries.inc();
+                    self.telemetry.emit_with(|| Event::DeliveryRetried {
+                        at_ns,
+                        from_switch: from.0,
+                        task,
+                        attempt,
+                    });
+                }
+            }
+        }
     }
 
     /// Runs workloads against the fabric until `until`, stepping traffic
@@ -550,24 +1117,35 @@ impl Farm {
             for msg in messages.drain(..) {
                 match &msg.to {
                     Endpoint::Harvester => {
-                        self.counters.collector_messages.inc();
-                        self.counters.collector_bytes.add(msg.bytes);
-                        self.counters
-                            .detection_latency_us
-                            .record(msg.latency.as_nanos() / 1_000);
-                        let at_ns = self.now.as_nanos();
-                        self.telemetry.emit_with(|| Event::HarvesterReport {
-                            at_ns,
-                            task: msg.task.clone(),
-                            from_switch: msg.from_switch.0,
-                            bytes: msg.bytes,
-                            latency_ns: msg.latency.as_nanos(),
-                        });
-                        if let Some(h) = self.harvesters.get_mut(&msg.task) {
-                            let mut ctx = HarvesterCtx::new(self.now);
-                            h.on_message(&msg, &mut ctx);
-                            for cmd in ctx.commands {
-                                next.extend(self.apply_command(cmd));
+                        // Harvester reports cross the (possibly impaired)
+                        // control channel: drops retry up to the budget
+                        // then dead-letter; duplication delivers twice.
+                        let (copies, channel_delay) =
+                            self.roll_delivery(msg.from_switch, &msg.task);
+                        if copies == 0 {
+                            continue;
+                        }
+                        let latency = msg.latency + channel_delay;
+                        for _ in 0..copies {
+                            self.counters.collector_messages.inc();
+                            self.counters.collector_bytes.add(msg.bytes);
+                            self.counters
+                                .detection_latency_us
+                                .record(latency.as_nanos() / 1_000);
+                            let at_ns = self.now.as_nanos();
+                            self.telemetry.emit_with(|| Event::HarvesterReport {
+                                at_ns,
+                                task: msg.task.clone(),
+                                from_switch: msg.from_switch.0,
+                                bytes: msg.bytes,
+                                latency_ns: latency.as_nanos(),
+                            });
+                            if let Some(h) = self.harvesters.get_mut(&msg.task) {
+                                let mut ctx = HarvesterCtx::new(self.now);
+                                h.on_message(&msg, &mut ctx);
+                                for cmd in ctx.commands {
+                                    next.extend(self.apply_command(cmd));
+                                }
                             }
                         }
                     }

@@ -49,7 +49,7 @@ pub mod metrics;
 pub mod seeder;
 
 pub use error::{Error, FarmError};
-pub use farm::{external, Farm, FarmBuilder, FarmConfig};
+pub use farm::{external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig};
 pub use harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
 pub use metrics::Metrics;
 pub use seeder::{Plan, PlannedAction, SeedKey, Seeder};
@@ -61,11 +61,12 @@ pub use seeder::{Plan, PlannedAction, SeedKey, Seeder};
 /// ```
 pub mod prelude {
     pub use crate::error::{Error, FarmError};
-    pub use crate::farm::{external, Farm, FarmBuilder, FarmConfig};
+    pub use crate::farm::{external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig};
     pub use crate::harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
     pub use crate::metrics::Metrics;
     pub use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};
     pub use farm_almanac::value::Value;
+    pub use farm_faults::{ChurnProfile, FaultKind, FaultPlan, LossSpec};
     pub use farm_netsim::switch::SwitchModel;
     pub use farm_netsim::time::{Dur, Time};
     pub use farm_netsim::topology::Topology;

@@ -213,6 +213,30 @@ impl Seeder {
         })
     }
 
+    /// Drops the placement memory of every seed on `switch` (the switch
+    /// crashed or was declared failed) and returns their keys in
+    /// deterministic order. The next [`Seeder::plan`] sees those seeds as
+    /// unplaced and proposes fresh deployments for them.
+    pub fn evict_switch(&mut self, switch: SwitchId) -> Vec<SeedKey> {
+        let mut evicted: Vec<SeedKey> = self
+            .locations
+            .iter()
+            .filter(|(_, (n, _))| *n == switch)
+            .map(|(k, _)| k.clone())
+            .collect();
+        evicted.sort();
+        for key in &evicted {
+            self.locations.remove(key);
+        }
+        evicted
+    }
+
+    /// Drops the placement memory of a single seed (e.g. shed under
+    /// resource pressure). Returns whether the seed was known.
+    pub fn forget(&mut self, key: &SeedKey) -> bool {
+        self.locations.remove(key).is_some()
+    }
+
     /// Records that a planned action was executed (keeps the placement
     /// memory in sync).
     pub fn commit(&mut self, action: &PlannedAction) {
@@ -342,6 +366,40 @@ mod tests {
         // seeder itself reports no actions for unknown keys.
         let plan = seeder.plan(&caps).unwrap();
         assert!(plan.actions.is_empty());
+    }
+
+    #[test]
+    fn evicting_a_switch_forgets_only_its_seeds() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let task = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let mut seeder = Seeder::new();
+        seeder.register_task(task);
+        let caps = capacities(&topo);
+        for a in &seeder.plan(&caps).unwrap().actions {
+            seeder.commit(a);
+        }
+        let total = seeder.placements().count();
+        let victim = seeder.placements().next().unwrap().1 .0;
+        let evicted = seeder.evict_switch(victim);
+        assert!(!evicted.is_empty());
+        assert!(evicted.windows(2).all(|w| w[0] < w[1]), "sorted keys");
+        assert_eq!(seeder.placements().count(), total - evicted.len());
+        assert!(seeder.placements().all(|(_, (n, _))| *n != victim));
+        // The next plan re-deploys exactly the evicted seeds.
+        let plan = seeder.plan(&caps).unwrap();
+        let deploys: Vec<_> = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, PlannedAction::Deploy { .. }))
+            .collect();
+        assert_eq!(deploys.len(), evicted.len());
     }
 
     #[test]

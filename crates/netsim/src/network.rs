@@ -1,6 +1,7 @@
-//! A runnable network: topology plus instantiated switches.
+//! A runnable network: topology plus instantiated switches, including
+//! their failure state (down switches, down links, reachability).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use crate::switch::Switch;
 use crate::topology::Topology;
@@ -22,6 +23,20 @@ pub struct TrafficEvent {
 pub struct Network {
     topology: Topology,
     switches: HashMap<SwitchId, Switch>,
+    /// Switches currently crashed.
+    down: BTreeSet<SwitchId>,
+    /// Links currently down, stored with endpoints in sorted order.
+    links_down: BTreeSet<(SwitchId, SwitchId)>,
+    /// Kept so switches recreated after a crash get re-instrumented.
+    telemetry: Option<farm_telemetry::Telemetry>,
+}
+
+fn link_key(a: SwitchId, b: SwitchId) -> (SwitchId, SwitchId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl Network {
@@ -32,7 +47,13 @@ impl Network {
             .iter()
             .map(|n| (n.id, Switch::new(n.id, n.model.clone())))
             .collect();
-        Network { topology, switches }
+        Network {
+            topology,
+            switches,
+            down: BTreeSet::new(),
+            links_down: BTreeSet::new(),
+            telemetry: None,
+        }
     }
 
     /// The underlying topology.
@@ -65,12 +86,17 @@ impl Network {
     }
 
     /// Applies a batch of traffic events to the respective switches.
+    /// Traffic addressed to a crashed switch is silently discarded (the
+    /// ASIC is gone; the fabric reroutes around it).
     ///
     /// # Panics
     ///
     /// Panics if an event references an unknown switch.
     pub fn apply_traffic(&mut self, events: &[TrafficEvent]) {
         for e in events {
+            if self.down.contains(&e.switch) {
+                continue;
+            }
             let sw = self
                 .switches
                 .get_mut(&e.switch)
@@ -80,11 +106,106 @@ impl Network {
     }
 
     /// Attaches a telemetry handle to every switch (PCIe and polling
-    /// instruments); switches added later must be wired individually.
+    /// instruments). The handle is retained so switches recreated after a
+    /// crash ([`Network::reset_switch`]) stay instrumented.
     pub fn set_telemetry(&mut self, telemetry: &farm_telemetry::Telemetry) {
+        self.telemetry = Some(telemetry.clone());
         for sw in self.switches.values_mut() {
             sw.set_telemetry(telemetry.clone());
         }
+    }
+
+    /// True when the switch exists and is not crashed.
+    pub fn is_up(&self, id: SwitchId) -> bool {
+        self.switches.contains_key(&id) && !self.down.contains(&id)
+    }
+
+    /// Marks a switch crashed (`up = false`) or restores it. Restoring a
+    /// crashed switch resets it cold — ASIC state (TCAM, counters, meters)
+    /// from before the crash is lost.
+    pub fn set_switch_up(&mut self, id: SwitchId, up: bool) {
+        if !self.switches.contains_key(&id) {
+            return;
+        }
+        if up {
+            if self.down.remove(&id) {
+                self.reset_switch(id);
+            }
+        } else {
+            self.down.insert(id);
+        }
+    }
+
+    /// Ids of currently crashed switches, in order.
+    pub fn down_switches(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        self.down.iter().copied()
+    }
+
+    /// True when the (undirected) link between `a` and `b` carries traffic.
+    pub fn is_link_up(&self, a: SwitchId, b: SwitchId) -> bool {
+        !self.links_down.contains(&link_key(a, b))
+    }
+
+    /// Takes the link between `a` and `b` down or restores it.
+    pub fn set_link_up(&mut self, a: SwitchId, b: SwitchId, up: bool) {
+        if up {
+            self.links_down.remove(&link_key(a, b));
+        } else {
+            self.links_down.insert(link_key(a, b));
+        }
+    }
+
+    /// Links currently down, endpoints sorted.
+    pub fn down_links(&self) -> impl Iterator<Item = (SwitchId, SwitchId)> + '_ {
+        self.links_down.iter().copied()
+    }
+
+    /// True when `id` is up and reachable from at least one up spine over
+    /// up links (spines themselves only need to be up). With no spines in
+    /// the topology, reachability degenerates to "switch is up".
+    pub fn is_reachable(&self, id: SwitchId) -> bool {
+        if !self.is_up(id) {
+            return false;
+        }
+        let spines: Vec<SwitchId> = self.topology.spines().filter(|s| self.is_up(*s)).collect();
+        if self.topology.spines().next().is_none() {
+            return true;
+        }
+        if spines.is_empty() {
+            return false;
+        }
+        if spines.contains(&id) {
+            return true;
+        }
+        // BFS over up switches and up links from the live spines.
+        let mut seen: BTreeSet<SwitchId> = spines.iter().copied().collect();
+        let mut queue: VecDeque<SwitchId> = spines.into();
+        while let Some(u) = queue.pop_front() {
+            for &v in self.topology.neighbors(u) {
+                if !self.is_up(v) || !self.is_link_up(u, v) || !seen.insert(v) {
+                    continue;
+                }
+                if v == id {
+                    return true;
+                }
+                queue.push_back(v);
+            }
+        }
+        false
+    }
+
+    /// Replaces a switch with a factory-fresh instance of the same model
+    /// (cold boot: empty TCAM, zeroed counters and meters), re-attaching
+    /// telemetry when configured.
+    pub fn reset_switch(&mut self, id: SwitchId) {
+        let Some(node) = self.topology.node(id) else {
+            return;
+        };
+        let mut fresh = Switch::new(id, node.model.clone());
+        if let Some(t) = &self.telemetry {
+            fresh.set_telemetry(t.clone());
+        }
+        self.switches.insert(id, fresh);
     }
 
     /// Resets the per-window meters (CPU, PCIe) of every switch.
@@ -136,5 +257,85 @@ mod tests {
             net.switch(other).unwrap().port_counters(PortId(1)).tx_bytes,
             0
         );
+    }
+
+    #[test]
+    fn crashed_switch_drops_traffic_and_restarts_cold() {
+        let topo =
+            Topology::spine_leaf(1, 2, SwitchModel::test_model(4), SwitchModel::test_model(4));
+        let mut net = Network::new(topo);
+        let leaf = net.topology().leaves().next().unwrap();
+        let flow = FlowKey::tcp(Ipv4::new(10, 1, 0, 1), 1, Ipv4::new(10, 2, 0, 1), 80);
+        let ev = TrafficEvent {
+            switch: leaf,
+            rx_port: Some(PortId(0)),
+            tx_port: Some(PortId(1)),
+            flow,
+            bytes: 500,
+            packets: 1,
+        };
+        net.apply_traffic(std::slice::from_ref(&ev));
+        assert_eq!(
+            net.switch(leaf).unwrap().port_counters(PortId(1)).tx_bytes,
+            500
+        );
+
+        net.set_switch_up(leaf, false);
+        assert!(!net.is_up(leaf));
+        assert_eq!(net.down_switches().collect::<Vec<_>>(), vec![leaf]);
+        net.apply_traffic(std::slice::from_ref(&ev));
+
+        net.set_switch_up(leaf, true);
+        assert!(net.is_up(leaf));
+        // Cold boot: the pre-crash counters are gone.
+        assert_eq!(
+            net.switch(leaf).unwrap().port_counters(PortId(1)).tx_bytes,
+            0
+        );
+    }
+
+    #[test]
+    fn link_state_is_undirected() {
+        let topo =
+            Topology::spine_leaf(1, 2, SwitchModel::test_model(4), SwitchModel::test_model(4));
+        let mut net = Network::new(topo);
+        let spine = net.topology().spines().next().unwrap();
+        let leaf = net.topology().leaves().next().unwrap();
+        assert!(net.is_link_up(spine, leaf));
+        net.set_link_up(leaf, spine, false);
+        assert!(!net.is_link_up(spine, leaf));
+        assert_eq!(net.down_links().count(), 1);
+        net.set_link_up(spine, leaf, true);
+        assert!(net.is_link_up(leaf, spine));
+    }
+
+    #[test]
+    fn reachability_follows_up_links_and_switches() {
+        let topo =
+            Topology::spine_leaf(2, 2, SwitchModel::test_model(4), SwitchModel::test_model(4));
+        let mut net = Network::new(topo);
+        let spines: Vec<_> = net.topology().spines().collect();
+        let leaves: Vec<_> = net.topology().leaves().collect();
+        assert!(net.is_reachable(leaves[0]));
+
+        // Cutting one uplink leaves the other spine as a path.
+        net.set_link_up(spines[0], leaves[0], false);
+        assert!(net.is_reachable(leaves[0]));
+
+        // Cutting both isolates the leaf even though it is up.
+        net.set_link_up(spines[1], leaves[0], false);
+        assert!(net.is_up(leaves[0]));
+        assert!(!net.is_reachable(leaves[0]));
+        assert!(net.is_reachable(leaves[1]));
+
+        // A crashed switch is never reachable.
+        net.set_switch_up(leaves[1], false);
+        assert!(!net.is_reachable(leaves[1]));
+
+        // With every spine down nothing is reachable.
+        net.set_link_up(spines[0], leaves[0], true);
+        net.set_switch_up(spines[0], false);
+        net.set_switch_up(spines[1], false);
+        assert!(!net.is_reachable(leaves[0]));
     }
 }

@@ -53,6 +53,8 @@ pub struct PcieBus {
     switch_id: u32,
     /// Congestion state at the last observation, to emit transitions only.
     was_congested: bool,
+    /// Injected fault scaling: effective capacity = nominal × factor.
+    degradation: f64,
 }
 
 impl PcieBus {
@@ -66,6 +68,7 @@ impl PcieBus {
             telemetry: None,
             switch_id: 0,
             was_congested: false,
+            degradation: 1.0,
         }
     }
 
@@ -98,8 +101,26 @@ impl PcieBus {
             t.counter("pcie.bytes").add(bytes);
         }
         self.observe_saturation();
-        let transfer = Dur::from_secs_f64(bytes as f64 * 8.0 / self.spec.poll_capacity_bps as f64);
+        let transfer = Dur::from_secs_f64(bytes as f64 * 8.0 / self.effective_capacity_bps());
         PCIE_BASE_LATENCY + transfer + self.queueing_delay()
+    }
+
+    /// Scales the bus to `factor` × nominal capacity (an injected
+    /// degradation fault). Clamped to `[0.01, 1.0]`; pass `1.0` to
+    /// restore nominal bandwidth.
+    pub fn set_degradation(&mut self, factor: f64) {
+        self.degradation = factor.clamp(0.01, 1.0);
+        self.observe_saturation();
+    }
+
+    /// Current degradation factor (`1.0` = healthy).
+    pub fn degradation(&self) -> f64 {
+        self.degradation
+    }
+
+    /// Capacity after degradation, bits/s.
+    pub fn effective_capacity_bps(&self) -> f64 {
+        self.spec.poll_capacity_bps as f64 * self.degradation
     }
 
     /// Emits a [`Event::PcieSaturation`] when the bus crosses the
@@ -136,7 +157,7 @@ impl PcieBus {
     /// exceed 1 when demand outstrips the bus).
     pub fn utilization(&self) -> f64 {
         let offered_bps = self.bytes_requested as f64 * 8.0 / self.window.as_secs_f64();
-        offered_bps / self.spec.poll_capacity_bps as f64
+        offered_bps / self.effective_capacity_bps()
     }
 
     /// Utilization as a percentage (Fig. 8's y-axis).
@@ -237,6 +258,22 @@ mod tests {
         assert_eq!(events, [(7, true), (7, false)]);
         assert_eq!(telemetry.snapshot().counter("pcie.saturation_events"), 1);
         assert_eq!(telemetry.snapshot().counter("pcie.requests"), 2);
+    }
+
+    #[test]
+    fn degradation_scales_capacity_and_utilization() {
+        let mut bus = PcieBus::new(PcieSpec::measured());
+        bus.request(250_000); // 25 % of nominal
+        assert!((bus.utilization() - 0.25).abs() < 1e-9);
+        bus.set_degradation(0.25);
+        // Same offered load, a quarter of the capacity.
+        assert!((bus.utilization() - 1.0).abs() < 1e-9);
+        assert!(bus.is_congested());
+        bus.set_degradation(1.0);
+        assert!(!bus.is_congested());
+        // The clamp protects against zero/negative factors.
+        bus.set_degradation(0.0);
+        assert!((bus.degradation() - 0.01).abs() < 1e-12);
     }
 
     #[test]

@@ -321,6 +321,18 @@ impl Switch {
         r
     }
 
+    /// Nominal platform resources scaled by live fault state: PCIe-poll
+    /// capacity shrinks with the bus's injected degradation factor. This
+    /// is the budget placement and shedding should plan against.
+    pub fn effective_resources(&self) -> Resources {
+        let mut r = self.model.total_resources();
+        r.set(
+            ResourceKind::PciePoll,
+            r.get(ResourceKind::PciePoll) * self.pcie.degradation(),
+        );
+        r
+    }
+
     /// Records traffic of `flow` entering on `rx_port` and leaving on
     /// `tx_port`, updating port and TCAM counters. Either port may be
     /// `None` for traffic originating/terminating off-fabric.
@@ -477,6 +489,24 @@ mod tests {
             .unwrap();
         let after = sw.available_resources().get(ResourceKind::TcamEntries);
         assert_eq!(before - after, 1.0);
+    }
+
+    #[test]
+    fn effective_resources_shrink_with_pcie_degradation() {
+        let mut sw = test_switch();
+        let nominal = sw.effective_resources().get(ResourceKind::PciePoll);
+        assert_eq!(
+            nominal,
+            sw.model().total_resources().get(ResourceKind::PciePoll)
+        );
+        sw.pcie_mut().set_degradation(0.5);
+        let degraded = sw.effective_resources().get(ResourceKind::PciePoll);
+        assert!((degraded - nominal * 0.5).abs() < 1e-9);
+        // Other kinds are untouched.
+        assert_eq!(
+            sw.effective_resources().get(ResourceKind::VCpu),
+            sw.model().total_resources().get(ResourceKind::VCpu)
+        );
     }
 
     #[test]

@@ -207,11 +207,13 @@ pub fn solve_randomized(
                 ok = false;
                 break;
             };
+            // Candidates absent from the instance (e.g. crashed switches
+            // excluded from this solve) are simply not feasible.
             let feasible: Vec<SwitchId> = seed
                 .candidates
                 .iter()
                 .copied()
-                .filter(|n| states[n].fits(seed, &min_res))
+                .filter(|n| states.get(n).is_some_and(|st| st.fits(seed, &min_res)))
                 .collect();
             if feasible.is_empty() {
                 ok = false;
@@ -339,7 +341,9 @@ fn solve_heuristic_inner(
             // feasibility there is checked against the released state.
             let mut best: Option<(SwitchId, f64, bool)> = None;
             for &n in &seed.candidates {
-                let st = &states[&n];
+                // A candidate the instance does not offer (crashed or
+                // otherwise excluded switch) cannot host the seed.
+                let Some(st) = states.get(&n) else { continue };
                 let home = prev_switch == Some(n);
                 let feasible = if home {
                     let mut trial = st.clone();
@@ -470,7 +474,8 @@ fn solve_heuristic_inner(
                 if n == *cur {
                     continue;
                 }
-                if let Some(u) = achievable_utility(seed, &states[&n]) {
+                let Some(st) = states.get(&n) else { continue };
+                if let Some(u) = achievable_utility(seed, st) {
                     // Hysteresis: relocation must clearly pay (migration
                     // costs state transfer and double occupancy; "without
                     // unnecessary migration" per Alg. 1 step 2a), and the
@@ -493,8 +498,11 @@ fn solve_heuristic_inner(
             let Some((min_res, _)) = seed.util.min_feasible() else {
                 continue;
             };
-            let res = opportunistic_alloc(seed, &states[&n], &min_res);
-            if !states[&n].fits(seed, &res) {
+            let Some(target) = states.get(&n) else {
+                continue;
+            };
+            let res = opportunistic_alloc(seed, target, &min_res);
+            if !target.fits(seed, &res) {
                 continue;
             }
             // Commit only when the *realized* allocation clears the same
@@ -885,6 +893,28 @@ mod tests {
         let r = solve_heuristic(&inst, HeuristicOptions::default());
         validate(&inst, &r).unwrap();
         assert_eq!(r.placed(), 10, "aggregation must allow co-location");
+    }
+
+    #[test]
+    fn unknown_candidate_switches_are_skipped_not_panicked() {
+        // After a switch crash the replan instance omits the dead switch,
+        // but compiled candidate lists still name it. The solver must
+        // ignore such candidates — including in the migration pass, where
+        // the previous placement may also point at the dead switch.
+        let mut inst = instance(2, 1, 2);
+        for s in &mut inst.seeds {
+            s.candidates = vec![SwitchId(7), SwitchId(1), SwitchId(0)];
+        }
+        let mut prev = PreviousPlacement::default();
+        prev.assignment
+            .insert(0, (SwitchId(7), Resources::new(1.0, 0.0, 0.0, 0.0)));
+        inst.previous = Some(prev);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        validate(&inst, &r).unwrap();
+        assert_eq!(r.placed(), 2, "surviving switches must host the seeds");
+        for slot in r.assignment.iter().flatten() {
+            assert_ne!(slot.0, SwitchId(7), "dead switch must never be chosen");
+        }
     }
 
     #[test]

@@ -182,10 +182,17 @@ impl<T> SharedRingBuffer<T> {
     }
 
     /// Pop with a timeout; `None` when it elapses empty.
+    ///
+    /// Blocks on the condvar (no spinning) and re-waits until the full
+    /// deadline on spurious wakeups or when a concurrent consumer races
+    /// the item away — a single `wait_for` would return early then.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
         let mut q = self.inner.lock();
-        if q.is_empty() {
-            self.not_empty.wait_for(&mut q, timeout);
+        while q.is_empty() {
+            if self.not_empty.wait_until(&mut q, deadline).timed_out() {
+                return q.pop_front();
+            }
         }
         let item = q.pop_front();
         if item.is_some() {
@@ -282,7 +289,48 @@ mod tests {
     #[test]
     fn pop_timeout_elapses_on_empty_buffer() {
         let rb: SharedRingBuffer<u8> = SharedRingBuffer::new(1);
+        let start = std::time::Instant::now();
         assert_eq!(rb.pop_timeout(Duration::from_millis(10)), None);
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "must block for the full timeout, not return early"
+        );
+    }
+
+    #[test]
+    fn pop_timeout_survives_a_racing_consumer() {
+        // A notified waiter whose item was raced away by try_pop must
+        // keep waiting for the next item instead of returning None.
+        let rb: Arc<SharedRingBuffer<u32>> = Arc::new(SharedRingBuffer::new(4));
+        let waiter = {
+            let rb = Arc::clone(&rb);
+            std::thread::spawn(move || rb.pop_timeout(Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        rb.push(1); // wakes the waiter...
+        while rb.try_pop().is_none() {
+            // ...but this thread may steal the item first.
+            if waiter.is_finished() {
+                break;
+            }
+        }
+        rb.push(2); // the waiter must still get this one
+        let got = waiter.join().unwrap();
+        assert!(got.is_some(), "waiter returned before its deadline");
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let rb: Arc<SharedRingBuffer<u32>> = Arc::new(SharedRingBuffer::new(1));
+        rb.push(1);
+        let pusher = {
+            let rb = Arc::clone(&rb);
+            std::thread::spawn(move || rb.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rb.try_pop(), Some(1));
+        pusher.join().unwrap();
+        assert_eq!(rb.try_pop(), Some(2));
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub mod soil;
 
 pub use channel::{record_ipc_delivery, ChannelKind, CommModel, ExecMode, SharedRingBuffer};
 pub use interp::{Effect, Endpoint, SeedError, SeedEvent, SeedId, SeedInstance, SeedSnapshot};
-pub use soil::{OutboundMessage, Soil, SoilConfig, SoilError, SoilStats, TickReport};
+pub use soil::{OutboundMessage, ShedSeed, Soil, SoilConfig, SoilError, SoilStats, TickReport};

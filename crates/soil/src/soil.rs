@@ -16,12 +16,12 @@ use farm_almanac::analysis::PollSubject;
 use farm_almanac::ast::TriggerType;
 use farm_almanac::compile::CompiledMachine;
 use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
-use farm_netsim::switch::{Resources, Switch};
+use farm_netsim::switch::{ResourceKind, Resources, Switch};
 use farm_netsim::tcam::{RuleAction, RuleId, TcamRegion};
 use farm_netsim::time::{Dur, Time};
 use farm_netsim::types::{FilterFormula, PortSel, SwitchId};
 
-use farm_telemetry::{Counter, Event, Histogram, Telemetry, UndeployReason};
+use farm_telemetry::{Counter, Event, Histogram, PressureResource, Telemetry, UndeployReason};
 
 use crate::channel::{record_ipc_delivery, CommModel};
 use crate::interp::{
@@ -73,6 +73,16 @@ pub enum SoilError {
     UnknownSeed(SeedId),
     /// A migrated snapshot could not be restored into the new instance.
     Restore(String),
+    /// Seeds no longer fit the switch's (possibly degraded) resource
+    /// budget; the soil sheds rather than failing the tick. Carried as
+    /// the structured reason on [`ShedSeed`].
+    ResourcePressure {
+        resource: ResourceKind,
+        /// Demand on the pressured resource across deployed seeds.
+        demand: f64,
+        /// The budget the demand exceeded.
+        budget: f64,
+    },
 }
 
 impl fmt::Display for SoilError {
@@ -91,8 +101,28 @@ impl fmt::Display for SoilError {
             }
             SoilError::UnknownSeed(id) => write!(f, "soil error: unknown seed {id}"),
             SoilError::Restore(e) => write!(f, "soil error: cannot restore snapshot: {e}"),
+            SoilError::ResourcePressure {
+                resource,
+                demand,
+                budget,
+            } => write!(
+                f,
+                "soil error: resource pressure on {resource}: demand {demand:.2} exceeds budget {budget:.2}"
+            ),
         }
     }
+}
+
+/// A seed the soil dropped under resource pressure, with everything the
+/// control plane needs to re-place it elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedSeed {
+    pub seed: SeedId,
+    pub task: String,
+    /// State captured at shed time, for warm recovery.
+    pub snapshot: SeedSnapshot,
+    /// The structured [`SoilError::ResourcePressure`] that forced the shed.
+    pub reason: SoilError,
 }
 
 impl std::error::Error for SoilError {}
@@ -187,6 +217,16 @@ impl SeedHost for SwitchHost<'_> {
                 pattern: r.pattern.clone(),
                 action: from_rule_action(&r.action),
             })
+    }
+}
+
+/// Maps the soil's resource kinds onto telemetry's dependency-free enum.
+fn pressure_resource(kind: ResourceKind) -> PressureResource {
+    match kind {
+        ResourceKind::VCpu => PressureResource::Cpu,
+        ResourceKind::RamMb => PressureResource::Ram,
+        ResourceKind::TcamEntries => PressureResource::Tcam,
+        ResourceKind::PciePoll => PressureResource::PciePoll,
     }
 }
 
@@ -374,12 +414,18 @@ impl Soil {
                 baseline: HashMap::new(),
             });
         }
-        // Install flow-level polling subjects as Count rules.
+        // Install flow-level polling subjects as Count rules. Track both
+        // freshly installed rules and refcounts claimed on pre-existing
+        // ones, so a failure mid-deploy rolls back *everything* this
+        // deploy touched (a claimed refcount leaks the TCAM entry forever
+        // otherwise: the shared rule would never drop back to zero).
         let mut installed: Vec<String> = Vec::new();
+        let mut claimed: Vec<String> = Vec::new();
         for s in scheds.iter().flat_map(|t| t.subjects.iter()) {
             if let PollSubject::Rule(key) = s {
                 if let Some((_, refs)) = self.rule_refs.get_mut(key) {
                     *refs += 1;
+                    claimed.push(key.clone());
                     continue;
                 }
                 let formula = scheds
@@ -398,12 +444,7 @@ impl Soil {
                         installed.push(key.clone());
                     }
                     Err(e) => {
-                        // Roll back rules installed for this deploy.
-                        for key in installed {
-                            if let Some((rid, _)) = self.rule_refs.remove(&key) {
-                                let _ = switch.tcam_mut().remove_rule(rid);
-                            }
-                        }
+                        self.rollback_rules(&installed, &claimed, switch);
                         return Err(SoilError::TcamInstall(e.to_string()));
                     }
                 }
@@ -431,6 +472,27 @@ impl Soil {
         let report = self.deliver(id, &SeedEvent::Enter, now, switch, Dur::ZERO);
         self.stats.deliveries += report.deliveries;
         Ok((id, report))
+    }
+
+    /// Undoes the TCAM side of a partially completed deploy: removes
+    /// rules it installed and releases refcounts it claimed on shared
+    /// rules (dropping those rules too when the count reaches zero).
+    fn rollback_rules(&mut self, installed: &[String], claimed: &[String], switch: &mut Switch) {
+        for key in installed {
+            if let Some((rid, _)) = self.rule_refs.remove(key) {
+                let _ = switch.tcam_mut().remove_rule(rid);
+            }
+        }
+        for key in claimed {
+            if let Some((rid, refs)) = self.rule_refs.get_mut(key) {
+                *refs -= 1;
+                if *refs == 0 {
+                    let rid = *rid;
+                    self.rule_refs.remove(key);
+                    let _ = switch.tcam_mut().remove_rule(rid);
+                }
+            }
+        }
     }
 
     /// Removes a seed, returning its state snapshot (for migration).
@@ -504,12 +566,161 @@ impl Soil {
         switch: &mut Switch,
     ) -> Result<SeedId, SoilError> {
         let (id, _) = self.deploy(def, task, alloc, now, switch)?;
+        if let Err(e) = self.restore_seed(id, snapshot) {
+            // Don't leave a half-imported seed deployed: roll the deploy
+            // back so the caller can retry or cold-start cleanly.
+            let _ = self.undeploy(id, switch);
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Restores a deployed seed's interpreter state from a snapshot
+    /// (recovery after a crash: cold deploy first, then restore).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the seed is unknown or the snapshot does not match the
+    /// seed's machine; the seed keeps its current (cold) state then.
+    pub fn restore_seed(&mut self, id: SeedId, snapshot: &SeedSnapshot) -> Result<(), SoilError> {
         self.seeds
             .get_mut(&id)
-            .expect("just deployed")
+            .ok_or(SoilError::UnknownSeed(id))?
             .restore(snapshot)
-            .map_err(|e| SoilError::Restore(e.to_string()))?;
-        Ok(id)
+            .map_err(|e| SoilError::Restore(e.to_string()))
+    }
+
+    /// Sheds seeds until the deployed set fits `budget`, dropping the
+    /// highest [`SeedId`] (lowest priority: the most recently deployed)
+    /// first. Each shed seed is undeployed with a snapshot and a
+    /// structured [`SoilError::ResourcePressure`] reason so the control
+    /// plane can re-place it — the tick itself never fails.
+    pub fn shed_over_budget(
+        &mut self,
+        budget: Resources,
+        now: Time,
+        switch: &mut Switch,
+    ) -> Vec<ShedSeed> {
+        let mut shed = Vec::new();
+        loop {
+            let in_use = self.resources_in_use();
+            let Some(kind) = ResourceKind::ALL
+                .into_iter()
+                .find(|k| in_use.get(*k) > budget.get(*k) + 1e-9)
+            else {
+                break;
+            };
+            let Some(victim) = self.seeds.keys().next_back().copied() else {
+                break;
+            };
+            let task = self.tasks.get(&victim).cloned().unwrap_or_default();
+            let reason = SoilError::ResourcePressure {
+                resource: kind,
+                demand: in_use.get(kind),
+                budget: budget.get(kind),
+            };
+            if let Some(ins) = &self.instruments {
+                ins.telemetry.counter("soil.seeds_shed").inc();
+                let (switch_id, task, demand, budget_v) = (
+                    self.switch_id.0,
+                    task.clone(),
+                    in_use.get(kind),
+                    budget.get(kind),
+                );
+                ins.telemetry.emit_with(|| Event::SeedShed {
+                    at_ns: now.as_nanos(),
+                    switch: switch_id,
+                    seed: victim.0,
+                    task,
+                    resource: pressure_resource(kind),
+                    demand,
+                    budget: budget_v,
+                });
+            }
+            let Ok(snapshot) = self.undeploy_with_reason(victim, UndeployReason::Shed, now, switch)
+            else {
+                break;
+            };
+            shed.push(ShedSeed {
+                seed: victim,
+                task,
+                snapshot,
+                reason,
+            });
+        }
+        shed
+    }
+
+    /// Aggregate ASIC statistics-polling rate across all deployed seeds,
+    /// in polls per second — the load the PCIe bus must sustain, in the
+    /// same unit as the [`ResourceKind::PciePoll`] capacity.
+    pub fn poll_rate_per_sec(&self) -> f64 {
+        self.triggers
+            .iter()
+            .filter(|t| t.kind == TriggerType::Poll)
+            .map(|t| {
+                let s = t.ival.as_secs_f64();
+                if s > 0.0 {
+                    1.0 / s
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Sheds lowest-priority seeds while the aggregate polling rate
+    /// exceeds `polls_per_sec`. This is the degraded-PCIe companion of
+    /// [`Soil::shed_over_budget`]: it budgets the *polling rate* in
+    /// polls/second (the unit of [`ResourceKind::PciePoll`] capacities)
+    /// rather than granted allocations, so a degraded bus sheds exactly
+    /// the seeds whose polling it can no longer carry.
+    pub fn shed_over_poll_budget(
+        &mut self,
+        polls_per_sec: f64,
+        now: Time,
+        switch: &mut Switch,
+    ) -> Vec<ShedSeed> {
+        let mut shed = Vec::new();
+        loop {
+            let rate = self.poll_rate_per_sec();
+            if rate <= polls_per_sec + 1e-9 {
+                break;
+            }
+            let Some(victim) = self.seeds.keys().next_back().copied() else {
+                break;
+            };
+            let task = self.tasks.get(&victim).cloned().unwrap_or_default();
+            let reason = SoilError::ResourcePressure {
+                resource: ResourceKind::PciePoll,
+                demand: rate,
+                budget: polls_per_sec,
+            };
+            if let Some(ins) = &self.instruments {
+                ins.telemetry.counter("soil.seeds_shed").inc();
+                let (switch_id, task) = (self.switch_id.0, task.clone());
+                ins.telemetry.emit_with(|| Event::SeedShed {
+                    at_ns: now.as_nanos(),
+                    switch: switch_id,
+                    seed: victim.0,
+                    task,
+                    resource: pressure_resource(ResourceKind::PciePoll),
+                    demand: rate,
+                    budget: polls_per_sec,
+                });
+            }
+            let Ok(snapshot) = self.undeploy_with_reason(victim, UndeployReason::Shed, now, switch)
+            else {
+                break;
+            };
+            shed.push(ShedSeed {
+                seed: victim,
+                task,
+                snapshot,
+                reason,
+            });
+        }
+        shed
     }
 
     /// Changes a seed's allocation (the seeder's `realloc`), recomputing
@@ -1109,6 +1320,122 @@ mod tests {
         );
         soil.undeploy(b, &mut switch).unwrap();
         assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before);
+    }
+
+    #[test]
+    fn failed_deploy_rolls_back_claimed_refcounts() {
+        // A switch whose monitoring region holds exactly one rule.
+        let model = SwitchModel {
+            tcam_capacity: 8,
+            tcam_monitoring_reserve: 1,
+            ..SwitchModel::test_model(8)
+        };
+        let mut switch = Switch::new(SwitchId(0), model);
+        let mut soil = Soil::new(SwitchId(0), SoilConfig::default());
+
+        // Seed A installs the single rule the region can hold.
+        let one = compile(
+            r#"machine One {
+                 place any;
+                 poll p = Poll { .ival = 10, .what = dstIP "10.0.1.0/24" };
+                 state s { }
+               }"#,
+            "One",
+        );
+        let (a, _) = soil
+            .deploy(one, "one", alloc(), Time::ZERO, &mut switch)
+            .unwrap();
+        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), 1);
+
+        // Seed B shares A's rule (refcount claim) but also needs a second
+        // rule the full region rejects — the whole deploy must fail AND
+        // release the claimed refcount.
+        let two = compile(
+            r#"machine Two {
+                 place any;
+                 poll p = Poll { .ival = 10, .what = dstIP "10.0.1.0/24" };
+                 poll q = Poll { .ival = 10, .what = dstIP "10.0.2.0/24" };
+                 state s { }
+               }"#,
+            "Two",
+        );
+        let err = soil
+            .deploy(two, "two", alloc(), Time::ZERO, &mut switch)
+            .unwrap_err();
+        assert!(matches!(err, SoilError::TcamInstall(_)), "{err}");
+        assert_eq!(soil.num_seeds(), 1);
+
+        // Regression: undeploying A must now drop the shared rule to
+        // zero refs and free the TCAM entry. With the leak, B's claimed
+        // refcount kept the entry installed forever.
+        soil.undeploy(a, &mut switch).unwrap();
+        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), 0);
+    }
+
+    #[test]
+    fn import_restore_failure_rolls_back_the_deploy() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let bogus = SeedSnapshot {
+            machine: "NotHH".to_string(),
+            state: "nope".to_string(),
+            vars: vec![],
+        };
+        let before = switch.tcam().region_used(TcamRegion::Monitoring);
+        let err = soil
+            .import(def, "hh", alloc(), &bogus, Time::ZERO, &mut switch)
+            .unwrap_err();
+        assert!(matches!(err, SoilError::Restore(_)), "{err}");
+        // The half-imported seed is gone and the TCAM is clean.
+        assert_eq!(soil.num_seeds(), 0);
+        assert_eq!(switch.tcam().region_used(TcamRegion::Monitoring), before);
+    }
+
+    #[test]
+    fn shedding_drops_lowest_priority_seeds_with_reason() {
+        let (mut soil, mut switch) = rig();
+        let def = compile(farm_almanac::programs::HEAVY_HITTER, "HH");
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let (id, _) = soil
+                .deploy(def.clone(), "hh", alloc(), Time::ZERO, &mut switch)
+                .unwrap();
+            ids.push(id);
+        }
+        // Three seeds use 30 PCIe polls; a degraded budget of 12 keeps
+        // exactly one.
+        let budget = Resources::new(100.0, 10_000.0, 64.0, 12.0);
+        let shed = soil.shed_over_budget(budget, Time::from_millis(1), &mut switch);
+        assert_eq!(shed.len(), 2);
+        // Highest SeedId (lowest priority) goes first.
+        assert_eq!(shed[0].seed, ids[2]);
+        assert_eq!(shed[1].seed, ids[1]);
+        assert!(matches!(
+            shed[0].reason,
+            SoilError::ResourcePressure {
+                resource: ResourceKind::PciePoll,
+                ..
+            }
+        ));
+        assert_eq!(soil.num_seeds(), 1);
+        assert!(soil.seed(ids[0]).is_some());
+        // The fit now holds; shedding again is a no-op.
+        assert!(soil
+            .shed_over_budget(budget, Time::from_millis(2), &mut switch)
+            .is_empty());
+        // Snapshots are restorable: re-import the shed seed elsewhere.
+        let mut soil_b = Soil::new(SwitchId(1), SoilConfig::default());
+        let mut switch_b = Switch::new(SwitchId(1), SwitchModel::test_model(8));
+        soil_b
+            .import(
+                compile(farm_almanac::programs::HEAVY_HITTER, "HH"),
+                "hh",
+                alloc(),
+                &shed[0].snapshot,
+                Time::from_millis(2),
+                &mut switch_b,
+            )
+            .unwrap();
     }
 
     #[test]

@@ -17,6 +17,24 @@ pub enum UndeployReason {
     Migration,
     /// The replanner dropped the placement.
     Replanned,
+    /// The soil shed the seed under resource pressure.
+    Shed,
+    /// The hosting switch was declared failed; the seed was fenced off.
+    Fenced,
+}
+
+/// Which budget forced a soil to shed seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PressureResource {
+    /// PCIe poll bandwidth between ASIC and switch CPU.
+    PciePoll,
+    /// Switch CPU.
+    Cpu,
+    /// TCAM entries.
+    Tcam,
+    /// Switch memory.
+    Ram,
 }
 
 /// Outcome of one replanning round.
@@ -132,6 +150,81 @@ pub enum Event {
         /// Source-to-harvester latency of the report.
         latency_ns: u64,
     },
+    /// A switch crashed; Soil state on it is lost.
+    SwitchCrashed { at_ns: u64, switch: u32 },
+    /// A crashed switch came back cold.
+    SwitchRestarted { at_ns: u64, switch: u32 },
+    /// A fabric link went down.
+    LinkDown { at_ns: u64, a: u32, b: u32 },
+    /// A downed fabric link was restored.
+    LinkUp { at_ns: u64, a: u32, b: u32 },
+    /// The failure detector declared a switch dead after missing
+    /// heartbeats.
+    SwitchDeclaredFailed {
+        at_ns: u64,
+        switch: u32,
+        /// Consecutive heartbeats missed before declaring failure.
+        missed: u64,
+    },
+    /// A seed lost its host (crash or fencing) and awaits re-placement.
+    SeedOrphaned {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        task: String,
+        /// True when a checkpointed snapshot exists to restore from.
+        has_snapshot: bool,
+    },
+    /// A soil shed a seed under resource pressure instead of failing the
+    /// tick.
+    SeedShed {
+        at_ns: u64,
+        switch: u32,
+        seed: u64,
+        task: String,
+        resource: PressureResource,
+        /// Demand on the pressured resource after degradation.
+        demand: f64,
+        /// Remaining budget on the pressured resource.
+        budget: f64,
+    },
+    /// An orphaned or shed seed was re-placed and resumed.
+    SeedRecovered {
+        at_ns: u64,
+        /// Switch the seed landed on.
+        switch: u32,
+        seed: u64,
+        task: String,
+        /// True when the seed restarted without a snapshot.
+        cold_start: bool,
+        /// Outage duration: orphaned/shed until re-deployed.
+        mttr_ns: u64,
+        /// Re-placement attempts consumed (1 = first try succeeded).
+        attempts: u64,
+    },
+    /// Recovery for a seed was abandoned after exhausting retries.
+    RecoveryAbandoned {
+        at_ns: u64,
+        task: String,
+        seed: u64,
+        attempts: u64,
+    },
+    /// A harvester delivery was dropped by the control channel and will
+    /// be retried.
+    DeliveryRetried {
+        at_ns: u64,
+        from_switch: u32,
+        task: String,
+        /// Retry number (1 = first retry).
+        attempt: u64,
+    },
+    /// A harvester delivery exhausted its retries and was dead-lettered.
+    DeliveryDeadLettered {
+        at_ns: u64,
+        from_switch: u32,
+        task: String,
+        attempts: u64,
+    },
 }
 
 impl Event {
@@ -150,6 +243,17 @@ impl Event {
             Event::SolverPhase { .. } => "solver-phase",
             Event::ReplanCompleted { .. } => "replan-completed",
             Event::HarvesterReport { .. } => "harvester-report",
+            Event::SwitchCrashed { .. } => "switch-crashed",
+            Event::SwitchRestarted { .. } => "switch-restarted",
+            Event::LinkDown { .. } => "link-down",
+            Event::LinkUp { .. } => "link-up",
+            Event::SwitchDeclaredFailed { .. } => "switch-declared-failed",
+            Event::SeedOrphaned { .. } => "seed-orphaned",
+            Event::SeedShed { .. } => "seed-shed",
+            Event::SeedRecovered { .. } => "seed-recovered",
+            Event::RecoveryAbandoned { .. } => "recovery-abandoned",
+            Event::DeliveryRetried { .. } => "delivery-retried",
+            Event::DeliveryDeadLettered { .. } => "delivery-dead-lettered",
         }
     }
 }
@@ -185,9 +289,46 @@ mod tests {
                 elapsed_ns: 1,
                 items: 1,
             },
+            Event::SwitchCrashed {
+                at_ns: 0,
+                switch: 1,
+            },
+            Event::SeedOrphaned {
+                at_ns: 0,
+                switch: 1,
+                seed: 2,
+                task: String::new(),
+                has_snapshot: true,
+            },
+            Event::SeedRecovered {
+                at_ns: 0,
+                switch: 2,
+                seed: 2,
+                task: String::new(),
+                cold_start: false,
+                mttr_ns: 7,
+                attempts: 1,
+            },
+            Event::DeliveryDeadLettered {
+                at_ns: 0,
+                from_switch: 1,
+                task: String::new(),
+                attempts: 3,
+            },
         ];
         let kinds: Vec<_> = events.iter().map(Event::kind).collect();
-        assert_eq!(kinds, ["seed-deployed", "poll-aggregated", "solver-phase"]);
+        assert_eq!(
+            kinds,
+            [
+                "seed-deployed",
+                "poll-aggregated",
+                "solver-phase",
+                "switch-crashed",
+                "seed-orphaned",
+                "seed-recovered",
+                "delivery-dead-lettered",
+            ]
+        );
         for k in kinds {
             assert!(k.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
         }

@@ -40,7 +40,7 @@ pub mod event;
 pub mod registry;
 pub mod sink;
 
-pub use event::{Event, ReplanOutcome, UndeployReason};
+pub use event::{Event, PressureResource, ReplanOutcome, UndeployReason};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_US_BOUNDS,
 };

@@ -291,6 +291,111 @@ pub fn to_json_line(event: &Event) -> String {
                 .num("bytes", *bytes)
                 .num("latency_ns", *latency_ns);
         }
+        Event::SwitchCrashed { at_ns, switch } => {
+            f.num("at_ns", *at_ns).num("switch", *switch as u64);
+        }
+        Event::SwitchRestarted { at_ns, switch } => {
+            f.num("at_ns", *at_ns).num("switch", *switch as u64);
+        }
+        Event::LinkDown { at_ns, a, b } => {
+            f.num("at_ns", *at_ns)
+                .num("a", *a as u64)
+                .num("b", *b as u64);
+        }
+        Event::LinkUp { at_ns, a, b } => {
+            f.num("at_ns", *at_ns)
+                .num("a", *a as u64)
+                .num("b", *b as u64);
+        }
+        Event::SwitchDeclaredFailed {
+            at_ns,
+            switch,
+            missed,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("missed", *missed);
+        }
+        Event::SeedOrphaned {
+            at_ns,
+            switch,
+            seed,
+            task,
+            has_snapshot,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .str("task", task)
+                .bool("has_snapshot", *has_snapshot);
+        }
+        Event::SeedShed {
+            at_ns,
+            switch,
+            seed,
+            task,
+            resource,
+            demand,
+            budget,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .str("task", task)
+                .str("resource", &format!("{resource:?}"))
+                .float("demand", *demand)
+                .float("budget", *budget);
+        }
+        Event::SeedRecovered {
+            at_ns,
+            switch,
+            seed,
+            task,
+            cold_start,
+            mttr_ns,
+            attempts,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("switch", *switch as u64)
+                .num("seed", *seed)
+                .str("task", task)
+                .bool("cold_start", *cold_start)
+                .num("mttr_ns", *mttr_ns)
+                .num("attempts", *attempts);
+        }
+        Event::RecoveryAbandoned {
+            at_ns,
+            task,
+            seed,
+            attempts,
+        } => {
+            f.num("at_ns", *at_ns)
+                .str("task", task)
+                .num("seed", *seed)
+                .num("attempts", *attempts);
+        }
+        Event::DeliveryRetried {
+            at_ns,
+            from_switch,
+            task,
+            attempt,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("from_switch", *from_switch as u64)
+                .str("task", task)
+                .num("attempt", *attempt);
+        }
+        Event::DeliveryDeadLettered {
+            at_ns,
+            from_switch,
+            task,
+            attempts,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("from_switch", *from_switch as u64)
+                .str("task", task)
+                .num("attempts", *attempts);
+        }
     }
     f.finish()
 }

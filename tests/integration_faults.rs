@@ -1,0 +1,336 @@
+//! Integration: fault injection, failure detection and automatic
+//! recovery end to end.
+//!
+//! The churn seed honours `FARM_FAULT_SEED` (CI runs the suite across
+//! several seeds) and defaults to 7.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use farm_core::harvester::CollectingHarvester;
+use farm_core::prelude::*;
+use farm_faults::{ChurnProfile, FaultKind, FaultPlan, LossSpec};
+use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
+use farm_netsim::types::SwitchId;
+use farm_telemetry::{Event, RingBufferSink};
+
+fn fabric(leaves: usize) -> Topology {
+    Topology::spine_leaf(
+        2,
+        leaves,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    )
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("FARM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// A movable one-seed monitoring task that reports its running total.
+/// Its utility rewards PCIe so placement grants it real polling
+/// bandwidth — the resource the PCIe-degradation fault takes away.
+fn monitor_src() -> &'static str {
+    r#"
+machine Mon {
+  place any;
+  poll p = Poll { .ival = 1, .what = port ANY };
+  long total = 0;
+  state s {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 256) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (p as stats) do {
+      total = total + list_len(stats);
+      send total to harvester;
+    }
+  }
+}
+"#
+}
+
+/// Runs one farm under seeded churn and returns its full event trace.
+fn churn_trace(seed: u64) -> Vec<Event> {
+    let topo = fabric(4);
+    let switches: Vec<SwitchId> = (0..6).map(SwitchId).collect();
+    let plan = FaultPlan::churn(
+        seed,
+        &switches,
+        Time::from_millis(10),
+        Time::from_millis(250),
+        ChurnProfile::default(),
+    );
+    let events = Arc::new(RingBufferSink::new(65_536));
+    let mut farm = FarmBuilder::new(topo)
+        .with_fault_plan(plan)
+        .with_harvester("hh", Box::new(CollectingHarvester::new()))
+        .with_harvester("mon", Box::new(CollectingHarvester::new()))
+        .with_sink(events.clone())
+        .build();
+    farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+        .unwrap();
+    farm.deploy_task("mon", monitor_src(), &BTreeMap::new())
+        .unwrap();
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    let mut hh = HeavyHitterWorkload::new(HhConfig {
+        switch: leaf,
+        n_ports: 16,
+        hh_ratio: 0.1,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut hh], Time::from_millis(300), Dur::from_millis(1));
+    // SolverPhase is the one event keyed to wall-clock (it reports real
+    // solver runtime); everything else is virtual-time and must replay
+    // bit-identically.
+    events
+        .events()
+        .into_iter()
+        .filter(|e| !matches!(e, Event::SolverPhase { .. }))
+        .collect()
+}
+
+#[test]
+fn fault_trace_is_deterministic_across_runs() {
+    let seed = fault_seed();
+    let a = churn_trace(seed);
+    let b = churn_trace(seed);
+    assert!(
+        a.iter().any(|e| matches!(e, Event::SwitchCrashed { .. })),
+        "churn plan must actually crash something"
+    );
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "two runs of the same fault seed diverged in event count"
+    );
+    for (i, (ea, eb)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(ea, eb, "trace diverged at event {i}");
+    }
+}
+
+#[test]
+fn crashed_switch_seeds_recover_elsewhere() {
+    let events = Arc::new(RingBufferSink::new(65_536));
+    let mut farm = FarmBuilder::new(fabric(4))
+        .with_harvester("mon", Box::new(CollectingHarvester::new()))
+        .with_sink(events.clone())
+        .build();
+    farm.deploy_task("mon", monitor_src(), &BTreeMap::new())
+        .unwrap();
+    assert_eq!(farm.deployed_seeds(), 1);
+    let (host, _) = farm
+        .seeder()
+        .placements()
+        .next()
+        .map(|(_, loc)| *loc)
+        .unwrap();
+
+    // Crash the hosting switch mid-run; never restart it.
+    farm.set_fault_plan(FaultPlan::new().with(
+        Time::from_millis(20),
+        FaultKind::SwitchCrash { switch: host },
+    ));
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    let mut hh = HeavyHitterWorkload::new(HhConfig {
+        switch: leaf,
+        n_ports: 16,
+        hh_ratio: 0.1,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut hh], Time::from_millis(200), Dur::from_millis(1));
+
+    let seen = events.events();
+    assert!(seen
+        .iter()
+        .any(|e| matches!(e, Event::SwitchCrashed { switch, .. } if *switch == host.0)));
+    assert!(
+        seen.iter()
+            .any(|e| matches!(e, Event::SwitchDeclaredFailed { switch, .. } if *switch == host.0)),
+        "missed-heartbeat detector must fire"
+    );
+    assert!(seen.iter().any(|e| matches!(e, Event::SeedOrphaned { .. })));
+    let recovered: Vec<_> = seen
+        .iter()
+        .filter_map(|e| match e {
+            Event::SeedRecovered {
+                switch, mttr_ns, ..
+            } => Some((*switch, *mttr_ns)),
+            _ => None,
+        })
+        .collect();
+    assert!(!recovered.is_empty(), "orphaned seed must be re-placed");
+    assert_ne!(
+        recovered[0].0, host.0,
+        "recovery must land on a surviving switch"
+    );
+    assert!(recovered[0].1 > 0, "MTTR must count the outage");
+
+    // Bookkeeping is consistent again and the MTTR histogram sampled.
+    assert_eq!(farm.deployed_seeds(), 1);
+    assert_eq!(farm.recovery_pending(), 0);
+    let snap = farm.telemetry().snapshot();
+    assert_eq!(snap.counter("farm.recoveries"), 1);
+    let mttr = snap.histogram("recovery.mttr_us").unwrap();
+    assert_eq!(mttr.count, 1);
+
+    // Detection resumes: the re-placed seed keeps reporting.
+    let before = farm.metrics().collector_messages;
+    farm.run(&mut [&mut hh], Time::from_millis(400), Dur::from_millis(1));
+    assert!(
+        farm.metrics().collector_messages > before,
+        "recovered seed must keep reporting to its harvester"
+    );
+}
+
+#[test]
+fn restored_snapshot_preserves_seed_state() {
+    let events = Arc::new(RingBufferSink::new(65_536));
+    let mut farm = FarmBuilder::new(fabric(4))
+        .with_harvester("mon", Box::new(CollectingHarvester::new()))
+        .with_sink(events.clone())
+        .build();
+    farm.deploy_task("mon", monitor_src(), &BTreeMap::new())
+        .unwrap();
+    let (host, _) = farm
+        .seeder()
+        .placements()
+        .next()
+        .map(|(_, loc)| *loc)
+        .unwrap();
+    // Let the seed accumulate state and several heartbeat checkpoints,
+    // then kill its host.
+    farm.set_fault_plan(FaultPlan::new().with(
+        Time::from_millis(80),
+        FaultKind::SwitchCrash { switch: host },
+    ));
+    farm.advance(Time::from_millis(250));
+
+    let seen = events.events();
+    let warm = seen
+        .iter()
+        .any(|e| matches!(e, Event::SeedRecovered { cold_start, .. } if !cold_start));
+    assert!(
+        warm,
+        "a checkpointed seed must restore warm, not cold-start"
+    );
+    assert!(seen
+        .iter()
+        .any(|e| matches!(e, Event::SeedOrphaned { has_snapshot, .. } if *has_snapshot),));
+}
+
+#[test]
+fn pcie_degradation_sheds_with_structured_reason() {
+    let events = Arc::new(RingBufferSink::new(65_536));
+    let mut farm = FarmBuilder::new(fabric(2))
+        .with_sink(events.clone())
+        .build();
+    // Stack several movable seeds, then collapse PCIe fleet-wide so the
+    // survivors cannot absorb the shed ones either.
+    for i in 0..6 {
+        farm.deploy_task(&format!("mon{i}"), monitor_src(), &BTreeMap::new())
+            .unwrap();
+    }
+    let n = farm.deployed_seeds();
+    assert!(n >= 4);
+    let mut plan = FaultPlan::new();
+    for id in farm.network().switch_ids() {
+        plan.push(
+            Time::from_millis(20),
+            FaultKind::PcieDegrade {
+                switch: id,
+                factor: 0.01,
+            },
+        );
+    }
+    farm.set_fault_plan(plan);
+    farm.advance(Time::from_millis(100));
+
+    let seen = events.events();
+    let shed: Vec<_> = seen
+        .iter()
+        .filter_map(|e| match e {
+            Event::SeedShed { demand, budget, .. } => Some((*demand, *budget)),
+            _ => None,
+        })
+        .collect();
+    assert!(!shed.is_empty(), "PCIe collapse must shed seeds");
+    for (demand, budget) in &shed {
+        assert!(
+            demand > budget,
+            "shed reason must be structured: demand {demand} within budget {budget}"
+        );
+    }
+    // The tick kept running — shedding is graceful, not an error path.
+    assert_eq!(farm.telemetry().snapshot().counter("farm.seed_errors"), 0);
+    // Every seed is accounted for: still placed, queued for recovery, or
+    // abandoned after bounded retries.
+    let abandoned = seen
+        .iter()
+        .filter(|e| matches!(e, Event::RecoveryAbandoned { .. }))
+        .count();
+    assert_eq!(
+        farm.deployed_seeds() + farm.recovery_pending() + abandoned,
+        n
+    );
+}
+
+#[test]
+fn lossy_control_channel_retries_then_dead_letters() {
+    let events = Arc::new(RingBufferSink::new(65_536));
+    let mut farm = FarmBuilder::new(fabric(2))
+        .with_harvester("hh", Box::new(CollectingHarvester::new()))
+        .with_fault_plan(FaultPlan::new().with(
+            Time::from_millis(1),
+            FaultKind::ControlLoss {
+                switch: None,
+                spec: LossSpec::dropping(1.0),
+            },
+        ))
+        .with_sink(events.clone())
+        .build();
+    farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+        .unwrap();
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    let mut hh = HeavyHitterWorkload::new(HhConfig {
+        switch: leaf,
+        n_ports: 16,
+        hh_ratio: 0.1,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut hh], Time::from_millis(60), Dur::from_millis(1));
+
+    let snap = farm.telemetry().snapshot();
+    assert!(
+        snap.counter("farm.dead_letters") > 0,
+        "total loss must dead-letter"
+    );
+    assert!(snap.counter("farm.delivery_retries") > 0);
+    assert_eq!(
+        farm.metrics().collector_messages,
+        0,
+        "nothing crosses a fully dropping channel"
+    );
+    let seen = events.events();
+    assert!(seen
+        .iter()
+        .any(|e| matches!(e, Event::DeliveryRetried { attempt: 1, .. })));
+    assert!(seen
+        .iter()
+        .any(|e| matches!(e, Event::DeliveryDeadLettered { attempts, .. } if *attempts > 1),));
+
+    // Heal the channel: deliveries resume.
+    farm.set_fault_plan(FaultPlan::new().with(
+        Time::from_millis(61),
+        FaultKind::ControlHeal { switch: None },
+    ));
+    farm.run(&mut [&mut hh], Time::from_millis(160), Dur::from_millis(1));
+    assert!(
+        farm.metrics().collector_messages > 0,
+        "healed channel delivers"
+    );
+}
