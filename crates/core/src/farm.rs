@@ -36,6 +36,8 @@ pub use crate::error::{Error, FarmError};
 use crate::harvester::{Harvester, HarvesterCommand, HarvesterCtx};
 use crate::metrics::Metrics;
 use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};
+use crate::transport::TcpBridge;
+pub use crate::transport::TransportMode;
 
 /// Framework configuration.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +46,8 @@ pub struct FarmConfig {
     pub soil: SoilConfig,
     /// Failure detection and recovery knobs.
     pub fault_tolerance: FaultToleranceConfig,
+    /// How deliveries travel: direct calls or real loopback TCP.
+    pub transport: TransportMode,
 }
 
 /// Failure detection and recovery knobs (§ "Failure model & recovery"
@@ -195,6 +199,12 @@ impl FarmBuilder {
         self
     }
 
+    /// Selects the delivery transport (see [`TransportMode`]).
+    pub fn with_transport(mut self, mode: TransportMode) -> FarmBuilder {
+        self.config.transport = mode;
+        self
+    }
+
     /// Registers a harvester for a task (replacing a previous one for
     /// the same task).
     pub fn with_harvester(mut self, task: impl Into<String>, h: Box<dyn Harvester>) -> FarmBuilder {
@@ -230,10 +240,23 @@ impl FarmBuilder {
         seeder.set_telemetry(telemetry.clone());
         let counters = FarmCounters::new(&telemetry);
         let ft = self.config.fault_tolerance;
+        let transport = match self.config.transport {
+            TransportMode::InProcess => None,
+            // A bind failure on loopback means the host is unusable for
+            // TCP entirely; degrade to in-process delivery and record it.
+            TransportMode::Tcp => match TcpBridge::new(&telemetry) {
+                Ok(bridge) => Some(bridge),
+                Err(_) => {
+                    telemetry.counter("transport.fallbacks").inc();
+                    None
+                }
+            },
+        };
         let mut farm = Farm {
             network,
             soils,
             seeder,
+            transport,
             seed_ids: HashMap::new(),
             harvesters: HashMap::new(),
             now: Time::ZERO,
@@ -263,6 +286,8 @@ pub struct Farm {
     network: Network,
     soils: HashMap<SwitchId, Soil>,
     seeder: Seeder,
+    /// Loopback TCP bridge when running under [`TransportMode::Tcp`].
+    transport: Option<TcpBridge>,
     seed_ids: HashMap<SeedKey, SeedId>,
     harvesters: HashMap<String, Box<dyn Harvester>>,
     now: Time,
@@ -526,6 +551,12 @@ impl Farm {
                             .get(key)
                             .cloned()
                             .ok_or_else(|| Error::NotDeployed(key.to_string()))?,
+                    };
+                    // Migration state travels the wire under TCP mode;
+                    // the destination imports the decoded snapshot.
+                    let snapshot = match &self.transport {
+                        Some(bridge) => bridge.ship_snapshot(&key.task, *from, *to, snapshot),
+                        None => snapshot,
                     };
                     let bytes: u64 = snapshot
                         .vars
@@ -816,6 +847,10 @@ impl Farm {
         for id in self.network.switch_ids() {
             let alive = self.network.is_up(id) && self.network.is_reachable(id);
             if alive {
+                // Reachable soils beacon over the real wire in TCP mode.
+                if let Some(bridge) = &self.transport {
+                    bridge.heartbeat(id.0, at.as_nanos());
+                }
                 self.missed.remove(&id);
                 if self.fenced.remove(&id) {
                     self.kill_stale_seeds(id, at, &placements);
@@ -1115,6 +1150,14 @@ impl Farm {
             }
             let mut next = Vec::new();
             for msg in messages.drain(..) {
+                // Under TCP transport the delivery rides the real wire
+                // first — encoded, sent over loopback, decoded — and the
+                // decoded copy is what gets routed. The codec is
+                // byte-exact, so both transports route equal messages.
+                let msg = match &self.transport {
+                    Some(bridge) => bridge.ship_message(msg),
+                    None => msg,
+                };
                 match &msg.to {
                     Endpoint::Harvester => {
                         // Harvester reports cross the (possibly impaired)
@@ -1189,6 +1232,10 @@ impl Farm {
     fn apply_command(&mut self, cmd: HarvesterCommand) -> Vec<OutboundMessage> {
         match cmd {
             HarvesterCommand::SendToMachine { machine, at, value } => {
+                let (machine, at, value) = match &self.transport {
+                    Some(bridge) => bridge.ship_directive(machine, at, value),
+                    None => (machine, at, value),
+                };
                 self.counters.control_messages.inc();
                 self.counters
                     .control_bytes

@@ -47,12 +47,14 @@ pub mod farm;
 pub mod harvester;
 pub mod metrics;
 pub mod seeder;
+pub mod transport;
 
 pub use error::{Error, FarmError};
 pub use farm::{external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig};
 pub use harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
 pub use metrics::Metrics;
 pub use seeder::{Plan, PlannedAction, SeedKey, Seeder};
+pub use transport::TransportMode;
 
 /// One-stop imports for building and observing a farm.
 ///
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
     pub use crate::metrics::Metrics;
     pub use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};
+    pub use crate::transport::TransportMode;
     pub use farm_almanac::value::Value;
     pub use farm_faults::{ChurnProfile, FaultKind, FaultPlan, LossSpec};
     pub use farm_netsim::switch::SwitchModel;

@@ -1,0 +1,970 @@
+//! Typed frames and the versioned binary codec.
+//!
+//! Every message on a FARM control connection is one [`Envelope`]:
+//!
+//! ```text
+//! ┌───────────┬─────────┬──────┬───────┬────────────┬─────────┐
+//! │ len:varint│ ver:u8  │kind:u8│flags:u8│ corr:varint│ payload │
+//! └───────────┴─────────┴──────┴───────┴────────────┴─────────┘
+//! ```
+//!
+//! `len` counts the bytes after the length field. `corr` is the
+//! multiplexing correlation id: `0` marks a one-way frame, any other
+//! value pairs a request with the response that echoes it (`flags`
+//! bit 0 set). Integers travel as LEB128 varints (signed values
+//! zigzag-folded first), floats as IEEE-754 bits, strings UTF-8 with a
+//! varint length prefix. Decoding is byte-exact: a frame re-encodes to
+//! the same bytes, and `decode(encode(f)) == f` for every frame.
+
+use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
+use farm_netsim::switch::Resources;
+use farm_netsim::time::{Dur, Time};
+use farm_netsim::types::{
+    FilterAtom, FilterFormula, FlowKey, Ipv4, PortSel, Prefix, Proto, SwitchId,
+};
+use farm_soil::{Endpoint, OutboundMessage, SeedId, SeedSnapshot};
+
+use crate::wire::{
+    put_bool, put_f64, put_ivarint, put_str, put_varint, Reader, WireError, MAX_DEPTH,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// One seed→harvester report riding a [`Frame::PollReport`] batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub task: String,
+    pub from_switch: u32,
+    pub from_seed: u64,
+    pub from_machine: String,
+    /// Emission instant, virtual nanoseconds.
+    pub at_ns: u64,
+    /// Switch-local latency until the report hit the wire.
+    pub latency_ns: u64,
+    /// Estimated serialized payload size the soil accounted.
+    pub bytes: u64,
+    pub value: Value,
+}
+
+impl Report {
+    /// Captures a harvester-bound [`OutboundMessage`].
+    pub fn from_outbound(msg: &OutboundMessage) -> Report {
+        Report {
+            task: msg.task.clone(),
+            from_switch: msg.from_switch.0,
+            from_seed: msg.from_seed.0,
+            from_machine: msg.from_machine.clone(),
+            at_ns: msg.at.as_nanos(),
+            latency_ns: msg.latency.as_nanos(),
+            bytes: msg.bytes,
+            value: msg.value.clone(),
+        }
+    }
+
+    /// Reconstructs the harvester-bound message on the receiving side.
+    pub fn into_outbound(self) -> OutboundMessage {
+        OutboundMessage {
+            from_switch: SwitchId(self.from_switch),
+            from_seed: SeedId(self.from_seed),
+            from_machine: self.from_machine,
+            task: self.task,
+            to: Endpoint::Harvester,
+            value: self.value,
+            at: Time::ZERO + Dur::from_nanos(self.at_ns),
+            latency: Dur::from_nanos(self.latency_ns),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A typed control-plane frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection preamble: who is talking and which protocol revision.
+    Hello { node: String, protocol: u32 },
+    /// Soil liveness beacon.
+    Heartbeat { switch: u32, seq: u64, at_ns: u64 },
+    /// Batched seed→harvester poll reports (one or many per frame).
+    PollReport { reports: Vec<Report> },
+    /// Harvester→seed command, optionally pinned to one switch.
+    HarvesterDirective {
+        machine: String,
+        at_switch: Option<u32>,
+        value: Value,
+    },
+    /// Seed→seed message (broadcast when `at_switch` is `None`).
+    SeedMessage {
+        task: String,
+        from_switch: u32,
+        from_seed: u64,
+        from_machine: String,
+        to_machine: String,
+        at_switch: Option<u32>,
+        at_ns: u64,
+        latency_ns: u64,
+        bytes: u64,
+        value: Value,
+    },
+    /// Seed migration payload: the full state snapshot in transit.
+    Migrate {
+        task: String,
+        from_switch: u32,
+        to_switch: u32,
+        snapshot: SeedSnapshot,
+    },
+    /// Positive acknowledgement (default response frame).
+    Ack,
+    /// Negative acknowledgement with a reason.
+    Error { message: String },
+    /// Graceful close notification.
+    Shutdown,
+}
+
+impl Frame {
+    /// Short name for logs and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::PollReport { .. } => "poll_report",
+            Frame::HarvesterDirective { .. } => "harvester_directive",
+            Frame::SeedMessage { .. } => "seed_message",
+            Frame::Migrate { .. } => "migrate",
+            Frame::Ack => "ack",
+            Frame::Error { .. } => "error",
+            Frame::Shutdown => "shutdown",
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0,
+            Frame::Heartbeat { .. } => 1,
+            Frame::PollReport { .. } => 2,
+            Frame::HarvesterDirective { .. } => 3,
+            Frame::SeedMessage { .. } => 4,
+            Frame::Migrate { .. } => 5,
+            Frame::Ack => 6,
+            Frame::Error { .. } => 7,
+            Frame::Shutdown => 8,
+        }
+    }
+}
+
+/// A frame plus its multiplexing envelope fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Correlation id; `0` = one-way.
+    pub corr: u64,
+    /// True when this frame answers the request with the same `corr`.
+    pub response: bool,
+    pub frame: Frame,
+}
+
+impl Envelope {
+    /// A one-way (unacknowledged) frame.
+    pub fn one_way(frame: Frame) -> Envelope {
+        Envelope {
+            corr: 0,
+            response: false,
+            frame,
+        }
+    }
+
+    /// A request expecting a response with the same correlation id.
+    pub fn request(corr: u64, frame: Frame) -> Envelope {
+        Envelope {
+            corr,
+            response: false,
+            frame,
+        }
+    }
+
+    /// The response to a request.
+    pub fn response(corr: u64, frame: Frame) -> Envelope {
+        Envelope {
+            corr,
+            response: true,
+            frame,
+        }
+    }
+}
+
+const FLAG_RESPONSE: u8 = 0b0000_0001;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one envelope, appending the length-prefixed frame to `out`.
+/// Returns the number of bytes appended.
+pub fn encode_envelope(env: &Envelope, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    let mut body = Vec::with_capacity(64);
+    body.push(PROTOCOL_VERSION);
+    body.push(env.frame.tag());
+    body.push(if env.response { FLAG_RESPONSE } else { 0 });
+    put_varint(&mut body, env.corr);
+    encode_frame_payload(&env.frame, &mut body);
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+    out.len() - start
+}
+
+fn encode_frame_payload(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Hello { node, protocol } => {
+            put_str(out, node);
+            put_varint(out, *protocol as u64);
+        }
+        Frame::Heartbeat { switch, seq, at_ns } => {
+            put_varint(out, *switch as u64);
+            put_varint(out, *seq);
+            put_varint(out, *at_ns);
+        }
+        Frame::PollReport { reports } => {
+            put_varint(out, reports.len() as u64);
+            for r in reports {
+                encode_report(r, out);
+            }
+        }
+        Frame::HarvesterDirective {
+            machine,
+            at_switch,
+            value,
+        } => {
+            put_str(out, machine);
+            encode_opt_switch(*at_switch, out);
+            encode_value(value, out);
+        }
+        Frame::SeedMessage {
+            task,
+            from_switch,
+            from_seed,
+            from_machine,
+            to_machine,
+            at_switch,
+            at_ns,
+            latency_ns,
+            bytes,
+            value,
+        } => {
+            put_str(out, task);
+            put_varint(out, *from_switch as u64);
+            put_varint(out, *from_seed);
+            put_str(out, from_machine);
+            put_str(out, to_machine);
+            encode_opt_switch(*at_switch, out);
+            put_varint(out, *at_ns);
+            put_varint(out, *latency_ns);
+            put_varint(out, *bytes);
+            encode_value(value, out);
+        }
+        Frame::Migrate {
+            task,
+            from_switch,
+            to_switch,
+            snapshot,
+        } => {
+            put_str(out, task);
+            put_varint(out, *from_switch as u64);
+            put_varint(out, *to_switch as u64);
+            encode_snapshot(snapshot, out);
+        }
+        Frame::Ack | Frame::Shutdown => {}
+        Frame::Error { message } => put_str(out, message),
+    }
+}
+
+fn encode_report(r: &Report, out: &mut Vec<u8>) {
+    put_str(out, &r.task);
+    put_varint(out, r.from_switch as u64);
+    put_varint(out, r.from_seed);
+    put_str(out, &r.from_machine);
+    put_varint(out, r.at_ns);
+    put_varint(out, r.latency_ns);
+    put_varint(out, r.bytes);
+    encode_value(&r.value, out);
+}
+
+fn encode_opt_switch(sw: Option<u32>, out: &mut Vec<u8>) {
+    match sw {
+        None => out.push(0),
+        Some(id) => {
+            out.push(1);
+            put_varint(out, id as u64);
+        }
+    }
+}
+
+fn encode_snapshot(s: &SeedSnapshot, out: &mut Vec<u8>) {
+    put_str(out, &s.machine);
+    put_str(out, &s.state);
+    put_varint(out, s.vars.len() as u64);
+    for (name, v) in &s.vars {
+        put_str(out, name);
+        encode_value(v, out);
+    }
+}
+
+/// Encodes one Almanac [`Value`] (recursive; lists and pairs nest).
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Unit => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            put_bool(out, *b);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_ivarint(out, *i);
+        }
+        Value::Float(f) => {
+            out.push(3);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::List(items) => {
+            out.push(5);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Packet(p) => {
+            out.push(6);
+            encode_packet(p, out);
+        }
+        Value::Filter(f) => {
+            out.push(7);
+            encode_filter(f, out);
+        }
+        Value::Action(a) => {
+            out.push(8);
+            encode_action(a, out);
+        }
+        Value::Rule(r) => {
+            out.push(9);
+            encode_filter(&r.pattern, out);
+            encode_action(&r.action, out);
+        }
+        Value::Resources(r) => {
+            out.push(10);
+            for i in 0..4 {
+                put_f64(out, r.0[i]);
+            }
+        }
+        Value::Stat(s) => {
+            out.push(11);
+            encode_stat(s, out);
+        }
+        Value::Pair(a, b) => {
+            out.push(12);
+            encode_value(a, out);
+            encode_value(b, out);
+        }
+    }
+}
+
+fn encode_flow(f: &FlowKey, out: &mut Vec<u8>) {
+    put_varint(out, f.src.0 as u64);
+    put_varint(out, f.dst.0 as u64);
+    out.push(proto_tag(f.proto));
+    put_varint(out, f.src_port as u64);
+    put_varint(out, f.dst_port as u64);
+}
+
+fn encode_packet(p: &PacketRecord, out: &mut Vec<u8>) {
+    encode_flow(&p.flow, out);
+    put_varint(out, p.len as u64);
+    out.push((p.syn as u8) | ((p.fin as u8) << 1) | ((p.ack as u8) << 2));
+}
+
+fn proto_tag(p: Proto) -> u8 {
+    match p {
+        Proto::Tcp => 0,
+        Proto::Udp => 1,
+        Proto::Icmp => 2,
+    }
+}
+
+fn encode_filter(f: &FilterFormula, out: &mut Vec<u8>) {
+    match f {
+        FilterFormula::True => out.push(0),
+        FilterFormula::False => out.push(1),
+        FilterFormula::Atom(a) => {
+            out.push(2);
+            encode_atom(a, out);
+        }
+        FilterFormula::And(a, b) => {
+            out.push(3);
+            encode_filter(a, out);
+            encode_filter(b, out);
+        }
+        FilterFormula::Or(a, b) => {
+            out.push(4);
+            encode_filter(a, out);
+            encode_filter(b, out);
+        }
+        FilterFormula::Not(a) => {
+            out.push(5);
+            encode_filter(a, out);
+        }
+    }
+}
+
+fn encode_atom(a: &FilterAtom, out: &mut Vec<u8>) {
+    match a {
+        FilterAtom::SrcIp(p) => {
+            out.push(0);
+            put_varint(out, p.addr.0 as u64);
+            out.push(p.len);
+        }
+        FilterAtom::DstIp(p) => {
+            out.push(1);
+            put_varint(out, p.addr.0 as u64);
+            out.push(p.len);
+        }
+        FilterAtom::SrcPort(p) => {
+            out.push(2);
+            put_varint(out, *p as u64);
+        }
+        FilterAtom::DstPort(p) => {
+            out.push(3);
+            put_varint(out, *p as u64);
+        }
+        FilterAtom::Proto(p) => {
+            out.push(4);
+            out.push(proto_tag(*p));
+        }
+        FilterAtom::IfPort(sel) => {
+            out.push(5);
+            match sel {
+                PortSel::Any => out.push(0),
+                PortSel::Id(id) => {
+                    out.push(1);
+                    put_varint(out, *id as u64);
+                }
+            }
+        }
+    }
+}
+
+fn encode_action(a: &ActionValue, out: &mut Vec<u8>) {
+    match a {
+        ActionValue::Drop => out.push(0),
+        ActionValue::RateLimit(bps) => {
+            out.push(1);
+            put_varint(out, *bps);
+        }
+        ActionValue::SetQos(q) => {
+            out.push(2);
+            out.push(*q);
+        }
+        ActionValue::Count => out.push(3),
+        ActionValue::Mirror => out.push(4),
+    }
+}
+
+fn encode_stat(s: &StatEntry, out: &mut Vec<u8>) {
+    match &s.subject {
+        StatSubject::Port(p) => {
+            out.push(0);
+            put_varint(out, *p as u64);
+        }
+        StatSubject::Rule(r) => {
+            out.push(1);
+            put_str(out, r);
+        }
+    }
+    put_varint(out, s.tx_bytes);
+    put_varint(out, s.rx_bytes);
+    put_varint(out, s.tx_packets);
+    put_varint(out, s.rx_packets);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decodes one envelope from the front of `buf`.
+///
+/// Returns the envelope and the total bytes consumed (length prefix
+/// included). [`WireError::Truncated`] means the buffer holds only part
+/// of a frame — streaming callers read more and retry.
+pub fn decode_envelope(buf: &[u8]) -> Result<(Envelope, usize), WireError> {
+    let mut head = Reader::new(buf);
+    let len = head.varint()?;
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(WireError::TooLarge(len));
+    }
+    let header = head.consumed();
+    if buf.len() - header < len as usize {
+        return Err(WireError::Truncated);
+    }
+    let env = decode_body(&buf[header..header + len as usize])?;
+    Ok((env, header + len as usize))
+}
+
+/// Decodes a frame body (the bytes after the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<Envelope, WireError> {
+    let mut r = Reader::new(body);
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::Version(version));
+    }
+    let tag = r.u8()?;
+    let flags = r.u8()?;
+    let corr = r.varint()?;
+    let frame = decode_frame_payload(tag, &mut r)?;
+    r.finish()?;
+    Ok(Envelope {
+        corr,
+        response: flags & FLAG_RESPONSE != 0,
+        frame,
+    })
+}
+
+fn decode_frame_payload(tag: u8, r: &mut Reader<'_>) -> Result<Frame, WireError> {
+    match tag {
+        0 => Ok(Frame::Hello {
+            node: r.str()?,
+            protocol: decode_u32(r, "protocol")?,
+        }),
+        1 => Ok(Frame::Heartbeat {
+            switch: decode_u32(r, "switch")?,
+            seq: r.varint()?,
+            at_ns: r.varint()?,
+        }),
+        2 => {
+            let n = r.len_prefix(8)?;
+            let mut reports = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                reports.push(decode_report(r)?);
+            }
+            Ok(Frame::PollReport { reports })
+        }
+        3 => Ok(Frame::HarvesterDirective {
+            machine: r.str()?,
+            at_switch: decode_opt_switch(r)?,
+            value: decode_value(r, 0)?,
+        }),
+        4 => Ok(Frame::SeedMessage {
+            task: r.str()?,
+            from_switch: decode_u32(r, "from_switch")?,
+            from_seed: r.varint()?,
+            from_machine: r.str()?,
+            to_machine: r.str()?,
+            at_switch: decode_opt_switch(r)?,
+            at_ns: r.varint()?,
+            latency_ns: r.varint()?,
+            bytes: r.varint()?,
+            value: decode_value(r, 0)?,
+        }),
+        5 => Ok(Frame::Migrate {
+            task: r.str()?,
+            from_switch: decode_u32(r, "from_switch")?,
+            to_switch: decode_u32(r, "to_switch")?,
+            snapshot: decode_snapshot(r)?,
+        }),
+        6 => Ok(Frame::Ack),
+        7 => Ok(Frame::Error { message: r.str()? }),
+        8 => Ok(Frame::Shutdown),
+        t => Err(WireError::Tag {
+            what: "frame",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_u32(r: &mut Reader<'_>, what: &'static str) -> Result<u32, WireError> {
+    let v = r.varint()?;
+    u32::try_from(v).map_err(|_| WireError::Range(what))
+}
+
+fn decode_report(r: &mut Reader<'_>) -> Result<Report, WireError> {
+    Ok(Report {
+        task: r.str()?,
+        from_switch: decode_u32(r, "from_switch")?,
+        from_seed: r.varint()?,
+        from_machine: r.str()?,
+        at_ns: r.varint()?,
+        latency_ns: r.varint()?,
+        bytes: r.varint()?,
+        value: decode_value(r, 0)?,
+    })
+}
+
+fn decode_opt_switch(r: &mut Reader<'_>) -> Result<Option<u32>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_u32(r, "at_switch")?)),
+        t => Err(WireError::Tag {
+            what: "option",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_snapshot(r: &mut Reader<'_>) -> Result<SeedSnapshot, WireError> {
+    let machine = r.str()?;
+    let state = r.str()?;
+    let n = r.len_prefix(2)?;
+    let mut vars = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.str()?;
+        let v = decode_value(r, 0)?;
+        vars.push((name, v));
+    }
+    Ok(SeedSnapshot {
+        machine,
+        state,
+        vars,
+    })
+}
+
+/// Decodes one [`Value`] with a recursion-depth bound.
+pub fn decode_value(r: &mut Reader<'_>, depth: usize) -> Result<Value, WireError> {
+    if depth >= MAX_DEPTH {
+        return Err(WireError::Depth);
+    }
+    match r.u8()? {
+        0 => Ok(Value::Unit),
+        1 => Ok(Value::Bool(r.bool()?)),
+        2 => Ok(Value::Int(r.ivarint()?)),
+        3 => Ok(Value::Float(r.f64()?)),
+        4 => Ok(Value::Str(r.str()?)),
+        5 => {
+            let n = r.len_prefix(1)?;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(decode_value(r, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        6 => Ok(Value::Packet(decode_packet(r)?)),
+        7 => Ok(Value::Filter(decode_filter(r, depth + 1)?)),
+        8 => Ok(Value::Action(decode_action(r)?)),
+        9 => Ok(Value::Rule(RuleValue {
+            pattern: decode_filter(r, depth + 1)?,
+            action: decode_action(r)?,
+        })),
+        10 => {
+            let mut res = Resources::ZERO;
+            for slot in res.0.iter_mut() {
+                *slot = r.f64()?;
+            }
+            Ok(Value::Resources(res))
+        }
+        11 => Ok(Value::Stat(decode_stat(r)?)),
+        12 => {
+            let a = decode_value(r, depth + 1)?;
+            let b = decode_value(r, depth + 1)?;
+            Ok(Value::Pair(Box::new(a), Box::new(b)))
+        }
+        t => Err(WireError::Tag {
+            what: "value",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_proto(r: &mut Reader<'_>) -> Result<Proto, WireError> {
+    match r.u8()? {
+        0 => Ok(Proto::Tcp),
+        1 => Ok(Proto::Udp),
+        2 => Ok(Proto::Icmp),
+        t => Err(WireError::Tag {
+            what: "proto",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_flow(r: &mut Reader<'_>) -> Result<FlowKey, WireError> {
+    let src = Ipv4(decode_u32(r, "src ip")?);
+    let dst = Ipv4(decode_u32(r, "dst ip")?);
+    let proto = decode_proto(r)?;
+    let src_port = decode_u16(r, "src port")?;
+    let dst_port = decode_u16(r, "dst port")?;
+    Ok(FlowKey {
+        src,
+        dst,
+        proto,
+        src_port,
+        dst_port,
+    })
+}
+
+fn decode_u16(r: &mut Reader<'_>, what: &'static str) -> Result<u16, WireError> {
+    let v = r.varint()?;
+    u16::try_from(v).map_err(|_| WireError::Range(what))
+}
+
+fn decode_packet(r: &mut Reader<'_>) -> Result<PacketRecord, WireError> {
+    let flow = decode_flow(r)?;
+    let len = decode_u32(r, "packet len")?;
+    let flags = r.u8()?;
+    if flags > 0b111 {
+        return Err(WireError::Range("packet flags"));
+    }
+    Ok(PacketRecord {
+        flow,
+        len,
+        syn: flags & 1 != 0,
+        fin: flags & 2 != 0,
+        ack: flags & 4 != 0,
+    })
+}
+
+fn decode_prefix(r: &mut Reader<'_>) -> Result<Prefix, WireError> {
+    let addr = Ipv4(decode_u32(r, "prefix addr")?);
+    let len = r.u8()?;
+    if len > 32 {
+        return Err(WireError::Range("prefix len"));
+    }
+    // Prefix::new normalizes host bits; a non-canonical encoding would
+    // break byte-exact re-encoding, so reject it instead.
+    let p = Prefix::new(addr, len);
+    if p.addr != addr {
+        return Err(WireError::Range("prefix host bits"));
+    }
+    Ok(p)
+}
+
+fn decode_filter(r: &mut Reader<'_>, depth: usize) -> Result<FilterFormula, WireError> {
+    if depth >= MAX_DEPTH {
+        return Err(WireError::Depth);
+    }
+    match r.u8()? {
+        0 => Ok(FilterFormula::True),
+        1 => Ok(FilterFormula::False),
+        2 => Ok(FilterFormula::Atom(decode_atom(r)?)),
+        3 => Ok(FilterFormula::And(
+            Box::new(decode_filter(r, depth + 1)?),
+            Box::new(decode_filter(r, depth + 1)?),
+        )),
+        4 => Ok(FilterFormula::Or(
+            Box::new(decode_filter(r, depth + 1)?),
+            Box::new(decode_filter(r, depth + 1)?),
+        )),
+        5 => Ok(FilterFormula::Not(Box::new(decode_filter(r, depth + 1)?))),
+        t => Err(WireError::Tag {
+            what: "filter",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_atom(r: &mut Reader<'_>) -> Result<FilterAtom, WireError> {
+    match r.u8()? {
+        0 => Ok(FilterAtom::SrcIp(decode_prefix(r)?)),
+        1 => Ok(FilterAtom::DstIp(decode_prefix(r)?)),
+        2 => Ok(FilterAtom::SrcPort(decode_u16(r, "src port")?)),
+        3 => Ok(FilterAtom::DstPort(decode_u16(r, "dst port")?)),
+        4 => Ok(FilterAtom::Proto(decode_proto(r)?)),
+        5 => match r.u8()? {
+            0 => Ok(FilterAtom::IfPort(PortSel::Any)),
+            1 => Ok(FilterAtom::IfPort(PortSel::Id(decode_u16(r, "if port")?))),
+            t => Err(WireError::Tag {
+                what: "portsel",
+                tag: t,
+            }),
+        },
+        t => Err(WireError::Tag {
+            what: "atom",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_action(r: &mut Reader<'_>) -> Result<ActionValue, WireError> {
+    match r.u8()? {
+        0 => Ok(ActionValue::Drop),
+        1 => Ok(ActionValue::RateLimit(r.varint()?)),
+        2 => Ok(ActionValue::SetQos(r.u8()?)),
+        3 => Ok(ActionValue::Count),
+        4 => Ok(ActionValue::Mirror),
+        t => Err(WireError::Tag {
+            what: "action",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_stat(r: &mut Reader<'_>) -> Result<StatEntry, WireError> {
+    let subject = match r.u8()? {
+        0 => StatSubject::Port(decode_u16(r, "stat port")?),
+        1 => StatSubject::Rule(r.str()?),
+        t => {
+            return Err(WireError::Tag {
+                what: "stat subject",
+                tag: t,
+            })
+        }
+    };
+    Ok(StatEntry {
+        subject,
+        tx_bytes: r.varint()?,
+        rx_bytes: r.varint()?,
+        tx_packets: r.varint()?,
+        rx_packets: r.varint()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(env: &Envelope) -> Envelope {
+        let mut buf = Vec::new();
+        encode_envelope(env, &mut buf);
+        let (got, consumed) = decode_envelope(&buf).expect("decode");
+        assert_eq!(consumed, buf.len(), "whole buffer consumed");
+        got
+    }
+
+    #[test]
+    fn heartbeat_round_trips() {
+        let env = Envelope::one_way(Frame::Heartbeat {
+            switch: 7,
+            seq: 42,
+            at_ns: 1_000_000,
+        });
+        assert_eq!(round_trip(&env), env);
+    }
+
+    #[test]
+    fn poll_report_with_nested_values_round_trips() {
+        let report = Report {
+            task: "hh".into(),
+            from_switch: 3,
+            from_seed: 11,
+            from_machine: "HH".into(),
+            at_ns: 5_000,
+            latency_ns: 120_000,
+            bytes: 48,
+            value: Value::List(vec![
+                Value::Pair(
+                    Box::new(Value::Str("10.0.0.1".into())),
+                    Box::new(Value::Int(-77)),
+                ),
+                Value::Float(2.5),
+                Value::Stat(StatEntry {
+                    subject: StatSubject::Port(9),
+                    tx_bytes: 1,
+                    rx_bytes: 2,
+                    tx_packets: 3,
+                    rx_packets: 4,
+                }),
+            ]),
+        };
+        let env = Envelope::request(
+            9,
+            Frame::PollReport {
+                reports: vec![report.clone(), report],
+            },
+        );
+        assert_eq!(round_trip(&env), env);
+    }
+
+    #[test]
+    fn migrate_snapshot_round_trips() {
+        let env = Envelope::request(
+            1,
+            Frame::Migrate {
+                task: "hh".into(),
+                from_switch: 0,
+                to_switch: 4,
+                snapshot: SeedSnapshot {
+                    machine: "HH".into(),
+                    state: "Monitor".into(),
+                    vars: vec![
+                        ("threshold".into(), Value::Int(1000)),
+                        (
+                            "rule".into(),
+                            Value::Rule(RuleValue {
+                                pattern: FilterFormula::Atom(FilterAtom::DstPort(443)),
+                                action: ActionValue::RateLimit(1_000_000),
+                            }),
+                        ),
+                    ],
+                },
+            },
+        );
+        assert_eq!(round_trip(&env), env);
+    }
+
+    #[test]
+    fn response_flag_survives() {
+        let env = Envelope::response(17, Frame::Ack);
+        let got = round_trip(&env);
+        assert!(got.response);
+        assert_eq!(got.corr, 17);
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_envelope(
+            &Envelope::one_way(Frame::Error {
+                message: "boom".into(),
+            }),
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_envelope(&buf[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        encode_envelope(&Envelope::one_way(Frame::Ack), &mut buf);
+        // Body starts after the 1-byte length prefix; flip the version.
+        buf[1] = 99;
+        assert_eq!(decode_envelope(&buf).unwrap_err(), WireError::Version(99));
+    }
+
+    #[test]
+    fn trailing_garbage_inside_body_is_rejected() {
+        let mut body = Vec::new();
+        body.push(PROTOCOL_VERSION);
+        body.push(6); // Ack
+        body.push(0);
+        put_varint(&mut body, 0);
+        body.push(0xAA); // junk
+        let mut buf = Vec::new();
+        put_varint(&mut buf, body.len() as u64);
+        buf.extend_from_slice(&body);
+        assert_eq!(decode_envelope(&buf).unwrap_err(), WireError::Trailing(1));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, (MAX_FRAME_LEN as u64) + 1);
+        assert!(matches!(
+            decode_envelope(&buf).unwrap_err(),
+            WireError::TooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn deep_value_nesting_is_bounded() {
+        let mut v = Value::Int(0);
+        for _ in 0..(MAX_DEPTH + 8) {
+            v = Value::List(vec![v]);
+        }
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_value(&mut r, 0).unwrap_err(), WireError::Depth);
+    }
+}

@@ -1,0 +1,245 @@
+//! # farm-net — the wire-protocol transport
+//!
+//! A dependency-light, thread-per-connection TCP transport carrying
+//! FARM's control traffic (poll reports, harvester directives,
+//! heartbeats, seed messages, migration snapshots) as length-prefixed,
+//! versioned binary frames.
+//!
+//! Layer map, bottom-up:
+//!
+//! * [`wire`] — varints, zigzag, length prefixes, a bounds-checked
+//!   reader. Every decoder is total: corrupt input yields a
+//!   [`WireError`], never a panic or unbounded allocation.
+//! * [`frame`] — the typed [`Frame`] enum and the [`Envelope`] that
+//!   adds multiplexing metadata (correlation id + response flag).
+//!   `encode(decode(bytes))` is byte-exact.
+//! * [`interceptor`] — the [`Interceptor`] send-path hook;
+//!   [`LossInterceptor`] applies `farm-faults`' deterministic loss
+//!   model (drop / duplicate / delay) to real frames.
+//! * [`conn`] / [`server`] — the runtime: a [`Connection`] with a
+//!   bounded send queue (backpressure), batched poll-report flushing,
+//!   request/response multiplexing and exponential-backoff reconnect;
+//!   a [`NetServer`] accepting thread-per-connection sessions.
+//!
+//! Every endpoint reports into `farm-telemetry` under the `net.*`
+//! namespace: `net.bytes`, `net.frames_sent` / `net.frames_received`,
+//! `net.dropped_frames`, `net.dead_letters`, `net.connects` /
+//! `net.reconnects` / `net.connect_failures`, `net.rpcs`,
+//! `net.rpc_timeouts`, `net.decode_errors` and the
+//! `net.rpc_latency_us` histogram.
+
+pub mod conn;
+pub mod frame;
+pub mod interceptor;
+pub mod server;
+mod sock;
+pub mod wire;
+
+pub use conn::{Connection, NetConfig, NetError};
+pub use frame::{decode_body, decode_envelope, encode_envelope, Envelope, Frame, Report};
+pub use interceptor::{Interceptor, LossInterceptor, Passthrough, Verdict};
+pub use server::{FrameHandler, NetServer};
+pub use wire::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_telemetry::Telemetry;
+    use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn loopback() -> SocketAddr {
+        SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0)
+    }
+
+    #[test]
+    fn request_response_round_trip_over_loopback() {
+        let telemetry = Telemetry::new();
+        let server = NetServer::bind(
+            loopback(),
+            &telemetry,
+            Arc::new(|env: &Envelope| match &env.frame {
+                Frame::Heartbeat { seq, switch, at_ns } => Some(Frame::Heartbeat {
+                    switch: *switch,
+                    seq: seq + 1,
+                    at_ns: *at_ns,
+                }),
+                _ => None,
+            }),
+        )
+        .expect("bind");
+
+        let conn = Connection::connect(server.local_addr(), NetConfig::default(), &telemetry);
+        let reply = conn
+            .request(Frame::Heartbeat {
+                switch: 7,
+                seq: 41,
+                at_ns: 3,
+            })
+            .expect("rpc");
+        assert_eq!(
+            reply,
+            Frame::Heartbeat {
+                switch: 7,
+                seq: 42,
+                at_ns: 3
+            }
+        );
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("net.rpcs"), 1);
+        assert!(snap.counter("net.bytes") > 0);
+        let h = snap.histogram("net.rpc_latency_us").expect("latency hist");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn client_queues_frames_until_server_appears() {
+        let telemetry = Telemetry::new();
+        // Reserve a port, then connect before anything listens on it.
+        let probe = std::net::TcpListener::bind(loopback()).unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let cfg = NetConfig {
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+            max_reconnects: 200,
+            ..NetConfig::default()
+        };
+        let conn = Connection::connect(addr, cfg, &telemetry);
+        conn.send(Frame::Heartbeat {
+            switch: 1,
+            seq: 1,
+            at_ns: 0,
+        })
+        .expect("queued while down");
+        assert!(!conn.is_connected());
+        // Let the supervisor fail at least one dial before the server
+        // exists, so the reconnect path is genuinely exercised.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while telemetry.snapshot().counter("net.connect_failures") == 0 {
+            assert!(std::time::Instant::now() < deadline, "no dial attempted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let got_h = Arc::clone(&got);
+        let server = NetServer::bind(
+            addr,
+            &telemetry,
+            Arc::new(move |env: &Envelope| {
+                if let Frame::Heartbeat { seq, .. } = env.frame {
+                    got_h.store(seq, std::sync::atomic::Ordering::Relaxed);
+                }
+                None
+            }),
+        )
+        .expect("bind");
+        assert!(conn.wait_connected(Duration::from_secs(5)), "reconnected");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.load(std::sync::atomic::Ordering::Relaxed) != 1 {
+            assert!(std::time::Instant::now() < deadline, "frame never arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(server);
+        let snap = telemetry.snapshot();
+        assert!(snap.counter("net.connect_failures") >= 1);
+        assert_eq!(snap.counter("net.connects"), 1);
+    }
+
+    #[test]
+    fn rpc_through_full_loss_times_out_and_is_counted() {
+        let telemetry = Telemetry::new();
+        let server =
+            NetServer::bind(loopback(), &telemetry, Arc::new(|_: &Envelope| None)).expect("bind");
+        let cfg = NetConfig {
+            request_timeout: Duration::from_millis(50),
+            ..NetConfig::default()
+        };
+        let conn = Connection::connect_with(
+            server.local_addr(),
+            cfg,
+            &telemetry,
+            Box::new(LossInterceptor::from_spec(
+                farm_faults::LossSpec::dropping(1.0),
+                1,
+            )),
+        );
+        let got = conn.request(Frame::Ack);
+        assert_eq!(got, Err(NetError::Timeout));
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("net.rpc_timeouts"), 1);
+        assert!(snap.counter("net.dropped_frames") >= 1);
+    }
+
+    #[test]
+    fn close_flushes_queued_frames_before_disconnecting() {
+        let telemetry = Telemetry::new();
+        let seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen_h = Arc::clone(&seen);
+        let server = NetServer::bind(
+            loopback(),
+            &telemetry,
+            Arc::new(move |env: &Envelope| {
+                if matches!(env.frame, Frame::Heartbeat { .. }) {
+                    seen_h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                None
+            }),
+        )
+        .expect("bind");
+        let mut conn = Connection::connect(server.local_addr(), NetConfig::default(), &telemetry);
+        for seq in 0..64 {
+            conn.send(Frame::Heartbeat {
+                switch: 0,
+                seq,
+                at_ns: 0,
+            })
+            .expect("send");
+        }
+        conn.close();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.load(std::sync::atomic::Ordering::Relaxed) < 64 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "close dropped queued frames: {}/64",
+                seen.load(std::sync::atomic::Ordering::Relaxed)
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn connection_gives_up_after_max_reconnects() {
+        let telemetry = Telemetry::new();
+        let probe = std::net::TcpListener::bind(loopback()).unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let cfg = NetConfig {
+            connect_timeout: Duration::from_millis(50),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+            max_reconnects: 3,
+            ..NetConfig::default()
+        };
+        let conn = Connection::connect(addr, cfg, &telemetry);
+        conn.try_send(Frame::Ack).expect("queued");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            // Once the supervisor gives up, sends fail with Closed and
+            // the queued frame has been dead-lettered.
+            match conn.try_send(Frame::Ack) {
+                Err(NetError::Closed) => break,
+                _ => {
+                    assert!(std::time::Instant::now() < deadline, "never gave up");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("net.connect_failures"), 4);
+        assert!(snap.counter("net.dead_letters") >= 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! The accepting side of the transport: a thread-per-connection TCP
+//! server that decodes frames, hands them to a [`FrameHandler`], and
+//! writes the handler's answer back for request frames.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use farm_telemetry::Telemetry;
+
+use crate::frame::{encode_envelope, Envelope, Frame};
+use crate::sock::{read_envelope, NetCounters};
+
+/// Server-side frame dispatch. Called once per inbound frame, from the
+/// per-connection thread (so concurrent connections call concurrently).
+///
+/// Return `Some(frame)` to answer a request; `None` defers to the
+/// default `Ack` for requests and is ignored for one-way frames.
+pub trait FrameHandler: Send + Sync {
+    fn handle(&self, env: &Envelope) -> Option<Frame>;
+}
+
+impl<F> FrameHandler for F
+where
+    F: Fn(&Envelope) -> Option<Frame> + Send + Sync,
+{
+    fn handle(&self, env: &Envelope) -> Option<Frame> {
+        self(env)
+    }
+}
+
+struct ServerShared {
+    stop: AtomicBool,
+    counters: NetCounters,
+    handler: Arc<dyn FrameHandler>,
+    /// Open client sockets, for a hard shutdown of lingering sessions.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A listening endpoint. One OS thread accepts; each accepted client
+/// gets its own service thread.
+pub struct NetServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`local_addr`](Self::local_addr)) and starts accepting.
+    pub fn bind(
+        addr: SocketAddr,
+        telemetry: &Telemetry,
+        handler: Arc<dyn FrameHandler>,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            stop: AtomicBool::new(false),
+            counters: NetCounters::new(telemetry),
+            handler,
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("farm-net-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address — the port actually chosen when binding :0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, severs open sessions, joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // The accept thread sits in blocking accept(); a throwaway
+        // connection to ourselves wakes it so it can observe `stop`.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for s in self.shared.conns.lock().expect("conns lock").drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    let mut service_threads = Vec::new();
+    for incoming in listener.incoming() {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        let shared_conn = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name("farm-net-serve".into())
+            .spawn(move || serve_conn(stream, shared_conn));
+        if let Ok(h) = spawned {
+            service_threads.push(h);
+        }
+    }
+    for h in service_threads {
+        let _ = h.join();
+    }
+}
+
+/// One client session: read frames until the peer says goodbye (or
+/// vanishes, or sends garbage), answering requests inline.
+fn serve_conn(stream: TcpStream, shared: Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        match read_envelope(&mut reader, &shared.stop) {
+            Ok(Some((env, nbytes))) => {
+                shared.counters.bytes.add(nbytes as u64);
+                shared.counters.frames_received.inc();
+                if matches!(env.frame, Frame::Shutdown) {
+                    return;
+                }
+                let answer = shared.handler.handle(&env);
+                if env.corr != 0 && !env.response {
+                    let reply = Envelope::response(env.corr, answer.unwrap_or(Frame::Ack));
+                    let mut buf = Vec::with_capacity(64);
+                    encode_envelope(&reply, &mut buf);
+                    if writer.write_all(&buf).is_err() {
+                        return;
+                    }
+                    shared.counters.bytes.add(buf.len() as u64);
+                    shared.counters.frames_sent.inc();
+                }
+            }
+            Ok(None) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    shared.counters.decode_errors.inc();
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Socket-level helpers shared by client connections and the server:
+//! frame-at-a-time reads that tolerate read timeouts (used as poll
+//! ticks) without ever splitting or dropping a partially-read frame,
+//! and the cached telemetry instruments of the `net.*` namespace.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use farm_telemetry::{Counter, Histogram, Telemetry};
+
+use crate::frame::{decode_body, Envelope};
+use crate::wire::MAX_FRAME_LEN;
+
+/// Cached handles for the `net.*` instruments so the per-frame hot
+/// path never takes the registry lock.
+#[derive(Clone)]
+pub(crate) struct NetCounters {
+    /// Octets this endpoint moved on the wire, both directions.
+    pub bytes: Arc<Counter>,
+    pub frames_sent: Arc<Counter>,
+    pub frames_received: Arc<Counter>,
+    /// Frames discarded by an interceptor (injected loss).
+    pub dropped_frames: Arc<Counter>,
+    /// Frames rejected at a full send queue.
+    pub dead_letters: Arc<Counter>,
+    pub connects: Arc<Counter>,
+    pub reconnects: Arc<Counter>,
+    pub connect_failures: Arc<Counter>,
+    pub rpcs: Arc<Counter>,
+    pub rpc_timeouts: Arc<Counter>,
+    pub decode_errors: Arc<Counter>,
+    /// Request → response round-trip, microseconds (real time).
+    pub rpc_latency_us: Arc<Histogram>,
+}
+
+impl NetCounters {
+    pub fn new(telemetry: &Telemetry) -> NetCounters {
+        NetCounters {
+            bytes: telemetry.counter("net.bytes"),
+            frames_sent: telemetry.counter("net.frames_sent"),
+            frames_received: telemetry.counter("net.frames_received"),
+            dropped_frames: telemetry.counter("net.dropped_frames"),
+            dead_letters: telemetry.counter("net.dead_letters"),
+            connects: telemetry.counter("net.connects"),
+            reconnects: telemetry.counter("net.reconnects"),
+            connect_failures: telemetry.counter("net.connect_failures"),
+            rpcs: telemetry.counter("net.rpcs"),
+            rpc_timeouts: telemetry.counter("net.rpc_timeouts"),
+            decode_errors: telemetry.counter("net.decode_errors"),
+            rpc_latency_us: telemetry.latency_histogram("net.rpc_latency_us"),
+        }
+    }
+}
+
+/// True for the error kinds a read timeout produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Fills `buf` completely, retrying through read timeouts until `stop`
+/// is raised. Unlike `read_exact`, a timeout never loses the bytes
+/// already read.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one length-prefixed frame.
+///
+/// * `Ok(Some((env, n)))` — a frame arrived; `n` is its wire size.
+/// * `Ok(None)` — idle tick (read timeout before a frame started, or
+///   `stop` was raised); the caller re-checks its shutdown flag.
+/// * `Err(_)` — the peer vanished or sent garbage.
+pub(crate) fn read_envelope<R: Read>(
+    r: &mut R,
+    stop: &AtomicBool,
+) -> io::Result<Option<(Envelope, usize)>> {
+    // Length prefix, byte at a time (varint, ≤ 10 bytes).
+    let mut len: u64 = 0;
+    let mut header = 0usize;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if header == 0 {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                } else {
+                    Err(io::ErrorKind::InvalidData.into())
+                }
+            }
+            Ok(_) => {
+                if header >= 10 {
+                    return Err(io::ErrorKind::InvalidData.into());
+                }
+                len |= ((byte[0] & 0x7f) as u64) << (header * 7);
+                header += 1;
+                if byte[0] & 0x80 == 0 {
+                    break;
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                // Before the first length byte this is just an idle
+                // tick; mid-prefix we keep waiting for the rest.
+                if header == 0 {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_full(r, &mut body, stop)? {
+        return Ok(None);
+    }
+    match decode_body(&body) {
+        Ok(env) => Ok(Some((env, header + body.len()))),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_envelope, Frame};
+
+    #[test]
+    fn reads_back_to_back_frames_from_one_buffer() {
+        let mut buf = Vec::new();
+        for seq in 0..3 {
+            encode_envelope(
+                &Envelope::one_way(Frame::Heartbeat {
+                    switch: 1,
+                    seq,
+                    at_ns: 0,
+                }),
+                &mut buf,
+            );
+        }
+        let stop = AtomicBool::new(false);
+        let mut cursor = io::Cursor::new(buf);
+        for seq in 0..3 {
+            let (env, _) = read_envelope(&mut cursor, &stop).unwrap().unwrap();
+            assert!(matches!(env.frame, Frame::Heartbeat { seq: s, .. } if s == seq));
+        }
+        assert!(read_envelope(&mut cursor, &stop).is_err(), "EOF after last");
+    }
+
+    #[test]
+    fn garbage_length_prefix_is_an_error() {
+        let buf = vec![0xff; 16];
+        let stop = AtomicBool::new(false);
+        assert!(read_envelope(&mut io::Cursor::new(buf), &stop).is_err());
+    }
+
+    #[test]
+    fn stop_flag_aborts_cleanly() {
+        let buf: Vec<u8> = Vec::new();
+        let stop = AtomicBool::new(true);
+        let got = read_envelope(&mut io::Cursor::new(buf), &stop).unwrap();
+        assert!(got.is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! Low-level wire primitives: LEB128 varints, zigzag signed integers,
+//! length-prefixed strings, and a bounds-checked [`Reader`].
+//!
+//! Every decoder in this crate is **total**: arbitrary (truncated,
+//! corrupt, adversarial) input produces a [`WireError`], never a panic
+//! and never an unbounded allocation. Length fields are validated
+//! against the bytes actually remaining before anything is reserved.
+
+use std::fmt;
+
+/// Protocol version stamped into every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on one frame's body, bytes. Larger length prefixes are
+/// rejected before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Maximum nesting depth for recursive payloads (values, filters).
+pub const MAX_DEPTH: usize = 48;
+
+/// Decoding failure. `Truncated` doubles as "need more bytes" for
+/// streaming callers; every other variant is a hard protocol error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value did.
+    Truncated,
+    /// A length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u64),
+    /// The frame announces a protocol version we do not speak.
+    Version(u8),
+    /// An enum discriminant is out of range.
+    Tag { what: &'static str, tag: u8 },
+    /// A string field holds invalid UTF-8.
+    Utf8,
+    /// A varint ran past 10 bytes.
+    VarintOverflow,
+    /// Recursive payload nests deeper than [`MAX_DEPTH`].
+    Depth,
+    /// A scalar field is outside its legal range (e.g. prefix len > 32).
+    Range(&'static str),
+    /// The frame body decoded cleanly but bytes were left over.
+    Trailing(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire: input truncated"),
+            WireError::TooLarge(n) => write!(f, "wire: frame of {n} bytes exceeds cap"),
+            WireError::Version(v) => write!(f, "wire: unsupported protocol version {v}"),
+            WireError::Tag { what, tag } => write!(f, "wire: bad {what} tag {tag}"),
+            WireError::Utf8 => write!(f, "wire: invalid utf-8 in string"),
+            WireError::VarintOverflow => write!(f, "wire: varint overflow"),
+            WireError::Depth => write!(f, "wire: payload nests too deep"),
+            WireError::Range(what) => write!(f, "wire: {what} out of range"),
+            WireError::Trailing(n) => write!(f, "wire: {n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends an unsigned LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-encoded signed varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Appends an IEEE-754 double as 8 little-endian bytes.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a bool as one byte.
+pub fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(b as u8);
+}
+
+/// Bounds-checked cursor over a received frame body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::Tag {
+                what: "bool",
+                tag: t,
+            }),
+        }
+    }
+
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in 0..10 {
+            let byte = self.u8()?;
+            // The 10th byte may only carry the final bit of a u64.
+            if shift == 9 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= ((byte & 0x7f) as u64) << (shift * 7);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    pub fn ivarint(&mut self) -> Result<i64, WireError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        let bytes = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    /// A length prefix that must be satisfiable by the remaining bytes,
+    /// assuming each element costs at least `min_elem_bytes`.
+    pub fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        let need = n.saturating_mul(min_elem_bytes.max(1) as u64);
+        if need > self.remaining() as u64 {
+            return Err(WireError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len_prefix(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Utf8)
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_across_widths() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trips_signed_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(Reader::new(&buf).ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xff; 11];
+        assert_eq!(Reader::new(&buf).varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        for cut in 0..buf.len() {
+            let got = Reader::new(&buf[..cut]).str();
+            assert_eq!(got, Err(WireError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn length_prefix_cannot_force_allocation() {
+        // Claims a 2^40-element list with 3 bytes of input.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        let got = Reader::new(&buf).len_prefix(1);
+        assert_eq!(got, Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xc3, 0x28]);
+        assert_eq!(Reader::new(&buf).str(), Err(WireError::Utf8));
+    }
+}

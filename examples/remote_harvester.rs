@@ -1,0 +1,174 @@
+//! A harvester at the far end of a real (lossy) TCP link.
+//!
+//! Demonstrates the `farm-net` transport end to end:
+//!
+//! 1. a "harvester" process half — a [`NetServer`] on loopback that
+//!    decodes incoming poll-report frames;
+//! 2. a "soil" half — a [`Connection`] shipping batched reports through
+//!    a [`LossInterceptor`] that drops and duplicates real frames;
+//! 3. a server outage — queued frames back up, the bounded send queue
+//!    overflows into dead letters, reconnect attempts back off;
+//! 4. recovery — the server rebinds, the client reconnects and drains
+//!    its queue.
+//!
+//! Run with: `cargo run --example remote_harvester`
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use farm_almanac::value::Value;
+use farm_faults::LossSpec;
+use farm_net::{Connection, Envelope, Frame, LossInterceptor, NetConfig, NetServer, Report};
+use farm_netsim::time::Dur;
+use farm_telemetry::Telemetry;
+
+/// Collects poll reports like a harvester would.
+fn harvester(received: Arc<AtomicU64>) -> Arc<dyn farm_net::FrameHandler> {
+    Arc::new(move |env: &Envelope| {
+        if let Frame::PollReport { reports } = &env.frame {
+            received.fetch_add(reports.len() as u64, Ordering::Relaxed);
+        }
+        None
+    })
+}
+
+fn sample_report(seq: u64) -> Report {
+    Report {
+        task: "hh".into(),
+        from_switch: (seq % 5) as u32,
+        from_seed: seq,
+        from_machine: "HH".into(),
+        at_ns: seq * 1_000_000,
+        latency_ns: 40_000,
+        bytes: 48,
+        value: Value::List(vec![Value::Int(seq as i64), Value::Str("flow".into())]),
+    }
+}
+
+fn wait_for(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done() {
+        if Instant::now() > deadline {
+            panic!("timed out waiting for {what}");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn main() {
+    let telemetry = Telemetry::new();
+    let received = Arc::new(AtomicU64::new(0));
+
+    // --- Phase 1: a harvester server and a lossy soil-side client. ---
+    let mut server = NetServer::bind(
+        "127.0.0.1:0".parse::<SocketAddr>().unwrap(),
+        &telemetry,
+        harvester(Arc::clone(&received)),
+    )
+    .expect("bind harvester endpoint");
+    let addr = server.local_addr();
+    println!("harvester listening on {addr}");
+
+    let lossy = LossInterceptor::from_spec(
+        LossSpec {
+            drop: 0.2,
+            duplicate: 0.05,
+            delay: Dur::from_micros(50),
+        },
+        42,
+    );
+    let cfg = NetConfig {
+        node: "leaf-soil".into(),
+        send_queue: 64,
+        batch_max: 8,
+        backoff_base: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(100),
+        max_reconnects: 500,
+        ..NetConfig::default()
+    };
+    let mut conn = Connection::connect_with(addr, cfg, &telemetry, Box::new(lossy));
+
+    for seq in 0..200 {
+        conn.queue_report(sample_report(seq)).expect("queue report");
+    }
+    conn.flush_reports().expect("flush");
+    // ~20% of frames vanish on the lossy link; whatever arrives, arrives.
+    wait_for("first batches to land", || {
+        received.load(Ordering::Relaxed) >= 80 && conn.queued() == 0
+    });
+    let after_lossy = received.load(Ordering::Relaxed);
+    println!(
+        "lossy link: {after_lossy}/200 reports delivered ({} frames dropped on the wire)",
+        telemetry.snapshot().counter("net.dropped_frames")
+    );
+
+    // --- Phase 2: the harvester goes down mid-run. ---
+    server.shutdown();
+    drop(server);
+    println!("harvester down; soil keeps reporting into its bounded queue");
+    let mut overflowed = 0u64;
+    for seq in 200..400 {
+        // try_send semantics: a full queue dead-letters instead of
+        // blocking the polling loop.
+        let frame = Frame::PollReport {
+            reports: vec![sample_report(seq)],
+        };
+        if conn.try_send(frame).is_err() {
+            overflowed += 1;
+        }
+    }
+    let snap = telemetry.snapshot();
+    println!(
+        "outage: {overflowed} reports dead-lettered at the full queue (net.dead_letters={}), {} reconnect attempts so far",
+        snap.counter("net.dead_letters"),
+        snap.counter("net.connect_failures"),
+    );
+    assert!(overflowed > 0, "bounded queue must overflow during outage");
+
+    // --- Phase 3: the harvester comes back on the same address. ---
+    let server = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match NetServer::bind(addr, &telemetry, harvester(Arc::clone(&received))) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    // The old port can linger briefly; retry.
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => panic!("rebind failed: {e}"),
+            }
+        }
+    };
+    println!("harvester back on {}", server.local_addr());
+    wait_for("reconnect", || conn.is_connected());
+    wait_for("queued reports to drain", || conn.queued() == 0);
+    conn.close();
+
+    let snap = telemetry.snapshot();
+    let total = received.load(Ordering::Relaxed);
+    println!("--- final accounting ---");
+    for key in [
+        "net.bytes",
+        "net.frames_sent",
+        "net.frames_received",
+        "net.dropped_frames",
+        "net.dead_letters",
+        "net.connects",
+        "net.reconnects",
+        "net.connect_failures",
+    ] {
+        println!("{key:24} {}", snap.counter(key));
+    }
+    println!("reports harvested        {total}");
+    assert!(
+        snap.counter("net.reconnects") >= 1,
+        "client must have reconnected after the outage"
+    );
+    assert!(
+        total > after_lossy,
+        "queued reports must drain on reconnect"
+    );
+}

@@ -1,0 +1,137 @@
+//! Transport equivalence: a farm driven over real loopback TCP
+//! ([`TransportMode::Tcp`]) must be observably identical to the
+//! in-process fast path — same harvester deliveries, same event
+//! stream, same counters — because the wire codec is byte-exact and
+//! delivery semantics stay on virtual time.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use farm_core::harvester::ReceivedMessage;
+use farm_core::prelude::*;
+use farm_netsim::traffic::{HeavyHitterWorkload, HhConfig};
+use farm_netsim::types::SwitchId;
+use farm_telemetry::Snapshot;
+
+/// One fixed scenario: HH detection over a lossy control channel with a
+/// mid-run migration trigger (switch crash + recovery).
+fn run_scenario(mode: TransportMode) -> (Vec<ReceivedMessage>, Vec<Event>, Snapshot) {
+    let topo = Topology::spine_leaf(
+        2,
+        3,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    );
+    let events = Arc::new(RingBufferSink::new(65_536));
+    let mut farm = FarmBuilder::new(topo)
+        .with_transport(mode)
+        .with_fault_plan(
+            FaultPlan::new()
+                .with(
+                    Time::from_millis(8),
+                    FaultKind::ControlLoss {
+                        switch: None,
+                        spec: LossSpec {
+                            drop: 0.3,
+                            duplicate: 0.1,
+                            delay: Dur::from_micros(40),
+                        },
+                    },
+                )
+                .with(
+                    Time::from_millis(20),
+                    FaultKind::SwitchCrash {
+                        switch: SwitchId(2),
+                    },
+                ),
+        )
+        .with_harvester("hh", Box::new(CollectingHarvester::new()))
+        .with_sink(events.clone())
+        .build();
+    farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+        .unwrap();
+    let leaf = farm.network().topology().leaves().next().unwrap();
+    let mut hh = HeavyHitterWorkload::new(HhConfig {
+        switch: leaf,
+        n_ports: 16,
+        hh_ratio: 0.1,
+        ..Default::default()
+    });
+    farm.run(&mut [&mut hh], Time::from_millis(60), Dur::from_millis(1));
+    let h: &CollectingHarvester = farm.harvester("hh").unwrap();
+    (
+        h.received.clone(),
+        events.events(),
+        farm.telemetry().snapshot(),
+    )
+}
+
+#[test]
+fn tcp_and_in_process_transports_are_observably_identical() {
+    let (in_msgs, in_events, in_snap) = run_scenario(TransportMode::InProcess);
+    let (tcp_msgs, tcp_events, tcp_snap) = run_scenario(TransportMode::Tcp);
+
+    assert!(!in_msgs.is_empty(), "scenario must produce reports");
+    assert_eq!(
+        in_msgs, tcp_msgs,
+        "harvesters must receive identical message streams"
+    );
+    // SolverPhase events carry wall-clock solver timings, which differ
+    // between any two runs; everything else is virtual-time determined
+    // and must match exactly.
+    let virtual_only = |events: Vec<Event>| -> Vec<Event> {
+        events
+            .into_iter()
+            .filter(|e| !matches!(e, Event::SolverPhase { .. }))
+            .collect()
+    };
+    assert_eq!(
+        virtual_only(in_events),
+        virtual_only(tcp_events),
+        "telemetry event streams must be identical"
+    );
+
+    // The simulation-side counters agree...
+    for key in [
+        "farm.collector_messages",
+        "farm.collector_bytes",
+        "farm.seed_messages",
+        "farm.delivery_retries",
+        "farm.dead_letters",
+        "farm.heartbeats",
+        "farm.migrations",
+    ] {
+        assert_eq!(
+            in_snap.counter(key),
+            tcp_snap.counter(key),
+            "{key} must match across transports"
+        );
+    }
+
+    // ...while only the TCP run exercised the wire.
+    assert_eq!(in_snap.counter("net.bytes"), 0);
+    assert!(
+        tcp_snap.counter("net.bytes") > 0,
+        "TCP mode moved real bytes"
+    );
+    assert!(tcp_snap.counter("net.rpcs") > 0, "deliveries rode RPCs");
+    assert_eq!(
+        tcp_snap.counter("transport.fallbacks"),
+        0,
+        "no delivery fell back to the in-process path"
+    );
+    let lat = tcp_snap
+        .histogram("net.rpc_latency_us")
+        .expect("TCP mode records RPC latency");
+    assert_eq!(lat.count, tcp_snap.counter("net.rpcs"));
+}
+
+#[test]
+fn tcp_transport_beacons_heartbeats_on_the_wire() {
+    let (_, _, snap) = run_scenario(TransportMode::Tcp);
+    // Every heartbeat round beacons each reachable switch once.
+    assert!(
+        snap.counter("net.frames_sent") > snap.counter("farm.heartbeats"),
+        "heartbeat beacons ride the wire alongside report frames"
+    );
+}

@@ -1,0 +1,324 @@
+//! Property tests for the farm-net codec: every frame the generators
+//! can produce must round-trip byte-exactly, and arbitrary mutilation
+//! of valid bytes (truncation, bit flips) must be rejected or
+//! re-interpreted without ever panicking or over-reading.
+
+use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
+use farm_net::wire::WireError;
+use farm_net::{decode_envelope, encode_envelope, Envelope, Frame, Report};
+use farm_netsim::switch::Resources;
+use farm_netsim::types::{FilterAtom, FilterFormula, FlowKey, Ipv4, PortSel, Prefix, Proto};
+use farm_soil::SeedSnapshot;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn proto_strategy() -> BoxedStrategy<Proto> {
+    prop_oneof![Just(Proto::Tcp), Just(Proto::Udp), Just(Proto::Icmp)].boxed()
+}
+
+fn prefix_strategy() -> BoxedStrategy<Prefix> {
+    // Prefix::new normalizes host bits, which is exactly the canonical
+    // form the decoder insists on.
+    (any::<u32>(), 0u8..33)
+        .prop_map(|(addr, len)| Prefix::new(Ipv4(addr), len))
+        .boxed()
+}
+
+fn flow_strategy() -> BoxedStrategy<FlowKey> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        proto_strategy(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(s, d, proto, sp, dp)| FlowKey {
+            src: Ipv4(s),
+            dst: Ipv4(d),
+            proto,
+            src_port: sp,
+            dst_port: dp,
+        })
+        .boxed()
+}
+
+fn atom_strategy() -> BoxedStrategy<FilterAtom> {
+    prop_oneof![
+        prefix_strategy().prop_map(FilterAtom::SrcIp),
+        prefix_strategy().prop_map(FilterAtom::DstIp),
+        any::<u16>().prop_map(FilterAtom::SrcPort),
+        any::<u16>().prop_map(FilterAtom::DstPort),
+        proto_strategy().prop_map(FilterAtom::Proto),
+        prop_oneof![Just(PortSel::Any), any::<u16>().prop_map(PortSel::Id)]
+            .prop_map(FilterAtom::IfPort),
+    ]
+    .boxed()
+}
+
+fn filter_strategy(depth: u32) -> BoxedStrategy<FilterFormula> {
+    let leaf = prop_oneof![
+        Just(FilterFormula::True),
+        Just(FilterFormula::False),
+        atom_strategy().prop_map(FilterFormula::Atom),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = filter_strategy(depth - 1);
+    prop_oneof![
+        leaf,
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| FilterFormula::And(Box::new(a), Box::new(b))),
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| FilterFormula::Or(Box::new(a), Box::new(b))),
+        sub.prop_map(|f| FilterFormula::Not(Box::new(f))),
+    ]
+    .boxed()
+}
+
+fn action_strategy() -> BoxedStrategy<ActionValue> {
+    prop_oneof![
+        Just(ActionValue::Drop),
+        any::<u64>().prop_map(ActionValue::RateLimit),
+        any::<u8>().prop_map(ActionValue::SetQos),
+        Just(ActionValue::Count),
+        Just(ActionValue::Mirror),
+    ]
+    .boxed()
+}
+
+fn stat_strategy() -> BoxedStrategy<StatEntry> {
+    (
+        prop_oneof![
+            any::<u16>().prop_map(StatSubject::Port),
+            "[a-z]{0,12}".prop_map(StatSubject::Rule),
+        ],
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(subject, tb, rb, tp, rp)| StatEntry {
+            subject,
+            tx_bytes: tb,
+            rx_bytes: rb,
+            tx_packets: tp,
+            rx_packets: rp,
+        })
+        .boxed()
+}
+
+fn value_strategy(depth: u32) -> BoxedStrategy<Value> {
+    // Finite floats only: NaN breaks PartialEq, and the wire carries
+    // IEEE-754 bits verbatim anyway.
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(|b| match b {
+            0 => Value::Unit,
+            1 => Value::Bool(false),
+            _ => Value::Bool(true),
+        }),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12..1.0e12).prop_map(Value::Float),
+        "[ -~]{0,16}".prop_map(Value::Str),
+        (flow_strategy(), any::<u32>(), 0u8..8).prop_map(|(flow, len, flags)| {
+            Value::Packet(PacketRecord {
+                flow,
+                len,
+                syn: flags & 1 != 0,
+                fin: flags & 2 != 0,
+                ack: flags & 4 != 0,
+            })
+        }),
+        filter_strategy(2).prop_map(Value::Filter),
+        action_strategy().prop_map(Value::Action),
+        (filter_strategy(1), action_strategy())
+            .prop_map(|(pattern, action)| Value::Rule(RuleValue { pattern, action })),
+        (0.0..1e6, 0.0..1e6, 0.0..1e6, 0.0..1e6)
+            .prop_map(|(a, b, c, d)| Value::Resources(Resources([a, b, c, d]))),
+        stat_strategy().prop_map(Value::Stat),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = value_strategy(depth - 1);
+    prop_oneof![
+        leaf,
+        vec(sub.clone(), 0..4).prop_map(Value::List),
+        (sub.clone(), sub).prop_map(|(a, b)| Value::Pair(Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+fn report_strategy() -> BoxedStrategy<Report> {
+    (
+        "[a-z]{1,8}",
+        any::<u32>(),
+        any::<u64>(),
+        "[A-Z]{1,6}",
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        value_strategy(2),
+    )
+        .prop_map(
+            |(task, from_switch, from_seed, from_machine, (at, lat, bytes), value)| Report {
+                task,
+                from_switch,
+                from_seed,
+                from_machine,
+                at_ns: at,
+                latency_ns: lat,
+                bytes,
+                value,
+            },
+        )
+        .boxed()
+}
+
+fn option_u32_strategy() -> BoxedStrategy<Option<u32>> {
+    (0u8..2, any::<u32>())
+        .prop_map(|(some, v)| if some == 1 { Some(v) } else { None })
+        .boxed()
+}
+
+fn snapshot_strategy() -> BoxedStrategy<SeedSnapshot> {
+    (
+        "[A-Z][a-z]{0,6}",
+        "[a-z]{1,8}",
+        vec(("[a-z]{1,8}", value_strategy(1)), 0..4),
+    )
+        .prop_map(|(machine, state, vars)| SeedSnapshot {
+            machine,
+            state,
+            vars,
+        })
+        .boxed()
+}
+
+fn frame_strategy() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        ("[a-z-]{1,10}", any::<u32>()).prop_map(|(node, protocol)| Frame::Hello { node, protocol }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(switch, seq, at_ns)| Frame::Heartbeat { switch, seq, at_ns }),
+        vec(report_strategy(), 0..4).prop_map(|reports| Frame::PollReport { reports }),
+        ("[A-Z]{1,6}", option_u32_strategy(), value_strategy(2)).prop_map(
+            |(machine, at_switch, value)| Frame::HarvesterDirective {
+                machine,
+                at_switch,
+                value,
+            }
+        ),
+        (
+            (
+                "[a-z]{1,8}",
+                any::<u32>(),
+                any::<u64>(),
+                "[A-Z]{1,6}",
+                "[A-Z]{1,6}"
+            ),
+            (
+                option_u32_strategy(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
+            value_strategy(2),
+        )
+            .prop_map(
+                |(
+                    (task, from_switch, from_seed, from_machine, to_machine),
+                    (at_switch, at_ns, latency_ns, bytes),
+                    value,
+                )| Frame::SeedMessage {
+                    task,
+                    from_switch,
+                    from_seed,
+                    from_machine,
+                    to_machine,
+                    at_switch,
+                    at_ns,
+                    latency_ns,
+                    bytes,
+                    value,
+                }
+            ),
+        (
+            "[a-z]{1,8}",
+            any::<u32>(),
+            any::<u32>(),
+            snapshot_strategy()
+        )
+            .prop_map(|(task, from_switch, to_switch, snapshot)| Frame::Migrate {
+                task,
+                from_switch,
+                to_switch,
+                snapshot,
+            }),
+        Just(Frame::Ack),
+        "[ -~]{0,24}".prop_map(|message| Frame::Error { message }),
+        Just(Frame::Shutdown),
+    ]
+    .boxed()
+}
+
+fn envelope_strategy() -> BoxedStrategy<Envelope> {
+    (any::<u64>(), 0u8..2, frame_strategy())
+        .prop_map(|(corr, resp, frame)| Envelope {
+            corr,
+            response: resp == 1,
+            frame,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(env)) == env, and re-encoding the decoded envelope
+    /// reproduces the exact same bytes.
+    #[test]
+    fn codec_round_trip_is_byte_exact(env in envelope_strategy()) {
+        let mut bytes = Vec::new();
+        encode_envelope(&env, &mut bytes);
+        let (decoded, consumed) = decode_envelope(&bytes).expect("decode valid frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &env);
+        let mut again = Vec::new();
+        encode_envelope(&decoded, &mut again);
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// Every truncation of a valid frame reports `Truncated` — the
+    /// streaming reader's "wait for more bytes" signal — and no prefix
+    /// ever decodes as a different complete frame.
+    #[test]
+    fn every_truncation_is_detected(env in envelope_strategy(), frac in 0.0..1.0f64) {
+        let mut bytes = Vec::new();
+        encode_envelope(&env, &mut bytes);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert_eq!(
+            decode_envelope(&bytes[..cut]).err(),
+            Some(WireError::Truncated),
+            "cut at {} of {}", cut, bytes.len()
+        );
+    }
+
+    /// Flipping any single byte never panics, never over-reads, and a
+    /// successful decode still re-encodes within the original length.
+    #[test]
+    fn corrupt_bytes_never_panic(env in envelope_strategy(), pos_frac in 0.0..1.0f64, flip in 1u8..=255) {
+        let mut bytes = Vec::new();
+        encode_envelope(&env, &mut bytes);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        // Anything else is a clean typed rejection.
+        if let Ok((_, consumed)) = decode_envelope(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// Random garbage (not derived from any valid frame) is rejected or
+    /// bounded — decoding can never consume more than it was given.
+    #[test]
+    fn random_garbage_is_handled_totally(bytes in vec(any::<u8>(), 0..256)) {
+        if let Ok((_, consumed)) = decode_envelope(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+}
