@@ -222,6 +222,69 @@ pub fn compile_task(
     })
 }
 
+/// One compile error attributed to a machine (or to the whole program).
+#[derive(Debug, Clone)]
+pub struct MachineDiagnostic {
+    /// Machine the error belongs to; empty for whole-program failures
+    /// (lex, parse, typecheck), which precede machine boundaries.
+    pub machine: String,
+    pub error: AlmanacError,
+}
+
+/// Outcome of [`compile_task_with_diagnostics`]: the compiled task when
+/// every machine compiled, else `None` plus everything that went wrong.
+#[derive(Debug)]
+pub struct CompileReport {
+    pub task: Option<CompiledTask>,
+    pub diagnostics: Vec<MachineDiagnostic>,
+}
+
+/// Like [`compile_task`], but keeps going past a failing machine so a
+/// submission surface (farmd's `SubmitProgram`) can report *all* broken
+/// machines in one round instead of one error per round-trip. Frontend
+/// failures still end the compile — there is no program to walk.
+pub fn compile_task_with_diagnostics(
+    task_name: &str,
+    src: &str,
+    externals: &BTreeMap<String, ConstEnv>,
+    controller: &SdnController<'_>,
+) -> CompileReport {
+    let program = match frontend(src) {
+        Ok(p) => p,
+        Err(error) => {
+            return CompileReport {
+                task: None,
+                diagnostics: vec![MachineDiagnostic {
+                    machine: String::new(),
+                    error,
+                }],
+            }
+        }
+    };
+    let empty = ConstEnv::new();
+    let mut machines = Vec::new();
+    let mut diagnostics = Vec::new();
+    for m in &program.machines {
+        let ext = externals.get(&m.name).unwrap_or(&empty);
+        match compile_machine(&program, &m.name, ext, controller) {
+            Ok(cm) => machines.push(cm),
+            Err(error) => diagnostics.push(MachineDiagnostic {
+                machine: m.name.clone(),
+                error,
+            }),
+        }
+    }
+    let task = if diagnostics.is_empty() {
+        Some(CompiledTask {
+            name: task_name.to_string(),
+            machines,
+        })
+    } else {
+        None
+    };
+    CompileReport { task, diagnostics }
+}
+
 /// Convenience: an external-assignment environment from `(name, value)`
 /// pairs.
 pub fn externals(pairs: &[(&str, Value)]) -> ConstEnv {
@@ -332,6 +395,49 @@ mod tests {
         let task = compile_task("hh-task", HH, &BTreeMap::new(), &ctl).unwrap();
         assert_eq!(task.machines.len(), 1);
         assert_eq!(task.num_seeds(), 5);
+    }
+
+    #[test]
+    fn diagnostics_compile_reports_every_broken_machine() {
+        // Two broken machines (missing externals) and one good one: the
+        // report must name both failures, not stop at the first.
+        let src = r#"
+            machine A { place any; external long a; state s { } }
+            machine B { place any; state s { } }
+            machine C { place any; external long c; state s { } }
+        "#;
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let report = compile_task_with_diagnostics("t", src, &BTreeMap::new(), &ctl);
+        assert!(report.task.is_none());
+        let machines: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.machine.as_str())
+            .collect();
+        assert_eq!(machines, ["A", "C"]);
+        for d in &report.diagnostics {
+            assert!(d.error.message.contains("no value and no default"));
+        }
+    }
+
+    #[test]
+    fn diagnostics_compile_succeeds_like_compile_task() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let report = compile_task_with_diagnostics("hh-task", HH, &BTreeMap::new(), &ctl);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.task.unwrap().num_seeds(), 5);
+    }
+
+    #[test]
+    fn diagnostics_compile_surfaces_frontend_errors() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let report = compile_task_with_diagnostics("t", "machine { nope", &BTreeMap::new(), &ctl);
+        assert!(report.task.is_none());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.diagnostics[0].machine.is_empty());
     }
 
     #[test]

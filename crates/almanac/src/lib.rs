@@ -51,6 +51,9 @@ pub mod typeck;
 pub mod value;
 pub mod xml;
 
-pub use compile::{compile_machine, compile_task, frontend, CompiledMachine, CompiledTask};
+pub use compile::{
+    compile_machine, compile_task, compile_task_with_diagnostics, frontend, CompileReport,
+    CompiledMachine, CompiledTask, MachineDiagnostic,
+};
 pub use error::{AlmanacError, Result};
 pub use value::Value;

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use farm_almanac::analysis::ConstEnv;
-use farm_almanac::compile::compile_task;
+use farm_almanac::compile::{compile_task, CompiledTask};
 use farm_almanac::value::{PacketRecord, Value};
 use farm_faults::{Delivery, FaultInjector, FaultKind, FaultPlan, LossModel};
 use farm_netsim::controller::SdnController;
@@ -120,10 +120,17 @@ struct FarmCounters {
     delivery_retries: Arc<Counter>,
     dead_letters: Arc<Counter>,
     recoveries: Arc<Counter>,
+    /// `net.*` / `transport.*` instruments other layers own, cached here
+    /// so [`Farm::metrics`] can surface them in the compat view.
+    net_dead_letters: Arc<Counter>,
+    transport_fallbacks: Arc<Counter>,
     /// Source-to-harvester report latency, microseconds.
     detection_latency_us: Arc<Histogram>,
     /// Seed outage duration (host lost → re-deployed), microseconds.
     mttr_us: Arc<Histogram>,
+    /// Wall-clock duration of one placement round (plan + commit),
+    /// microseconds.
+    replan_us: Arc<Histogram>,
 }
 
 impl FarmCounters {
@@ -143,8 +150,11 @@ impl FarmCounters {
             delivery_retries: telemetry.counter("farm.delivery_retries"),
             dead_letters: telemetry.counter("farm.dead_letters"),
             recoveries: telemetry.counter("farm.recoveries"),
+            net_dead_letters: telemetry.counter("net.dead_letters"),
+            transport_fallbacks: telemetry.counter("transport.fallbacks"),
             detection_latency_us: telemetry.latency_histogram("detection.latency_us"),
             mttr_us: telemetry.latency_histogram("recovery.mttr_us"),
+            replan_us: telemetry.latency_histogram("farm.replan_us"),
         }
     }
 }
@@ -268,6 +278,7 @@ impl FarmBuilder {
             heartbeat_due: Time::ZERO + ft.heartbeat_interval,
             missed: BTreeMap::new(),
             fenced: BTreeSet::new(),
+            cordoned: BTreeSet::new(),
             down_since: BTreeMap::new(),
             checkpoints: HashMap::new(),
             recovery: BTreeMap::new(),
@@ -279,6 +290,19 @@ impl FarmBuilder {
         }
         farm
     }
+}
+
+/// Control-plane view of one placed seed ([`Farm::seed_statuses`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedStatus {
+    pub key: SeedKey,
+    /// Machine name, empty when the seed is placed but not live (host
+    /// crashed, recovery pending).
+    pub machine: String,
+    pub switch: SwitchId,
+    /// Current state-machine state, or `"lost"` when not live.
+    pub state: String,
+    pub alloc: Resources,
 }
 
 /// The assembled FARM framework over a simulated fabric.
@@ -305,6 +329,9 @@ pub struct Farm {
     /// Switches declared failed; their stale seeds are killed when (if)
     /// they rejoin, and they host nothing until then.
     fenced: BTreeSet<SwitchId>,
+    /// Switches administratively cordoned ([`Farm::drain`]): healthy but
+    /// excluded from placement until [`Farm::uncordon`].
+    cordoned: BTreeSet<SwitchId>,
     /// Crash instant per currently-affected switch (starts the MTTR
     /// clock for the seeds it hosted).
     down_since: BTreeMap<SwitchId, Time>,
@@ -381,6 +408,8 @@ impl Farm {
             migration_bytes: self.counters.migration_bytes.get(),
             seed_errors: self.counters.seed_errors.get(),
             replans: self.counters.replans.get(),
+            net_dead_letters: self.counters.net_dead_letters.get(),
+            transport_fallbacks: self.counters.transport_fallbacks.get(),
         }
     }
 
@@ -485,11 +514,15 @@ impl Farm {
     ///
     /// Soil-level failures while executing the plan.
     pub fn replan(&mut self) -> Result<Plan, Error> {
+        let started = std::time::Instant::now();
         let caps = self.live_capacities();
         let plan = match self.seeder.plan(&caps) {
             Ok(plan) => plan,
             Err(msg) => {
                 self.counters.replans.inc();
+                self.counters
+                    .replan_us
+                    .record(started.elapsed().as_micros() as u64);
                 let at_ns = self.now.as_nanos();
                 self.telemetry.emit_with(|| Event::ReplanCompleted {
                     at_ns,
@@ -630,6 +663,25 @@ impl Farm {
             actions,
             dropped_tasks: dropped,
         });
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.counters.replan_us.record(elapsed_us);
+        let (mut deploys, mut migrations, mut reallocs, mut undeploys) = (0u64, 0u64, 0u64, 0u64);
+        for action in &plan.actions {
+            match action {
+                PlannedAction::Deploy { .. } => deploys += 1,
+                PlannedAction::Migrate { .. } => migrations += 1,
+                PlannedAction::Realloc { .. } => reallocs += 1,
+                PlannedAction::Undeploy { .. } => undeploys += 1,
+            }
+        }
+        self.telemetry.emit_with(|| Event::ReplanSummary {
+            at_ns,
+            elapsed_us,
+            deploys,
+            migrations,
+            reallocs,
+            undeploys,
+        });
         self.route(outbound);
         Ok(plan)
     }
@@ -713,6 +765,7 @@ impl Farm {
                 self.network.is_up(*id)
                     && self.network.is_reachable(*id)
                     && !self.fenced.contains(id)
+                    && !self.cordoned.contains(id)
             })
             .map(|id| {
                 let sw = self.network.switch(id).expect("switch exists");
@@ -1076,6 +1129,158 @@ impl Farm {
         self.fenced.iter().copied().collect()
     }
 
+    /// Registers an already-compiled task and replans — the deployment
+    /// path for programs compiled out-of-band (farmd's `SubmitProgram`
+    /// compiles server-side to report full diagnostics first).
+    ///
+    /// # Errors
+    ///
+    /// Placement failures or soil errors while executing the plan.
+    pub fn deploy_compiled(&mut self, task: CompiledTask) -> Result<Plan, Error> {
+        self.seeder.register_task(task);
+        self.replan()
+    }
+
+    /// Administratively cordons a switch — healthy, but the planner may
+    /// no longer place on it — and replans so movable seeds migrate off.
+    /// Returns the plan and the number of seeds evacuated (seeds pinned
+    /// to the switch by `place all` / explicit constraints cannot move
+    /// and are dropped or kept by the planner as usual).
+    ///
+    /// A planner failure rolls the cordon back, leaving the farm as it
+    /// was.
+    ///
+    /// # Errors
+    ///
+    /// Planner or soil failures while evacuating.
+    pub fn drain(&mut self, switch: SwitchId) -> Result<(Plan, usize), Error> {
+        self.cordoned.insert(switch);
+        match self.replan() {
+            Ok(plan) => {
+                let evacuated = plan
+                    .actions
+                    .iter()
+                    .filter(|a| matches!(a, PlannedAction::Migrate { from, .. } if *from == switch))
+                    .count();
+                Ok((plan, evacuated))
+            }
+            Err(e) => {
+                self.cordoned.remove(&switch);
+                Err(e)
+            }
+        }
+    }
+
+    /// Lifts a cordon and replans so the switch is usable again.
+    ///
+    /// # Errors
+    ///
+    /// Planner or soil failures while executing the plan.
+    pub fn uncordon(&mut self, switch: SwitchId) -> Result<Plan, Error> {
+        self.cordoned.remove(&switch);
+        self.replan()
+    }
+
+    /// Switches currently cordoned by [`Farm::drain`].
+    pub fn cordoned_switches(&self) -> Vec<SwitchId> {
+        self.cordoned.iter().copied().collect()
+    }
+
+    /// Control-plane inventory: one [`SeedStatus`] per placed seed, in
+    /// key order.
+    pub fn seed_statuses(&self) -> Vec<SeedStatus> {
+        let mut out: Vec<SeedStatus> = self
+            .seeder
+            .placements()
+            .map(|(key, (switch, alloc))| {
+                let inst = self
+                    .seed_ids
+                    .get(key)
+                    .and_then(|sid| self.soils.get(switch).and_then(|s| s.seed(*sid)));
+                let (machine, state) = match inst {
+                    Some(i) => (i.machine_name().to_string(), i.state().to_string()),
+                    // Placed per the seeder but not live on the soil: the
+                    // host crashed and recovery has not landed it yet.
+                    None => (String::new(), "lost".to_string()),
+                };
+                SeedStatus {
+                    key: key.clone(),
+                    machine,
+                    switch: *switch,
+                    state,
+                    alloc: *alloc,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// The variable bindings of one live seed, rendered as strings in
+    /// name order (the `DescribeSeed` control surface).
+    pub fn seed_vars(&self, key: &SeedKey) -> Option<Vec<(String, String)>> {
+        let (switch, _) = self.seeder.location_of(key)?;
+        let sid = self.seed_ids.get(key)?;
+        let inst = self.soils.get(&switch)?.seed(*sid)?;
+        let mut vars: Vec<(String, String)> = inst
+            .snapshot()
+            .vars
+            .into_iter()
+            .map(|(name, v)| (name, v.to_string()))
+            .collect();
+        vars.sort();
+        Some(vars)
+    }
+
+    /// Checkpoints every live seed into the snapshot store the heartbeat
+    /// rounds also feed. Returns the number captured.
+    pub fn checkpoint_seeds(&mut self) -> usize {
+        let placements: Vec<(SeedKey, SwitchId)> = self
+            .seeder
+            .placements()
+            .map(|(k, (sw, _))| (k.clone(), *sw))
+            .collect();
+        let mut captured = 0;
+        for (key, sw) in placements {
+            let snap = self
+                .seed_ids
+                .get(&key)
+                .and_then(|sid| self.soils.get(&sw).and_then(|soil| soil.seed(*sid)))
+                .map(|inst| inst.snapshot());
+            if let Some(snap) = snap {
+                self.checkpoints.insert(key, snap);
+                captured += 1;
+            }
+        }
+        captured
+    }
+
+    /// Rolls every live seed back to its last checkpoint (from heartbeat
+    /// rounds or [`Farm::checkpoint_seeds`]). Seeds without a matching
+    /// checkpoint keep running untouched. Returns the number restored.
+    pub fn restore_seeds(&mut self) -> usize {
+        let placements: Vec<(SeedKey, SwitchId)> = self
+            .seeder
+            .placements()
+            .map(|(k, (sw, _))| (k.clone(), *sw))
+            .collect();
+        let mut restored = 0;
+        for (key, sw) in placements {
+            let Some(snap) = self.checkpoints.get(&key) else {
+                continue;
+            };
+            let Some(sid) = self.seed_ids.get(&key).copied() else {
+                continue;
+            };
+            if let Some(soil) = self.soils.get_mut(&sw) {
+                if soil.restore_seed(sid, snap).is_ok() {
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+
     /// Replaces the scheduled fault plan (events already handed out are
     /// not replayed).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
@@ -1406,6 +1611,60 @@ mod tests {
             e,
             Event::ReplanCompleted {
                 outcome: ReplanOutcome::Full,
+                ..
+            }
+        )));
+    }
+
+    /// One movable seed: `place any` gives the planner every switch as a
+    /// candidate, so a cordon can actually evacuate it.
+    const ROVER: &str = "machine M { place any; state s { } }";
+
+    #[test]
+    fn drain_evacuates_movable_seeds() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        farm.deploy_task("rover", ROVER, &BTreeMap::new()).unwrap();
+        assert_eq!(farm.deployed_seeds(), 1);
+        let home = farm.seed_statuses()[0].switch;
+        let (_, evacuated) = farm.drain(home).unwrap();
+        assert_eq!(evacuated, 1, "the seed must migrate off the cordon");
+        let status = &farm.seed_statuses()[0];
+        assert_ne!(status.switch, home);
+        assert_eq!(status.state, "s");
+        assert_eq!(farm.cordoned_switches(), vec![home]);
+        farm.uncordon(home).unwrap();
+        assert!(farm.cordoned_switches().is_empty());
+        let snap = farm.telemetry().snapshot();
+        // Deploy + drain + uncordon = three timed replan rounds.
+        assert!(snap.histogram("farm.replan_us").unwrap().count >= 3);
+    }
+
+    #[test]
+    fn checkpoint_and_restore_cover_live_seeds() {
+        let mut farm = Farm::new(fabric(), FarmConfig::default());
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        assert_eq!(farm.checkpoint_seeds(), 5);
+        assert_eq!(farm.restore_seeds(), 5);
+        let vars = farm
+            .seed_vars(&farm.seed_statuses()[0].key)
+            .expect("live seed has vars");
+        assert!(vars.iter().any(|(n, _)| n == "threshold"));
+    }
+
+    #[test]
+    fn replan_emits_a_summary_event() {
+        let events = Arc::new(RingBufferSink::new(4096));
+        let mut farm = Farm::builder(fabric()).with_sink(events.clone()).build();
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        let seen = events.events();
+        assert!(seen.iter().any(|e| matches!(
+            e,
+            Event::ReplanSummary {
+                deploys: 5,
+                migrations: 0,
+                undeploys: 0,
                 ..
             }
         )));

@@ -50,7 +50,7 @@ pub mod seeder;
 pub mod transport;
 
 pub use error::{Error, FarmError};
-pub use farm::{external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig};
+pub use farm::{external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig, SeedStatus};
 pub use harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
 pub use metrics::Metrics;
 pub use seeder::{Plan, PlannedAction, SeedKey, Seeder};
@@ -63,7 +63,9 @@ pub use transport::TransportMode;
 /// ```
 pub mod prelude {
     pub use crate::error::{Error, FarmError};
-    pub use crate::farm::{external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig};
+    pub use crate::farm::{
+        external, Farm, FarmBuilder, FarmConfig, FaultToleranceConfig, SeedStatus,
+    };
     pub use crate::harvester::{CollectingHarvester, Harvester, HarvesterCommand, HarvesterCtx};
     pub use crate::metrics::Metrics;
     pub use crate::seeder::{Plan, PlannedAction, SeedKey, Seeder};

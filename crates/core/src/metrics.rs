@@ -26,6 +26,12 @@ pub struct Metrics {
     pub seed_errors: u64,
     /// Placement optimization rounds.
     pub replans: u64,
+    /// Transport sends dropped at a full queue or after reconnect budget
+    /// exhaustion (`net.dead_letters`).
+    pub net_dead_letters: u64,
+    /// Times a TCP transport could not bind and the farm degraded to
+    /// in-process delivery (`transport.fallbacks`).
+    pub transport_fallbacks: u64,
 }
 
 impl Metrics {
@@ -52,6 +58,8 @@ impl Metrics {
             migration_bytes: snap.counter("farm.migration_bytes"),
             seed_errors: snap.counter("farm.seed_errors"),
             replans: snap.counter("farm.replans"),
+            net_dead_letters: snap.counter("net.dead_letters"),
+            transport_fallbacks: snap.counter("transport.fallbacks"),
         }
     }
 }
@@ -69,6 +77,18 @@ mod tests {
         assert_eq!(m.collector_bytes, 5);
         assert_eq!(m.replans, 1);
         assert_eq!(m.seed_errors, 0);
+    }
+
+    #[test]
+    fn snapshot_view_surfaces_transport_counters() {
+        // The compat view must not stop at `farm.*`: the delivery-health
+        // counters other layers own are part of a run's accounting too.
+        let t = farm_telemetry::Telemetry::new();
+        t.counter("net.dead_letters").add(3);
+        t.counter("transport.fallbacks").inc();
+        let m = Metrics::from_snapshot(&t.snapshot());
+        assert_eq!(m.net_dead_letters, 3);
+        assert_eq!(m.transport_fallbacks, 1);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! farmctl — operator CLI for a running farmd.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use farm_ctl::json::{array, Obj};
+use farm_ctl::CtlClient;
+use farm_net::{ControlOp, ControlReply, SeedDescriptor};
+
+const USAGE: &str = "\
+farmctl - FARM control-plane client
+
+USAGE:
+    farmctl [--addr <addr:port>] [--json] <command> [args]
+
+COMMANDS:
+    submit <file.alm> [--name <task>]   Compile and deploy a program
+    list                                List deployed seeds
+    describe <task/m<i>/s<j>>           Show one seed with its variables
+    stats                               Farm summary and counters
+    metrics                             Full metrics dump
+    drain <switch-id>                   Cordon a switch and evacuate it
+    uncordon <switch-id>                Return a switch to service
+    replan                              Force a placement replan
+    checkpoint                          Checkpoint all live seeds
+    restore                             Restore seeds from checkpoints
+    shutdown                            Gracefully stop the daemon
+
+OPTIONS:
+    --addr <addr>   farmd address (default 127.0.0.1:7373)
+    --json          Machine-readable output
+    -h, --help      Show this help
+";
+
+fn main() -> ExitCode {
+    let mut addr: SocketAddr = "127.0.0.1:7373".parse().expect("default addr");
+    let mut json = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next().map(|a| a.parse()) {
+                Some(Ok(a)) => addr = a,
+                _ => return fail("bad or missing --addr value"),
+            },
+            "--json" => json = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let Some(command) = rest.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let op = match build_op(&command, &rest[1..]) {
+        Ok(op) => op,
+        Err(msg) => return fail(&msg),
+    };
+    let client = CtlClient::connect(addr);
+    match client.op(op) {
+        Ok(reply) => render(&reply, json),
+        Err(e) => fail(&format!("{addr}: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("farmctl: {msg}");
+    ExitCode::FAILURE
+}
+
+fn build_op(command: &str, args: &[String]) -> Result<ControlOp, String> {
+    let switch_arg = || -> Result<u32, String> {
+        args.first()
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| format!("`{command}` needs a numeric switch id"))
+    };
+    match command {
+        "submit" => {
+            let path = args
+                .first()
+                .ok_or("`submit` needs a program file".to_string())?;
+            let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let name = match args.iter().position(|a| a == "--name") {
+                Some(i) => args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--name needs a value".to_string())?,
+                None => std::path::Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+            };
+            Ok(ControlOp::SubmitProgram { name, source })
+        }
+        "list" => Ok(ControlOp::ListSeeds),
+        "describe" => Ok(ControlOp::DescribeSeed {
+            key: args
+                .first()
+                .cloned()
+                .ok_or("`describe` needs a seed key".to_string())?,
+        }),
+        "stats" => Ok(ControlOp::Stats),
+        "metrics" => Ok(ControlOp::MetricsDump),
+        "drain" => Ok(ControlOp::Drain {
+            switch: switch_arg()?,
+        }),
+        "uncordon" => Ok(ControlOp::Uncordon {
+            switch: switch_arg()?,
+        }),
+        "replan" => Ok(ControlOp::Replan),
+        "checkpoint" => Ok(ControlOp::Checkpoint),
+        "restore" => Ok(ControlOp::Restore),
+        "shutdown" => Ok(ControlOp::Shutdown),
+        other => Err(format!("unknown command `{other}` (see --help)")),
+    }
+}
+
+fn render(reply: &ControlReply, json: bool) -> ExitCode {
+    if json {
+        println!("{}", reply_json(reply));
+        return match reply {
+            ControlReply::Rejected { .. } | ControlReply::CompileFailed { .. } => ExitCode::FAILURE,
+            _ => ExitCode::SUCCESS,
+        };
+    }
+    match reply {
+        ControlReply::Ok => println!("ok"),
+        ControlReply::Submitted {
+            task,
+            seeds,
+            actions,
+        } => println!("submitted `{task}`: {seeds} seeds placed in {actions} plan actions"),
+        ControlReply::Seeds { seeds } => {
+            println!(
+                "{:<24} {:<14} {:>6}  {:<12} alloc[vcpu,ram,tcam,pcie]",
+                "SEED", "MACHINE", "SWITCH", "STATE"
+            );
+            for s in seeds {
+                println!(
+                    "{:<24} {:<14} {:>6}  {:<12} {:?}",
+                    s.key, s.machine, s.switch, s.state, s.alloc
+                );
+            }
+            println!("{} seed(s)", seeds.len());
+        }
+        ControlReply::Seed { desc, vars } => {
+            println!(
+                "{}: machine={} switch={} state={}",
+                desc.key, desc.machine, desc.switch, desc.state
+            );
+            for (name, value) in vars {
+                println!("  {name} = {value}");
+            }
+        }
+        ControlReply::Json { body } => println!("{body}"),
+        ControlReply::Drained { switch, evacuated } => {
+            println!("switch {switch} drained: {evacuated} seed(s) migrated off")
+        }
+        ControlReply::Replanned {
+            actions,
+            dropped_tasks,
+        } => println!("replanned: {actions} actions, {dropped_tasks} dropped task(s)"),
+        ControlReply::Checkpointed { seeds } => println!("checkpointed {seeds} seed(s)"),
+        ControlReply::Restored { seeds } => println!("restored {seeds} seed(s)"),
+        ControlReply::Rejected { reason } => {
+            eprintln!("farmctl: rejected: {reason}");
+            return ExitCode::FAILURE;
+        }
+        ControlReply::CompileFailed { diagnostics } => {
+            eprintln!("farmctl: compile failed:");
+            for d in diagnostics {
+                let scope = if d.machine.is_empty() {
+                    "program".to_string()
+                } else {
+                    format!("machine {}", d.machine)
+                };
+                eprintln!("  {scope}: {}:{}:{}: {}", d.phase, d.line, d.col, d.message);
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn seed_json(s: &SeedDescriptor) -> String {
+    Obj::new()
+        .str("key", &s.key)
+        .str("task", &s.task)
+        .str("machine", &s.machine)
+        .num("switch", u64::from(s.switch))
+        .str("state", &s.state)
+        .raw("alloc", &array(s.alloc.iter().map(|v| format!("{v}"))))
+        .finish()
+}
+
+fn reply_json(reply: &ControlReply) -> String {
+    match reply {
+        ControlReply::Ok => Obj::new().str("status", "ok").finish(),
+        ControlReply::Submitted {
+            task,
+            seeds,
+            actions,
+        } => Obj::new()
+            .str("status", "submitted")
+            .str("task", task)
+            .num("seeds", *seeds)
+            .num("actions", *actions)
+            .finish(),
+        ControlReply::Seeds { seeds } => Obj::new()
+            .raw("seeds", &array(seeds.iter().map(seed_json)))
+            .finish(),
+        ControlReply::Seed { desc, vars } => {
+            let mut v = Obj::new();
+            for (name, value) in vars {
+                v = v.str(name, value);
+            }
+            Obj::new()
+                .raw("seed", &seed_json(desc))
+                .raw("vars", &v.finish())
+                .finish()
+        }
+        // Already JSON from the server; pass through untouched.
+        ControlReply::Json { body } => body.clone(),
+        ControlReply::Drained { switch, evacuated } => Obj::new()
+            .str("status", "drained")
+            .num("switch", u64::from(*switch))
+            .num("evacuated", *evacuated)
+            .finish(),
+        ControlReply::Replanned {
+            actions,
+            dropped_tasks,
+        } => Obj::new()
+            .str("status", "replanned")
+            .num("actions", *actions)
+            .num("dropped_tasks", *dropped_tasks)
+            .finish(),
+        ControlReply::Checkpointed { seeds } => Obj::new()
+            .str("status", "checkpointed")
+            .num("seeds", *seeds)
+            .finish(),
+        ControlReply::Restored { seeds } => Obj::new()
+            .str("status", "restored")
+            .num("seeds", *seeds)
+            .finish(),
+        ControlReply::Rejected { reason } => Obj::new()
+            .str("status", "rejected")
+            .str("reason", reason)
+            .finish(),
+        ControlReply::CompileFailed { diagnostics } => Obj::new()
+            .str("status", "compile-failed")
+            .raw(
+                "diagnostics",
+                &array(diagnostics.iter().map(|d| {
+                    Obj::new()
+                        .str("machine", &d.machine)
+                        .str("phase", &d.phase)
+                        .num("line", u64::from(d.line))
+                        .num("col", u64::from(d.col))
+                        .str("message", &d.message)
+                        .finish()
+                })),
+            )
+            .finish(),
+    }
+}

@@ -1,0 +1,74 @@
+//! farmd — the FARM daemon. Hosts a farm behind the control endpoint
+//! until a `farmctl shutdown` arrives.
+
+use std::process::ExitCode;
+
+use farm_ctl::{Farmd, FarmdConfig};
+
+const USAGE: &str = "\
+farmd - FARM control-plane daemon
+
+USAGE:
+    farmd [--config <farmd.toml>] [--listen <addr:port>] [--print-addr]
+
+OPTIONS:
+    --config <path>   Load settings from a TOML file
+    --listen <addr>   Override the listen address (e.g. 127.0.0.1:7373)
+    --print-addr      Print the bound address on stdout once listening
+    -h, --help        Show this help
+";
+
+fn main() -> ExitCode {
+    let mut config_path: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut print_addr = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config_path = args.next(),
+            "--listen" => listen = args.next(),
+            "--print-addr" => print_addr = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("farmd: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut config = match &config_path {
+        Some(path) => match FarmdConfig::from_file(path.as_ref()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("farmd: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FarmdConfig::default(),
+    };
+    if let Some(addr) = listen {
+        match addr.parse() {
+            Ok(a) => config.listen = a,
+            Err(_) => {
+                eprintln!("farmd: bad --listen address `{addr}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let farmd = match Farmd::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("farmd: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if print_addr {
+        println!("{}", farmd.local_addr());
+    }
+    eprintln!("farmd: serving control plane on {}", farmd.local_addr());
+    farmd.wait();
+    eprintln!("farmd: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,50 @@
+//! Client library for the farmd control surface, used by farmctl and
+//! by integration tests.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use farm_net::{Connection, ControlOp, ControlReply, Frame, NetConfig, NetError};
+use farm_telemetry::Telemetry;
+
+/// A control-plane session with one farmd instance.
+pub struct CtlClient {
+    conn: Connection,
+    // Keeps the connection's counters alive for the session.
+    _telemetry: Telemetry,
+}
+
+impl CtlClient {
+    /// Connects with client-appropriate defaults (fast failure, no
+    /// endless reconnect storms).
+    pub fn connect(addr: SocketAddr) -> CtlClient {
+        let telemetry = Telemetry::new();
+        let cfg = NetConfig {
+            node: "farmctl".into(),
+            request_timeout: Duration::from_secs(10),
+            max_reconnects: 2,
+            ..NetConfig::default()
+        };
+        let conn = Connection::connect(addr, cfg, &telemetry);
+        CtlClient {
+            conn,
+            _telemetry: telemetry,
+        }
+    }
+
+    /// Sends one control op and decodes the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`NetError`]; a server-side [`Frame::Error`]
+    /// surfaces as [`NetError::Rejected`]. A non-control reply frame
+    /// (protocol confusion) is reported as a rejection too.
+    pub fn op(&self, op: ControlOp) -> Result<ControlReply, NetError> {
+        match self.conn.request(Frame::Control { op })? {
+            Frame::ControlReply { reply } => Ok(reply),
+            other => Err(NetError::Rejected(format!(
+                "farmd answered with a non-control frame: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! farmd configuration: a hand-rolled loader for the TOML subset the
+//! daemon needs — `[section]` headers, `key = value` pairs with string,
+//! integer, float and boolean values, and `#` comments. No external
+//! parser dependency, total error reporting with line numbers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A configuration file failed to parse or held a bad value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending input (0 for file-level problems).
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "config: {}", self.message)
+        } else {
+            write!(f, "config: line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One parsed value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// Flat `section.key` → value view of one file.
+#[derive(Debug, Default)]
+struct Table {
+    entries: BTreeMap<String, (u32, Value)>,
+}
+
+impl Table {
+    fn parse(src: &str) -> Result<Table, ConfigError> {
+        let mut entries = BTreeMap::new();
+        let mut section = String::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(err(lineno, "unterminated [section] header"));
+                };
+                let name = name.trim();
+                if name.is_empty() || !name.chars().all(is_key_char) {
+                    return Err(err(lineno, format!("bad section name `{name}`")));
+                }
+                section = name.to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+            };
+            let key = key.trim();
+            if key.is_empty() || !key.chars().all(is_key_char) {
+                return Err(err(lineno, format!("bad key `{key}`")));
+            }
+            let full = if section.is_empty() {
+                key.to_string()
+            } else {
+                format!("{section}.{key}")
+            };
+            let value = parse_value(value.trim(), lineno)?;
+            if entries.insert(full.clone(), (lineno, value)).is_some() {
+                return Err(err(lineno, format!("duplicate key `{full}`")));
+            }
+        }
+        Ok(Table { entries })
+    }
+
+    fn get(&self, key: &str) -> Option<&(u32, Value)> {
+        self.entries.get(key)
+    }
+
+    fn take_known(&mut self, key: &str) -> Option<(u32, Value)> {
+        self.entries.remove(key)
+    }
+
+    fn str(&mut self, key: &str) -> Result<Option<String>, ConfigError> {
+        match self.take_known(key) {
+            None => Ok(None),
+            Some((_, Value::Str(s))) => Ok(Some(s)),
+            Some((line, v)) => Err(err(
+                line,
+                format!("`{key}` must be a string, got {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn u64(&mut self, key: &str) -> Result<Option<u64>, ConfigError> {
+        match self.take_known(key) {
+            None => Ok(None),
+            Some((line, Value::Int(i))) => u64::try_from(i)
+                .map(Some)
+                .map_err(|_| err(line, format!("`{key}` must be non-negative"))),
+            Some((line, v)) => Err(err(
+                line,
+                format!("`{key}` must be an integer, got {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn f64(&mut self, key: &str) -> Result<Option<f64>, ConfigError> {
+        match self.take_known(key) {
+            None => Ok(None),
+            Some((_, Value::Float(x))) => Ok(Some(x)),
+            Some((_, Value::Int(i))) => Ok(Some(i as f64)),
+            Some((line, v)) => Err(err(
+                line,
+                format!("`{key}` must be a number, got {}", v.type_name()),
+            )),
+        }
+    }
+}
+
+fn is_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Removes a trailing `#` comment, honoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str, line: u32) -> Result<Value, ConfigError> {
+    if let Some(rest) = s.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(err(line, "unterminated string"));
+        };
+        if body.contains('"') {
+            return Err(err(line, "embedded quotes are not supported"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => return Err(err(line, "missing value")),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        return Ok(Value::Float(x));
+    }
+    Err(err(line, format!("cannot parse value `{s}`")))
+}
+
+/// Everything farmd needs to come up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmdConfig {
+    /// Address the control endpoint binds; port 0 picks an ephemeral
+    /// port (see `Farmd::local_addr`).
+    pub listen: SocketAddr,
+    /// How long a connection handler waits for the core to answer one
+    /// op before giving the client a structured error.
+    pub request_timeout: Duration,
+    /// Grace period between the shutdown op and severing sessions, so
+    /// in-flight replies drain.
+    pub shutdown_drain: Duration,
+    /// Optional JSON-lines event log (the audit trail on disk).
+    pub event_log: Option<PathBuf>,
+    /// Hosted fabric shape: spine switches.
+    pub spines: usize,
+    /// Hosted fabric shape: leaf switches.
+    pub leaves: usize,
+    /// Periodic replan cadence; `None` disables the ticker.
+    pub replan_interval: Option<Duration>,
+    /// Admission quota: fraction of live fabric capacity submissions may
+    /// claim in total (per resource kind).
+    pub quota: f64,
+    /// Largest accepted Almanac submission, bytes.
+    pub max_program_bytes: usize,
+}
+
+impl Default for FarmdConfig {
+    fn default() -> Self {
+        FarmdConfig {
+            listen: "127.0.0.1:0".parse().expect("loopback parses"),
+            request_timeout: Duration::from_secs(10),
+            shutdown_drain: Duration::from_millis(100),
+            event_log: None,
+            spines: 2,
+            leaves: 3,
+            replan_interval: None,
+            quota: 1.0,
+            max_program_bytes: 1 << 20,
+        }
+    }
+}
+
+impl FarmdConfig {
+    /// Parses a config file body. Unknown keys are rejected so typos
+    /// fail loudly instead of silently running defaults.
+    pub fn from_toml_str(src: &str) -> Result<FarmdConfig, ConfigError> {
+        let mut t = Table::parse(src)?;
+        let mut cfg = FarmdConfig::default();
+        let listen_line = line_of(&t, "server.listen");
+        if let Some(s) = t.str("server.listen")? {
+            cfg.listen = s.parse().map_err(|_| {
+                err(
+                    listen_line,
+                    format!("`server.listen`: bad socket address `{s}`"),
+                )
+            })?;
+        }
+        if let Some(ms) = t.u64("server.request_timeout_ms")? {
+            cfg.request_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = t.u64("server.shutdown_drain_ms")? {
+            cfg.shutdown_drain = Duration::from_millis(ms);
+        }
+        if let Some(p) = t.str("server.event_log")? {
+            cfg.event_log = Some(PathBuf::from(p));
+        }
+        if let Some(n) = t.u64("farm.spines")? {
+            cfg.spines = n as usize;
+        }
+        if let Some(n) = t.u64("farm.leaves")? {
+            cfg.leaves = n as usize;
+        }
+        if let Some(ms) = t.u64("farm.replan_interval_ms")? {
+            cfg.replan_interval = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(q) = t.f64("admission.quota")? {
+            if !(q > 0.0 && q <= 1.0) {
+                return Err(err(
+                    0,
+                    format!("`admission.quota` must be in (0, 1], got {q}"),
+                ));
+            }
+            cfg.quota = q;
+        }
+        if let Some(n) = t.u64("admission.max_program_bytes")? {
+            cfg.max_program_bytes = n as usize;
+        }
+        if let Some((line, _)) = t.entries.values().next() {
+            let key = t.entries.keys().next().expect("non-empty").clone();
+            return Err(err(*line, format!("unknown key `{key}`")));
+        }
+        if cfg.spines == 0 || cfg.leaves == 0 {
+            return Err(err(0, "farm.spines and farm.leaves must be at least 1"));
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses a config file.
+    pub fn from_file(path: &std::path::Path) -> Result<FarmdConfig, ConfigError> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        FarmdConfig::from_toml_str(&body)
+    }
+}
+
+/// Source line of a key, read *before* a getter consumes the entry, for
+/// error attribution.
+fn line_of(t: &Table, key: &str) -> u32 {
+    t.get(key).map(|(l, _)| *l).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+        # farmd example
+        [server]
+        listen = "127.0.0.1:4520"   # control endpoint
+        request_timeout_ms = 2500
+        shutdown_drain_ms = 50
+        event_log = "/tmp/farmd-events.jsonl"
+
+        [farm]
+        spines = 3
+        leaves = 4
+        replan_interval_ms = 200
+
+        [admission]
+        quota = 0.8
+        max_program_bytes = 4096
+    "#;
+
+    #[test]
+    fn full_config_round_trips() {
+        let cfg = FarmdConfig::from_toml_str(FULL).unwrap();
+        assert_eq!(cfg.listen, "127.0.0.1:4520".parse().unwrap());
+        assert_eq!(cfg.request_timeout, Duration::from_millis(2500));
+        assert_eq!(cfg.shutdown_drain, Duration::from_millis(50));
+        assert_eq!(
+            cfg.event_log.as_deref(),
+            Some(std::path::Path::new("/tmp/farmd-events.jsonl"))
+        );
+        assert_eq!((cfg.spines, cfg.leaves), (3, 4));
+        assert_eq!(cfg.replan_interval, Some(Duration::from_millis(200)));
+        assert!((cfg.quota - 0.8).abs() < 1e-12);
+        assert_eq!(cfg.max_program_bytes, 4096);
+    }
+
+    #[test]
+    fn empty_input_is_all_defaults() {
+        let cfg = FarmdConfig::from_toml_str("").unwrap();
+        assert_eq!(cfg, FarmdConfig::default());
+        assert!(cfg.replan_interval.is_none());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let e = FarmdConfig::from_toml_str("[server]\nlisten_addr = \"x\"\n").unwrap_err();
+        assert!(
+            e.message.contains("unknown key `server.listen_addr`"),
+            "{e}"
+        );
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn bad_values_carry_line_numbers() {
+        let e = FarmdConfig::from_toml_str("[farm]\nspines = \"two\"\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("must be an integer"), "{e}");
+        let e = FarmdConfig::from_toml_str("[server]\nlisten = \"nowhere\"\n").unwrap_err();
+        assert!(e.message.contains("bad socket address"), "{e}");
+        let e = FarmdConfig::from_toml_str("listen 127\n").unwrap_err();
+        assert!(e.message.contains("expected `key = value`"), "{e}");
+    }
+
+    #[test]
+    fn quota_bounds_are_enforced() {
+        for bad in ["quota = 0", "quota = 1.5", "quota = -1"] {
+            let src = format!("[admission]\n{bad}\n");
+            assert!(FarmdConfig::from_toml_str(&src).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn comments_and_zero_interval_disable() {
+        let cfg =
+            FarmdConfig::from_toml_str("[farm]\nreplan_interval_ms = 0 # disabled\n").unwrap();
+        assert!(cfg.replan_interval.is_none());
+    }
+}

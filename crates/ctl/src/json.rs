@@ -1,0 +1,168 @@
+//! Minimal JSON emission for the control surface — dependency-free,
+//! write-only. Used for the `Stats` / `MetricsDump` reply bodies and
+//! farmctl's `--json` output.
+
+use farm_telemetry::Snapshot;
+
+/// Escapes a string for embedding between JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object writer. Keys are written in call order; the
+/// caller guarantees uniqueness.
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        let escaped = format!("\"{}\"", escape(v));
+        self.key(k).push_str(&escaped);
+        self
+    }
+
+    pub fn num(mut self, k: &str, v: u64) -> Obj {
+        let s = v.to_string();
+        self.key(k).push_str(&s);
+        self
+    }
+
+    pub fn float(mut self, k: &str, v: f64) -> Obj {
+        let s = if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        };
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Inserts a pre-rendered JSON value (object, array, ...).
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.key(k).push_str(v);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Renders a JSON array from pre-rendered element values.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// A full telemetry [`Snapshot`] as one JSON object: counters and gauges
+/// as maps, histograms as `{count, sum, max, p50, p99}` objects.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut counters = Obj::new();
+    for (k, v) in &snap.counters {
+        counters = counters.num(k, *v);
+    }
+    let mut gauges = Obj::new();
+    for (k, v) in &snap.gauges {
+        gauges = gauges.float(k, *v);
+    }
+    let mut hists = Obj::new();
+    for (k, h) in &snap.histograms {
+        let mut o = Obj::new()
+            .num("count", h.count)
+            .num("sum", h.sum)
+            .num("max", h.max);
+        if let Some(p) = h.p50 {
+            o = o.float("p50", p);
+        }
+        if let Some(p) = h.p99 {
+            o = o.float("p99", p);
+        }
+        hists = hists.raw(k, &o.finish());
+    }
+    Obj::new()
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &hists.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn objects_and_arrays_compose() {
+        let inner = Obj::new().num("n", 3).finish();
+        let out = Obj::new()
+            .str("name", "x\"y")
+            .raw("inner", &inner)
+            .raw("list", &array(["1".into(), "\"two\"".into()]))
+            .float("q", 0.5)
+            .finish();
+        assert_eq!(
+            out,
+            r#"{"name":"x\"y","inner":{"n":3},"list":[1,"two"],"q":0.5}"#
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_all_instrument_kinds() {
+        let t = farm_telemetry::Telemetry::new();
+        t.counter("ctl.ops").add(2);
+        t.latency_histogram("ctl.op_latency_us").record(40);
+        let s = snapshot_json(&t.snapshot());
+        assert!(s.contains(r#""ctl.ops":2"#), "{s}");
+        assert!(s.contains(r#""ctl.op_latency_us":{"count":1"#), "{s}");
+    }
+}

@@ -1,0 +1,521 @@
+//! The farmd daemon core: a [`Farm`] hosted behind a farm-net
+//! [`NetServer`], serving the versioned [`ControlOp`] surface.
+//!
+//! Threading model: the farm is not shared — it lives on one
+//! "farmd-core" thread that owns it outright. Connection handler
+//! threads translate each [`Frame::Control`] into a request over an
+//! mpsc channel and block (bounded) for the reply; the core serves ops
+//! strictly in arrival order, so every operation observes a consistent
+//! farm. The core's `recv_timeout` doubles as the periodic-replan
+//! ticker.
+//!
+//! Every op lands in the audit trail: `ctl.ops`, `ctl.op.<kind>` and
+//! `ctl.rejected` counters, the `ctl.op_latency_us` histogram, and one
+//! [`Event::ControlOp`] per op through the farm's event sinks.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use farm_almanac::compile::compile_task_with_diagnostics;
+use farm_core::prelude::*;
+use farm_core::seeder::SeedKey;
+use farm_net::{ControlOp, ControlReply, Diagnostic, Envelope, Frame, NetServer, SeedDescriptor};
+use farm_netsim::controller::SdnController;
+use farm_netsim::switch::{Resources, SwitchModel};
+use farm_netsim::types::SwitchId;
+
+use crate::config::FarmdConfig;
+use crate::json::{array, snapshot_json, Obj};
+
+/// Human names of the four resource kinds, in `Resources` index order.
+const RESOURCE_NAMES: [&str; 4] = ["vcpu", "ram_mb", "tcam", "pcie_poll"];
+
+/// One queued control request: the op plus the handler's reply slot.
+struct CoreMsg {
+    op: ControlOp,
+    reply: mpsc::Sender<ControlReply>,
+}
+
+/// A running farmd instance: the hosted farm's core thread plus the
+/// listening control endpoint.
+pub struct Farmd {
+    server: NetServer,
+    core: Option<thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    shutdown_drain: Duration,
+    telemetry: Telemetry,
+}
+
+impl Farmd {
+    /// Builds the farm, starts the core thread, binds the control
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or the core thread dying during construction.
+    pub fn start(config: FarmdConfig) -> io::Result<Farmd> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<CoreMsg>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Telemetry>();
+        let core = {
+            let config = config.clone();
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("farmd-core".into())
+                .spawn(move || core_loop(config, rx, ready_tx, stop))?
+        };
+        let telemetry = ready_rx
+            .recv()
+            .map_err(|_| io::Error::other("farmd core died during startup"))?;
+        let handler = {
+            // mpsc senders are Send but not Sync; handlers clone one out
+            // of the mutex per request.
+            let tx = Mutex::new(tx);
+            let stop = Arc::clone(&stop);
+            let wait = config.request_timeout;
+            Arc::new(move |env: &Envelope| -> Option<Frame> {
+                let Frame::Control { op } = &env.frame else {
+                    return None;
+                };
+                if stop.load(Ordering::Relaxed) {
+                    return Some(Frame::Error {
+                        message: "farmd is shutting down".into(),
+                    });
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sender = tx.lock().expect("ctl sender lock").clone();
+                if sender
+                    .send(CoreMsg {
+                        op: op.clone(),
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    return Some(Frame::Error {
+                        message: "farmd core is gone".into(),
+                    });
+                }
+                match reply_rx.recv_timeout(wait) {
+                    Ok(reply) => Some(Frame::ControlReply { reply }),
+                    Err(_) => Some(Frame::Error {
+                        message: "farmd core did not answer in time".into(),
+                    }),
+                }
+            })
+        };
+        let server = NetServer::bind(config.listen, &telemetry, handler)?;
+        Ok(Farmd {
+            server,
+            core: Some(core),
+            stop,
+            shutdown_drain: config.shutdown_drain,
+            telemetry,
+        })
+    }
+
+    /// The bound control address (the chosen port when listening on :0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The hosted farm's telemetry handle (shared with the transport).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// True once a shutdown op was served (or [`Farmd::stop`] ran).
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a `Shutdown` op arrives, then drains and tears the
+    /// endpoint down.
+    pub fn wait(mut self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            thread::sleep(Duration::from_millis(20));
+        }
+        self.teardown();
+    }
+
+    /// Initiates shutdown locally (equivalent to serving a `Shutdown`
+    /// op) and tears down.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Let in-flight replies reach their sockets before severing.
+        thread::sleep(self.shutdown_drain);
+        self.server.shutdown();
+        if let Some(h) = self.core.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Farmd {
+    fn drop(&mut self) {
+        if self.core.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+/// The core thread: owns the farm, serves ops in order, ticks replans.
+fn core_loop(
+    config: FarmdConfig,
+    rx: mpsc::Receiver<CoreMsg>,
+    ready: mpsc::Sender<Telemetry>,
+    stop: Arc<AtomicBool>,
+) {
+    let topo = Topology::spine_leaf(
+        config.spines,
+        config.leaves,
+        SwitchModel::accton_as7712(),
+        SwitchModel::accton_as5712(),
+    );
+    let mut builder = Farm::builder(topo);
+    if let Some(path) = &config.event_log {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                builder = builder.with_sink(Arc::new(JsonLinesSink::new(Box::new(
+                    io::BufWriter::new(f),
+                ))));
+            }
+            Err(e) => eprintln!("farmd: cannot open event log {}: {e}", path.display()),
+        }
+    }
+    let mut farm = builder.build();
+    let telemetry = farm.telemetry().clone();
+    if ready.send(telemetry.clone()).is_err() {
+        return;
+    }
+    let ops = telemetry.counter("ctl.ops");
+    let rejected = telemetry.counter("ctl.rejected");
+    let latency = telemetry.latency_histogram("ctl.op_latency_us");
+    let mut last_replan = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(CoreMsg { op, reply }) => {
+                let started = Instant::now();
+                let kind = op.kind();
+                ops.inc();
+                telemetry.counter(&format!("ctl.op.{kind}")).inc();
+                let out = serve_op(&mut farm, &config, &op);
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                latency.record(elapsed_us);
+                let outcome = match &out {
+                    ControlReply::Rejected { .. } | ControlReply::CompileFailed { .. } => {
+                        rejected.inc();
+                        "rejected"
+                    }
+                    _ => "ok",
+                };
+                let at_ns = farm.now().as_nanos();
+                telemetry.emit_with(|| Event::ControlOp {
+                    at_ns,
+                    op: kind.to_string(),
+                    outcome: outcome.to_string(),
+                    elapsed_us,
+                });
+                let is_shutdown = matches!(op, ControlOp::Shutdown);
+                let _ = reply.send(out);
+                if is_shutdown {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            // Farmd was dropped without a shutdown op.
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        if let Some(every) = config.replan_interval {
+            if last_replan.elapsed() >= every {
+                last_replan = Instant::now();
+                let _ = farm.replan();
+            }
+        }
+    }
+}
+
+/// Serves one control op against the farm. Total: every failure becomes
+/// a structured reply, never a panic.
+fn serve_op(farm: &mut Farm, config: &FarmdConfig, op: &ControlOp) -> ControlReply {
+    match op {
+        ControlOp::SubmitProgram { name, source } => submit(farm, config, name, source),
+        ControlOp::ListSeeds => ControlReply::Seeds {
+            seeds: farm.seed_statuses().iter().map(descriptor).collect(),
+        },
+        ControlOp::DescribeSeed { key } => describe(farm, key),
+        ControlOp::Stats => ControlReply::Json {
+            body: stats_json(farm),
+        },
+        ControlOp::MetricsDump => ControlReply::Json {
+            body: metrics_json(farm),
+        },
+        ControlOp::Drain { switch } => match farm.drain(SwitchId(*switch)) {
+            Ok((_, evacuated)) => ControlReply::Drained {
+                switch: *switch,
+                evacuated: evacuated as u64,
+            },
+            Err(e) => ControlReply::Rejected {
+                reason: e.to_string(),
+            },
+        },
+        ControlOp::Uncordon { switch } => match farm.uncordon(SwitchId(*switch)) {
+            Ok(_) => ControlReply::Ok,
+            Err(e) => ControlReply::Rejected {
+                reason: e.to_string(),
+            },
+        },
+        ControlOp::Replan => match farm.replan() {
+            Ok(plan) => ControlReply::Replanned {
+                actions: plan.actions.len() as u64,
+                dropped_tasks: plan.dropped_tasks.len() as u64,
+            },
+            Err(e) => ControlReply::Rejected {
+                reason: e.to_string(),
+            },
+        },
+        ControlOp::Checkpoint => ControlReply::Checkpointed {
+            seeds: farm.checkpoint_seeds() as u64,
+        },
+        ControlOp::Restore => ControlReply::Restored {
+            seeds: farm.restore_seeds() as u64,
+        },
+        ControlOp::Shutdown => ControlReply::Ok,
+    }
+}
+
+/// `SubmitProgram`: size gate → server-side compile with collected
+/// diagnostics → admission control → deploy.
+fn submit(farm: &mut Farm, config: &FarmdConfig, name: &str, source: &str) -> ControlReply {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return ControlReply::Rejected {
+            reason: format!("bad task name `{name}` (want [A-Za-z0-9_-]+)"),
+        };
+    }
+    if farm.seeder().task_names().iter().any(|t| t == name) {
+        return ControlReply::Rejected {
+            reason: format!("task `{name}` is already deployed"),
+        };
+    }
+    if source.len() > config.max_program_bytes {
+        return ControlReply::Rejected {
+            reason: format!(
+                "program of {} bytes exceeds the {}-byte submission cap",
+                source.len(),
+                config.max_program_bytes
+            ),
+        };
+    }
+    let task = {
+        let ctl = SdnController::new(farm.network().topology());
+        let report = compile_task_with_diagnostics(name, source, &BTreeMap::new(), &ctl);
+        match report.task {
+            Some(task) => task,
+            None => {
+                return ControlReply::CompileFailed {
+                    diagnostics: report
+                        .diagnostics
+                        .iter()
+                        .map(|d| Diagnostic {
+                            machine: d.machine.clone(),
+                            phase: d.error.phase.to_string(),
+                            line: d.error.span.line,
+                            col: d.error.span.col,
+                            message: d.error.message.clone(),
+                        })
+                        .collect(),
+                }
+            }
+        }
+    };
+    if let Err(reason) = admission_check(farm, &task, config.quota) {
+        return ControlReply::Rejected { reason };
+    }
+    let seeds = task.num_seeds() as u64;
+    match farm.deploy_compiled(task) {
+        Ok(plan) => ControlReply::Submitted {
+            task: name.to_string(),
+            seeds,
+            actions: plan.actions.len() as u64,
+        },
+        Err(e) => ControlReply::Rejected {
+            reason: e.to_string(),
+        },
+    }
+}
+
+/// Per-submission resource quota: the task's minimum feasible demand
+/// must fit into the live fabric's remaining headroom, scaled by the
+/// configured quota, on every resource kind.
+fn admission_check(
+    farm: &Farm,
+    task: &farm_almanac::compile::CompiledTask,
+    quota: f64,
+) -> Result<(), String> {
+    let mut demand = Resources::ZERO;
+    for m in &task.machines {
+        let per_seed = m
+            .util_of(&m.initial_state)
+            .min_feasible()
+            .map(|(r, _)| r)
+            .unwrap_or(Resources::ZERO);
+        for _ in 0..m.seeds.len() {
+            demand = demand.add(&per_seed);
+        }
+    }
+    let net = farm.network();
+    let cordoned: std::collections::BTreeSet<SwitchId> =
+        farm.cordoned_switches().into_iter().collect();
+    let fenced: std::collections::BTreeSet<SwitchId> = farm.fenced_switches().into_iter().collect();
+    let mut headroom = [0f64; 4];
+    for id in net.switch_ids() {
+        if !net.is_up(id) || !net.is_reachable(id) || cordoned.contains(&id) || fenced.contains(&id)
+        {
+            continue;
+        }
+        let cap = net.switch(id).expect("switch exists").effective_resources();
+        let used = farm
+            .soil(id)
+            .map(|s| s.resources_in_use())
+            .unwrap_or(Resources::ZERO);
+        for (h, (c, u)) in headroom.iter_mut().zip(cap.0.iter().zip(used.0.iter())) {
+            *h += c * quota - u;
+        }
+    }
+    for i in 0..4 {
+        if demand.0[i] > headroom[i] + 1e-9 {
+            return Err(format!(
+                "admission: demand {:.1} {} exceeds quota headroom {:.1}",
+                demand.0[i], RESOURCE_NAMES[i], headroom[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn descriptor(s: &SeedStatus) -> SeedDescriptor {
+    SeedDescriptor {
+        key: s.key.to_string(),
+        task: s.key.task.clone(),
+        machine: s.machine.clone(),
+        switch: s.switch.0,
+        state: s.state.clone(),
+        alloc: s.alloc.0,
+    }
+}
+
+/// Parses the `task/m<i>/s<j>` display form of a [`SeedKey`].
+fn parse_seed_key(s: &str) -> Option<SeedKey> {
+    let (rest, seed) = s.rsplit_once("/s")?;
+    let (task, machine) = rest.rsplit_once("/m")?;
+    Some(SeedKey {
+        task: task.to_string(),
+        machine: machine.parse().ok()?,
+        seed: seed.parse().ok()?,
+    })
+}
+
+fn describe(farm: &Farm, key: &str) -> ControlReply {
+    let Some(parsed) = parse_seed_key(key) else {
+        return ControlReply::Rejected {
+            reason: format!("bad seed key `{key}` (want task/m<i>/s<j>)"),
+        };
+    };
+    let Some(status) = farm.seed_statuses().into_iter().find(|s| s.key == parsed) else {
+        return ControlReply::Rejected {
+            reason: format!("no seed `{key}`"),
+        };
+    };
+    let vars = farm.seed_vars(&parsed).unwrap_or_default();
+    ControlReply::Seed {
+        desc: descriptor(&status),
+        vars,
+    }
+}
+
+/// The `Stats` body: run summary plus the full counter map (so `ctl.*`
+/// and `farm.*` audit counters are one query away).
+fn stats_json(farm: &Farm) -> String {
+    let snap = farm.telemetry().snapshot();
+    let mut counters = Obj::new();
+    for (k, v) in &snap.counters {
+        counters = counters.num(k, *v);
+    }
+    let tasks = array(
+        farm.seeder()
+            .task_names()
+            .iter()
+            .map(|t| format!("\"{}\"", crate::json::escape(t))),
+    );
+    let cordoned = array(farm.cordoned_switches().iter().map(|s| s.0.to_string()));
+    let fenced = array(farm.fenced_switches().iter().map(|s| s.0.to_string()));
+    Obj::new()
+        .num("now_ns", farm.now().as_nanos())
+        .raw("tasks", &tasks)
+        .num("seeds", farm.deployed_seeds() as u64)
+        .num("switches", farm.network().switch_ids().len() as u64)
+        .raw("cordoned", &cordoned)
+        .raw("fenced", &fenced)
+        .num("recovery_pending", farm.recovery_pending() as u64)
+        .raw("counters", &counters.finish())
+        .finish()
+}
+
+/// The `MetricsDump` body: legacy compat view plus the whole registry
+/// (counters, gauges, histograms).
+fn metrics_json(farm: &Farm) -> String {
+    let m = farm.metrics();
+    let compat = Obj::new()
+        .num("collector_messages", m.collector_messages)
+        .num("collector_bytes", m.collector_bytes)
+        .num("seed_messages", m.seed_messages)
+        .num("seed_bytes", m.seed_bytes)
+        .num("control_messages", m.control_messages)
+        .num("control_bytes", m.control_bytes)
+        .num("migrations", m.migrations)
+        .num("migration_bytes", m.migration_bytes)
+        .num("seed_errors", m.seed_errors)
+        .num("replans", m.replans)
+        .num("net_dead_letters", m.net_dead_letters)
+        .num("transport_fallbacks", m.transport_fallbacks)
+        .num("total_network_bytes", m.total_network_bytes())
+        .finish();
+    Obj::new()
+        .raw("metrics", &compat)
+        .raw("registry", &snapshot_json(&farm.telemetry().snapshot()))
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_keys_round_trip_their_display_form() {
+        let key = SeedKey {
+            task: "hh-v2".into(),
+            machine: 1,
+            seed: 12,
+        };
+        assert_eq!(parse_seed_key(&key.to_string()), Some(key));
+        assert!(parse_seed_key("nope").is_none());
+        assert!(parse_seed_key("t/mX/s1").is_none());
+    }
+}

@@ -26,7 +26,7 @@ use farm_telemetry::Telemetry;
 
 use crate::frame::{encode_envelope, Envelope, Frame, Report};
 use crate::interceptor::{Interceptor, Passthrough, Verdict};
-use crate::sock::{read_envelope, NetCounters};
+use crate::sock::{read_envelope, NetCounters, ReadFrame};
 use crate::wire::PROTOCOL_VERSION;
 
 /// Transport knobs. The defaults suit loopback control traffic.
@@ -524,7 +524,12 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream, dead: Arc<AtomicBool>) {
             return;
         }
         match read_envelope(&mut reader, &dead) {
-            Ok(Some((env, nbytes))) => {
+            // A frame with an undecodable body: count it and keep the
+            // connection — the stream is still aligned.
+            Ok(Some(ReadFrame::Bad { .. })) => {
+                shared.counters.decode_errors.inc();
+            }
+            Ok(Some(ReadFrame::Frame(env, nbytes))) => {
                 shared.counters.bytes.add(nbytes as u64);
                 shared.counters.frames_received.inc();
                 if env.response {

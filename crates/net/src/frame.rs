@@ -76,6 +76,154 @@ impl Report {
     }
 }
 
+/// One management operation riding a [`Frame::Control`] request.
+///
+/// The control surface is versioned with the rest of the protocol:
+/// adding an op is a new tag under the same [`PROTOCOL_VERSION`], and
+/// an endpoint that does not know a tag rejects the frame with a typed
+/// [`WireError::Tag`] — never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlOp {
+    /// Compile and deploy an Almanac program server-side.
+    SubmitProgram { name: String, source: String },
+    /// Enumerate every deployed seed.
+    ListSeeds,
+    /// Full detail (state variables included) of one seed by its
+    /// `task/mN/sN` key.
+    DescribeSeed { key: String },
+    /// Operational summary as JSON.
+    Stats,
+    /// Every telemetry instrument as JSON.
+    MetricsDump,
+    /// Cordon a switch and evacuate its seeds via replanning.
+    Drain { switch: u32 },
+    /// Lift a cordon; the switch re-enters placement.
+    Uncordon { switch: u32 },
+    /// Force a placement round now.
+    Replan,
+    /// Checkpoint every live seed's state.
+    Checkpoint,
+    /// Restore every seed from its last checkpoint.
+    Restore,
+    /// Stop the daemon after draining connections.
+    Shutdown,
+}
+
+impl ControlOp {
+    /// Stable kebab-case name, used for `ctl.op.<name>` audit counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ControlOp::SubmitProgram { .. } => "submit",
+            ControlOp::ListSeeds => "list-seeds",
+            ControlOp::DescribeSeed { .. } => "describe-seed",
+            ControlOp::Stats => "stats",
+            ControlOp::MetricsDump => "metrics-dump",
+            ControlOp::Drain { .. } => "drain",
+            ControlOp::Uncordon { .. } => "uncordon",
+            ControlOp::Replan => "replan",
+            ControlOp::Checkpoint => "checkpoint",
+            ControlOp::Restore => "restore",
+            ControlOp::Shutdown => "shutdown",
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ControlOp::SubmitProgram { .. } => 0,
+            ControlOp::ListSeeds => 1,
+            ControlOp::DescribeSeed { .. } => 2,
+            ControlOp::Stats => 3,
+            ControlOp::MetricsDump => 4,
+            ControlOp::Drain { .. } => 5,
+            ControlOp::Uncordon { .. } => 6,
+            ControlOp::Replan => 7,
+            ControlOp::Checkpoint => 8,
+            ControlOp::Restore => 9,
+            ControlOp::Shutdown => 10,
+        }
+    }
+}
+
+/// One deployed seed as reported over the control surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedDescriptor {
+    /// Stable key, `task/mN/sN`.
+    pub key: String,
+    pub task: String,
+    pub machine: String,
+    /// Hosting switch.
+    pub switch: u32,
+    /// Current state-machine state.
+    pub state: String,
+    /// Allocated resources (vCPU, RAM MB, TCAM, PCIe polls/s).
+    pub alloc: [f64; 4],
+}
+
+/// One compiler diagnostic returned by a rejected SubmitProgram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Machine the error belongs to (empty for program-level errors).
+    pub machine: String,
+    /// Compilation phase (`lex`, `parse`, `typecheck`, `analysis`).
+    pub phase: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Answer to a [`ControlOp`], riding a [`Frame::ControlReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlReply {
+    /// Generic success for ops without a payload.
+    Ok,
+    /// SubmitProgram succeeded: the task was compiled and placed.
+    Submitted {
+        task: String,
+        seeds: u64,
+        /// Placement actions the deploying replan executed.
+        actions: u64,
+    },
+    /// ListSeeds answer.
+    Seeds { seeds: Vec<SeedDescriptor> },
+    /// DescribeSeed answer: descriptor plus rendered state variables.
+    Seed {
+        desc: SeedDescriptor,
+        vars: Vec<(String, String)>,
+    },
+    /// A JSON document (Stats, MetricsDump).
+    Json { body: String },
+    /// Drain finished; `evacuated` seeds migrated off the switch.
+    Drained { switch: u32, evacuated: u64 },
+    /// Replan finished.
+    Replanned { actions: u64, dropped_tasks: u64 },
+    /// Checkpoint finished over `seeds` live seeds.
+    Checkpointed { seeds: u64 },
+    /// Restore finished over `seeds` checkpointed seeds.
+    Restored { seeds: u64 },
+    /// The op was refused (admission control, unknown key, bad input).
+    Rejected { reason: String },
+    /// SubmitProgram failed to compile; nothing was deployed.
+    CompileFailed { diagnostics: Vec<Diagnostic> },
+}
+
+impl ControlReply {
+    fn tag(&self) -> u8 {
+        match self {
+            ControlReply::Ok => 0,
+            ControlReply::Submitted { .. } => 1,
+            ControlReply::Seeds { .. } => 2,
+            ControlReply::Seed { .. } => 3,
+            ControlReply::Json { .. } => 4,
+            ControlReply::Drained { .. } => 5,
+            ControlReply::Replanned { .. } => 6,
+            ControlReply::Checkpointed { .. } => 7,
+            ControlReply::Restored { .. } => 8,
+            ControlReply::Rejected { .. } => 9,
+            ControlReply::CompileFailed { .. } => 10,
+        }
+    }
+}
+
 /// A typed control-plane frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -117,6 +265,10 @@ pub enum Frame {
     Error { message: String },
     /// Graceful close notification.
     Shutdown,
+    /// Management request (operator → daemon).
+    Control { op: ControlOp },
+    /// Management answer (daemon → operator).
+    ControlReply { reply: ControlReply },
 }
 
 impl Frame {
@@ -132,6 +284,8 @@ impl Frame {
             Frame::Ack => "ack",
             Frame::Error { .. } => "error",
             Frame::Shutdown => "shutdown",
+            Frame::Control { .. } => "control",
+            Frame::ControlReply { .. } => "control_reply",
         }
     }
 
@@ -146,6 +300,8 @@ impl Frame {
             Frame::Ack => 6,
             Frame::Error { .. } => 7,
             Frame::Shutdown => 8,
+            Frame::Control { .. } => 9,
+            Frame::ControlReply { .. } => 10,
         }
     }
 }
@@ -272,6 +428,100 @@ fn encode_frame_payload(frame: &Frame, out: &mut Vec<u8>) {
         }
         Frame::Ack | Frame::Shutdown => {}
         Frame::Error { message } => put_str(out, message),
+        Frame::Control { op } => encode_control_op(op, out),
+        Frame::ControlReply { reply } => encode_control_reply(reply, out),
+    }
+}
+
+fn encode_control_op(op: &ControlOp, out: &mut Vec<u8>) {
+    out.push(op.tag());
+    match op {
+        ControlOp::SubmitProgram { name, source } => {
+            put_str(out, name);
+            put_str(out, source);
+        }
+        ControlOp::DescribeSeed { key } => put_str(out, key),
+        ControlOp::Drain { switch } | ControlOp::Uncordon { switch } => {
+            put_varint(out, *switch as u64);
+        }
+        ControlOp::ListSeeds
+        | ControlOp::Stats
+        | ControlOp::MetricsDump
+        | ControlOp::Replan
+        | ControlOp::Checkpoint
+        | ControlOp::Restore
+        | ControlOp::Shutdown => {}
+    }
+}
+
+fn encode_seed_descriptor(d: &SeedDescriptor, out: &mut Vec<u8>) {
+    put_str(out, &d.key);
+    put_str(out, &d.task);
+    put_str(out, &d.machine);
+    put_varint(out, d.switch as u64);
+    put_str(out, &d.state);
+    for v in d.alloc {
+        put_f64(out, v);
+    }
+}
+
+fn encode_diagnostic(d: &Diagnostic, out: &mut Vec<u8>) {
+    put_str(out, &d.machine);
+    put_str(out, &d.phase);
+    put_varint(out, d.line as u64);
+    put_varint(out, d.col as u64);
+    put_str(out, &d.message);
+}
+
+fn encode_control_reply(reply: &ControlReply, out: &mut Vec<u8>) {
+    out.push(reply.tag());
+    match reply {
+        ControlReply::Ok => {}
+        ControlReply::Submitted {
+            task,
+            seeds,
+            actions,
+        } => {
+            put_str(out, task);
+            put_varint(out, *seeds);
+            put_varint(out, *actions);
+        }
+        ControlReply::Seeds { seeds } => {
+            put_varint(out, seeds.len() as u64);
+            for d in seeds {
+                encode_seed_descriptor(d, out);
+            }
+        }
+        ControlReply::Seed { desc, vars } => {
+            encode_seed_descriptor(desc, out);
+            put_varint(out, vars.len() as u64);
+            for (name, rendered) in vars {
+                put_str(out, name);
+                put_str(out, rendered);
+            }
+        }
+        ControlReply::Json { body } => put_str(out, body),
+        ControlReply::Drained { switch, evacuated } => {
+            put_varint(out, *switch as u64);
+            put_varint(out, *evacuated);
+        }
+        ControlReply::Replanned {
+            actions,
+            dropped_tasks,
+        } => {
+            put_varint(out, *actions);
+            put_varint(out, *dropped_tasks);
+        }
+        ControlReply::Checkpointed { seeds } | ControlReply::Restored { seeds } => {
+            put_varint(out, *seeds);
+        }
+        ControlReply::Rejected { reason } => put_str(out, reason),
+        ControlReply::CompileFailed { diagnostics } => {
+            put_varint(out, diagnostics.len() as u64);
+            for d in diagnostics {
+                encode_diagnostic(d, out);
+            }
+        }
     }
 }
 
@@ -572,10 +822,149 @@ fn decode_frame_payload(tag: u8, r: &mut Reader<'_>) -> Result<Frame, WireError>
         6 => Ok(Frame::Ack),
         7 => Ok(Frame::Error { message: r.str()? }),
         8 => Ok(Frame::Shutdown),
+        9 => Ok(Frame::Control {
+            op: decode_control_op(r)?,
+        }),
+        10 => Ok(Frame::ControlReply {
+            reply: decode_control_reply(r)?,
+        }),
         t => Err(WireError::Tag {
             what: "frame",
             tag: t,
         }),
+    }
+}
+
+fn decode_control_op(r: &mut Reader<'_>) -> Result<ControlOp, WireError> {
+    match r.u8()? {
+        0 => Ok(ControlOp::SubmitProgram {
+            name: r.str()?,
+            source: r.str()?,
+        }),
+        1 => Ok(ControlOp::ListSeeds),
+        2 => Ok(ControlOp::DescribeSeed { key: r.str()? }),
+        3 => Ok(ControlOp::Stats),
+        4 => Ok(ControlOp::MetricsDump),
+        5 => Ok(ControlOp::Drain {
+            switch: decode_u32(r, "switch")?,
+        }),
+        6 => Ok(ControlOp::Uncordon {
+            switch: decode_u32(r, "switch")?,
+        }),
+        7 => Ok(ControlOp::Replan),
+        8 => Ok(ControlOp::Checkpoint),
+        9 => Ok(ControlOp::Restore),
+        10 => Ok(ControlOp::Shutdown),
+        t => Err(WireError::Tag {
+            what: "control op",
+            tag: t,
+        }),
+    }
+}
+
+fn decode_seed_descriptor(r: &mut Reader<'_>) -> Result<SeedDescriptor, WireError> {
+    let key = r.str()?;
+    let task = r.str()?;
+    let machine = r.str()?;
+    let switch = decode_u32(r, "switch")?;
+    let state = r.str()?;
+    let mut alloc = [0.0f64; 4];
+    for slot in alloc.iter_mut() {
+        *slot = r.f64()?;
+    }
+    Ok(SeedDescriptor {
+        key,
+        task,
+        machine,
+        switch,
+        state,
+        alloc,
+    })
+}
+
+fn decode_diagnostic(r: &mut Reader<'_>) -> Result<Diagnostic, WireError> {
+    Ok(Diagnostic {
+        machine: r.str()?,
+        phase: r.str()?,
+        line: decode_u32(r, "line")?,
+        col: decode_u32(r, "col")?,
+        message: r.str()?,
+    })
+}
+
+fn decode_control_reply(r: &mut Reader<'_>) -> Result<ControlReply, WireError> {
+    match r.u8()? {
+        0 => Ok(ControlReply::Ok),
+        1 => Ok(ControlReply::Submitted {
+            task: r.str()?,
+            seeds: r.varint()?,
+            actions: r.varint()?,
+        }),
+        2 => {
+            let n = r.len_prefix(37)?;
+            let mut seeds = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                seeds.push(decode_seed_descriptor(r)?);
+            }
+            Ok(ControlReply::Seeds { seeds })
+        }
+        3 => {
+            let desc = decode_seed_descriptor(r)?;
+            let n = r.len_prefix(2)?;
+            let mut vars = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = r.str()?;
+                let rendered = r.str()?;
+                vars.push((name, rendered));
+            }
+            Ok(ControlReply::Seed { desc, vars })
+        }
+        4 => Ok(ControlReply::Json { body: r.str()? }),
+        5 => Ok(ControlReply::Drained {
+            switch: decode_u32(r, "switch")?,
+            evacuated: r.varint()?,
+        }),
+        6 => Ok(ControlReply::Replanned {
+            actions: r.varint()?,
+            dropped_tasks: r.varint()?,
+        }),
+        7 => Ok(ControlReply::Checkpointed { seeds: r.varint()? }),
+        8 => Ok(ControlReply::Restored { seeds: r.varint()? }),
+        9 => Ok(ControlReply::Rejected { reason: r.str()? }),
+        10 => {
+            let n = r.len_prefix(5)?;
+            let mut diagnostics = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                diagnostics.push(decode_diagnostic(r)?);
+            }
+            Ok(ControlReply::CompileFailed { diagnostics })
+        }
+        t => Err(WireError::Tag {
+            what: "control reply",
+            tag: t,
+        }),
+    }
+}
+
+/// Best-effort recovery of the correlation id from a frame body whose
+/// payload failed to decode, so a server can answer the request with a
+/// structured [`Frame::Error`] instead of wedging the client.
+///
+/// Returns `Some(corr)` only for request frames (`corr != 0`, response
+/// flag clear) whose version and header fields parse; `None` otherwise.
+pub fn decode_request_corr(body: &[u8]) -> Option<u64> {
+    let mut r = Reader::new(body);
+    let version = r.u8().ok()?;
+    if version != PROTOCOL_VERSION {
+        return None;
+    }
+    let _tag = r.u8().ok()?;
+    let flags = r.u8().ok()?;
+    let corr = r.varint().ok()?;
+    if corr != 0 && flags & FLAG_RESPONSE == 0 {
+        Some(corr)
+    } else {
+        None
     }
 }
 
@@ -954,6 +1343,123 @@ mod tests {
             decode_envelope(&buf).unwrap_err(),
             WireError::TooLarge(_)
         ));
+    }
+
+    #[test]
+    fn control_ops_round_trip() {
+        let ops = vec![
+            ControlOp::SubmitProgram {
+                name: "mon".into(),
+                source: "machine M { place any; state s { } }".into(),
+            },
+            ControlOp::ListSeeds,
+            ControlOp::DescribeSeed {
+                key: "mon/m0/s0".into(),
+            },
+            ControlOp::Stats,
+            ControlOp::MetricsDump,
+            ControlOp::Drain { switch: 3 },
+            ControlOp::Uncordon { switch: 3 },
+            ControlOp::Replan,
+            ControlOp::Checkpoint,
+            ControlOp::Restore,
+            ControlOp::Shutdown,
+        ];
+        for op in ops {
+            let env = Envelope::request(5, Frame::Control { op });
+            assert_eq!(round_trip(&env), env);
+        }
+    }
+
+    #[test]
+    fn control_replies_round_trip() {
+        let desc = SeedDescriptor {
+            key: "mon/m0/s0".into(),
+            task: "mon".into(),
+            machine: "M".into(),
+            switch: 2,
+            state: "observe".into(),
+            alloc: [1.0, 100.0, 0.0, 12.5],
+        };
+        let replies = vec![
+            ControlReply::Ok,
+            ControlReply::Submitted {
+                task: "mon".into(),
+                seeds: 5,
+                actions: 5,
+            },
+            ControlReply::Seeds {
+                seeds: vec![desc.clone(), desc.clone()],
+            },
+            ControlReply::Seed {
+                desc,
+                vars: vec![("threshold".into(), "1000".into())],
+            },
+            ControlReply::Json {
+                body: "{\"a\":1}".into(),
+            },
+            ControlReply::Drained {
+                switch: 2,
+                evacuated: 3,
+            },
+            ControlReply::Replanned {
+                actions: 4,
+                dropped_tasks: 0,
+            },
+            ControlReply::Checkpointed { seeds: 7 },
+            ControlReply::Restored { seeds: 7 },
+            ControlReply::Rejected {
+                reason: "quota exceeded".into(),
+            },
+            ControlReply::CompileFailed {
+                diagnostics: vec![Diagnostic {
+                    machine: "M".into(),
+                    phase: "parse".into(),
+                    line: 3,
+                    col: 14,
+                    message: "expected `;`".into(),
+                }],
+            },
+        ];
+        for reply in replies {
+            let env = Envelope::response(5, Frame::ControlReply { reply });
+            assert_eq!(round_trip(&env), env);
+        }
+    }
+
+    #[test]
+    fn unknown_control_op_tag_is_a_typed_error() {
+        let mut body = Vec::new();
+        body.push(PROTOCOL_VERSION);
+        body.push(9); // Control
+        body.push(0);
+        put_varint(&mut body, 8); // corr
+        body.push(250); // unknown op tag
+        let mut buf = Vec::new();
+        put_varint(&mut buf, body.len() as u64);
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            decode_envelope(&buf).unwrap_err(),
+            WireError::Tag {
+                what: "control op",
+                tag: 250
+            }
+        );
+        // The correlation id is still recoverable for an Error reply.
+        assert_eq!(decode_request_corr(&body), Some(8));
+    }
+
+    #[test]
+    fn corr_recovery_refuses_responses_and_foreign_versions() {
+        let mut body = vec![PROTOCOL_VERSION, 9, FLAG_RESPONSE];
+        put_varint(&mut body, 8);
+        assert_eq!(decode_request_corr(&body), None, "response flag set");
+        let mut body = vec![99, 9, 0];
+        put_varint(&mut body, 8);
+        assert_eq!(decode_request_corr(&body), None, "foreign version");
+        let mut body = vec![PROTOCOL_VERSION, 9, 0];
+        put_varint(&mut body, 0);
+        assert_eq!(decode_request_corr(&body), None, "one-way frame");
     }
 
     #[test]

@@ -36,7 +36,10 @@ mod sock;
 pub mod wire;
 
 pub use conn::{Connection, NetConfig, NetError};
-pub use frame::{decode_body, decode_envelope, encode_envelope, Envelope, Frame, Report};
+pub use frame::{
+    decode_body, decode_envelope, decode_request_corr, encode_envelope, ControlOp, ControlReply,
+    Diagnostic, Envelope, Frame, Report, SeedDescriptor,
+};
 pub use interceptor::{Interceptor, LossInterceptor, Passthrough, Verdict};
 pub use server::{FrameHandler, NetServer};
 pub use wire::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -12,7 +12,7 @@ use std::time::Duration;
 use farm_telemetry::Telemetry;
 
 use crate::frame::{encode_envelope, Envelope, Frame};
-use crate::sock::{read_envelope, NetCounters};
+use crate::sock::{read_envelope, NetCounters, ReadFrame};
 
 /// Server-side frame dispatch. Called once per inbound frame, from the
 /// per-connection thread (so concurrent connections call concurrently).
@@ -144,7 +144,7 @@ fn serve_conn(stream: TcpStream, shared: Arc<ServerShared>) {
     let mut reader = std::io::BufReader::new(stream);
     loop {
         match read_envelope(&mut reader, &shared.stop) {
-            Ok(Some((env, nbytes))) => {
+            Ok(Some(ReadFrame::Frame(env, nbytes))) => {
                 shared.counters.bytes.add(nbytes as u64);
                 shared.counters.frames_received.inc();
                 if matches!(env.frame, Frame::Shutdown) {
@@ -153,13 +153,32 @@ fn serve_conn(stream: TcpStream, shared: Arc<ServerShared>) {
                 let answer = shared.handler.handle(&env);
                 if env.corr != 0 && !env.response {
                     let reply = Envelope::response(env.corr, answer.unwrap_or(Frame::Ack));
-                    let mut buf = Vec::with_capacity(64);
-                    encode_envelope(&reply, &mut buf);
-                    if writer.write_all(&buf).is_err() {
+                    if !send_reply(&shared, &mut writer, &reply) {
                         return;
                     }
-                    shared.counters.bytes.add(buf.len() as u64);
-                    shared.counters.frames_sent.inc();
+                }
+            }
+            // An undecodable body whose bytes were still fully framed:
+            // the session survives. A recovered request corr gets a
+            // structured Error response (the client sees `Rejected`
+            // instead of a timeout); one-way garbage is just counted.
+            Ok(Some(ReadFrame::Bad {
+                corr,
+                error,
+                nbytes,
+            })) => {
+                shared.counters.bytes.add(nbytes as u64);
+                shared.counters.decode_errors.inc();
+                if let Some(corr) = corr {
+                    let reply = Envelope::response(
+                        corr,
+                        Frame::Error {
+                            message: format!("undecodable frame: {error}"),
+                        },
+                    );
+                    if !send_reply(&shared, &mut writer, &reply) {
+                        return;
+                    }
                 }
             }
             Ok(None) => {
@@ -168,11 +187,31 @@ fn serve_conn(stream: TcpStream, shared: Arc<ServerShared>) {
                 }
             }
             Err(e) => {
+                // Broken framing (oversized or overlong length prefix):
+                // resync is impossible, so say why and hang up rather
+                // than silently wedging the peer.
                 if e.kind() == std::io::ErrorKind::InvalidData {
                     shared.counters.decode_errors.inc();
+                    let bye = Envelope::one_way(Frame::Error {
+                        message: format!("unrecoverable frame: {e}"),
+                    });
+                    send_reply(&shared, &mut writer, &bye);
                 }
                 return;
             }
         }
     }
+}
+
+/// Writes one envelope back to the client, accounting the send. Returns
+/// false when the connection is gone.
+fn send_reply(shared: &ServerShared, writer: &mut TcpStream, env: &Envelope) -> bool {
+    let mut buf = Vec::with_capacity(64);
+    encode_envelope(env, &mut buf);
+    if writer.write_all(&buf).is_err() {
+        return false;
+    }
+    shared.counters.bytes.add(buf.len() as u64);
+    shared.counters.frames_sent.inc();
+    true
 }

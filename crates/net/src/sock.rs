@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use farm_telemetry::{Counter, Histogram, Telemetry};
 
-use crate::frame::{decode_body, Envelope};
-use crate::wire::MAX_FRAME_LEN;
+use crate::frame::{decode_body, decode_request_corr, Envelope};
+use crate::wire::{WireError, MAX_FRAME_LEN};
 
 /// Cached handles for the `net.*` instruments so the per-frame hot
 /// path never takes the registry lock.
@@ -80,16 +80,36 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8], stop: &AtomicBool) -> io::Resul
     Ok(true)
 }
 
+/// One successfully framed read: either a decoded envelope or a frame
+/// whose bytes were consumed but whose body failed to decode — the
+/// stream stays aligned on the next frame either way.
+#[derive(Debug)]
+pub(crate) enum ReadFrame {
+    /// A well-formed envelope plus its wire size.
+    Frame(Envelope, usize),
+    /// The frame's bytes were fully consumed but the body is invalid
+    /// (unknown tag, bad payload, foreign version). `corr` is the
+    /// recovered request correlation id when the header still parsed,
+    /// so servers can answer with a structured error.
+    Bad {
+        corr: Option<u64>,
+        error: WireError,
+        nbytes: usize,
+    },
+}
+
 /// Reads one length-prefixed frame.
 ///
-/// * `Ok(Some((env, n)))` — a frame arrived; `n` is its wire size.
+/// * `Ok(Some(ReadFrame))` — a frame's bytes arrived (decoded or not);
+///   the stream is positioned at the next frame.
 /// * `Ok(None)` — idle tick (read timeout before a frame started, or
 ///   `stop` was raised); the caller re-checks its shutdown flag.
-/// * `Err(_)` — the peer vanished or sent garbage.
+/// * `Err(_)` — the peer vanished or the framing itself is broken
+///   (overlong or oversized length prefix), so resync is impossible.
 pub(crate) fn read_envelope<R: Read>(
     r: &mut R,
     stop: &AtomicBool,
-) -> io::Result<Option<(Envelope, usize)>> {
+) -> io::Result<Option<ReadFrame>> {
     // Length prefix, byte at a time (varint, ≤ 10 bytes).
     let mut len: u64 = 0;
     let mut header = 0usize;
@@ -137,8 +157,12 @@ pub(crate) fn read_envelope<R: Read>(
         return Ok(None);
     }
     match decode_body(&body) {
-        Ok(env) => Ok(Some((env, header + body.len()))),
-        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        Ok(env) => Ok(Some(ReadFrame::Frame(env, header + body.len()))),
+        Err(e) => Ok(Some(ReadFrame::Bad {
+            corr: decode_request_corr(&body),
+            error: e,
+            nbytes: header + body.len(),
+        })),
     }
 }
 
@@ -163,10 +187,40 @@ mod tests {
         let stop = AtomicBool::new(false);
         let mut cursor = io::Cursor::new(buf);
         for seq in 0..3 {
-            let (env, _) = read_envelope(&mut cursor, &stop).unwrap().unwrap();
+            let got = read_envelope(&mut cursor, &stop).unwrap().unwrap();
+            let ReadFrame::Frame(env, _) = got else {
+                panic!("expected a decoded frame, got {got:?}");
+            };
             assert!(matches!(env.frame, Frame::Heartbeat { seq: s, .. } if s == seq));
         }
         assert!(read_envelope(&mut cursor, &stop).is_err(), "EOF after last");
+    }
+
+    #[test]
+    fn bad_body_keeps_the_stream_aligned() {
+        // A framed body with an unknown frame tag, then a valid frame:
+        // the reader must surface the bad one (with its request corr)
+        // and still decode the next.
+        let mut bad_body = vec![crate::wire::PROTOCOL_VERSION, 200, 0];
+        crate::wire::put_varint(&mut bad_body, 9);
+        let mut buf = Vec::new();
+        crate::wire::put_varint(&mut buf, bad_body.len() as u64);
+        buf.extend_from_slice(&bad_body);
+        encode_envelope(&Envelope::one_way(Frame::Ack), &mut buf);
+
+        let stop = AtomicBool::new(false);
+        let mut cursor = io::Cursor::new(buf);
+        match read_envelope(&mut cursor, &stop).unwrap().unwrap() {
+            ReadFrame::Bad { corr, error, .. } => {
+                assert_eq!(corr, Some(9));
+                assert!(matches!(error, crate::wire::WireError::Tag { .. }));
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+        match read_envelope(&mut cursor, &stop).unwrap().unwrap() {
+            ReadFrame::Frame(env, _) => assert_eq!(env.frame, Frame::Ack),
+            other => panic!("expected Ack after bad frame, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Independent re-derivation of the paper's placement constraints.
+//!
+//! `prop_placement.rs` trusts `model::validate`; these properties do
+//! not. Each constraint — C1 all-or-nothing and candidate membership,
+//! C2 utility-domain feasibility, C4 capacity with poll aggregation and
+//! migration double-occupancy — is recomputed here from scratch, so a
+//! bug shared between the heuristic and the validator cannot hide.
+
+use std::collections::HashMap;
+
+use farm_netsim::switch::{ResourceKind, Resources};
+use farm_netsim::types::SwitchId;
+use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
+use farm_placement::model::{PlacementInstance, PreviousPlacement};
+use farm_placement::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+fn workload() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..20, 1usize..5, 3usize..80, 0u64..10_000, 0.0f64..0.9).prop_map(
+        |(n_switches, n_tasks, n_seeds, rng_seed, pinned_fraction)| WorkloadConfig {
+            n_switches,
+            n_tasks,
+            n_seeds,
+            candidates_per_seed: 3,
+            pinned_fraction,
+            rng_seed,
+        },
+    )
+}
+
+/// C1: every task is placed completely or not at all, and each placed
+/// seed sits on one of its own candidates.
+fn check_c1(
+    inst: &PlacementInstance,
+    assignment: &[Option<(SwitchId, Resources)>],
+) -> Result<(), String> {
+    for task in &inst.tasks {
+        let placed = task
+            .seeds
+            .iter()
+            .filter(|&&s| assignment[s].is_some())
+            .count();
+        if placed != 0 && placed != task.seeds.len() {
+            return Err(format!(
+                "task `{}` placed {placed}/{} seeds",
+                task.name,
+                task.seeds.len()
+            ));
+        }
+    }
+    for (s, slot) in assignment.iter().enumerate() {
+        if let Some((n, _)) = slot {
+            if !inst.seeds[s].candidates.contains(n) {
+                return Err(format!("seed {s} on non-candidate switch {n}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// C2: each placed seed's allocation is non-negative and inside at least
+/// one utility-branch domain.
+fn check_c2(
+    inst: &PlacementInstance,
+    assignment: &[Option<(SwitchId, Resources)>],
+) -> Result<(), String> {
+    for (s, slot) in assignment.iter().enumerate() {
+        if let Some((_, res)) = slot {
+            if res.0.iter().any(|&r| r < -EPS) {
+                return Err(format!("seed {s} negative allocation {res}"));
+            }
+            if inst.seeds[s].util.eval(res).is_none() {
+                return Err(format!(
+                    "seed {s} allocation {res} satisfies no util branch"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// C4 (with C3's aggregation): per switch, plain resources sum within
+/// capacity and per-subject poll demand aggregates by max, counting the
+/// lingering source-side allocation of every migrating seed.
+fn check_capacity(
+    inst: &PlacementInstance,
+    assignment: &[Option<(SwitchId, Resources)>],
+) -> Result<(), String> {
+    for (n, ares) in &inst.switches {
+        let mut plain = [0f64; 4];
+        let mut polls: HashMap<&str, f64> = HashMap::new();
+        let mut charge = |seed: usize, res: &Resources| {
+            for k in ResourceKind::ALL {
+                if k != ResourceKind::PciePoll {
+                    plain[k.index()] += res.get(k);
+                }
+            }
+            for p in &inst.seeds[seed].polls {
+                let d = p.demand.eval(res).max(0.0);
+                let e = polls.entry(p.subject.as_str()).or_insert(0.0);
+                *e = e.max(d);
+            }
+        };
+        for (s, slot) in assignment.iter().enumerate() {
+            if let Some((sn, res)) = slot {
+                if sn == n {
+                    charge(s, res);
+                }
+            }
+            if let Some(prev) = &inst.previous {
+                if let Some((old_n, old_res)) = prev.assignment.get(&s) {
+                    let moved_away =
+                        old_n == n && matches!(&assignment[s], Some((new_n, _)) if new_n != n);
+                    if moved_away {
+                        // Double occupancy: the old seat stays charged
+                        // while state transfers.
+                        charge(s, old_res);
+                    }
+                }
+            }
+        }
+        for k in ResourceKind::ALL {
+            if k == ResourceKind::PciePoll {
+                continue;
+            }
+            if plain[k.index()] > ares.get(k) + EPS {
+                return Err(format!(
+                    "switch {n} over {k}: {} > {}",
+                    plain[k.index()],
+                    ares.get(k)
+                ));
+            }
+        }
+        let poll_total: f64 = polls.values().sum();
+        if poll_total > ares.get(ResourceKind::PciePoll) + EPS {
+            return Err(format!(
+                "switch {n} over poll capacity: {poll_total} > {}",
+                ares.get(ResourceKind::PciePoll)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_all(
+    inst: &PlacementInstance,
+    assignment: &[Option<(SwitchId, Resources)>],
+) -> Result<(), String> {
+    check_c1(inst, assignment)?;
+    check_c2(inst, assignment)?;
+    check_capacity(inst, assignment)
+}
+
+/// Turns a result into the `previous` input of the next round.
+fn as_previous(assignment: &[Option<(SwitchId, Resources)>]) -> PreviousPlacement {
+    let mut prev = PreviousPlacement::default();
+    for (s, slot) in assignment.iter().enumerate() {
+        if let Some((n, res)) = slot {
+            prev.assignment.insert(s, (*n, *res));
+        }
+    }
+    prev
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The full heuristic never violates any independently-checked
+    /// constraint on arbitrary instances.
+    #[test]
+    fn heuristic_respects_all_constraints(cfg in workload()) {
+        let inst = generate(&cfg);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        prop_assert!(check_all(&inst, &r.assignment).is_ok(),
+            "{:?}", check_all(&inst, &r.assignment));
+    }
+
+    /// Every ablation (greedy only, greedy+LP) is also constraint-clean —
+    /// the LP redistribution must not push any switch over capacity.
+    #[test]
+    fn ablations_respect_all_constraints(cfg in workload()) {
+        let inst = generate(&cfg);
+        for (lp, mig) in [(false, false), (true, false)] {
+            let r = solve_heuristic(
+                &inst,
+                HeuristicOptions { lp_redistribution: lp, migration: mig },
+            );
+            prop_assert!(check_all(&inst, &r.assignment).is_ok(),
+                "lp={lp} mig={mig}: {:?}", check_all(&inst, &r.assignment));
+        }
+    }
+
+    /// Chained re-optimization: each round feeds the next as its previous
+    /// placement, and every round honors double-occupancy against that
+    /// previous — the lingering source-side seats never overflow.
+    #[test]
+    fn chained_replans_respect_double_occupancy(cfg in workload()) {
+        let mut inst = generate(&cfg);
+        let mut r = solve_heuristic(&inst, HeuristicOptions::default());
+        prop_assert!(check_all(&inst, &r.assignment).is_ok());
+        for round in 0..3 {
+            inst.previous = Some(as_previous(&r.assignment));
+            r = solve_heuristic(&inst, HeuristicOptions::default());
+            prop_assert!(check_all(&inst, &r.assignment).is_ok(),
+                "round {round}: {:?}", check_all(&inst, &r.assignment));
+        }
+    }
+
+    /// Dropped tasks are really dropped: no seed of a dropped task holds
+    /// an assignment slot.
+    #[test]
+    fn dropped_tasks_hold_no_seats(cfg in workload()) {
+        let inst = generate(&cfg);
+        let r = solve_heuristic(&inst, HeuristicOptions::default());
+        for &t in &r.dropped_tasks {
+            for &s in &inst.tasks[t].seeds {
+                prop_assert!(r.assignment[s].is_none(),
+                    "dropped task {t} still owns seed {s}");
+            }
+        }
+    }
+}

@@ -225,6 +225,27 @@ pub enum Event {
         task: String,
         attempts: u64,
     },
+    /// A replanning round's plan, broken down by action type (the
+    /// companion [`Event::ReplanCompleted`] carries only the total).
+    ReplanSummary {
+        at_ns: u64,
+        /// Wall-clock planning + commit time, microseconds.
+        elapsed_us: u64,
+        deploys: u64,
+        migrations: u64,
+        reallocs: u64,
+        undeploys: u64,
+    },
+    /// A control-plane operation was served (the farmd audit trail).
+    ControlOp {
+        at_ns: u64,
+        /// Operation tag, e.g. `"submit"`, `"drain"`, `"shutdown"`.
+        op: String,
+        /// `"ok"`, `"rejected"`, or `"error"`.
+        outcome: String,
+        /// Wall-clock service time, microseconds.
+        elapsed_us: u64,
+    },
 }
 
 impl Event {
@@ -254,6 +275,8 @@ impl Event {
             Event::RecoveryAbandoned { .. } => "recovery-abandoned",
             Event::DeliveryRetried { .. } => "delivery-retried",
             Event::DeliveryDeadLettered { .. } => "delivery-dead-lettered",
+            Event::ReplanSummary { .. } => "replan-summary",
+            Event::ControlOp { .. } => "control-op",
         }
     }
 }

@@ -396,6 +396,32 @@ pub fn to_json_line(event: &Event) -> String {
                 .str("task", task)
                 .num("attempts", *attempts);
         }
+        Event::ReplanSummary {
+            at_ns,
+            elapsed_us,
+            deploys,
+            migrations,
+            reallocs,
+            undeploys,
+        } => {
+            f.num("at_ns", *at_ns)
+                .num("elapsed_us", *elapsed_us)
+                .num("deploys", *deploys)
+                .num("migrations", *migrations)
+                .num("reallocs", *reallocs)
+                .num("undeploys", *undeploys);
+        }
+        Event::ControlOp {
+            at_ns,
+            op,
+            outcome,
+            elapsed_us,
+        } => {
+            f.num("at_ns", *at_ns)
+                .str("op", op)
+                .str("outcome", outcome)
+                .num("elapsed_us", *elapsed_us);
+        }
     }
     f.finish()
 }

@@ -1,0 +1,242 @@
+//! End-to-end control-plane test: a real farmd on loopback TCP, driven
+//! through the client library exactly as farmctl drives it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use farm_ctl::{CtlClient, Farmd, FarmdConfig};
+use farm_net::{ControlOp, ControlReply};
+
+fn test_config() -> FarmdConfig {
+    FarmdConfig {
+        shutdown_drain: Duration::from_millis(20),
+        ..FarmdConfig::default()
+    }
+}
+
+const WATCHER: &str = include_str!("../examples/load_watcher.alm");
+
+fn submit_watcher(client: &CtlClient) -> (u64, u64) {
+    match client
+        .op(ControlOp::SubmitProgram {
+            name: "load_watcher".into(),
+            source: WATCHER.into(),
+        })
+        .expect("submit rpc")
+    {
+        ControlReply::Submitted {
+            task,
+            seeds,
+            actions,
+        } => {
+            assert_eq!(task, "load_watcher");
+            (seeds, actions)
+        }
+        other => panic!("submit answered {other:?}"),
+    }
+}
+
+fn list_seeds(client: &CtlClient) -> Vec<farm_net::SeedDescriptor> {
+    match client.op(ControlOp::ListSeeds).expect("list rpc") {
+        ControlReply::Seeds { seeds } => seeds,
+        other => panic!("list answered {other:?}"),
+    }
+}
+
+#[test]
+fn submit_list_drain_stats_shutdown_over_loopback() {
+    let farmd = Farmd::start(test_config()).expect("start farmd");
+    let client = CtlClient::connect(farmd.local_addr());
+
+    let (seeds, actions) = submit_watcher(&client);
+    assert_eq!(seeds, 1, "place any yields one movable seed");
+    assert!(actions >= 1);
+
+    let listed = list_seeds(&client);
+    assert_eq!(listed.len(), 1);
+    let home = listed[0].switch;
+    assert_eq!(listed[0].task, "load_watcher");
+
+    // Describe surfaces the live seed with its variables.
+    match client
+        .op(ControlOp::DescribeSeed {
+            key: listed[0].key.clone(),
+        })
+        .expect("describe rpc")
+    {
+        ControlReply::Seed { desc, vars } => {
+            assert_eq!(desc.key, listed[0].key);
+            assert!(
+                vars.iter().any(|(n, _)| n == "threshold"),
+                "expected the external var, got {vars:?}"
+            );
+        }
+        other => panic!("describe answered {other:?}"),
+    }
+
+    // Drain the seed's switch: the movable seed must evacuate.
+    match client
+        .op(ControlOp::Drain { switch: home })
+        .expect("drain rpc")
+    {
+        ControlReply::Drained { switch, evacuated } => {
+            assert_eq!(switch, home);
+            assert_eq!(evacuated, 1, "the watcher migrates off");
+        }
+        other => panic!("drain answered {other:?}"),
+    }
+    let moved = list_seeds(&client);
+    assert_eq!(moved.len(), 1);
+    assert_ne!(moved[0].switch, home, "seed left the drained switch");
+
+    // Stats: a JSON body carrying the audit counters for what we did.
+    let stats = match client.op(ControlOp::Stats).expect("stats rpc") {
+        ControlReply::Json { body } => body,
+        other => panic!("stats answered {other:?}"),
+    };
+    for needle in [
+        "\"ctl.op.submit\":1",
+        "\"ctl.op.drain\":1",
+        "\"ctl.ops\":",
+        "\"load_watcher\"",
+    ] {
+        assert!(stats.contains(needle), "stats missing {needle}: {stats}");
+    }
+    assert!(stats.contains(&format!("\"cordoned\":[{home}]")), "{stats}");
+
+    // Metrics dump includes both the compat view and the registry.
+    match client.op(ControlOp::MetricsDump).expect("metrics rpc") {
+        ControlReply::Json { body } => {
+            assert!(body.contains("\"net_dead_letters\""), "{body}");
+            assert!(body.contains("\"ctl.op_latency_us\""), "{body}");
+        }
+        other => panic!("metrics answered {other:?}"),
+    }
+
+    // Checkpoint / restore / uncordon / replan round out the surface.
+    assert!(matches!(
+        client.op(ControlOp::Checkpoint).expect("checkpoint rpc"),
+        ControlReply::Checkpointed { seeds: 1 }
+    ));
+    assert!(matches!(
+        client.op(ControlOp::Restore).expect("restore rpc"),
+        ControlReply::Restored { seeds: 1 }
+    ));
+    assert!(matches!(
+        client
+            .op(ControlOp::Uncordon { switch: home })
+            .expect("uncordon rpc"),
+        ControlReply::Ok
+    ));
+    assert!(matches!(
+        client.op(ControlOp::Replan).expect("replan rpc"),
+        ControlReply::Replanned { .. }
+    ));
+
+    assert!(matches!(
+        client.op(ControlOp::Shutdown).expect("shutdown rpc"),
+        ControlReply::Ok
+    ));
+    farmd.wait();
+}
+
+#[test]
+fn bad_submissions_come_back_structured() {
+    let config = FarmdConfig {
+        max_program_bytes: 64,
+        ..test_config()
+    };
+    let farmd = Farmd::start(config).expect("start farmd");
+    let client = CtlClient::connect(farmd.local_addr());
+
+    // Over the submission cap: structured rejection, not an error frame.
+    match client
+        .op(ControlOp::SubmitProgram {
+            name: "big".into(),
+            source: "x".repeat(100),
+        })
+        .expect("submit rpc")
+    {
+        ControlReply::Rejected { reason } => assert!(reason.contains("cap"), "{reason}"),
+        other => panic!("oversized submit answered {other:?}"),
+    }
+
+    // Broken program under the cap: compile diagnostics with positions.
+    match client
+        .op(ControlOp::SubmitProgram {
+            name: "broken".into(),
+            source: "machine M { place any; state s {".into(),
+        })
+        .expect("submit rpc")
+    {
+        ControlReply::CompileFailed { diagnostics } => {
+            assert!(!diagnostics.is_empty());
+            assert!(!diagnostics[0].message.is_empty());
+        }
+        other => panic!("broken submit answered {other:?}"),
+    }
+
+    // Unknown seed key: rejected with the expected shape spelled out.
+    match client
+        .op(ControlOp::DescribeSeed { key: "what".into() })
+        .expect("describe rpc")
+    {
+        ControlReply::Rejected { reason } => assert!(reason.contains("what"), "{reason}"),
+        other => panic!("describe answered {other:?}"),
+    }
+    farmd.stop();
+}
+
+#[test]
+fn admission_control_rejects_when_quota_exhausted() {
+    let config = FarmdConfig {
+        quota: 0.000001,
+        ..test_config()
+    };
+    let farmd = Farmd::start(config).expect("start farmd");
+    let client = CtlClient::connect(farmd.local_addr());
+    // This machine's utility needs a whole vCPU before it runs at all,
+    // so its admission demand is strictly positive.
+    let greedy = "machine Greedy { place any; state s { util (res) { if (res.vCPU >= 1) then { return 1; } } } }";
+    match client
+        .op(ControlOp::SubmitProgram {
+            name: "greedy".into(),
+            source: greedy.into(),
+        })
+        .expect("submit rpc")
+    {
+        ControlReply::Rejected { reason } => {
+            assert!(reason.contains("admission"), "{reason}");
+        }
+        other => panic!("quota submit answered {other:?}"),
+    }
+    assert!(list_seeds(&client).is_empty(), "nothing was deployed");
+    farmd.stop();
+}
+
+#[test]
+fn garbage_bytes_never_wedge_the_daemon() {
+    let farmd = Farmd::start(test_config()).expect("start farmd");
+
+    // A client that speaks no protocol at all: write junk, disconnect.
+    {
+        let mut raw = TcpStream::connect(farmd.local_addr()).expect("raw connect");
+        raw.write_all(&[0xde, 0xad, 0xbe, 0xef, 0xff, 0x00, 0x12, 0x34])
+            .expect("write junk");
+        raw.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        // Drain whatever the server says (a structured error or a hangup);
+        // the point is that it neither panics nor stalls.
+        let mut sink = [0u8; 256];
+        let _ = raw.read(&mut sink);
+    }
+
+    // The daemon still serves well-formed clients afterwards.
+    let client = CtlClient::connect(farmd.local_addr());
+    assert!(matches!(
+        client.op(ControlOp::Stats).expect("stats rpc"),
+        ControlReply::Json { .. }
+    ));
+    farmd.stop();
+}

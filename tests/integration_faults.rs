@@ -84,13 +84,13 @@ fn churn_trace(seed: u64) -> Vec<Event> {
         ..Default::default()
     });
     farm.run(&mut [&mut hh], Time::from_millis(300), Dur::from_millis(1));
-    // SolverPhase is the one event keyed to wall-clock (it reports real
-    // solver runtime); everything else is virtual-time and must replay
-    // bit-identically.
+    // SolverPhase and ReplanSummary are keyed to wall-clock (they report
+    // real solver/plan runtime); everything else is virtual-time and
+    // must replay bit-identically.
     events
         .events()
         .into_iter()
-        .filter(|e| !matches!(e, Event::SolverPhase { .. }))
+        .filter(|e| !matches!(e, Event::SolverPhase { .. } | Event::ReplanSummary { .. }))
         .collect()
 }
 

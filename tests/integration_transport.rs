@@ -76,13 +76,13 @@ fn tcp_and_in_process_transports_are_observably_identical() {
         in_msgs, tcp_msgs,
         "harvesters must receive identical message streams"
     );
-    // SolverPhase events carry wall-clock solver timings, which differ
-    // between any two runs; everything else is virtual-time determined
-    // and must match exactly.
+    // SolverPhase and ReplanSummary events carry wall-clock timings,
+    // which differ between any two runs; everything else is virtual-time
+    // determined and must match exactly.
     let virtual_only = |events: Vec<Event>| -> Vec<Event> {
         events
             .into_iter()
-            .filter(|e| !matches!(e, Event::SolverPhase { .. }))
+            .filter(|e| !matches!(e, Event::SolverPhase { .. } | Event::ReplanSummary { .. }))
             .collect()
     };
     assert_eq!(

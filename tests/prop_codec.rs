@@ -5,7 +5,10 @@
 
 use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
 use farm_net::wire::WireError;
-use farm_net::{decode_envelope, encode_envelope, Envelope, Frame, Report};
+use farm_net::{
+    decode_envelope, encode_envelope, ControlOp, ControlReply, Diagnostic, Envelope, Frame, Report,
+    SeedDescriptor,
+};
 use farm_netsim::switch::Resources;
 use farm_netsim::types::{FilterAtom, FilterFormula, FlowKey, Ipv4, PortSel, Prefix, Proto};
 use farm_soil::SeedSnapshot;
@@ -191,8 +194,102 @@ fn snapshot_strategy() -> BoxedStrategy<SeedSnapshot> {
         .boxed()
 }
 
+fn control_op_strategy() -> BoxedStrategy<ControlOp> {
+    prop_oneof![
+        ("[a-z]{1,8}", "[ -~]{0,48}")
+            .prop_map(|(name, source)| ControlOp::SubmitProgram { name, source }),
+        Just(ControlOp::ListSeeds),
+        "[a-z/0-9]{1,16}".prop_map(|key| ControlOp::DescribeSeed { key }),
+        Just(ControlOp::Stats),
+        Just(ControlOp::MetricsDump),
+        any::<u32>().prop_map(|switch| ControlOp::Drain { switch }),
+        any::<u32>().prop_map(|switch| ControlOp::Uncordon { switch }),
+        Just(ControlOp::Replan),
+        Just(ControlOp::Checkpoint),
+        Just(ControlOp::Restore),
+        Just(ControlOp::Shutdown),
+    ]
+    .boxed()
+}
+
+fn seed_descriptor_strategy() -> BoxedStrategy<SeedDescriptor> {
+    (
+        "[a-z/0-9]{1,16}",
+        "[a-z]{1,8}",
+        "[A-Z]{1,6}",
+        any::<u32>(),
+        "[a-z]{1,8}",
+        (0.0..1e6, 0.0..1e6, 0.0..1e6, 0.0..1e6),
+    )
+        .prop_map(
+            |(key, task, machine, switch, state, (a, b, c, d))| SeedDescriptor {
+                key,
+                task,
+                machine,
+                switch,
+                state,
+                alloc: [a, b, c, d],
+            },
+        )
+        .boxed()
+}
+
+fn diagnostic_strategy() -> BoxedStrategy<Diagnostic> {
+    (
+        "[A-Z]{0,6}",
+        "[a-z]{1,9}",
+        any::<u32>(),
+        any::<u32>(),
+        "[ -~]{0,24}",
+    )
+        .prop_map(|(machine, phase, line, col, message)| Diagnostic {
+            machine,
+            phase,
+            line,
+            col,
+            message,
+        })
+        .boxed()
+}
+
+fn control_reply_strategy() -> BoxedStrategy<ControlReply> {
+    prop_oneof![
+        Just(ControlReply::Ok),
+        ("[a-z]{1,8}", any::<u64>(), any::<u64>()).prop_map(|(task, seeds, actions)| {
+            ControlReply::Submitted {
+                task,
+                seeds,
+                actions,
+            }
+        }),
+        vec(seed_descriptor_strategy(), 0..4).prop_map(|seeds| ControlReply::Seeds { seeds }),
+        (
+            seed_descriptor_strategy(),
+            vec(("[a-z]{1,8}", "[ -~]{0,16}"), 0..4)
+        )
+            .prop_map(|(desc, vars)| ControlReply::Seed { desc, vars }),
+        "[ -~]{0,48}".prop_map(|body| ControlReply::Json { body }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(switch, evacuated)| ControlReply::Drained { switch, evacuated }),
+        (any::<u64>(), any::<u64>()).prop_map(|(actions, dropped_tasks)| {
+            ControlReply::Replanned {
+                actions,
+                dropped_tasks,
+            }
+        }),
+        any::<u64>().prop_map(|seeds| ControlReply::Checkpointed { seeds }),
+        any::<u64>().prop_map(|seeds| ControlReply::Restored { seeds }),
+        "[ -~]{0,24}".prop_map(|reason| ControlReply::Rejected { reason }),
+        vec(diagnostic_strategy(), 0..4)
+            .prop_map(|diagnostics| ControlReply::CompileFailed { diagnostics }),
+    ]
+    .boxed()
+}
+
 fn frame_strategy() -> BoxedStrategy<Frame> {
     prop_oneof![
+        control_op_strategy().prop_map(|op| Frame::Control { op }),
+        control_reply_strategy().prop_map(|reply| Frame::ControlReply { reply }),
         ("[a-z-]{1,10}", any::<u32>()).prop_map(|(node, protocol)| Frame::Hello { node, protocol }),
         (any::<u32>(), any::<u64>(), any::<u64>())
             .prop_map(|(switch, seq, at_ns)| Frame::Heartbeat { switch, seq, at_ns }),
