@@ -37,6 +37,7 @@ fn bench_ablation(c: &mut Criterion) {
             HeuristicOptions {
                 lp_redistribution: true,
                 migration: true,
+                ..HeuristicOptions::default()
             },
         ),
         (
@@ -44,6 +45,7 @@ fn bench_ablation(c: &mut Criterion) {
             HeuristicOptions {
                 lp_redistribution: true,
                 migration: false,
+                ..HeuristicOptions::default()
             },
         ),
         (
@@ -51,6 +53,7 @@ fn bench_ablation(c: &mut Criterion) {
             HeuristicOptions {
                 lp_redistribution: false,
                 migration: true,
+                ..HeuristicOptions::default()
             },
         ),
         (
@@ -58,6 +61,7 @@ fn bench_ablation(c: &mut Criterion) {
             HeuristicOptions {
                 lp_redistribution: false,
                 migration: false,
+                ..HeuristicOptions::default()
             },
         ),
     ];

@@ -1,0 +1,331 @@
+//! Machine-readable placement perf harness.
+//!
+//! Sweeps Fig. 10-scale instances (up to the paper's 10 200 seeds ×
+//! 1 040 switches), times the heuristic per phase (greedy / LP
+//! redistribution / migration) through the `SolverPhase` telemetry
+//! events, verifies that the parallel solver is bit-identical to the
+//! sequential one, and writes `BENCH_placement.json` in a stable schema
+//! (`farm-bench/placement_scale/v1`) that future PRs append runs to.
+//!
+//! ```text
+//! placement_scale [--smoke] [--iters N] [--threads N] [--out PATH]
+//!                 [--check BASELINE] [--max-regression X]
+//! ```
+//!
+//! `--check` re-reads a committed baseline and exits non-zero when any
+//! matching (seeds, switches, threads) entry's p50 wall time regressed
+//! by more than `--max-regression` (default 2.0) — the CI `bench-smoke`
+//! gate.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use farm_bench::perf::{percentile, Json};
+use farm_placement::heuristic::{solve_heuristic_traced, HeuristicOptions};
+use farm_placement::model::{validate, PlacementInstance, PlacementResult};
+use farm_placement::workload::{generate, WorkloadConfig};
+use farm_telemetry::{Event, RingBufferSink, Telemetry};
+
+const SCHEMA: &str = "farm-bench/placement_scale/v1";
+const PHASES: [&str; 3] = ["greedy", "lp_redistribution", "migration"];
+
+struct Args {
+    smoke: bool,
+    iters: usize,
+    threads: usize,
+    out: String,
+    check: Option<String>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        iters: 5,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        out: "BENCH_placement.json".to_string(),
+        check: None,
+        max_regression: 2.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--iters" => args.iters = val("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => args.threads = val("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = val("--out")?,
+            "--check" => args.check = Some(val("--check")?),
+            "--max-regression" => {
+                args.max_regression = val("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One timed solve: total wall micros plus per-phase micros drained from
+/// the `SolverPhase` event stream.
+fn timed_solve(
+    instance: &PlacementInstance,
+    threads: usize,
+) -> (PlacementResult, f64, BTreeMap<&'static str, f64>, u64) {
+    let telemetry = Telemetry::new();
+    let ring = Arc::new(RingBufferSink::new(16));
+    telemetry.add_sink(ring.clone());
+    let start = Instant::now();
+    let result = solve_heuristic_traced(
+        instance,
+        HeuristicOptions::with_threads(threads),
+        Some(&telemetry),
+    );
+    let total_us = start.elapsed().as_nanos() as f64 / 1_000.0;
+    let mut phases = BTreeMap::new();
+    let mut migration_items = 0;
+    for ev in ring.events() {
+        if let Event::SolverPhase {
+            phase,
+            elapsed_ns,
+            items,
+        } = ev
+        {
+            if let Some(p) = PHASES.iter().find(|p| **p == phase) {
+                phases.insert(*p, elapsed_ns as f64 / 1_000.0);
+                if phase == "migration" {
+                    migration_items = items;
+                }
+            }
+        }
+    }
+    (result, total_us, phases, migration_items)
+}
+
+fn pct_obj(samples: &[f64]) -> Json {
+    Json::obj([
+        ("p50", Json::Num(percentile(samples, 0.50))),
+        ("p95", Json::Num(percentile(samples, 0.95))),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("placement_scale: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // (seeds, switches, tasks) scales; full mode tops out at the paper's
+    // 10 200 × 1 040 regime, smoke keeps CI fast.
+    let scales: &[(usize, usize, usize)] = if args.smoke {
+        &[(1_000, 128, 8)]
+    } else {
+        &[(1_000, 128, 8), (4_000, 512, 10), (10_200, 1_040, 10)]
+    };
+    let mut thread_counts = vec![1usize, 2, args.threads.max(1)];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut entries = Vec::new();
+    let mut ok = true;
+    for &(seeds, switches, tasks) in scales {
+        println!("== {seeds} seeds x {switches} switches ({tasks} tasks) ==");
+        let inst = generate(&WorkloadConfig {
+            n_switches: switches,
+            n_tasks: tasks,
+            n_seeds: seeds,
+            ..WorkloadConfig::default()
+        });
+        let mut reference: Option<PlacementResult> = None;
+        let mut seq_p50: Option<f64> = None;
+        for &threads in &thread_counts {
+            let mut totals = Vec::with_capacity(args.iters);
+            let mut phase_samples: BTreeMap<&'static str, Vec<f64>> =
+                PHASES.iter().map(|p| (*p, Vec::new())).collect();
+            let mut last = None;
+            let mut migration_items = 0;
+            // One discarded warmup solve so the first recorded iteration
+            // does not pay cold caches / first-touch allocation.
+            let _ = timed_solve(&inst, threads);
+            for _ in 0..args.iters {
+                let (result, total_us, phases, mig) = timed_solve(&inst, threads);
+                totals.push(total_us);
+                for (p, us) in phases {
+                    phase_samples.get_mut(p).expect("known phase").push(us);
+                }
+                migration_items = mig;
+                last = Some(result);
+            }
+            let result = last.expect("at least one iter");
+            if let Err(e) = validate(&inst, &result) {
+                eprintln!("placement_scale: invalid placement at threads={threads}: {e:?}");
+                ok = false;
+            }
+            let identical = match &reference {
+                None => {
+                    reference = Some(result.clone());
+                    true
+                }
+                Some(r) => {
+                    r.assignment == result.assignment
+                        && r.utility.to_bits() == result.utility.to_bits()
+                        && r.migrations == result.migrations
+                        && r.dropped_tasks == result.dropped_tasks
+                }
+            };
+            if !identical {
+                eprintln!(
+                    "placement_scale: threads={threads} diverged from sequential at {seeds} seeds"
+                );
+                ok = false;
+            }
+            let p50 = percentile(&totals, 0.50);
+            if threads == 1 {
+                seq_p50 = Some(p50);
+            }
+            let speedup = seq_p50.map(|s| s / p50);
+            let r = &result;
+            println!(
+                "  threads={threads}: p50 {:.0} us, p95 {:.0} us, utility {:.2}, placed {}, \
+                 migrations {}, identical={identical}{}",
+                p50,
+                percentile(&totals, 0.95),
+                r.utility,
+                r.placed(),
+                r.migrations,
+                speedup.map_or(String::new(), |s| format!(", speedup {s:.2}x")),
+            );
+            let phase_us = Json::Obj(
+                PHASES
+                    .iter()
+                    .filter(|p| !phase_samples[*p].is_empty())
+                    .map(|p| (p.to_string(), pct_obj(&phase_samples[p])))
+                    .collect(),
+            );
+            entries.push(Json::obj([
+                ("seeds", Json::Num(seeds as f64)),
+                ("switches", Json::Num(switches as f64)),
+                ("tasks", Json::Num(tasks as f64)),
+                ("threads", Json::Num(threads as f64)),
+                (
+                    // Hardware context: with one host core, threads>1 can
+                    // only demonstrate determinism, not speedup.
+                    "host_threads",
+                    Json::Num(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+                ),
+                ("iters", Json::Num(args.iters as f64)),
+                ("total_us", pct_obj(&totals)),
+                ("phase_us", phase_us),
+                ("objective", Json::Num(r.utility)),
+                ("placed", Json::Num(r.placed() as f64)),
+                ("migrations", Json::Num(r.migrations as f64)),
+                ("migration_moves", Json::Num(migration_items as f64)),
+                ("dropped_tasks", Json::Num(r.dropped_tasks.len() as f64)),
+                ("identical_to_single_thread", Json::Bool(identical)),
+                (
+                    "speedup_vs_single_thread",
+                    speedup.map_or(Json::Null, Json::Num),
+                ),
+            ]));
+        }
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::Str(SCHEMA.into())),
+        ("entries", Json::Arr(entries)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("placement_scale: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        match check_regression(&doc, baseline_path, args.max_regression) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("placement_scale: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Compares the run against a committed baseline: every entry sharing
+/// (seeds, switches, threads) must keep `total_us.p50` within
+/// `max_regression ×` of the baseline.
+fn check_regression(
+    doc: &Json,
+    baseline_path: &str,
+    max_regression: f64,
+) -> Result<String, String> {
+    let body = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = Json::parse(&body).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    if baseline.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("baseline {baseline_path} has a different schema"));
+    }
+    let key = |e: &Json| -> Option<(u64, u64, u64)> {
+        Some((
+            e.get("seeds")?.as_f64()? as u64,
+            e.get("switches")?.as_f64()? as u64,
+            e.get("threads")?.as_f64()? as u64,
+        ))
+    };
+    let p50_of = |e: &Json| {
+        e.get("total_us")
+            .and_then(|t| t.get("p50"))
+            .and_then(Json::as_f64)
+    };
+    let base_entries = baseline
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no entries")?;
+    let mut compared = 0;
+    let mut worst: f64 = 0.0;
+    for entry in doc.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(k) = key(entry) else { continue };
+        let Some(new_p50) = p50_of(entry) else {
+            continue;
+        };
+        let Some(base_p50) = base_entries
+            .iter()
+            .find(|b| key(b) == Some(k))
+            .and_then(p50_of)
+        else {
+            continue; // scale not in the baseline (e.g. smoke vs full)
+        };
+        let ratio = new_p50 / base_p50.max(1e-9);
+        compared += 1;
+        worst = worst.max(ratio);
+        if ratio > max_regression {
+            return Err(format!(
+                "regression: {}x{} threads={} p50 {new_p50:.0} us vs baseline {base_p50:.0} us \
+                 ({ratio:.2}x > {max_regression}x)",
+                k.0, k.1, k.2
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no comparable entries between run and baseline {baseline_path}"
+        ));
+    }
+    Ok(format!(
+        "regression check vs {baseline_path}: {compared} entries, worst ratio {worst:.2}x \
+         (limit {max_regression}x)"
+    ))
+}

@@ -27,6 +27,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod support;
 pub mod tab1;
 pub mod tab4;

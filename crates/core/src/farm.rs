@@ -48,6 +48,11 @@ pub struct FarmConfig {
     pub fault_tolerance: FaultToleranceConfig,
     /// How deliveries travel: direct calls or real loopback TCP.
     pub transport: TransportMode,
+    /// Worker threads for the placement solver's parallel phases
+    /// (per-switch LP redistribution, migration-benefit scan). `0` and
+    /// `1` both solve sequentially; any value yields bit-identical
+    /// plans (see DESIGN.md "Performance").
+    pub placement_threads: usize,
 }
 
 /// Failure detection and recovery knobs (§ "Failure model & recovery"
@@ -215,6 +220,13 @@ impl FarmBuilder {
         self
     }
 
+    /// Sets the placement solver's worker-pool width (see
+    /// [`FarmConfig::placement_threads`]).
+    pub fn with_placement_threads(mut self, threads: usize) -> FarmBuilder {
+        self.config.placement_threads = threads;
+        self
+    }
+
     /// Registers a harvester for a task (replacing a previous one for
     /// the same task).
     pub fn with_harvester(mut self, task: impl Into<String>, h: Box<dyn Harvester>) -> FarmBuilder {
@@ -248,6 +260,9 @@ impl FarmBuilder {
             .collect();
         let mut seeder = Seeder::new();
         seeder.set_telemetry(telemetry.clone());
+        seeder.set_options(farm_placement::HeuristicOptions::with_threads(
+            self.config.placement_threads,
+        ));
         let counters = FarmCounters::new(&telemetry);
         let ft = self.config.fault_tolerance;
         let transport = match self.config.transport {

@@ -101,7 +101,7 @@ pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
 }
 
 /// A full telemetry [`Snapshot`] as one JSON object: counters and gauges
-/// as maps, histograms as `{count, sum, max, p50, p99}` objects.
+/// as maps, histograms as `{count, sum, max, p50, p95, p99}` objects.
 pub fn snapshot_json(snap: &Snapshot) -> String {
     let mut counters = Obj::new();
     for (k, v) in &snap.counters {
@@ -119,6 +119,9 @@ pub fn snapshot_json(snap: &Snapshot) -> String {
             .num("max", h.max);
         if let Some(p) = h.p50 {
             o = o.float("p50", p);
+        }
+        if let Some(p) = h.p95 {
+            o = o.float("p95", p);
         }
         if let Some(p) = h.p99 {
             o = o.float("p99", p);

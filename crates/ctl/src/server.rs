@@ -181,7 +181,7 @@ fn core_loop(
         SwitchModel::accton_as7712(),
         SwitchModel::accton_as5712(),
     );
-    let mut builder = Farm::builder(topo);
+    let mut builder = Farm::builder(topo).with_placement_threads(config.placement_threads);
     if let Some(path) = &config.event_log {
         match std::fs::File::create(path) {
             Ok(f) => {

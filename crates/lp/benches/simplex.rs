@@ -1,0 +1,111 @@
+//! Microbenchmark of the dense simplex pivot loop.
+//!
+//! Guards the scratch-row pivot optimization: each fixture's optimum is
+//! asserted inside the measured closure, so a run that regresses the
+//! *answers* fails loudly, and the criterion report catches wall-time
+//! regressions on the pivot-heavy instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farm_lp::{Cmp, LinExpr, Problem, Sense};
+use std::hint::black_box;
+
+/// A dense-ish random LP with `n` variables and `n` constraints — the
+/// same generator family as `crates/bench/benches/solver.rs`.
+fn random_lp(n: usize, seed: u64) -> Problem {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| p.add_var(format!("x{i}"), 0.0, 10.0 + next() * 10.0))
+        .collect();
+    for _ in 0..n {
+        let mut e = LinExpr::new();
+        for &v in &vars {
+            if next() < 0.4 {
+                e.add_term(v, next() * 3.0);
+            }
+        }
+        p.add_constraint(e, Cmp::Le, 5.0 + next() * 50.0);
+    }
+    let mut obj = LinExpr::new();
+    for &v in &vars {
+        obj.add_term(v, next() * 10.0 - 2.0);
+    }
+    p.set_objective(obj);
+    p
+}
+
+/// A transportation-style LP whose equality rows force phase-1 pivots
+/// and the artificial drive-out path.
+fn transport_lp(m: usize, n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let mut x = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            x.push(p.add_var(format!("x{i}_{j}"), 0.0, f64::INFINITY));
+        }
+    }
+    for i in 0..m {
+        let mut row = LinExpr::new();
+        for j in 0..n {
+            row.add_term(x[i * n + j], 1.0);
+        }
+        p.add_constraint(row, Cmp::Eq, (10 + (i * 3) % 7) as f64);
+    }
+    let supply: f64 = (0..m).map(|i| (10 + (i * 3) % 7) as f64).sum();
+    for j in 0..n {
+        let mut col = LinExpr::new();
+        for i in 0..m {
+            col.add_term(x[i * n + j], 1.0);
+        }
+        p.add_constraint(col, Cmp::Le, supply / n as f64 + 2.0);
+    }
+    let mut obj = LinExpr::new();
+    for i in 0..m {
+        for j in 0..n {
+            obj.add_term(x[i * n + j], ((i * 5 + j * 11) % 13 + 1) as f64);
+        }
+    }
+    p.set_objective(obj);
+    p
+}
+
+fn bench_pivots(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_pivots");
+    g.sample_size(20);
+    for n in [20usize, 60, 120] {
+        let p = random_lp(n, 7);
+        let expected = farm_lp::simplex::solve(&p).unwrap().objective;
+        g.bench_with_input(BenchmarkId::new("random", n), &p, |b, p| {
+            b.iter(|| {
+                let s = black_box(farm_lp::simplex::solve(p).unwrap());
+                assert!((s.objective - expected).abs() < 1e-6, "fixture drifted");
+                s
+            })
+        });
+    }
+    for (m, n) in [(12usize, 12usize), (24, 24)] {
+        let p = transport_lp(m, n);
+        let expected = farm_lp::simplex::solve(&p).unwrap().objective;
+        g.bench_with_input(
+            BenchmarkId::new("transport", format!("{m}x{n}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let s = black_box(farm_lp::simplex::solve(p).unwrap());
+                    assert!((s.objective - expected).abs() < 1e-6, "fixture drifted");
+                    s
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pivots);
+criterion_main!(benches);

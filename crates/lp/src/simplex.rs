@@ -257,6 +257,11 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
     }
 
     let mut iterations = 0usize;
+    // Normalized pivot row, copied out once per pivot. Reused across all
+    // pivots of both phases; updating rows against this aliasing-free
+    // slice (instead of indexing back into `tab`) lets the row updates
+    // vectorize and saves a per-iteration allocation.
+    let mut scratch = vec![0.0f64; width];
 
     // Runs the simplex loop on cost row `cost`, restricting entering columns
     // to `..col_limit`. Returns Ok(true) on optimality, Err on unbounded.
@@ -264,6 +269,7 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
                       basis: &mut Vec<usize>,
                       cost: &mut Vec<f64>,
                       other_cost: &mut Option<&mut Vec<f64>>,
+                      scratch: &mut [f64],
                       col_limit: usize,
                       iterations: &mut usize|
      -> Result<(), SolveError> {
@@ -318,31 +324,36 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
             // Pivot on (leave, enter).
             let piv = tab[leave * width + enter];
             let lrow_start = leave * width;
-            for j in 0..width {
-                tab[lrow_start + j] /= piv;
+            {
+                let lrow = &mut tab[lrow_start..lrow_start + width];
+                for v in lrow.iter_mut() {
+                    *v /= piv;
+                }
+                scratch.copy_from_slice(lrow);
             }
             for i in 0..m {
                 if i == leave {
                     continue;
                 }
-                let f = tab[i * width + enter];
+                let row = &mut tab[i * width..(i + 1) * width];
+                let f = row[enter];
                 if f != 0.0 {
-                    for j in 0..width {
-                        tab[i * width + j] -= f * tab[lrow_start + j];
+                    for (x, &s) in row.iter_mut().zip(scratch.iter()) {
+                        *x -= f * s;
                     }
                 }
             }
             let f = cost[enter];
             if f != 0.0 {
-                for j in 0..width {
-                    cost[j] -= f * tab[lrow_start + j];
+                for (x, &s) in cost.iter_mut().zip(scratch.iter()) {
+                    *x -= f * s;
                 }
             }
             if let Some(oc) = other_cost.as_deref_mut() {
                 let f = oc[enter];
                 if f != 0.0 {
-                    for j in 0..width {
-                        oc[j] -= f * tab[lrow_start + j];
+                    for (x, &s) in oc.iter_mut().zip(scratch.iter()) {
+                        *x -= f * s;
                     }
                 }
             }
@@ -361,6 +372,7 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
             &mut basis,
             &mut phase1,
             &mut p2,
+            &mut scratch,
             art_start,
             &mut iterations,
         )
@@ -387,23 +399,28 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
                 }
                 if let Some(j) = (pivot_col != usize::MAX).then_some(pivot_col) {
                     let piv = tab[i * width + j];
-                    for k in 0..width {
-                        tab[i * width + k] /= piv;
+                    {
+                        let row = &mut tab[i * width..(i + 1) * width];
+                        for v in row.iter_mut() {
+                            *v /= piv;
+                        }
+                        scratch.copy_from_slice(row);
                     }
                     for i2 in 0..m {
                         if i2 != i {
-                            let f = tab[i2 * width + j];
+                            let row = &mut tab[i2 * width..(i2 + 1) * width];
+                            let f = row[j];
                             if f != 0.0 {
-                                for k in 0..width {
-                                    tab[i2 * width + k] -= f * tab[i * width + k];
+                                for (x, &s) in row.iter_mut().zip(scratch.iter()) {
+                                    *x -= f * s;
                                 }
                             }
                         }
                     }
                     let f = phase2[j];
                     if f != 0.0 {
-                        for k in 0..width {
-                            phase2[k] -= f * tab[i * width + k];
+                        for (x, &s) in phase2.iter_mut().zip(scratch.iter()) {
+                            *x -= f * s;
                         }
                     }
                     basis[i] = j;
@@ -434,6 +451,7 @@ pub fn solve_with_limits(problem: &Problem, limits: Limits) -> Result<Solution, 
         &mut basis,
         &mut phase2,
         &mut none_cost,
+        &mut scratch,
         art_start,
         &mut iterations,
     )?;

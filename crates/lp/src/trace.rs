@@ -16,13 +16,17 @@ use crate::simplex;
 use crate::solution::{Solution, SolveError};
 
 /// Records one finished solver phase into `telemetry`: a
-/// `solver.phases` counter tick, a `solver.phase_us` histogram sample
-/// and a [`Event::SolverPhase`].
+/// `solver.phases` counter tick, samples of the aggregate
+/// `solver.phase_us` and the per-phase `solver.phase.<phase>_us`
+/// histograms (so per-phase p50/p95 survive aggregation), and a
+/// [`Event::SolverPhase`].
 pub fn record_phase(telemetry: &Telemetry, phase: &'static str, elapsed_ns: u64, items: u64) {
     telemetry.counter("solver.phases").inc();
+    let us = elapsed_ns / 1_000;
+    telemetry.latency_histogram("solver.phase_us").record(us);
     telemetry
-        .latency_histogram("solver.phase_us")
-        .record(elapsed_ns / 1_000);
+        .latency_histogram(&format!("solver.phase.{phase}_us"))
+        .record(us);
     telemetry.emit_with(|| Event::SolverPhase {
         phase,
         elapsed_ns,

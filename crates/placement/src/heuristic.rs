@@ -14,6 +14,24 @@
 //! 5. Migrate in decreasing-benefit order, honouring double occupancy:
 //!    the source switch keeps the previous allocation reserved while
 //!    state transfers (§ IV-B a).
+//!
+//! # Performance engineering
+//!
+//! The solve is *incremental* and *parallel* (see DESIGN.md
+//! "Performance"):
+//!
+//! * Poll subjects are interned to dense `u32` ids once per solve
+//!   ([`SubjectInterner`]); the hot candidate loop never clones or
+//!   hashes a `String`.
+//! * Each [`SwitchState`] caches the per-subject running max and the
+//!   switch-wide `Σ max` poll total, so a `fits()` probe is O(polls of
+//!   the candidate seed) instead of O(subjects × entries on the switch).
+//!   Removing the max entry lazily rebuilds that one subject's max.
+//! * Steps 3 and 4 — the per-switch LPs (independent by construction)
+//!   and the read-only migration-benefit scan — fan out over a scoped
+//!   worker pool when [`HeuristicOptions::threads`] > 1, with a
+//!   deterministic merge in stable switch/seed order, so the parallel
+//!   result is bit-identical to the sequential one.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -25,16 +43,22 @@ use farm_netsim::types::SwitchId;
 use farm_telemetry::Telemetry;
 
 use crate::model::{
-    count_migrations, utility_of, PlacementInstance, PlacementResult, PlacementSeed,
+    count_migrations, utility_of, PlacementInstance, PlacementResult, SubjectInterner,
 };
 
-/// Heuristic knobs (ablation switches for the design-choice benches).
+/// Heuristic knobs (ablation switches for the design-choice benches,
+/// plus the worker-pool width).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeuristicOptions {
     /// Step 3: LP-based resource redistribution.
     pub lp_redistribution: bool,
     /// Steps 4–5: migration pass.
     pub migration: bool,
+    /// Worker threads for the per-switch LP redistribution and the
+    /// migration-benefit scan. `0` and `1` both run fully sequentially
+    /// (today's exact behaviour); any larger value produces bit-identical
+    /// results through the deterministic merge, only faster.
+    pub threads: usize,
 }
 
 impl Default for HeuristicOptions {
@@ -42,8 +66,30 @@ impl Default for HeuristicOptions {
         HeuristicOptions {
             lp_redistribution: true,
             migration: true,
+            threads: 1,
         }
     }
+}
+
+impl HeuristicOptions {
+    /// Default options with an explicit worker-pool width.
+    pub fn with_threads(threads: usize) -> HeuristicOptions {
+        HeuristicOptions {
+            threads,
+            ..HeuristicOptions::default()
+        }
+    }
+}
+
+/// Interned polling demands of one seed: `(subject id, demand poly)`.
+type SeedPolls = [(u32, Poly)];
+
+/// Aggregated demand multiset of one subject on one switch, with the
+/// cached running max (consumption is the max — § IV-B aggregation).
+#[derive(Debug, Clone, Default)]
+struct PollCell {
+    entries: Vec<f64>,
+    max: f64,
 }
 
 /// Per-switch bookkeeping during the solve.
@@ -52,9 +98,11 @@ struct SwitchState {
     ares: Resources,
     /// Non-poll resources in use (live seeds + lingering reservations).
     used: Resources,
-    /// Poll demands per subject as a multiset; consumption is the max
-    /// (aggregation semantics of § IV-B).
-    poll: HashMap<String, Vec<f64>>,
+    /// Poll demands per interned subject; consumption is the cached max.
+    poll: HashMap<u32, PollCell>,
+    /// Cached `Σ_subject max(entries)` — the switch's aggregated poll
+    /// consumption, maintained incrementally so `fits()` never refolds.
+    poll_total: f64,
     /// Seeds currently hosted.
     seeds: Vec<usize>,
     /// Migration reservations: seed → previous allocation still occupying
@@ -68,34 +116,25 @@ impl SwitchState {
             ares,
             used: Resources::ZERO,
             poll: HashMap::new(),
+            poll_total: 0.0,
             seeds: Vec::new(),
             lingering: HashMap::new(),
         }
     }
 
-    fn poll_total(&self) -> f64 {
-        self.poll
-            .values()
-            .map(|v| v.iter().copied().fold(0.0, f64::max))
-            .sum()
-    }
-
-    fn poll_delta(&self, seed: &PlacementSeed, res: &Resources) -> f64 {
-        seed.polls
+    /// Extra aggregated polling the seed would add at allocation `res`.
+    fn poll_delta(&self, polls: &SeedPolls, res: &Resources) -> f64 {
+        polls
             .iter()
-            .map(|p| {
-                let d = p.demand.eval(res).max(0.0);
-                let cur = self
-                    .poll
-                    .get(&p.subject)
-                    .map(|v| v.iter().copied().fold(0.0, f64::max))
-                    .unwrap_or(0.0);
+            .map(|(subj, demand)| {
+                let d = demand.eval(res).max(0.0);
+                let cur = self.poll.get(subj).map(|c| c.max).unwrap_or(0.0);
                 (d - cur).max(0.0)
             })
             .sum()
     }
 
-    fn fits(&self, seed: &PlacementSeed, res: &Resources) -> bool {
+    fn fits(&self, polls: &SeedPolls, res: &Resources) -> bool {
         for k in ResourceKind::ALL {
             if k == ResourceKind::PciePoll {
                 continue;
@@ -104,46 +143,69 @@ impl SwitchState {
                 return false;
             }
         }
-        self.poll_total() + self.poll_delta(seed, res)
+        self.poll_total + self.poll_delta(polls, res)
             <= self.ares.get(ResourceKind::PciePoll) + 1e-9
     }
 
-    fn add_usage(&mut self, seed: &PlacementSeed, res: &Resources) {
+    fn add_usage(&mut self, polls: &SeedPolls, res: &Resources) {
         for k in ResourceKind::ALL {
             if k != ResourceKind::PciePoll {
                 self.used.0[k.index()] += res.get(k);
             }
         }
-        for p in &seed.polls {
-            let d = p.demand.eval(res).max(0.0);
-            self.poll.entry(p.subject.clone()).or_default().push(d);
+        for (subj, demand) in polls {
+            let d = demand.eval(res).max(0.0);
+            let cell = self.poll.entry(*subj).or_default();
+            cell.entries.push(d);
+            if d > cell.max {
+                self.poll_total += d - cell.max;
+                cell.max = d;
+            }
         }
     }
 
-    fn remove_usage(&mut self, seed: &PlacementSeed, res: &Resources) {
+    fn remove_usage(&mut self, polls: &SeedPolls, res: &Resources) {
         for k in ResourceKind::ALL {
             if k != ResourceKind::PciePoll {
                 self.used.0[k.index()] = (self.used.get(k) - res.get(k)).max(0.0);
             }
         }
-        for p in &seed.polls {
-            let d = p.demand.eval(res).max(0.0);
-            if let Some(v) = self.poll.get_mut(&p.subject) {
-                if let Some(pos) = v.iter().position(|x| (x - d).abs() < 1e-12) {
-                    v.swap_remove(pos);
+        for (subj, demand) in polls {
+            let d = demand.eval(res).max(0.0);
+            if let Some(cell) = self.poll.get_mut(subj) {
+                if let Some(pos) = cell.entries.iter().position(|x| (x - d).abs() < 1e-12) {
+                    cell.entries.swap_remove(pos);
+                    if cell.entries.is_empty() {
+                        self.poll_total -= cell.max;
+                        self.poll.remove(subj);
+                    } else if d >= cell.max - 1e-12 {
+                        // The (possibly tied) max left: rebuild this one
+                        // subject's max lazily.
+                        let new_max = cell.entries.iter().copied().fold(0.0, f64::max);
+                        self.poll_total += new_max - cell.max;
+                        cell.max = new_max;
+                    }
                 }
             }
         }
     }
 
-    fn place(&mut self, seed: &PlacementSeed, res: &Resources) {
-        self.add_usage(seed, res);
-        self.seeds.push(seed.id);
+    /// Drops all usage bookkeeping (used + poll cells) but keeps the
+    /// hosted-seed and lingering sets, for the post-LP refresh.
+    fn reset_usage(&mut self) {
+        self.used = Resources::ZERO;
+        self.poll.clear();
+        self.poll_total = 0.0;
     }
 
-    fn unplace(&mut self, seed: &PlacementSeed, res: &Resources) {
-        self.remove_usage(seed, res);
-        self.seeds.retain(|&x| x != seed.id);
+    fn place(&mut self, seed_id: usize, polls: &SeedPolls, res: &Resources) {
+        self.add_usage(polls, res);
+        self.seeds.push(seed_id);
+    }
+
+    fn unplace(&mut self, seed_id: usize, polls: &SeedPolls, res: &Resources) {
+        self.remove_usage(polls, res);
+        self.seeds.retain(|&x| x != seed_id);
     }
 
     /// Remaining capacity for opportunistic allocation estimates.
@@ -151,10 +213,53 @@ impl SwitchState {
         let mut s = self.ares.saturating_sub(&self.used);
         s.set(
             ResourceKind::PciePoll,
-            (self.ares.get(ResourceKind::PciePoll) - self.poll_total()).max(0.0),
+            (self.ares.get(ResourceKind::PciePoll) - self.poll_total).max(0.0),
         );
         s
     }
+
+    /// Lingering reservations in ascending seed order — every float
+    /// reduction over them must run in this stable order so repeated
+    /// solves are bit-identical (HashMap iteration order is not).
+    fn lingering_sorted(&self) -> Vec<(usize, Resources)> {
+        let mut v: Vec<(usize, Resources)> = self.lingering.iter().map(|(s, r)| (*s, *r)).collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v
+    }
+}
+
+/// Below this many work items the scoped pool is pure overhead; the
+/// sequential path is taken regardless of the thread knob (results are
+/// identical either way).
+const PARALLEL_MIN_ITEMS: usize = 8;
+
+/// Maps `f` over `items` on up to `threads` scoped workers, splitting
+/// into contiguous chunks and concatenating the chunk results in item
+/// order. Callers therefore observe exactly the sequential output —
+/// the merge is deterministic by construction.
+fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() < PARALLEL_MIN_ITEMS {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("placement worker panicked"));
+        }
+    });
+    out
 }
 
 /// Runs Alg. 1 on an instance.
@@ -188,6 +293,12 @@ pub fn solve_randomized(
     use rand::seq::SliceRandom;
     use rand::{RngExt, SeedableRng};
     let start = Instant::now();
+    let (_, interned) = SubjectInterner::for_instance(instance);
+    let min_alloc: Vec<Option<(Resources, f64)>> = instance
+        .seeds
+        .iter()
+        .map(|s| s.util.min_feasible())
+        .collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
     let mut states: HashMap<SwitchId, SwitchState> = instance
         .switches
@@ -202,18 +313,21 @@ pub fn solve_randomized(
         let mut placed_here: Vec<(usize, SwitchId, Resources)> = Vec::new();
         let mut ok = true;
         for &s in &instance.tasks[t].seeds {
-            let seed = &instance.seeds[s];
-            let Some((min_res, _)) = seed.util.min_feasible() else {
+            let Some((min_res, _)) = min_alloc[s] else {
                 ok = false;
                 break;
             };
             // Candidates absent from the instance (e.g. crashed switches
             // excluded from this solve) are simply not feasible.
-            let feasible: Vec<SwitchId> = seed
+            let feasible: Vec<SwitchId> = instance.seeds[s]
                 .candidates
                 .iter()
                 .copied()
-                .filter(|n| states.get(n).is_some_and(|st| st.fits(seed, &min_res)))
+                .filter(|n| {
+                    states
+                        .get(n)
+                        .is_some_and(|st| st.fits(&interned[s], &min_res))
+                })
                 .collect();
             if feasible.is_empty() {
                 ok = false;
@@ -223,7 +337,7 @@ pub fn solve_randomized(
             states
                 .get_mut(&n)
                 .expect("known switch")
-                .place(seed, &min_res);
+                .place(s, &interned[s], &min_res);
             placed_here.push((s, n, min_res));
         }
         if ok {
@@ -235,17 +349,27 @@ pub fn solve_randomized(
                 states
                     .get_mut(&n)
                     .expect("known switch")
-                    .unplace(&instance.seeds[s], &res);
+                    .unplace(s, &interned[s], &res);
             }
             dropped.push(t);
         }
     }
     if lp_polish {
-        let switch_ids: Vec<SwitchId> = states.keys().copied().collect();
+        let mut switch_ids: Vec<SwitchId> = states.keys().copied().collect();
+        switch_ids.sort_unstable();
         for n in switch_ids {
             let seeds_here = states[&n].seeds.clone();
             if !seeds_here.is_empty() {
-                redistribute_switch(instance, n, &seeds_here, &states[&n], &mut assignment);
+                for (s, r) in redistribute_switch(
+                    instance,
+                    &interned,
+                    n,
+                    &seeds_here,
+                    &states[&n],
+                    &assignment,
+                ) {
+                    assignment[s] = Some((n, r));
+                }
             }
         }
     }
@@ -276,18 +400,31 @@ fn solve_heuristic_inner(
     telemetry: Option<&Telemetry>,
 ) -> PlacementResult {
     let start = Instant::now();
+    let threads = options.threads.max(1);
+    // One-time per-solve precomputation: interned subjects and each
+    // seed's minimum feasible allocation (both invariant across phases).
+    let (_, interned) = SubjectInterner::for_instance(instance);
+    let min_alloc: Vec<Option<(Resources, f64)>> = instance
+        .seeds
+        .iter()
+        .map(|s| s.util.min_feasible())
+        .collect();
     let mut states: HashMap<SwitchId, SwitchState> = instance
         .switches
         .iter()
         .map(|(n, ares)| (*n, SwitchState::new(*ares)))
         .collect();
     // Reserve previous allocations as migration lingering; released when a
-    // seed is re-placed on its previous switch.
+    // seed is re-placed on its previous switch. Applied in ascending seed
+    // order so float accumulation is reproducible across solves.
     if let Some(prev) = &instance.previous {
-        for (&s, (n, res)) in &prev.assignment {
-            if let Some(st) = states.get_mut(n) {
-                st.add_usage(&instance.seeds[s], res);
-                st.lingering.insert(s, *res);
+        let mut prev_sorted: Vec<(usize, (SwitchId, Resources))> =
+            prev.assignment.iter().map(|(s, a)| (*s, *a)).collect();
+        prev_sorted.sort_unstable_by_key(|(s, _)| *s);
+        for (s, (n, res)) in prev_sorted {
+            if let Some(st) = states.get_mut(&n) {
+                st.add_usage(&interned[s], &res);
+                st.lingering.insert(s, res);
             }
         }
     }
@@ -309,12 +446,12 @@ fn solve_heuristic_inner(
     });
 
     let release_lingering = |states: &mut HashMap<SwitchId, SwitchState>,
-                             instance: &PlacementInstance,
+                             interned: &[Vec<(u32, Poly)>],
                              s: usize,
                              n: SwitchId| {
         if let Some(st) = states.get_mut(&n) {
             if let Some(res) = st.lingering.remove(&s) {
-                st.remove_usage(&instance.seeds[s], &res);
+                st.remove_usage(&interned[s], &res);
             }
         }
     };
@@ -327,7 +464,7 @@ fn solve_heuristic_inner(
         let mut ok = true;
         for &s in &seed_ids {
             let seed = &instance.seeds[s];
-            let Some((min_res, _)) = seed.util.min_feasible() else {
+            let Some((min_res, _)) = min_alloc[s] else {
                 ok = false;
                 break;
             };
@@ -348,11 +485,11 @@ fn solve_heuristic_inner(
                 let feasible = if home {
                     let mut trial = st.clone();
                     if let Some(res) = trial.lingering.remove(&s) {
-                        trial.remove_usage(seed, &res);
+                        trial.remove_usage(&interned[s], &res);
                     }
-                    trial.fits(seed, &min_res)
+                    trial.fits(&interned[s], &min_res)
                 } else {
-                    st.fits(seed, &min_res)
+                    st.fits(&interned[s], &min_res)
                 };
                 if !feasible {
                     continue;
@@ -366,8 +503,8 @@ fn solve_heuristic_inner(
                 // switch given its spare capacity, discounted by the
                 // extra polling the placement would cost.
                 let poll_cap = st.ares.get(ResourceKind::PciePoll).max(1e-9);
-                let score = achievable_utility(seed, st).unwrap_or(0.0)
-                    - st.poll_delta(seed, &min_res) / poll_cap;
+                let score = achievable_utility(seed, &interned[s], &min_res, st).unwrap_or(0.0)
+                    - st.poll_delta(&interned[s], &min_res) / poll_cap;
                 if best.as_ref().is_none_or(|(_, b, _)| score > *b) {
                     best = Some((n, score, false));
                 }
@@ -375,12 +512,12 @@ fn solve_heuristic_inner(
             match best {
                 Some((n, _, home)) => {
                     if home {
-                        release_lingering(&mut states, instance, s, n);
+                        release_lingering(&mut states, &interned, s, n);
                     }
                     states
                         .get_mut(&n)
                         .expect("known switch")
-                        .place(seed, &min_res);
+                        .place(s, &interned[s], &min_res);
                     placed_here.push((s, n, min_res, home));
                 }
                 None => {
@@ -396,13 +533,13 @@ fn solve_heuristic_inner(
         } else {
             for (s, n, res, home) in placed_here {
                 let st = states.get_mut(&n).expect("known switch");
-                st.unplace(&instance.seeds[s], &res);
+                st.unplace(s, &interned[s], &res);
                 if home {
                     // Restore the reservation we released.
                     if let Some(prev) = &instance.previous {
                         if let Some((pn, pres)) = prev.assignment.get(&s) {
                             if *pn == n {
-                                st.add_usage(&instance.seeds[s], pres);
+                                st.add_usage(&interned[s], pres);
                                 st.lingering.insert(s, *pres);
                             }
                         }
@@ -422,18 +559,40 @@ fn solve_heuristic_inner(
     }
 
     // Step 3: LP redistribution per switch, then refresh the bookkeeping
-    // so the migration pass sees the boosted allocations.
+    // so the migration pass sees the boosted allocations. The per-switch
+    // LPs are independent (the decomposition's whole point), so they fan
+    // out over the worker pool; updates merge in ascending switch order
+    // and touch disjoint seeds, so any thread count yields the same
+    // assignment.
     let lp_start = Instant::now();
     if options.lp_redistribution {
-        let switch_ids: Vec<SwitchId> = states.keys().copied().collect();
-        let mut lp_switches = 0u64;
-        for n in switch_ids {
-            let seeds_here = states[&n].seeds.clone();
-            if seeds_here.is_empty() {
-                continue;
+        let mut work: Vec<(SwitchId, Vec<usize>)> = states
+            .iter()
+            .filter(|(_, st)| !st.seeds.is_empty())
+            .map(|(n, st)| (*n, st.seeds.clone()))
+            .collect();
+        work.sort_unstable_by_key(|(n, _)| *n);
+        let lp_switches = work.len() as u64;
+        {
+            let states = &states;
+            let assignment_view = &assignment;
+            let interned_view = &interned;
+            let updates: Vec<Vec<(usize, Resources)>> =
+                parallel_map(threads, &work, |(n, seeds_here)| {
+                    redistribute_switch(
+                        instance,
+                        interned_view,
+                        *n,
+                        seeds_here,
+                        &states[n],
+                        assignment_view,
+                    )
+                });
+            for ((n, _), ups) in work.iter().zip(updates) {
+                for (s, r) in ups {
+                    assignment[s] = Some((*n, r));
+                }
             }
-            lp_switches += 1;
-            redistribute_switch(instance, n, &seeds_here, &states[&n], &mut assignment);
         }
         if let Some(t) = telemetry {
             record_phase(
@@ -445,47 +604,65 @@ fn solve_heuristic_inner(
         }
         for st in states.values_mut() {
             let seeds = st.seeds.clone();
-            let lingering = st.lingering.clone();
-            st.used = Resources::ZERO;
-            st.poll.clear();
+            let lingering = st.lingering_sorted();
+            st.reset_usage();
             for &s in &seeds {
                 if let Some((_, res)) = &assignment[s] {
-                    st.add_usage(&instance.seeds[s], res);
+                    st.add_usage(&interned[s], res);
                 }
             }
             for (s, res) in &lingering {
-                st.add_usage(&instance.seeds[*s], res);
+                st.add_usage(&interned[*s], res);
             }
         }
     }
 
     // Steps 4–5: relocation by decreasing benefit. On re-optimization
     // this is migration (with double occupancy); on a fresh placement it
-    // is a free improvement pass over the greedy choices.
+    // is a free improvement pass over the greedy choices. The benefit
+    // scan only reads `states`/`assignment`, so it fans out across the
+    // pool; per-seed benefit lists concatenate in seed order, which is
+    // exactly the sequential enumeration order (the later stable sort
+    // preserves it for ties).
     let migration_start = Instant::now();
     let mut migrations = 0;
     if options.migration {
-        let mut benefits: Vec<(f64, usize, SwitchId)> = Vec::new();
-        for (s, slot) in assignment.iter().enumerate() {
-            let Some((cur, cur_res)) = slot else { continue };
-            let seed = &instance.seeds[s];
-            let cur_u = seed.util.eval(cur_res).unwrap_or(0.0);
-            for &n in &seed.candidates {
-                if n == *cur {
-                    continue;
-                }
-                let Some(st) = states.get(&n) else { continue };
-                if let Some(u) = achievable_utility(seed, st) {
-                    // Hysteresis: relocation must clearly pay (migration
-                    // costs state transfer and double occupancy; "without
-                    // unnecessary migration" per Alg. 1 step 2a), and the
-                    // benefit estimate is opportunistic, not exact.
-                    if u > cur_u * 1.15 + 1e-6 {
-                        benefits.push((u - cur_u, s, n));
+        let seed_idx: Vec<usize> = (0..assignment.len()).collect();
+        let benefit_lists: Vec<Vec<(f64, usize, SwitchId)>> = {
+            let states = &states;
+            let assignment_view = &assignment;
+            let interned_view = &interned;
+            let min_alloc_view = &min_alloc;
+            parallel_map(threads, &seed_idx, |&s| {
+                let mut out = Vec::new();
+                let Some((cur, cur_res)) = &assignment_view[s] else {
+                    return out;
+                };
+                let seed = &instance.seeds[s];
+                let Some((min_res, _)) = &min_alloc_view[s] else {
+                    return out;
+                };
+                let cur_u = seed.util.eval(cur_res).unwrap_or(0.0);
+                for &n in &seed.candidates {
+                    if n == *cur {
+                        continue;
+                    }
+                    let Some(st) = states.get(&n) else { continue };
+                    if let Some(u) = achievable_utility(seed, &interned_view[s], min_res, st) {
+                        // Hysteresis: relocation must clearly pay (migration
+                        // costs state transfer and double occupancy; "without
+                        // unnecessary migration" per Alg. 1 step 2a), and the
+                        // benefit estimate is opportunistic, not exact.
+                        if u > cur_u * 1.15 + 1e-6 {
+                            out.push((u - cur_u, s, n));
+                        }
                     }
                 }
-            }
-        }
+                out
+            })
+        };
+        let mut benefits: Vec<(f64, usize, SwitchId)> =
+            benefit_lists.into_iter().flatten().collect();
         benefits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         for (_, s, n) in benefits {
             let seed = &instance.seeds[s];
@@ -495,14 +672,14 @@ fn solve_heuristic_inner(
             if cur == n {
                 continue;
             }
-            let Some((min_res, _)) = seed.util.min_feasible() else {
+            let Some((min_res, _)) = min_alloc[s] else {
                 continue;
             };
             let Some(target) = states.get(&n) else {
                 continue;
             };
-            let res = opportunistic_alloc(seed, target, &min_res);
-            if !target.fits(seed, &res) {
+            let res = opportunistic_alloc(&interned[s], target, &min_res);
+            if !target.fits(&interned[s], &res) {
                 continue;
             }
             // Commit only when the *realized* allocation clears the same
@@ -516,13 +693,16 @@ fn solve_heuristic_inner(
             // Commit: occupy the target; on the source, swap the live
             // allocation for the lingering reservation (the *previous*
             // allocation stays until state transfer completes).
-            states.get_mut(&n).expect("known switch").place(seed, &res);
+            states
+                .get_mut(&n)
+                .expect("known switch")
+                .place(s, &interned[s], &res);
             let src = states.get_mut(&cur).expect("known switch");
-            src.unplace(seed, &cur_res);
+            src.unplace(s, &interned[s], &cur_res);
             if let Some(prev) = &instance.previous {
                 if let Some((pn, pres)) = prev.assignment.get(&s) {
                     if *pn == cur {
-                        src.add_usage(seed, pres);
+                        src.add_usage(&interned[s], pres);
                         src.lingering.insert(s, *pres);
                     }
                 }
@@ -555,25 +735,29 @@ fn solve_heuristic_inner(
 /// Utility the seed could reach on a switch given its spare capacity
 /// (the "migration benefit" of Alg. 1 step 4, approximated by one
 /// opportunistic allocation instead of a full LP).
-fn achievable_utility(seed: &PlacementSeed, st: &SwitchState) -> Option<f64> {
-    let (min_res, _) = seed.util.min_feasible()?;
-    if !st.fits(seed, &min_res) {
+fn achievable_utility(
+    seed: &crate::model::PlacementSeed,
+    polls: &SeedPolls,
+    min_res: &Resources,
+    st: &SwitchState,
+) -> Option<f64> {
+    if !st.fits(polls, min_res) {
         return None;
     }
-    let res = opportunistic_alloc(seed, st, &min_res);
+    let res = opportunistic_alloc(polls, st, min_res);
     seed.util.eval(&res)
 }
 
 /// Minimum allocation plus half the switch's spare capacity (capped so the
 /// result still fits; the head-room is left for later seeds).
-fn opportunistic_alloc(seed: &PlacementSeed, st: &SwitchState, min_res: &Resources) -> Resources {
+fn opportunistic_alloc(polls: &SeedPolls, st: &SwitchState, min_res: &Resources) -> Resources {
     let spare = st.spare();
     let mut res = *min_res;
     for k in ResourceKind::ALL {
         let extra = (spare.get(k) - min_res.get(k)).max(0.0);
         res.0[k.index()] += extra * 0.5;
     }
-    if st.fits(seed, &res) {
+    if st.fits(polls, &res) {
         res
     } else {
         *min_res
@@ -587,34 +771,38 @@ fn opportunistic_alloc(seed: &PlacementSeed, st: &SwitchState, min_res: &Resourc
 /// stops paying for itself; greedy minimum allocations are kept instead.
 const LP_SEEDS_PER_SWITCH_CAP: usize = 150;
 
+/// Solves one switch's redistribution LP and returns the accepted
+/// per-seed reallocations. Pure with respect to the shared solve state
+/// (reads `assignment`, never writes), which is what lets step 3 fan the
+/// per-switch LPs out across the worker pool.
 fn redistribute_switch(
     instance: &PlacementInstance,
-    n: SwitchId,
+    interned: &[Vec<(u32, Poly)>],
+    _n: SwitchId,
     seeds_here: &[usize],
     st: &SwitchState,
-    assignment: &mut [Option<(SwitchId, Resources)>],
-) {
+    assignment: &[Option<(SwitchId, Resources)>],
+) -> Vec<(usize, Resources)> {
     if seeds_here.len() > LP_SEEDS_PER_SWITCH_CAP {
-        return;
+        return Vec::new();
     }
-    // Capacity net of lingering reservations.
+    // Capacity net of lingering reservations, reduced in ascending seed
+    // order (bit-reproducible float accumulation).
+    let lingering = st.lingering_sorted();
     let mut cap = st.ares;
-    for (s, res) in &st.lingering {
+    for (_, res) in &lingering {
         for k in ResourceKind::ALL {
             if k != ResourceKind::PciePoll {
                 cap.0[k.index()] = (cap.get(k) - res.get(k)).max(0.0);
             }
         }
-        let _ = s;
     }
-    let lingering_poll: f64 = st
-        .lingering
+    let lingering_poll: f64 = lingering
         .iter()
         .map(|(s, res)| {
-            instance.seeds[*s]
-                .polls
+            interned[*s]
                 .iter()
-                .map(|p| p.demand.eval(res).max(0.0))
+                .map(|(_, demand)| demand.eval(res).max(0.0))
                 .sum::<f64>()
         })
         .sum();
@@ -661,14 +849,14 @@ fn redistribute_switch(
         p.add_constraint(total, Cmp::Le, cap.get(k));
     }
     // Aggregated polling: pollres_p ≥ demand_s ∀ s; Σ pollres ≤ cap.
-    let mut subjects: Vec<&str> = seeds_here
+    let mut subjects: Vec<u32> = seeds_here
         .iter()
-        .flat_map(|&s| instance.seeds[s].polls.iter().map(|pd| pd.subject.as_str()))
+        .flat_map(|&s| interned[s].iter().map(|(subj, _)| *subj))
         .collect();
     subjects.sort_unstable();
     subjects.dedup();
     let mut poll_sum = LinExpr::new();
-    let poll_vars: HashMap<&str, farm_lp::Var> = subjects
+    let poll_vars: HashMap<u32, farm_lp::Var> = subjects
         .iter()
         .enumerate()
         .map(|(i, &subj)| {
@@ -681,9 +869,9 @@ fn redistribute_switch(
         let Some(vars) = res_vars.get(&s) else {
             continue;
         };
-        for pd in &instance.seeds[s].polls {
-            let pv = poll_vars[pd.subject.as_str()];
-            let demand = poly_expr(&pd.demand, vars);
+        for (subj, demand) in &interned[s] {
+            let pv = poll_vars[subj];
+            let demand = poly_expr(demand, vars);
             p.add_constraint(LinExpr::from(pv) - demand, Cmp::Ge, 0.0);
         }
     }
@@ -691,8 +879,9 @@ fn redistribute_switch(
     p.set_objective(objective);
 
     let Ok(sol) = farm_lp::simplex::solve(&p) else {
-        return; // keep the greedy allocations
+        return Vec::new(); // keep the greedy allocations
     };
+    let mut updates = Vec::new();
     for &s in seeds_here {
         if let Some(vars) = res_vars.get(&s) {
             let mut r = Resources::ZERO;
@@ -700,10 +889,11 @@ fn redistribute_switch(
                 r.set(k, sol.value(vars[k.index()]).max(0.0));
             }
             if instance.seeds[s].util.eval(&r).is_some() {
-                assignment[s] = Some((n, r));
+                updates.push((s, r));
             }
         }
     }
+    updates
 }
 
 /// Linear pieces of a utility expression. `min` trees are concave and
@@ -726,7 +916,7 @@ fn poly_expr(poly: &Poly, vars: &[farm_lp::Var]) -> LinExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{validate, PlacementTask, PreviousPlacement};
+    use crate::model::{validate, PlacementSeed, PlacementTask, PreviousPlacement};
     use farm_almanac::analysis::{UtilAnalysis, UtilBranch};
 
     fn linear_util(min_vcpu: f64, cap: f64) -> UtilAnalysis {
@@ -811,6 +1001,7 @@ mod tests {
             HeuristicOptions {
                 lp_redistribution: false,
                 migration: false,
+                ..HeuristicOptions::default()
             },
         );
         let with = solve_heuristic(
@@ -818,6 +1009,7 @@ mod tests {
             HeuristicOptions {
                 lp_redistribution: true,
                 migration: false,
+                ..HeuristicOptions::default()
             },
         );
         validate(&inst, &with).unwrap();
@@ -941,5 +1133,53 @@ mod tests {
             elapsed < std::time::Duration::from_secs(10),
             "heuristic too slow: {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn threaded_solve_is_bit_identical_to_sequential() {
+        let inst = instance(16, 4, 24);
+        let seq = solve_heuristic(&inst, HeuristicOptions::default());
+        for threads in [2, 3, 8] {
+            let par = solve_heuristic(&inst, HeuristicOptions::with_threads(threads));
+            assert_eq!(par.assignment, seq.assignment, "threads={threads}");
+            assert_eq!(par.utility.to_bits(), seq.utility.to_bits());
+            assert_eq!(par.migrations, seq.migrations);
+            assert_eq!(par.dropped_tasks, seq.dropped_tasks);
+        }
+    }
+
+    #[test]
+    fn incremental_poll_cache_matches_refold() {
+        // Exercise add/remove cycles (including removing the max entry)
+        // and cross-check the cached totals against a from-scratch fold.
+        let inst = instance(1, 6, 2);
+        let (_, interned) = SubjectInterner::for_instance(&inst);
+        let mut st = SwitchState::new(Resources::new(64.0, 1e6, 1e3, 1e5));
+        let allocs: Vec<Resources> = (0..inst.seeds.len())
+            .map(|i| Resources::new(1.0, 10.0, 0.0, 10.0 * (i as f64 + 1.0)))
+            .collect();
+        for (i, r) in allocs.iter().enumerate() {
+            st.add_usage(&interned[i], r);
+        }
+        // Remove the largest-demand seeds first so the cached max must be
+        // rebuilt, then a middle one, then re-add.
+        for &i in &[11usize, 10, 5] {
+            st.remove_usage(&interned[i], &allocs[i]);
+        }
+        st.add_usage(&interned[5], &allocs[5]);
+        let refold: f64 = st
+            .poll
+            .values()
+            .map(|c| c.entries.iter().copied().fold(0.0, f64::max))
+            .sum();
+        assert!(
+            (st.poll_total - refold).abs() < 1e-9,
+            "cached {} vs refold {refold}",
+            st.poll_total
+        );
+        for cell in st.poll.values() {
+            let m = cell.entries.iter().copied().fold(0.0, f64::max);
+            assert!((cell.max - m).abs() < 1e-12);
+        }
     }
 }

@@ -45,6 +45,6 @@ pub use heuristic::{solve_heuristic, solve_heuristic_traced, HeuristicOptions};
 pub use milp::{solve_placement_milp, MilpPlacementOptions, MilpPlacementResult};
 pub use model::{
     validate, PlacementInstance, PlacementResult, PlacementSeed, PlacementTask, PollDemand,
-    PreviousPlacement,
+    PreviousPlacement, SubjectInterner,
 };
 pub use workload::{generate, WorkloadConfig};

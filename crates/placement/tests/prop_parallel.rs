@@ -1,0 +1,102 @@
+//! Determinism guarantee of the parallel solver: for any instance and
+//! any worker-pool width, `solve(threads = N)` must be *bit-identical*
+//! to `solve(threads = 1)` — same assignments, same objective bits,
+//! same migration count, same dropped tasks. The parallel phases only
+//! fan out read-only work and merge in stable switch/seed order, so
+//! this is an exact equality, not an epsilon comparison.
+
+use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
+use farm_placement::model::{validate, PreviousPlacement};
+use farm_placement::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..24, 1usize..6, 4usize..120, 0u64..1000, 0.0f64..0.9).prop_map(
+        |(n_switches, n_tasks, n_seeds, rng_seed, pinned_fraction)| WorkloadConfig {
+            n_switches,
+            n_tasks,
+            n_seeds,
+            candidates_per_seed: 3,
+            pinned_fraction,
+            rng_seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// threads=N ≡ threads=1 on fresh instances.
+    #[test]
+    fn parallel_solve_is_bit_identical(cfg in workload(), threads in 2usize..9) {
+        let inst = generate(&cfg);
+        let seq = solve_heuristic(&inst, HeuristicOptions::default());
+        let par = solve_heuristic(&inst, HeuristicOptions::with_threads(threads));
+        prop_assert_eq!(&par.assignment, &seq.assignment);
+        prop_assert_eq!(par.utility.to_bits(), seq.utility.to_bits());
+        prop_assert_eq!(par.migrations, seq.migrations);
+        prop_assert_eq!(&par.dropped_tasks, &seq.dropped_tasks);
+    }
+
+    /// threads=N ≡ threads=1 across a re-optimization round, where the
+    /// migration pass (with its parallel benefit scan) actually runs
+    /// against lingering previous allocations.
+    #[test]
+    fn parallel_reoptimization_is_bit_identical(cfg in workload(), threads in 2usize..9) {
+        let inst0 = generate(&cfg);
+        let r0 = solve_heuristic(&inst0, HeuristicOptions::default());
+        let mut inst1 = inst0.clone();
+        let mut prev = PreviousPlacement::default();
+        for (s, slot) in r0.assignment.iter().enumerate() {
+            if let Some((n, res)) = slot {
+                prev.assignment.insert(s, (*n, *res));
+            }
+        }
+        inst1.previous = Some(prev);
+        let seq = solve_heuristic(&inst1, HeuristicOptions::default());
+        let par = solve_heuristic(&inst1, HeuristicOptions::with_threads(threads));
+        prop_assert!(validate(&inst1, &par).is_ok());
+        prop_assert_eq!(&par.assignment, &seq.assignment);
+        prop_assert_eq!(par.utility.to_bits(), seq.utility.to_bits());
+        prop_assert_eq!(par.migrations, seq.migrations);
+        prop_assert_eq!(&par.dropped_tasks, &seq.dropped_tasks);
+    }
+
+    /// Repeated sequential solves of the same instance are themselves
+    /// bit-identical (no HashMap-iteration-order leakage into floats).
+    #[test]
+    fn repeated_solves_are_reproducible(cfg in workload()) {
+        let inst = generate(&cfg);
+        let a = solve_heuristic(&inst, HeuristicOptions::default());
+        let b = solve_heuristic(&inst, HeuristicOptions::default());
+        prop_assert_eq!(&a.assignment, &b.assignment);
+        prop_assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+    }
+}
+
+/// Regression guard for the incremental engine: a 10k-seed paper-scale
+/// instance must solve comfortably inside a CI debug-build budget. The
+/// pre-incremental engine refolded every subject multiset per `fits()`
+/// probe, which blows this budget by an order of magnitude at 10k seeds.
+#[test]
+fn ten_thousand_seeds_within_ci_budget() {
+    let inst = generate(&WorkloadConfig {
+        n_switches: 1040,
+        n_tasks: 10,
+        n_seeds: 10_200,
+        ..WorkloadConfig::default()
+    });
+    let start = std::time::Instant::now();
+    let r = solve_heuristic(&inst, HeuristicOptions::default());
+    let elapsed = start.elapsed();
+    validate(&inst, &r).expect("paper-scale placement must be feasible");
+    assert_eq!(
+        r.placed(),
+        10_200,
+        "workload is sized to be fully placeable"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "10k-seed solve blew the CI budget: {elapsed:?}"
+    );
+}

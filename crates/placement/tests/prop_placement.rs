@@ -43,11 +43,11 @@ proptest! {
         let inst = generate(&cfg);
         let greedy = solve_heuristic(
             &inst,
-            HeuristicOptions { lp_redistribution: false, migration: false },
+            HeuristicOptions { lp_redistribution: false, migration: false, ..HeuristicOptions::default() },
         );
         let with_lp = solve_heuristic(
             &inst,
-            HeuristicOptions { lp_redistribution: true, migration: false },
+            HeuristicOptions { lp_redistribution: true, migration: false, ..HeuristicOptions::default() },
         );
         prop_assert!(validate(&inst, &greedy).is_ok());
         prop_assert!(validate(&inst, &with_lp).is_ok());

@@ -186,6 +186,11 @@ impl Histogram {
         self.quantile(0.50)
     }
 
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
     /// 99th-percentile estimate.
     pub fn p99(&self) -> Option<f64> {
         self.quantile(0.99)
@@ -212,6 +217,7 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     pub max: u64,
     pub p50: Option<f64>,
+    pub p95: Option<f64>,
     pub p99: Option<f64>,
 }
 
@@ -327,6 +333,7 @@ impl Registry {
                         sum: v.sum(),
                         max: v.max(),
                         p50: v.p50(),
+                        p95: v.p95(),
                         p99: v.p99(),
                     },
                 )
