@@ -1270,6 +1270,33 @@ impl Farm {
         captured
     }
 
+    /// The checkpoint store as portable entries, sorted by the key's
+    /// display form — what the daemon persists into a checkpoint file.
+    pub fn export_checkpoints(&self) -> Vec<(SeedKey, SeedSnapshot)> {
+        let mut out: Vec<(SeedKey, SeedSnapshot)> = self
+            .checkpoints
+            .iter()
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect();
+        out.sort_by_cached_key(|(k, _)| k.to_string());
+        out
+    }
+
+    /// Loads checkpoint entries (e.g. parsed back from a checkpoint
+    /// file) into the store [`Farm::restore_seeds`] reads, replacing
+    /// same-key entries. Returns how many were loaded.
+    pub fn import_checkpoints(
+        &mut self,
+        entries: impl IntoIterator<Item = (SeedKey, SeedSnapshot)>,
+    ) -> usize {
+        let mut loaded = 0;
+        for (key, snap) in entries {
+            self.checkpoints.insert(key, snap);
+            loaded += 1;
+        }
+        loaded
+    }
+
     /// Rolls every live seed back to its last checkpoint (from heartbeat
     /// rounds or [`Farm::checkpoint_seeds`]). Seeds without a matching
     /// checkpoint keep running untouched. Returns the number restored.

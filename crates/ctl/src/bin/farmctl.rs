@@ -15,9 +15,12 @@ USAGE:
 
 COMMANDS:
     submit <file.alm> [--name <task>]   Compile and deploy a program
-    list                                List deployed seeds
+    list [--from <i>] [--limit <n>]     List deployed seeds (paged when
+                                        --limit is given: farmctl keeps
+                                        following next_index until done)
     describe <task/m<i>/s<j>>           Show one seed with its variables
-    stats                               Farm summary and counters
+    stats [--from <i>] [--limit <n>]    Farm summary and counters (the
+                                        cursor pages the counter map)
     metrics                             Full metrics dump
     drain <switch-id>                   Cordon a switch and evacuate it
     uncordon <switch-id>                Return a switch to service
@@ -60,10 +63,56 @@ fn main() -> ExitCode {
         Err(msg) => return fail(&msg),
     };
     let client = CtlClient::connect(addr);
+    // A bounded `list` streams: follow next_index until the listing is
+    // exhausted, so `--limit` callers still see every seed.
+    if let ControlOp::ListSeeds { from_index, limit } = &op {
+        if *limit != 0 {
+            return list_pages(&client, addr, *from_index, *limit, json);
+        }
+    }
     match client.op(op) {
         Ok(reply) => render(&reply, json),
         Err(e) => fail(&format!("{addr}: {e}")),
     }
+}
+
+/// Pages through `ListSeeds` with the given cursor, accumulating every
+/// page; the merged result renders exactly like an unpaginated listing.
+fn list_pages(
+    client: &CtlClient,
+    addr: SocketAddr,
+    mut from_index: u64,
+    limit: u64,
+    json: bool,
+) -> ExitCode {
+    let mut all: Vec<SeedDescriptor> = Vec::new();
+    let mut total;
+    loop {
+        match client.op(ControlOp::ListSeeds { from_index, limit }) {
+            Ok(ControlReply::Seeds {
+                seeds,
+                next_index,
+                total: t,
+            }) => {
+                all.extend(seeds);
+                total = t;
+                if next_index == 0 {
+                    break;
+                }
+                from_index = next_index;
+            }
+            Ok(other) => return render(&other, json),
+            Err(e) => return fail(&format!("{addr}: {e}")),
+        }
+    }
+    render(
+        &ControlReply::Seeds {
+            seeds: all,
+            next_index: 0,
+            total,
+        },
+        json,
+    )
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -95,14 +144,20 @@ fn build_op(command: &str, args: &[String]) -> Result<ControlOp, String> {
             };
             Ok(ControlOp::SubmitProgram { name, source })
         }
-        "list" => Ok(ControlOp::ListSeeds),
+        "list" => {
+            let (from_index, limit) = cursor_args(args)?;
+            Ok(ControlOp::ListSeeds { from_index, limit })
+        }
         "describe" => Ok(ControlOp::DescribeSeed {
             key: args
                 .first()
                 .cloned()
                 .ok_or("`describe` needs a seed key".to_string())?,
         }),
-        "stats" => Ok(ControlOp::Stats),
+        "stats" => {
+            let (from_index, limit) = cursor_args(args)?;
+            Ok(ControlOp::Stats { from_index, limit })
+        }
         "metrics" => Ok(ControlOp::MetricsDump),
         "drain" => Ok(ControlOp::Drain {
             switch: switch_arg()?,
@@ -116,6 +171,21 @@ fn build_op(command: &str, args: &[String]) -> Result<ControlOp, String> {
         "shutdown" => Ok(ControlOp::Shutdown),
         other => Err(format!("unknown command `{other}` (see --help)")),
     }
+}
+
+/// Parses the optional `--from <i>` / `--limit <n>` cursor flags;
+/// both default to 0, which means "everything" on the wire.
+fn cursor_args(args: &[String]) -> Result<(u64, u64), String> {
+    let flag = |name: &str| -> Result<u64, String> {
+        match args.iter().position(|a| a == name) {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} needs a non-negative integer")),
+            None => Ok(0),
+        }
+    };
+    Ok((flag("--from")?, flag("--limit")?))
 }
 
 fn render(reply: &ControlReply, json: bool) -> ExitCode {
@@ -133,7 +203,11 @@ fn render(reply: &ControlReply, json: bool) -> ExitCode {
             seeds,
             actions,
         } => println!("submitted `{task}`: {seeds} seeds placed in {actions} plan actions"),
-        ControlReply::Seeds { seeds } => {
+        ControlReply::Seeds {
+            seeds,
+            next_index,
+            total,
+        } => {
             println!(
                 "{:<24} {:<14} {:>6}  {:<12} alloc[vcpu,ram,tcam,pcie]",
                 "SEED", "MACHINE", "SWITCH", "STATE"
@@ -144,7 +218,20 @@ fn render(reply: &ControlReply, json: bool) -> ExitCode {
                     s.key, s.machine, s.switch, s.state, s.alloc
                 );
             }
-            println!("{} seed(s)", seeds.len());
+            // total == 0 marks an unpaginated reply; a paginated one
+            // says how much of the listing this window covers.
+            if *total == 0 {
+                println!("{} seed(s)", seeds.len());
+            } else if *next_index == 0 {
+                println!("{} of {} seed(s)", seeds.len(), total);
+            } else {
+                println!(
+                    "{} of {} seed(s), next page at --from {}",
+                    seeds.len(),
+                    total,
+                    next_index
+                );
+            }
         }
         ControlReply::Seed { desc, vars } => {
             println!(
@@ -209,9 +296,17 @@ fn reply_json(reply: &ControlReply) -> String {
             .num("seeds", *seeds)
             .num("actions", *actions)
             .finish(),
-        ControlReply::Seeds { seeds } => Obj::new()
-            .raw("seeds", &array(seeds.iter().map(seed_json)))
-            .finish(),
+        ControlReply::Seeds {
+            seeds,
+            next_index,
+            total,
+        } => {
+            let mut obj = Obj::new().raw("seeds", &array(seeds.iter().map(seed_json)));
+            if *total != 0 {
+                obj = obj.num("next_index", *next_index).num("total", *total);
+            }
+            obj.finish()
+        }
         ControlReply::Seed { desc, vars } => {
             let mut v = Obj::new();
             for (name, value) in vars {

@@ -204,6 +204,10 @@ pub struct FarmdConfig {
     pub shutdown_drain: Duration,
     /// Optional JSON-lines event log (the audit trail on disk).
     pub event_log: Option<PathBuf>,
+    /// Optional checkpoint file: `Checkpoint` ops persist every seed's
+    /// versioned snapshot here, and `Restore` ops reload it (including
+    /// files written by the pre-versioning layout).
+    pub checkpoint_path: Option<PathBuf>,
     /// Hosted fabric shape: spine switches.
     pub spines: usize,
     /// Hosted fabric shape: leaf switches.
@@ -227,6 +231,7 @@ impl Default for FarmdConfig {
             request_timeout: Duration::from_secs(10),
             shutdown_drain: Duration::from_millis(100),
             event_log: None,
+            checkpoint_path: None,
             spines: 2,
             leaves: 3,
             replan_interval: None,
@@ -260,6 +265,9 @@ impl FarmdConfig {
         }
         if let Some(p) = t.str("server.event_log")? {
             cfg.event_log = Some(PathBuf::from(p));
+        }
+        if let Some(p) = t.str("server.checkpoint_path")? {
+            cfg.checkpoint_path = Some(PathBuf::from(p));
         }
         if let Some(n) = t.u64("farm.spines")? {
             cfg.spines = n as usize;

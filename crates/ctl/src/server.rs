@@ -24,7 +24,10 @@ use std::time::{Duration, Instant};
 use farm_almanac::compile::compile_task_with_diagnostics;
 use farm_core::prelude::*;
 use farm_core::seeder::SeedKey;
-use farm_net::{ControlOp, ControlReply, Diagnostic, Envelope, Frame, NetServer, SeedDescriptor};
+use farm_net::{
+    decode_checkpoint_file, encode_checkpoint_file, ControlOp, ControlReply, Diagnostic, Envelope,
+    Frame, NetServer, SeedDescriptor, VSeedSnapshot,
+};
 use farm_netsim::controller::SdnController;
 use farm_netsim::switch::{Resources, SwitchModel};
 use farm_netsim::types::SwitchId;
@@ -253,12 +256,10 @@ fn core_loop(
 fn serve_op(farm: &mut Farm, config: &FarmdConfig, op: &ControlOp) -> ControlReply {
     match op {
         ControlOp::SubmitProgram { name, source } => submit(farm, config, name, source),
-        ControlOp::ListSeeds => ControlReply::Seeds {
-            seeds: farm.seed_statuses().iter().map(descriptor).collect(),
-        },
+        ControlOp::ListSeeds { from_index, limit } => list_seeds(farm, *from_index, *limit),
         ControlOp::DescribeSeed { key } => describe(farm, key),
-        ControlOp::Stats => ControlReply::Json {
-            body: stats_json(farm),
+        ControlOp::Stats { from_index, limit } => ControlReply::Json {
+            body: stats_json(farm, *from_index, *limit),
         },
         ControlOp::MetricsDump => ControlReply::Json {
             body: metrics_json(farm),
@@ -287,12 +288,8 @@ fn serve_op(farm: &mut Farm, config: &FarmdConfig, op: &ControlOp) -> ControlRep
                 reason: e.to_string(),
             },
         },
-        ControlOp::Checkpoint => ControlReply::Checkpointed {
-            seeds: farm.checkpoint_seeds() as u64,
-        },
-        ControlOp::Restore => ControlReply::Restored {
-            seeds: farm.restore_seeds() as u64,
-        },
+        ControlOp::Checkpoint => checkpoint(farm, config),
+        ControlOp::Restore => restore(farm, config),
         ControlOp::Shutdown => ControlReply::Ok,
     }
 }
@@ -410,6 +407,96 @@ fn admission_check(
     Ok(())
 }
 
+/// `Checkpoint`: captures every live seed, then — when a checkpoint
+/// path is configured — persists the store as a versioned
+/// [`VSeedSnapshot`] checkpoint file.
+fn checkpoint(farm: &mut Farm, config: &FarmdConfig) -> ControlReply {
+    let seeds = farm.checkpoint_seeds() as u64;
+    if let Some(path) = &config.checkpoint_path {
+        let entries: Vec<(String, VSeedSnapshot)> = farm
+            .export_checkpoints()
+            .into_iter()
+            .map(|(key, snap)| (key.to_string(), VSeedSnapshot::from(snap)))
+            .collect();
+        if let Err(e) = std::fs::write(path, encode_checkpoint_file(&entries)) {
+            return ControlReply::Rejected {
+                reason: format!(
+                    "checkpointed {seeds} seed(s) but could not write {}: {e}",
+                    path.display()
+                ),
+            };
+        }
+    }
+    ControlReply::Checkpointed { seeds }
+}
+
+/// `Restore`: when a checkpoint path is configured and the file exists,
+/// reloads it (versioned or pre-versioning legacy layout alike) into
+/// the checkpoint store first, then rolls live seeds back. Entries for
+/// seeds that no longer exist are loaded but simply never matched.
+fn restore(farm: &mut Farm, config: &FarmdConfig) -> ControlReply {
+    if let Some(path) = &config.checkpoint_path {
+        match std::fs::read(path) {
+            Ok(bytes) => match decode_checkpoint_file(&bytes) {
+                Ok(entries) => {
+                    farm.import_checkpoints(entries.into_iter().filter_map(|(key, snap)| {
+                        Some((parse_seed_key(&key)?, snap.into_latest()))
+                    }));
+                }
+                Err(e) => {
+                    return ControlReply::Rejected {
+                        reason: format!("{}: corrupt checkpoint file: {e}", path.display()),
+                    }
+                }
+            },
+            // No file yet: restore from the in-memory store alone.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return ControlReply::Rejected {
+                    reason: format!("{}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    ControlReply::Restored {
+        seeds: farm.restore_seeds() as u64,
+    }
+}
+
+/// `ListSeeds`: the full listing, or — when the op carries a cursor —
+/// one page of it. The listing is sorted by seed key either way, so
+/// concatenating pages reproduces the unpaginated reply exactly.
+///
+/// An unpaginated reply carries `next_index == total == 0`, keeping its
+/// encoding byte-identical to the pre-cursor revision for old clients.
+fn list_seeds(farm: &Farm, from_index: u64, limit: u64) -> ControlReply {
+    let mut statuses = farm.seed_statuses();
+    statuses.sort_by_cached_key(|s| s.key.to_string());
+    if from_index == 0 && limit == 0 {
+        return ControlReply::Seeds {
+            seeds: statuses.iter().map(descriptor).collect(),
+            next_index: 0,
+            total: 0,
+        };
+    }
+    let total = statuses.len() as u64;
+    let start = from_index.min(total);
+    let end = if limit == 0 {
+        total
+    } else {
+        start.saturating_add(limit).min(total)
+    };
+    let seeds = statuses[start as usize..end as usize]
+        .iter()
+        .map(descriptor)
+        .collect();
+    ControlReply::Seeds {
+        seeds,
+        next_index: if end < total { end } else { 0 },
+        total,
+    }
+}
+
 fn descriptor(s: &SeedStatus) -> SeedDescriptor {
     SeedDescriptor {
         key: s.key.to_string(),
@@ -450,12 +537,30 @@ fn describe(farm: &Farm, key: &str) -> ControlReply {
     }
 }
 
-/// The `Stats` body: run summary plus the full counter map (so `ctl.*`
-/// and `farm.*` audit counters are one query away).
-fn stats_json(farm: &Farm) -> String {
+/// The `Stats` body: run summary plus the counter map (so `ctl.*` and
+/// `farm.*` audit counters are one query away). A cursor on the op
+/// pages through the counter map (it dominates the body size — one
+/// entry per distinct metric); the page window plus
+/// `counters_next_index` / `counters_total` fields appear only on
+/// paginated requests, so the unpaginated body is unchanged.
+fn stats_json(farm: &Farm, from_index: u64, limit: u64) -> String {
     let snap = farm.telemetry().snapshot();
+    let paginated = from_index != 0 || limit != 0;
+    let counters_total = snap.counters.len() as u64;
+    let start = from_index.min(counters_total);
+    let end = if !paginated || limit == 0 {
+        counters_total
+    } else {
+        start.saturating_add(limit).min(counters_total)
+    };
     let mut counters = Obj::new();
-    for (k, v) in &snap.counters {
+    // BTreeMap iteration is key-sorted, so pages tile deterministically.
+    for (k, v) in snap
+        .counters
+        .iter()
+        .skip(start as usize)
+        .take((end - start) as usize)
+    {
         counters = counters.num(k, *v);
     }
     let tasks = array(
@@ -466,7 +571,7 @@ fn stats_json(farm: &Farm) -> String {
     );
     let cordoned = array(farm.cordoned_switches().iter().map(|s| s.0.to_string()));
     let fenced = array(farm.fenced_switches().iter().map(|s| s.0.to_string()));
-    Obj::new()
+    let mut obj = Obj::new()
         .num("now_ns", farm.now().as_nanos())
         .raw("tasks", &tasks)
         .num("seeds", farm.deployed_seeds() as u64)
@@ -474,8 +579,16 @@ fn stats_json(farm: &Farm) -> String {
         .raw("cordoned", &cordoned)
         .raw("fenced", &fenced)
         .num("recovery_pending", farm.recovery_pending() as u64)
-        .raw("counters", &counters.finish())
-        .finish()
+        .raw("counters", &counters.finish());
+    if paginated {
+        obj = obj
+            .num(
+                "counters_next_index",
+                if end < counters_total { end } else { 0 },
+            )
+            .num("counters_total", counters_total);
+    }
+    obj.finish()
 }
 
 /// The `MetricsDump` body: legacy compat view plus the whole registry

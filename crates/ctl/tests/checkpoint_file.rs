@@ -1,0 +1,133 @@
+//! Checkpoint-file persistence: farmd writes versioned `FARMCKP1`
+//! checkpoint files, and `Restore` accepts both those and the
+//! pre-versioning legacy layout (no magic, untagged snapshot bodies).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use farm_ctl::{CtlClient, Farmd, FarmdConfig};
+use farm_net::snapshot::{encode_vsnapshot, VSeedSnapshot, CHECKPOINT_MAGIC};
+use farm_net::wire::{put_str, put_varint};
+use farm_net::{ControlOp, ControlReply};
+use farm_soil::SeedSnapshot;
+
+const WATCHER: &str = include_str!("../../../examples/load_watcher.alm");
+
+fn test_config(checkpoint_path: PathBuf) -> FarmdConfig {
+    FarmdConfig {
+        shutdown_drain: Duration::from_millis(20),
+        checkpoint_path: Some(checkpoint_path),
+        ..FarmdConfig::default()
+    }
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("farm-ckp-{}-{name}", std::process::id()))
+}
+
+fn submit_watcher(client: &CtlClient) {
+    match client
+        .op(ControlOp::SubmitProgram {
+            name: "load_watcher".into(),
+            source: WATCHER.into(),
+        })
+        .expect("submit rpc")
+    {
+        ControlReply::Submitted { seeds, .. } => assert_eq!(seeds, 1),
+        other => panic!("submit answered {other:?}"),
+    }
+}
+
+fn describe(client: &CtlClient, key: &str) -> (farm_net::SeedDescriptor, Vec<(String, String)>) {
+    match client
+        .op(ControlOp::DescribeSeed { key: key.into() })
+        .expect("describe rpc")
+    {
+        ControlReply::Seed { desc, vars } => (desc, vars),
+        other => panic!("describe answered {other:?}"),
+    }
+}
+
+fn only_seed(client: &CtlClient) -> farm_net::SeedDescriptor {
+    match client.op(ControlOp::list_all()).expect("list rpc") {
+        ControlReply::Seeds { seeds, .. } => {
+            assert_eq!(seeds.len(), 1);
+            seeds.into_iter().next().unwrap()
+        }
+        other => panic!("list answered {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_writes_versioned_file_and_restore_round_trips() {
+    let path = scratch_file("versioned");
+    let _ = std::fs::remove_file(&path);
+    let farmd = Farmd::start(test_config(path.clone())).expect("start farmd");
+    let client = CtlClient::connect(farmd.local_addr());
+    submit_watcher(&client);
+
+    match client.op(ControlOp::Checkpoint).expect("checkpoint rpc") {
+        ControlReply::Checkpointed { seeds } => assert_eq!(seeds, 1),
+        other => panic!("checkpoint answered {other:?}"),
+    }
+    let bytes = std::fs::read(&path).expect("checkpoint file written");
+    assert!(
+        bytes.starts_with(CHECKPOINT_MAGIC),
+        "file must lead with the FARMCKP1 magic, got {:?}",
+        &bytes[..bytes.len().min(8)]
+    );
+
+    match client.op(ControlOp::Restore).expect("restore rpc") {
+        ControlReply::Restored { seeds } => assert_eq!(seeds, 1),
+        other => panic!("restore answered {other:?}"),
+    }
+    drop(client);
+    farmd.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A checkpoint file saved before snapshots grew version tags — plain
+/// count + key + untagged `SeedSnapshot` body, no magic — must restore
+/// into a live farmd through the `VSeedSnapshot` upgrade path.
+#[test]
+fn legacy_untagged_checkpoint_file_restores() {
+    let path = scratch_file("legacy");
+    let _ = std::fs::remove_file(&path);
+    let farmd = Farmd::start(test_config(path.clone())).expect("start farmd");
+    let client = CtlClient::connect(farmd.local_addr());
+    submit_watcher(&client);
+
+    let seed = only_seed(&client);
+    let (desc, _) = describe(&client, &seed.key);
+
+    // Hand-build the pre-versioning layout. The untagged body is the
+    // versioned encoding minus its 2-byte (marker + version) prefix.
+    let snap = SeedSnapshot {
+        machine: desc.machine.clone(),
+        state: desc.state.clone(),
+        vars: vec![(
+            "threshold".to_string(),
+            farm_almanac::value::Value::Int(4242),
+        )],
+    };
+    let mut versioned = Vec::new();
+    encode_vsnapshot(&VSeedSnapshot::V1(snap), &mut versioned);
+    let mut legacy = Vec::new();
+    put_varint(&mut legacy, 1);
+    put_str(&mut legacy, &seed.key);
+    legacy.extend_from_slice(&versioned[2..]);
+    std::fs::write(&path, &legacy).expect("write legacy checkpoint");
+
+    match client.op(ControlOp::Restore).expect("restore rpc") {
+        ControlReply::Restored { seeds } => assert_eq!(seeds, 1),
+        other => panic!("restore answered {other:?}"),
+    }
+    let (_, vars) = describe(&client, &seed.key);
+    assert!(
+        vars.iter().any(|(n, v)| n == "threshold" && v == "4242"),
+        "legacy snapshot var must land in the live seed, got {vars:?}"
+    );
+    drop(client);
+    farmd.stop();
+    let _ = std::fs::remove_file(&path);
+}

@@ -526,7 +526,8 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream, dead: Arc<AtomicBool>) {
         match read_envelope(&mut reader, &dead) {
             // A frame with an undecodable body: count it and keep the
             // connection — the stream is still aligned.
-            Ok(Some(ReadFrame::Bad { .. })) => {
+            Ok(Some(ReadFrame::Bad { nbytes })) => {
+                shared.counters.bytes.add(nbytes as u64);
                 shared.counters.decode_errors.inc();
             }
             Ok(Some(ReadFrame::Frame(env, nbytes))) => {

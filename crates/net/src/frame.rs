@@ -24,6 +24,7 @@ use farm_netsim::types::{
 };
 use farm_soil::{Endpoint, OutboundMessage, SeedId, SeedSnapshot};
 
+use crate::snapshot::{decode_vsnapshot, VSeedSnapshot};
 use crate::wire::{
     put_bool, put_f64, put_ivarint, put_str, put_varint, Reader, WireError, MAX_DEPTH,
     MAX_FRAME_LEN, PROTOCOL_VERSION,
@@ -86,13 +87,17 @@ impl Report {
 pub enum ControlOp {
     /// Compile and deploy an Almanac program server-side.
     SubmitProgram { name: String, source: String },
-    /// Enumerate every deployed seed.
-    ListSeeds,
+    /// Enumerate deployed seeds, sorted by key. `from_index`/`limit`
+    /// page through the listing (`limit == 0` means "everything from
+    /// `from_index`"); clients speaking the pre-cursor revision encode
+    /// no cursor and get the whole listing, unchanged.
+    ListSeeds { from_index: u64, limit: u64 },
     /// Full detail (state variables included) of one seed by its
     /// `task/mN/sN` key.
     DescribeSeed { key: String },
-    /// Operational summary as JSON.
-    Stats,
+    /// Operational summary as JSON. The cursor pages the counters map
+    /// (same defaulting rules as [`ControlOp::ListSeeds`]).
+    Stats { from_index: u64, limit: u64 },
     /// Every telemetry instrument as JSON.
     MetricsDump,
     /// Cordon a switch and evacuate its seeds via replanning.
@@ -114,9 +119,9 @@ impl ControlOp {
     pub fn kind(&self) -> &'static str {
         match self {
             ControlOp::SubmitProgram { .. } => "submit",
-            ControlOp::ListSeeds => "list-seeds",
+            ControlOp::ListSeeds { .. } => "list-seeds",
             ControlOp::DescribeSeed { .. } => "describe-seed",
-            ControlOp::Stats => "stats",
+            ControlOp::Stats { .. } => "stats",
             ControlOp::MetricsDump => "metrics-dump",
             ControlOp::Drain { .. } => "drain",
             ControlOp::Uncordon { .. } => "uncordon",
@@ -127,12 +132,30 @@ impl ControlOp {
         }
     }
 
+    /// The whole seed listing, unpaginated — encodes without a cursor,
+    /// byte-identical to the pre-cursor revision of this op.
+    pub fn list_all() -> ControlOp {
+        ControlOp::ListSeeds {
+            from_index: 0,
+            limit: 0,
+        }
+    }
+
+    /// The full stats summary, unpaginated (same compatibility note as
+    /// [`ControlOp::list_all`]).
+    pub fn stats_all() -> ControlOp {
+        ControlOp::Stats {
+            from_index: 0,
+            limit: 0,
+        }
+    }
+
     fn tag(&self) -> u8 {
         match self {
             ControlOp::SubmitProgram { .. } => 0,
-            ControlOp::ListSeeds => 1,
+            ControlOp::ListSeeds { .. } => 1,
             ControlOp::DescribeSeed { .. } => 2,
-            ControlOp::Stats => 3,
+            ControlOp::Stats { .. } => 3,
             ControlOp::MetricsDump => 4,
             ControlOp::Drain { .. } => 5,
             ControlOp::Uncordon { .. } => 6,
@@ -183,8 +206,16 @@ pub enum ControlReply {
         /// Placement actions the deploying replan executed.
         actions: u64,
     },
-    /// ListSeeds answer.
-    Seeds { seeds: Vec<SeedDescriptor> },
+    /// ListSeeds answer: one page of the key-sorted listing. For a
+    /// paginated request, `next_index` is the cursor of the next page
+    /// (`0` = listing exhausted) and `total` the full listing size;
+    /// unpaginated replies carry `0`/`0` and encode byte-identically to
+    /// the pre-cursor revision.
+    Seeds {
+        seeds: Vec<SeedDescriptor>,
+        next_index: u64,
+        total: u64,
+    },
     /// DescribeSeed answer: descriptor plus rendered state variables.
     Seed {
         desc: SeedDescriptor,
@@ -424,7 +455,11 @@ fn encode_frame_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_str(out, task);
             put_varint(out, *from_switch as u64);
             put_varint(out, *to_switch as u64);
-            encode_snapshot(snapshot, out);
+            // Snapshots travel versioned; the decoder also accepts the
+            // legacy untagged layout from pre-versioning peers.
+            out.push(0x00);
+            out.push(VSeedSnapshot::CURRENT_VERSION);
+            crate::snapshot::encode_snapshot_body(snapshot, out);
         }
         Frame::Ack | Frame::Shutdown => {}
         Frame::Error { message } => put_str(out, message),
@@ -444,9 +479,16 @@ fn encode_control_op(op: &ControlOp, out: &mut Vec<u8>) {
         ControlOp::Drain { switch } | ControlOp::Uncordon { switch } => {
             put_varint(out, *switch as u64);
         }
-        ControlOp::ListSeeds
-        | ControlOp::Stats
-        | ControlOp::MetricsDump
+        // The cursor is an optional trailing extension: the no-cursor
+        // case encodes as the pre-cursor revision did, so old servers
+        // keep accepting unpaginated requests from new clients.
+        ControlOp::ListSeeds { from_index, limit } | ControlOp::Stats { from_index, limit } => {
+            if *from_index != 0 || *limit != 0 {
+                put_varint(out, *from_index);
+                put_varint(out, *limit);
+            }
+        }
+        ControlOp::MetricsDump
         | ControlOp::Replan
         | ControlOp::Checkpoint
         | ControlOp::Restore
@@ -486,10 +528,21 @@ fn encode_control_reply(reply: &ControlReply, out: &mut Vec<u8>) {
             put_varint(out, *seeds);
             put_varint(out, *actions);
         }
-        ControlReply::Seeds { seeds } => {
+        ControlReply::Seeds {
+            seeds,
+            next_index,
+            total,
+        } => {
             put_varint(out, seeds.len() as u64);
             for d in seeds {
                 encode_seed_descriptor(d, out);
+            }
+            // Trailing cursor, omitted for unpaginated replies — those
+            // stay byte-identical to the pre-cursor revision, and only
+            // cursor-aware clients ever receive a paginated reply.
+            if *next_index != 0 || *total != 0 {
+                put_varint(out, *next_index);
+                put_varint(out, *total);
             }
         }
         ControlReply::Seed { desc, vars } => {
@@ -543,16 +596,6 @@ fn encode_opt_switch(sw: Option<u32>, out: &mut Vec<u8>) {
             out.push(1);
             put_varint(out, id as u64);
         }
-    }
-}
-
-fn encode_snapshot(s: &SeedSnapshot, out: &mut Vec<u8>) {
-    put_str(out, &s.machine);
-    put_str(out, &s.state);
-    put_varint(out, s.vars.len() as u64);
-    for (name, v) in &s.vars {
-        put_str(out, name);
-        encode_value(v, out);
     }
 }
 
@@ -817,7 +860,7 @@ fn decode_frame_payload(tag: u8, r: &mut Reader<'_>) -> Result<Frame, WireError>
             task: r.str()?,
             from_switch: decode_u32(r, "from_switch")?,
             to_switch: decode_u32(r, "to_switch")?,
-            snapshot: decode_snapshot(r)?,
+            snapshot: decode_vsnapshot(r)?.into_latest(),
         }),
         6 => Ok(Frame::Ack),
         7 => Ok(Frame::Error { message: r.str()? }),
@@ -835,15 +878,31 @@ fn decode_frame_payload(tag: u8, r: &mut Reader<'_>) -> Result<Frame, WireError>
     }
 }
 
+/// Reads the optional trailing `(from_index, limit)` cursor: an absent
+/// cursor (pre-cursor client, or the unpaginated encoding) defaults to
+/// `(0, 0)` — "everything".
+fn decode_cursor(r: &mut Reader<'_>) -> Result<(u64, u64), WireError> {
+    if r.remaining() == 0 {
+        return Ok((0, 0));
+    }
+    Ok((r.varint()?, r.varint()?))
+}
+
 fn decode_control_op(r: &mut Reader<'_>) -> Result<ControlOp, WireError> {
     match r.u8()? {
         0 => Ok(ControlOp::SubmitProgram {
             name: r.str()?,
             source: r.str()?,
         }),
-        1 => Ok(ControlOp::ListSeeds),
+        1 => {
+            let (from_index, limit) = decode_cursor(r)?;
+            Ok(ControlOp::ListSeeds { from_index, limit })
+        }
         2 => Ok(ControlOp::DescribeSeed { key: r.str()? }),
-        3 => Ok(ControlOp::Stats),
+        3 => {
+            let (from_index, limit) = decode_cursor(r)?;
+            Ok(ControlOp::Stats { from_index, limit })
+        }
         4 => Ok(ControlOp::MetricsDump),
         5 => Ok(ControlOp::Drain {
             switch: decode_u32(r, "switch")?,
@@ -906,7 +965,12 @@ fn decode_control_reply(r: &mut Reader<'_>) -> Result<ControlReply, WireError> {
             for _ in 0..n {
                 seeds.push(decode_seed_descriptor(r)?);
             }
-            Ok(ControlReply::Seeds { seeds })
+            let (next_index, total) = decode_cursor(r)?;
+            Ok(ControlReply::Seeds {
+                seeds,
+                next_index,
+                total,
+            })
         }
         3 => {
             let desc = decode_seed_descriptor(r)?;
@@ -995,23 +1059,6 @@ fn decode_opt_switch(r: &mut Reader<'_>) -> Result<Option<u32>, WireError> {
             tag: t,
         }),
     }
-}
-
-fn decode_snapshot(r: &mut Reader<'_>) -> Result<SeedSnapshot, WireError> {
-    let machine = r.str()?;
-    let state = r.str()?;
-    let n = r.len_prefix(2)?;
-    let mut vars = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        let name = r.str()?;
-        let v = decode_value(r, 0)?;
-        vars.push((name, v));
-    }
-    Ok(SeedSnapshot {
-        machine,
-        state,
-        vars,
-    })
 }
 
 /// Decodes one [`Value`] with a recursion-depth bound.
@@ -1287,6 +1334,50 @@ mod tests {
     }
 
     #[test]
+    fn legacy_unversioned_migrate_still_decodes() {
+        // The pre-versioning Migrate encoding carried the snapshot
+        // untagged; a peer speaking that revision must still be heard.
+        let snapshot = SeedSnapshot {
+            machine: "HH".into(),
+            state: "Monitor".into(),
+            vars: vec![("threshold".into(), Value::Int(7))],
+        };
+        let mut body = vec![PROTOCOL_VERSION, 5, 0];
+        put_varint(&mut body, 3); // corr
+        put_str(&mut body, "hh");
+        put_varint(&mut body, 1); // from_switch
+        put_varint(&mut body, 2); // to_switch
+        put_str(&mut body, &snapshot.machine);
+        put_str(&mut body, &snapshot.state);
+        put_varint(&mut body, 1);
+        put_str(&mut body, "threshold");
+        encode_value(&Value::Int(7), &mut body);
+        let env = decode_body(&body).expect("legacy migrate decodes");
+        assert_eq!(
+            env.frame,
+            Frame::Migrate {
+                task: "hh".into(),
+                from_switch: 1,
+                to_switch: 2,
+                snapshot,
+            }
+        );
+    }
+
+    #[test]
+    fn cursorless_control_ops_decode_with_defaults() {
+        // A pre-cursor client encodes ListSeeds/Stats with no payload;
+        // the decoder must default to "everything".
+        for (tag, want) in [(1u8, ControlOp::list_all()), (3u8, ControlOp::stats_all())] {
+            let mut body = vec![PROTOCOL_VERSION, 9, 0];
+            put_varint(&mut body, 4); // corr
+            body.push(tag);
+            let env = decode_body(&body).expect("cursorless op decodes");
+            assert_eq!(env.frame, Frame::Control { op: want });
+        }
+    }
+
+    #[test]
     fn response_flag_survives() {
         let env = Envelope::response(17, Frame::Ack);
         let got = round_trip(&env);
@@ -1352,11 +1443,19 @@ mod tests {
                 name: "mon".into(),
                 source: "machine M { place any; state s { } }".into(),
             },
-            ControlOp::ListSeeds,
+            ControlOp::list_all(),
+            ControlOp::ListSeeds {
+                from_index: 128,
+                limit: 64,
+            },
             ControlOp::DescribeSeed {
                 key: "mon/m0/s0".into(),
             },
-            ControlOp::Stats,
+            ControlOp::stats_all(),
+            ControlOp::Stats {
+                from_index: 10,
+                limit: 5,
+            },
             ControlOp::MetricsDump,
             ControlOp::Drain { switch: 3 },
             ControlOp::Uncordon { switch: 3 },
@@ -1390,6 +1489,13 @@ mod tests {
             },
             ControlReply::Seeds {
                 seeds: vec![desc.clone(), desc.clone()],
+                next_index: 0,
+                total: 0,
+            },
+            ControlReply::Seeds {
+                seeds: vec![desc.clone()],
+                next_index: 3,
+                total: 9,
             },
             ControlReply::Seed {
                 desc,

@@ -1,9 +1,8 @@
 //! # farm-net — the wire-protocol transport
 //!
-//! A dependency-light, thread-per-connection TCP transport carrying
-//! FARM's control traffic (poll reports, harvester directives,
-//! heartbeats, seed messages, migration snapshots) as length-prefixed,
-//! versioned binary frames.
+//! A dependency-light TCP transport carrying FARM's control traffic
+//! (poll reports, harvester directives, heartbeats, seed messages,
+//! migration snapshots) as length-prefixed, versioned binary frames.
 //!
 //! Layer map, bottom-up:
 //!
@@ -13,35 +12,51 @@
 //! * [`frame`] — the typed [`Frame`] enum and the [`Envelope`] that
 //!   adds multiplexing metadata (correlation id + response flag).
 //!   `encode(decode(bytes))` is byte-exact.
+//! * [`snapshot`] — the versioned [`VSeedSnapshot`] payload riding
+//!   `Migrate` frames and checkpoint files, with `From` upgrades from
+//!   every older revision.
+//! * [`buf`] / [`poll`] — event-loop plumbing: a growable [`ByteRing`],
+//!   the incremental [`FrameDecoder`] (equivalent to the one-shot
+//!   decoder on any byte split), and the [`Poller`] readiness
+//!   abstraction (raw epoll on Linux, `poll(2)` on other unixes).
 //! * [`interceptor`] — the [`Interceptor`] send-path hook;
 //!   [`LossInterceptor`] applies `farm-faults`' deterministic loss
 //!   model (drop / duplicate / delay) to real frames.
-//! * [`conn`] / [`server`] — the runtime: a [`Connection`] with a
-//!   bounded send queue (backpressure), batched poll-report flushing,
-//!   request/response multiplexing and exponential-backoff reconnect;
-//!   a [`NetServer`] accepting thread-per-connection sessions.
+//! * [`conn`] / [`server`] — the runtime: a blocking [`Connection`]
+//!   with a bounded send queue (backpressure), batched poll-report
+//!   flushing, request/response multiplexing and exponential-backoff
+//!   reconnect; a [`NetServer`] serving every session from one
+//!   readiness-polling reactor thread plus a sticky worker pool.
 //!
 //! Every endpoint reports into `farm-telemetry` under the `net.*`
 //! namespace: `net.bytes`, `net.frames_sent` / `net.frames_received`,
 //! `net.dropped_frames`, `net.dead_letters`, `net.connects` /
 //! `net.reconnects` / `net.connect_failures`, `net.rpcs`,
-//! `net.rpc_timeouts`, `net.decode_errors` and the
-//! `net.rpc_latency_us` histogram.
+//! `net.rpc_timeouts`, `net.decode_errors`, the `net.rpc_latency_us`
+//! histogram and the `net.server_conns` gauge.
 
+pub mod buf;
 pub mod conn;
 pub mod frame;
 pub mod interceptor;
+pub mod poll;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
+pub mod snapshot;
 mod sock;
 pub mod wire;
 
+pub use buf::{ByteRing, Decoded, FrameDecoder};
 pub use conn::{Connection, NetConfig, NetError};
 pub use frame::{
     decode_body, decode_envelope, decode_request_corr, encode_envelope, ControlOp, ControlReply,
     Diagnostic, Envelope, Frame, Report, SeedDescriptor,
 };
 pub use interceptor::{Interceptor, LossInterceptor, Passthrough, Verdict};
+pub use poll::{Interest, PollEvent, Poller, Readiness, Token};
 pub use server::{FrameHandler, NetServer};
+pub use snapshot::{decode_checkpoint_file, encode_checkpoint_file, VSeedSnapshot};
 pub use wire::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
 #[cfg(test)]

@@ -1,21 +1,26 @@
-//! The accepting side of the transport: a thread-per-connection TCP
-//! server that decodes frames, hands them to a [`FrameHandler`], and
-//! writes the handler's answer back for request frames.
+//! The accepting side of the transport: a readiness-polling event-loop
+//! server (see [`crate::reactor`]) behind the same public surface the
+//! old thread-per-connection server exposed — `TcpBridge`, farmd and
+//! the integration tests run unchanged on it.
+//!
+//! One reactor thread multiplexes every session over the [`Poller`]
+//! abstraction; frames are decoded incrementally off a growable ring
+//! and handed to the [`FrameHandler`] on a sticky worker pool (frames
+//! from one connection always hit the same worker, preserving arrival
+//! order), so a handler that blocks never stalls the event loop.
+//!
+//! [`Poller`]: crate::poll::Poller
 
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread;
-use std::time::Duration;
+use std::net::SocketAddr;
+use std::sync::Arc;
 
 use farm_telemetry::Telemetry;
 
-use crate::frame::{encode_envelope, Envelope, Frame};
-use crate::sock::{read_envelope, NetCounters, ReadFrame};
+use crate::frame::{Envelope, Frame};
 
-/// Server-side frame dispatch. Called once per inbound frame, from the
-/// per-connection thread (so concurrent connections call concurrently).
+/// Server-side frame dispatch. Called once per inbound frame from a
+/// worker thread; frames from one connection arrive in order, frames
+/// from different connections call concurrently.
 ///
 /// Return `Some(frame)` to answer a request; `None` defers to the
 /// default `Ack` for requests and is ignored for one-way frames.
@@ -32,50 +37,38 @@ where
     }
 }
 
-struct ServerShared {
-    stop: AtomicBool,
-    counters: NetCounters,
-    handler: Arc<dyn FrameHandler>,
-    /// Open client sockets, for a hard shutdown of lingering sessions.
-    conns: Mutex<Vec<TcpStream>>,
-}
-
-/// A listening endpoint. One OS thread accepts; each accepted client
-/// gets its own service thread.
+/// A listening endpoint: one event-loop thread serves every client.
 pub struct NetServer {
-    shared: Arc<ServerShared>,
     local_addr: SocketAddr,
-    accept: Option<thread::JoinHandle<()>>,
+    #[cfg(unix)]
+    inner: crate::reactor::ReactorHandle,
 }
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port — see
-    /// [`local_addr`](Self::local_addr)) and starts accepting.
+    /// [`local_addr`](Self::local_addr)) and starts the event loop.
+    ///
+    /// On targets without a readiness poller (non-unix) this fails with
+    /// [`std::io::ErrorKind::Unsupported`]; the blocking client side of
+    /// the crate still works there.
     pub fn bind(
         addr: SocketAddr,
         telemetry: &Telemetry,
         handler: Arc<dyn FrameHandler>,
     ) -> std::io::Result<NetServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let shared = Arc::new(ServerShared {
-            stop: AtomicBool::new(false),
-            counters: NetCounters::new(telemetry),
-            handler,
-            conns: Mutex::new(Vec::new()),
-        });
-        let accept = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("farm-net-accept".into())
-                .spawn(move || accept_loop(listener, shared))
-                .expect("spawn accept thread")
-        };
-        Ok(NetServer {
-            shared,
-            local_addr,
-            accept: Some(accept),
-        })
+        #[cfg(unix)]
+        {
+            let inner = crate::reactor::spawn(addr, telemetry, handler)?;
+            Ok(NetServer {
+                local_addr: inner.local_addr(),
+                inner,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (addr, telemetry, handler);
+            Err(std::io::ErrorKind::Unsupported.into())
+        }
     }
 
     /// The bound address — the port actually chosen when binding :0.
@@ -83,20 +76,10 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Stops accepting, severs open sessions, joins the accept thread.
+    /// Stops the event loop, severs open sessions, joins every thread.
     pub fn shutdown(&mut self) {
-        if self.shared.stop.swap(true, Ordering::Relaxed) {
-            return;
-        }
-        // The accept thread sits in blocking accept(); a throwaway
-        // connection to ourselves wakes it so it can observe `stop`.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        for s in self.shared.conns.lock().expect("conns lock").drain(..) {
-            let _ = s.shutdown(Shutdown::Both);
-        }
+        #[cfg(unix)]
+        self.inner.shutdown();
     }
 }
 
@@ -104,114 +87,4 @@ impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
-    let mut service_threads = Vec::new();
-    for incoming in listener.incoming() {
-        if shared.stop.load(Ordering::Relaxed) {
-            break;
-        }
-        let stream = match incoming {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().expect("conns lock").push(clone);
-        }
-        let shared_conn = Arc::clone(&shared);
-        let spawned = thread::Builder::new()
-            .name("farm-net-serve".into())
-            .spawn(move || serve_conn(stream, shared_conn));
-        if let Ok(h) = spawned {
-            service_threads.push(h);
-        }
-    }
-    for h in service_threads {
-        let _ = h.join();
-    }
-}
-
-/// One client session: read frames until the peer says goodbye (or
-/// vanishes, or sends garbage), answering requests inline.
-fn serve_conn(stream: TcpStream, shared: Arc<ServerShared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = std::io::BufReader::new(stream);
-    loop {
-        match read_envelope(&mut reader, &shared.stop) {
-            Ok(Some(ReadFrame::Frame(env, nbytes))) => {
-                shared.counters.bytes.add(nbytes as u64);
-                shared.counters.frames_received.inc();
-                if matches!(env.frame, Frame::Shutdown) {
-                    return;
-                }
-                let answer = shared.handler.handle(&env);
-                if env.corr != 0 && !env.response {
-                    let reply = Envelope::response(env.corr, answer.unwrap_or(Frame::Ack));
-                    if !send_reply(&shared, &mut writer, &reply) {
-                        return;
-                    }
-                }
-            }
-            // An undecodable body whose bytes were still fully framed:
-            // the session survives. A recovered request corr gets a
-            // structured Error response (the client sees `Rejected`
-            // instead of a timeout); one-way garbage is just counted.
-            Ok(Some(ReadFrame::Bad {
-                corr,
-                error,
-                nbytes,
-            })) => {
-                shared.counters.bytes.add(nbytes as u64);
-                shared.counters.decode_errors.inc();
-                if let Some(corr) = corr {
-                    let reply = Envelope::response(
-                        corr,
-                        Frame::Error {
-                            message: format!("undecodable frame: {error}"),
-                        },
-                    );
-                    if !send_reply(&shared, &mut writer, &reply) {
-                        return;
-                    }
-                }
-            }
-            Ok(None) => {
-                if shared.stop.load(Ordering::Relaxed) {
-                    return;
-                }
-            }
-            Err(e) => {
-                // Broken framing (oversized or overlong length prefix):
-                // resync is impossible, so say why and hang up rather
-                // than silently wedging the peer.
-                if e.kind() == std::io::ErrorKind::InvalidData {
-                    shared.counters.decode_errors.inc();
-                    let bye = Envelope::one_way(Frame::Error {
-                        message: format!("unrecoverable frame: {e}"),
-                    });
-                    send_reply(&shared, &mut writer, &bye);
-                }
-                return;
-            }
-        }
-    }
-}
-
-/// Writes one envelope back to the client, accounting the send. Returns
-/// false when the connection is gone.
-fn send_reply(shared: &ServerShared, writer: &mut TcpStream, env: &Envelope) -> bool {
-    let mut buf = Vec::with_capacity(64);
-    encode_envelope(env, &mut buf);
-    if writer.write_all(&buf).is_err() {
-        return false;
-    }
-    shared.counters.bytes.add(buf.len() as u64);
-    shared.counters.frames_sent.inc();
-    true
 }

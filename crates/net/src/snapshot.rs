@@ -1,0 +1,275 @@
+//! Versioned seed-state snapshots.
+//!
+//! [`SeedSnapshot`] is the raw interpreter state a seed carries through
+//! a migration or a checkpoint. Its wire encoding used to be untagged,
+//! which strands saved state the moment the schema moves. This module
+//! wraps it in [`VSeedSnapshot`] — an explicit version enum with `From`
+//! upgrades from every older revision — so `Migrate` frames and
+//! checkpoint files can evolve without breaking old payloads.
+//!
+//! ## Wire discrimination
+//!
+//! A versioned snapshot leads with a `0x00` marker byte, then the
+//! version tag, then the version's body:
+//!
+//! ```text
+//! ┌──────┬────────┬──────────────────────┐
+//! │ 0x00 │ ver:u8 │ body (per version)   │
+//! └──────┴────────┴──────────────────────┘
+//! ```
+//!
+//! The legacy untagged encoding starts with the machine-name length
+//! varint, and machine names are never empty, so its first byte is
+//! always ≥ 1. Decoders peek one byte: `0x00` selects the versioned
+//! path, anything else falls back to legacy — every pre-existing
+//! payload still decodes, upgraded to the current revision via `From`.
+//!
+//! ## Checkpoint files
+//!
+//! farmd persists checkpoints as `FARMCKP1` + varint count + entries
+//! (`str key` + versioned snapshot). A file without the magic is parsed
+//! as the legacy layout (count + key + untagged snapshot), so state
+//! saved before versioning restores cleanly.
+
+use farm_soil::SeedSnapshot;
+
+use crate::frame::{decode_value, encode_value};
+use crate::wire::{put_str, put_varint, Reader, WireError};
+
+/// Magic prefix of a versioned checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FARMCKP1";
+
+/// A seed snapshot tagged with its schema revision. Adding a revision
+/// means a new variant, a `From<old> for new` impl, and a decode arm —
+/// old payloads keep decoding forever.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VSeedSnapshot {
+    V1(SeedSnapshot),
+}
+
+impl VSeedSnapshot {
+    /// The revision stamped on newly encoded snapshots.
+    pub const CURRENT_VERSION: u8 = 1;
+
+    /// The revision this value carries.
+    pub fn version(&self) -> u8 {
+        match self {
+            VSeedSnapshot::V1(_) => 1,
+        }
+    }
+
+    /// Upgrades through every revision to the current in-memory shape.
+    pub fn into_latest(self) -> SeedSnapshot {
+        match self {
+            VSeedSnapshot::V1(s) => s,
+        }
+    }
+}
+
+impl From<SeedSnapshot> for VSeedSnapshot {
+    fn from(s: SeedSnapshot) -> VSeedSnapshot {
+        VSeedSnapshot::V1(s)
+    }
+}
+
+impl From<VSeedSnapshot> for SeedSnapshot {
+    fn from(v: VSeedSnapshot) -> SeedSnapshot {
+        v.into_latest()
+    }
+}
+
+/// Encodes the V1 snapshot body — the legacy untagged layout:
+/// `str(machine) str(state) varint(n) [str(name) value]*`.
+pub(crate) fn encode_snapshot_body(s: &SeedSnapshot, out: &mut Vec<u8>) {
+    put_str(out, &s.machine);
+    put_str(out, &s.state);
+    put_varint(out, s.vars.len() as u64);
+    for (name, v) in &s.vars {
+        put_str(out, name);
+        encode_value(v, out);
+    }
+}
+
+pub(crate) fn decode_snapshot_body(r: &mut Reader<'_>) -> Result<SeedSnapshot, WireError> {
+    let machine = r.str()?;
+    let state = r.str()?;
+    let n = r.len_prefix(2)?;
+    let mut vars = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.str()?;
+        let v = decode_value(r, 0)?;
+        vars.push((name, v));
+    }
+    Ok(SeedSnapshot {
+        machine,
+        state,
+        vars,
+    })
+}
+
+/// Encodes a versioned snapshot (marker + version + body).
+pub fn encode_vsnapshot(v: &VSeedSnapshot, out: &mut Vec<u8>) {
+    out.push(0x00);
+    out.push(v.version());
+    match v {
+        VSeedSnapshot::V1(s) => encode_snapshot_body(s, out),
+    }
+}
+
+/// Decodes a snapshot, versioned or legacy-untagged (see module docs).
+pub fn decode_vsnapshot(r: &mut Reader<'_>) -> Result<VSeedSnapshot, WireError> {
+    if r.peek_u8()? != 0x00 {
+        // Legacy untagged payload: first byte is the machine-name
+        // length varint, which is never zero.
+        return Ok(VSeedSnapshot::V1(decode_snapshot_body(r)?));
+    }
+    r.u8()?;
+    match r.u8()? {
+        1 => Ok(VSeedSnapshot::V1(decode_snapshot_body(r)?)),
+        v => Err(WireError::Tag {
+            what: "snapshot version",
+            tag: v,
+        }),
+    }
+}
+
+/// Serializes checkpointed seeds as a versioned checkpoint file.
+pub fn encode_checkpoint_file(entries: &[(String, VSeedSnapshot)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + entries.len() * 64);
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    put_varint(&mut out, entries.len() as u64);
+    for (key, snap) in entries {
+        put_str(&mut out, key);
+        encode_vsnapshot(snap, &mut out);
+    }
+    out
+}
+
+/// Parses a checkpoint file, accepting both the versioned layout and
+/// the pre-versioning legacy layout (no magic, untagged snapshots).
+pub fn decode_checkpoint_file(bytes: &[u8]) -> Result<Vec<(String, VSeedSnapshot)>, WireError> {
+    let body = bytes
+        .strip_prefix(CHECKPOINT_MAGIC.as_slice())
+        .unwrap_or(bytes);
+    let mut r = Reader::new(body);
+    let n = r.len_prefix(2)?;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let key = r.str()?;
+        let snap = decode_vsnapshot(&mut r)?;
+        entries.push((key, snap));
+    }
+    r.finish()?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_almanac::value::Value;
+
+    fn sample() -> SeedSnapshot {
+        SeedSnapshot {
+            machine: "HH".into(),
+            state: "Monitor".into(),
+            vars: vec![
+                ("threshold".into(), Value::Int(1000)),
+                ("label".into(), Value::Str("hot".into())),
+            ],
+        }
+    }
+
+    /// Byte-pinned V1 fixture: if this encoding ever drifts, saved
+    /// checkpoints and in-flight migrations would strand — the exact
+    /// bytes are part of the contract, not an implementation detail.
+    const V1_FIXTURE: &[u8] = &[
+        0x00, 0x01, // marker, version 1
+        0x02, b'H', b'H', // machine "HH"
+        0x07, b'M', b'o', b'n', b'i', b't', b'o', b'r', // state
+        0x02, // 2 vars
+        0x09, b't', b'h', b'r', b'e', b's', b'h', b'o', b'l', b'd', 0x02, 0xd0,
+        0x0f, // Value::Int(1000) → zigzag 2000 varint
+        0x05, b'l', b'a', b'b', b'e', b'l', //
+        0x04, 0x03, b'h', b'o', b't', // Value::Str("hot")
+    ];
+
+    #[test]
+    fn v1_fixture_bytes_are_pinned() {
+        let mut out = Vec::new();
+        encode_vsnapshot(&VSeedSnapshot::V1(sample()), &mut out);
+        assert_eq!(out, V1_FIXTURE, "V1 wire encoding drifted");
+        let mut r = Reader::new(V1_FIXTURE);
+        let got = decode_vsnapshot(&mut r).expect("decode fixture");
+        r.finish().expect("fixture fully consumed");
+        assert_eq!(got, VSeedSnapshot::V1(sample()));
+    }
+
+    #[test]
+    fn legacy_untagged_bytes_decode_and_upgrade() {
+        let mut legacy = Vec::new();
+        encode_snapshot_body(&sample(), &mut legacy);
+        assert_ne!(legacy[0], 0, "legacy first byte is a nonzero length");
+        let mut r = Reader::new(&legacy);
+        let got = decode_vsnapshot(&mut r).expect("legacy decode");
+        r.finish().expect("fully consumed");
+        assert_eq!(got.into_latest(), sample());
+    }
+
+    #[test]
+    fn from_upgrades_are_lossless_both_ways() {
+        let v: VSeedSnapshot = sample().into();
+        assert_eq!(v.version(), VSeedSnapshot::CURRENT_VERSION);
+        let back: SeedSnapshot = v.into();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn unknown_snapshot_version_is_a_typed_error() {
+        let bytes = [0x00u8, 9, 1, b'M'];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            decode_vsnapshot(&mut r).unwrap_err(),
+            WireError::Tag {
+                what: "snapshot version",
+                tag: 9
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let entries = vec![
+            ("hh/m0/s0".to_string(), VSeedSnapshot::V1(sample())),
+            ("hh/m0/s1".to_string(), VSeedSnapshot::V1(sample())),
+        ];
+        let bytes = encode_checkpoint_file(&entries);
+        assert!(bytes.starts_with(CHECKPOINT_MAGIC));
+        assert_eq!(decode_checkpoint_file(&bytes).expect("decode"), entries);
+    }
+
+    #[test]
+    fn legacy_checkpoint_file_restores_cleanly() {
+        // The pre-versioning layout: count + (key + untagged snapshot),
+        // no magic — exactly what a checkpoint written before this
+        // revision would hold.
+        let mut legacy = Vec::new();
+        put_varint(&mut legacy, 1);
+        put_str(&mut legacy, "hh/m0/s0");
+        encode_snapshot_body(&sample(), &mut legacy);
+        let got = decode_checkpoint_file(&legacy).expect("legacy file");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "hh/m0/s0");
+        assert_eq!(got[0].1.clone().into_latest(), sample());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_panic() {
+        assert!(decode_checkpoint_file(&[0xff; 7]).is_err());
+        let mut bytes = encode_checkpoint_file(&[("k".into(), VSeedSnapshot::V1(sample()))]);
+        bytes.push(0xaa);
+        assert_eq!(
+            decode_checkpoint_file(&bytes).unwrap_err(),
+            WireError::Trailing(1)
+        );
+    }
+}

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use farm_telemetry::{Counter, Histogram, Telemetry};
 
-use crate::frame::{decode_body, decode_request_corr, Envelope};
-use crate::wire::{WireError, MAX_FRAME_LEN};
+use crate::frame::{decode_body, Envelope};
+use crate::wire::MAX_FRAME_LEN;
 
 /// Cached handles for the `net.*` instruments so the per-frame hot
 /// path never takes the registry lock.
@@ -83,19 +83,18 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8], stop: &AtomicBool) -> io::Resul
 /// One successfully framed read: either a decoded envelope or a frame
 /// whose bytes were consumed but whose body failed to decode — the
 /// stream stays aligned on the next frame either way.
+///
+/// This is the blocking client's reader; the server side decodes
+/// incrementally via [`crate::buf::FrameDecoder`], whose `Bad` arm also
+/// recovers the request correlation id for structured error replies.
+/// A client has nothing to answer, so `Bad` only carries the size.
 #[derive(Debug)]
 pub(crate) enum ReadFrame {
     /// A well-formed envelope plus its wire size.
     Frame(Envelope, usize),
     /// The frame's bytes were fully consumed but the body is invalid
-    /// (unknown tag, bad payload, foreign version). `corr` is the
-    /// recovered request correlation id when the header still parsed,
-    /// so servers can answer with a structured error.
-    Bad {
-        corr: Option<u64>,
-        error: WireError,
-        nbytes: usize,
-    },
+    /// (unknown tag, bad payload, foreign version).
+    Bad { nbytes: usize },
 }
 
 /// Reads one length-prefixed frame.
@@ -158,9 +157,7 @@ pub(crate) fn read_envelope<R: Read>(
     }
     match decode_body(&body) {
         Ok(env) => Ok(Some(ReadFrame::Frame(env, header + body.len()))),
-        Err(e) => Ok(Some(ReadFrame::Bad {
-            corr: decode_request_corr(&body),
-            error: e,
+        Err(_) => Ok(Some(ReadFrame::Bad {
             nbytes: header + body.len(),
         })),
     }
@@ -199,22 +196,20 @@ mod tests {
     #[test]
     fn bad_body_keeps_the_stream_aligned() {
         // A framed body with an unknown frame tag, then a valid frame:
-        // the reader must surface the bad one (with its request corr)
-        // and still decode the next.
+        // the reader must surface the bad one (with its byte count) and
+        // still decode the next.
         let mut bad_body = vec![crate::wire::PROTOCOL_VERSION, 200, 0];
         crate::wire::put_varint(&mut bad_body, 9);
         let mut buf = Vec::new();
         crate::wire::put_varint(&mut buf, bad_body.len() as u64);
         buf.extend_from_slice(&bad_body);
+        let framed_len = buf.len();
         encode_envelope(&Envelope::one_way(Frame::Ack), &mut buf);
 
         let stop = AtomicBool::new(false);
         let mut cursor = io::Cursor::new(buf);
         match read_envelope(&mut cursor, &stop).unwrap().unwrap() {
-            ReadFrame::Bad { corr, error, .. } => {
-                assert_eq!(corr, Some(9));
-                assert!(matches!(error, crate::wire::WireError::Tag { .. }));
-            }
+            ReadFrame::Bad { nbytes } => assert_eq!(nbytes, framed_len),
             other => panic!("expected Bad, got {other:?}"),
         }
         match read_envelope(&mut cursor, &stop).unwrap().unwrap() {

@@ -122,6 +122,12 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
+    /// The next byte without consuming it — used to discriminate tagged
+    /// encodings from legacy untagged ones (e.g. versioned snapshots).
+    pub fn peek_u8(&self) -> Result<u8, WireError> {
+        self.buf.get(self.pos).copied().ok_or(WireError::Truncated)
+    }
+
     pub fn bool(&mut self) -> Result<bool, WireError> {
         match self.u8()? {
             0 => Ok(false),

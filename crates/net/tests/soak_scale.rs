@@ -1,0 +1,190 @@
+//! Connection-scale soak: the event loop must hold thousands of mostly
+//! idle connections while a chattering subset keeps doing correct RPCs,
+//! and must stay healthy after the whole fleet hangs up at once.
+//!
+//! The test needs ~2 file descriptors per connection (client and
+//! accepted side live in this process). It probes `RLIMIT_NOFILE`,
+//! tries to raise the soft limit, and skips — loudly, not silently
+//! red — when the environment cannot cover the fleet.
+
+#![cfg(unix)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use farm_net::{encode_envelope, Decoded, Envelope, Frame, FrameDecoder, NetServer};
+use farm_telemetry::Telemetry;
+
+const IDLE_CONNS: usize = 2_000;
+const CHATTY_CONNS: usize = 32;
+const RPCS_PER_CHATTER: u64 = 25;
+
+mod fd_limit {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    /// Tries to make `need` descriptors available; returns the soft
+    /// limit in force afterwards.
+    pub fn ensure(need: u64) -> u64 {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        // SAFETY: plain out-pointer syscall wrappers on a stack value.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 0;
+        }
+        if lim.cur >= need {
+            return lim.cur;
+        }
+        let want = Rlimit {
+            cur: need.min(lim.max),
+            max: lim.max,
+        };
+        // SAFETY: raising the soft limit within the hard limit.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            return want.cur;
+        }
+        lim.cur
+    }
+}
+
+fn gauge(telemetry: &Telemetry) -> f64 {
+    telemetry
+        .snapshot()
+        .gauge("net.server_conns")
+        .unwrap_or(0.0)
+}
+
+/// Polls the connection gauge until it crosses `want` (from above or
+/// below per `rising`) or the deadline passes.
+fn await_gauge(telemetry: &Telemetry, want: f64, rising: bool) -> f64 {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let now = gauge(telemetry);
+        if (rising && now >= want) || (!rising && now <= want) || Instant::now() > deadline {
+            return now;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One request → response round trip over a raw blocking socket,
+/// checking the echo payload comes back intact.
+fn echo_rpc(stream: &mut TcpStream, decoder: &mut FrameDecoder, corr: u64) {
+    let request = Frame::Heartbeat {
+        switch: 7,
+        seq: corr,
+        at_ns: corr * 3,
+    };
+    let mut buf = Vec::with_capacity(32);
+    encode_envelope(
+        &Envelope {
+            corr,
+            response: false,
+            frame: request.clone(),
+        },
+        &mut buf,
+    );
+    stream.write_all(&buf).expect("request write");
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(Decoded::Frame(env, _)) = decoder.next().expect("clean stream") {
+            assert!(env.response, "only responses expected on this socket");
+            assert_eq!(env.corr, corr, "responses must match request order");
+            assert_eq!(env.frame, request, "echo handler must return the payload");
+            return;
+        }
+        let n = stream.read(&mut chunk).expect("response read");
+        assert_ne!(n, 0, "server hung up mid-RPC");
+        decoder.extend(&chunk[..n]);
+    }
+}
+
+#[test]
+fn thousands_of_connections_soak() {
+    let total = IDLE_CONNS + CHATTY_CONNS;
+    let need = (total as u64) * 2 + 64;
+    let avail = fd_limit::ensure(need);
+    if avail < need {
+        eprintln!(
+            "soak_scale: skipping — RLIMIT_NOFILE {avail} cannot hold {total} connections \
+             (need {need})"
+        );
+        return;
+    }
+
+    let telemetry = Telemetry::new();
+    let handler = Arc::new(|env: &Envelope| Some(env.frame.clone()));
+    let mut server =
+        NetServer::bind("127.0.0.1:0".parse().unwrap(), &telemetry, handler).expect("bind server");
+    let addr: SocketAddr = server.local_addr();
+
+    let mut idle = Vec::with_capacity(IDLE_CONNS);
+    for i in 0..IDLE_CONNS {
+        idle.push(TcpStream::connect(addr).expect("idle connect"));
+        if i % 256 == 255 {
+            // Let the accept loop keep pace with the ramp.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let mut chatters: Vec<(TcpStream, FrameDecoder)> = (0..CHATTY_CONNS)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("chatty connect");
+            s.set_nodelay(true).expect("nodelay");
+            s.set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+            (s, FrameDecoder::new())
+        })
+        .collect();
+
+    let seen = await_gauge(&telemetry, total as f64, true);
+    assert!(
+        seen >= total as f64,
+        "event loop should hold all {total} connections, gauge says {seen}"
+    );
+
+    // The chattering subset keeps the request path busy while the idle
+    // fleet sits on the poller.
+    let mut corr = 1u64;
+    for _ in 0..RPCS_PER_CHATTER {
+        for (stream, decoder) in &mut chatters {
+            echo_rpc(stream, decoder, corr);
+            corr += 1;
+        }
+    }
+
+    // Mass hangup: the loop must reap every idle session and keep
+    // serving the survivors.
+    drop(idle);
+    let left = await_gauge(&telemetry, CHATTY_CONNS as f64, false);
+    assert!(
+        left <= CHATTY_CONNS as f64,
+        "idle sessions should be reaped after hangup, gauge says {left}"
+    );
+    for (stream, decoder) in &mut chatters {
+        echo_rpc(stream, decoder, corr);
+        corr += 1;
+    }
+
+    drop(chatters);
+    server.shutdown();
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("net.decode_errors"), 0);
+    assert!(
+        snap.counter("net.frames_received") >= RPCS_PER_CHATTER * CHATTY_CONNS as u64,
+        "server should have decoded every RPC request"
+    );
+}

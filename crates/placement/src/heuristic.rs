@@ -59,7 +59,19 @@ pub struct HeuristicOptions {
     /// (today's exact behaviour); any larger value produces bit-identical
     /// results through the deterministic merge, only faster.
     pub threads: usize,
+    /// Minimum instance size (in seeds) before `threads > 1` actually
+    /// fans out. Below this the solve runs sequentially regardless of
+    /// `threads`: on small instances the scoped-pool spawn/join cost
+    /// outweighs the work it parallelizes, so `threads = 2` used to be
+    /// *slower* than `threads = 1`. Set to `0` to force the parallel
+    /// path at any size (the determinism proptests do this).
+    pub parallel_threshold: usize,
 }
+
+/// Default [`HeuristicOptions::parallel_threshold`]: roughly where the
+/// per-solve spawn/join overhead (~tens of µs per worker) drops below
+/// the per-seed LP + benefit-scan work it saves.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4000;
 
 impl Default for HeuristicOptions {
     fn default() -> Self {
@@ -67,6 +79,7 @@ impl Default for HeuristicOptions {
             lp_redistribution: true,
             migration: true,
             threads: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -78,6 +91,19 @@ impl HeuristicOptions {
             threads,
             ..HeuristicOptions::default()
         }
+    }
+}
+
+/// The worker-pool width a solve actually uses: the requested width,
+/// collapsed to 1 when the instance is below
+/// [`HeuristicOptions::parallel_threshold`]. Bit-identical either way
+/// (the proptests in `prop_parallel.rs` pin that), so this is purely a
+/// wall-clock decision.
+fn effective_threads(options: &HeuristicOptions, n_seeds: usize) -> usize {
+    if n_seeds < options.parallel_threshold {
+        1
+    } else {
+        options.threads.max(1)
     }
 }
 
@@ -400,7 +426,7 @@ fn solve_heuristic_inner(
     telemetry: Option<&Telemetry>,
 ) -> PlacementResult {
     let start = Instant::now();
-    let threads = options.threads.max(1);
+    let threads = effective_threads(&options, instance.seeds.len());
     // One-time per-solve precomputation: interned subjects and each
     // seed's minimum feasible allocation (both invariant across phases).
     let (_, interned) = SubjectInterner::for_instance(instance);
@@ -918,6 +944,26 @@ mod tests {
     use super::*;
     use crate::model::{validate, PlacementSeed, PlacementTask, PreviousPlacement};
     use farm_almanac::analysis::{UtilAnalysis, UtilBranch};
+
+    #[test]
+    fn parallel_threshold_gates_fan_out() {
+        let opts = HeuristicOptions::with_threads(8);
+        // Below the threshold a wide pool collapses to sequential …
+        assert_eq!(effective_threads(&opts, 0), 1);
+        assert_eq!(effective_threads(&opts, DEFAULT_PARALLEL_THRESHOLD - 1), 1);
+        // … at and above it the requested width applies.
+        assert_eq!(effective_threads(&opts, DEFAULT_PARALLEL_THRESHOLD), 8);
+        assert_eq!(effective_threads(&opts, 100_000), 8);
+        // threshold 0 forces the parallel path at any size.
+        let forced = HeuristicOptions {
+            parallel_threshold: 0,
+            ..HeuristicOptions::with_threads(3)
+        };
+        assert_eq!(effective_threads(&forced, 1), 3);
+        // threads 0 and 1 stay sequential everywhere.
+        let seq = HeuristicOptions::with_threads(0);
+        assert_eq!(effective_threads(&seq, 100_000), 1);
+    }
 
     fn linear_util(min_vcpu: f64, cap: f64) -> UtilAnalysis {
         UtilAnalysis {

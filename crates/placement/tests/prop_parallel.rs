@@ -26,12 +26,19 @@ fn workload() -> impl Strategy<Value = WorkloadConfig> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// threads=N ≡ threads=1 on fresh instances.
+    /// threads=N ≡ threads=1 on fresh instances. `parallel_threshold: 0`
+    /// forces the fan-out even on these small workloads — the default
+    /// threshold would (correctly) collapse them to sequential, which
+    /// is exactly the path this test must NOT take.
     #[test]
     fn parallel_solve_is_bit_identical(cfg in workload(), threads in 2usize..9) {
         let inst = generate(&cfg);
         let seq = solve_heuristic(&inst, HeuristicOptions::default());
-        let par = solve_heuristic(&inst, HeuristicOptions::with_threads(threads));
+        let par = solve_heuristic(&inst, HeuristicOptions {
+            threads,
+            parallel_threshold: 0,
+            ..HeuristicOptions::default()
+        });
         prop_assert_eq!(&par.assignment, &seq.assignment);
         prop_assert_eq!(par.utility.to_bits(), seq.utility.to_bits());
         prop_assert_eq!(par.migrations, seq.migrations);
@@ -54,7 +61,11 @@ proptest! {
         }
         inst1.previous = Some(prev);
         let seq = solve_heuristic(&inst1, HeuristicOptions::default());
-        let par = solve_heuristic(&inst1, HeuristicOptions::with_threads(threads));
+        let par = solve_heuristic(&inst1, HeuristicOptions {
+            threads,
+            parallel_threshold: 0,
+            ..HeuristicOptions::default()
+        });
         prop_assert!(validate(&inst1, &par).is_ok());
         prop_assert_eq!(&par.assignment, &seq.assignment);
         prop_assert_eq!(par.utility.to_bits(), seq.utility.to_bits());

@@ -38,8 +38,8 @@ fn submit_watcher(client: &CtlClient) -> (u64, u64) {
 }
 
 fn list_seeds(client: &CtlClient) -> Vec<farm_net::SeedDescriptor> {
-    match client.op(ControlOp::ListSeeds).expect("list rpc") {
-        ControlReply::Seeds { seeds } => seeds,
+    match client.op(ControlOp::list_all()).expect("list rpc") {
+        ControlReply::Seeds { seeds, .. } => seeds,
         other => panic!("list answered {other:?}"),
     }
 }
@@ -91,7 +91,7 @@ fn submit_list_drain_stats_shutdown_over_loopback() {
     assert_ne!(moved[0].switch, home, "seed left the drained switch");
 
     // Stats: a JSON body carrying the audit counters for what we did.
-    let stats = match client.op(ControlOp::Stats).expect("stats rpc") {
+    let stats = match client.op(ControlOp::stats_all()).expect("stats rpc") {
         ControlReply::Json { body } => body,
         other => panic!("stats answered {other:?}"),
     };
@@ -235,7 +235,7 @@ fn garbage_bytes_never_wedge_the_daemon() {
     // The daemon still serves well-formed clients afterwards.
     let client = CtlClient::connect(farmd.local_addr());
     assert!(matches!(
-        client.op(ControlOp::Stats).expect("stats rpc"),
+        client.op(ControlOp::stats_all()).expect("stats rpc"),
         ControlReply::Json { .. }
     ));
     farmd.stop();

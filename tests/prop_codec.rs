@@ -6,8 +6,8 @@
 use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
 use farm_net::wire::WireError;
 use farm_net::{
-    decode_envelope, encode_envelope, ControlOp, ControlReply, Diagnostic, Envelope, Frame, Report,
-    SeedDescriptor,
+    decode_envelope, encode_envelope, ControlOp, ControlReply, Decoded, Diagnostic, Envelope,
+    Frame, FrameDecoder, Report, SeedDescriptor,
 };
 use farm_netsim::switch::Resources;
 use farm_netsim::types::{FilterAtom, FilterFormula, FlowKey, Ipv4, PortSel, Prefix, Proto};
@@ -194,13 +194,25 @@ fn snapshot_strategy() -> BoxedStrategy<SeedSnapshot> {
         .boxed()
 }
 
+/// A listing cursor: the all-zero "everything" form (which encodes
+/// without trailing cursor bytes) plus arbitrary windows.
+fn cursor_strategy() -> BoxedStrategy<(u64, u64)> {
+    prop_oneof![
+        Just((0u64, 0u64)),
+        (any::<u64>(), any::<u64>()),
+        (0u64..128, 1u64..64),
+    ]
+    .boxed()
+}
+
 fn control_op_strategy() -> BoxedStrategy<ControlOp> {
     prop_oneof![
         ("[a-z]{1,8}", "[ -~]{0,48}")
             .prop_map(|(name, source)| ControlOp::SubmitProgram { name, source }),
-        Just(ControlOp::ListSeeds),
+        cursor_strategy()
+            .prop_map(|(from_index, limit)| ControlOp::ListSeeds { from_index, limit }),
         "[a-z/0-9]{1,16}".prop_map(|key| ControlOp::DescribeSeed { key }),
-        Just(ControlOp::Stats),
+        cursor_strategy().prop_map(|(from_index, limit)| ControlOp::Stats { from_index, limit }),
         Just(ControlOp::MetricsDump),
         any::<u32>().prop_map(|switch| ControlOp::Drain { switch }),
         any::<u32>().prop_map(|switch| ControlOp::Uncordon { switch }),
@@ -262,7 +274,13 @@ fn control_reply_strategy() -> BoxedStrategy<ControlReply> {
                 actions,
             }
         }),
-        vec(seed_descriptor_strategy(), 0..4).prop_map(|seeds| ControlReply::Seeds { seeds }),
+        (vec(seed_descriptor_strategy(), 0..4), cursor_strategy()).prop_map(
+            |(seeds, (next_index, total))| ControlReply::Seeds {
+                seeds,
+                next_index,
+                total
+            }
+        ),
         (
             seed_descriptor_strategy(),
             vec(("[a-z]{1,8}", "[ -~]{0,16}"), 0..4)
@@ -417,5 +435,51 @@ proptest! {
         if let Ok((_, consumed)) = decode_envelope(&bytes) {
             prop_assert!(consumed <= bytes.len());
         }
+    }
+
+    /// The event loop's incremental [`FrameDecoder`] must peel exactly
+    /// the same envelopes out of a byte stream as the one-shot decoder,
+    /// no matter how the kernel fragments the reads: the concatenated
+    /// encoding of several frames is replayed in arbitrary chunk sizes
+    /// (including single bytes) and the decoded sequence compared.
+    #[test]
+    fn incremental_decoder_matches_one_shot_on_any_split(
+        envs in vec(envelope_strategy(), 1..5),
+        chunks in vec(1usize..17, 0..32),
+    ) {
+        let mut stream = Vec::new();
+        for env in &envs {
+            encode_envelope(env, &mut stream);
+        }
+
+        // One-shot reference: repeated decode_envelope over the stream.
+        let mut reference = Vec::new();
+        let mut rest: &[u8] = &stream;
+        while !rest.is_empty() {
+            let (env, consumed) = decode_envelope(rest).expect("valid stream");
+            reference.push(env);
+            rest = &rest[consumed..];
+        }
+        prop_assert_eq!(&reference, &envs);
+
+        // Incremental: feed the same bytes in arbitrary fragments,
+        // draining complete frames after every fragment.
+        let mut decoder = FrameDecoder::new();
+        let mut incremental = Vec::new();
+        let mut offset = 0;
+        let mut sizes = chunks.iter().copied().cycle();
+        while offset < stream.len() {
+            let n = sizes.next().unwrap_or(1).min(stream.len() - offset);
+            decoder.extend(&stream[offset..offset + n]);
+            offset += n;
+            while let Some(decoded) = decoder.next().expect("clean framing") {
+                match decoded {
+                    Decoded::Frame(env, _) => incremental.push(env),
+                    Decoded::Bad { error, .. } => panic!("valid frame decoded as Bad: {error:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(decoder.buffered(), 0, "no residual bytes after full replay");
+        prop_assert_eq!(&incremental, &reference);
     }
 }

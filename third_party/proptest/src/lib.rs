@@ -1,0 +1,154 @@
+//! Vendored stand-in for `proptest`, present because this build runs
+//! with no network access and no crates.io registry. It implements the
+//! generation half of the proptest API this workspace uses — the
+//! `proptest!` / `prop_oneof!` / `prop_assert*!` macros, `Strategy`
+//! with `prop_map` / `prop_flat_map` / `prop_filter` / `boxed`,
+//! `BoxedStrategy`, `Just`, `any`, integer/float range strategies, a
+//! regex-subset `&str` strategy, tuples, and `collection::vec` — on a
+//! deterministic per-case RNG.
+//!
+//! Differences from upstream, deliberate for an offline test substrate:
+//! no shrinking (a failing case panics with the generated inputs fixed
+//! by the run's seed, so it reproduces exactly), and `&str` strategies
+//! accept only the character-class regex subset the workspace uses.
+//!
+//! Determinism contract (matches how CI drives upstream proptest):
+//! `PROPTEST_RNG_SEED` pins the master seed, `PROPTEST_CASES` overrides
+//! the default case count; explicit `ProptestConfig::with_cases` wins
+//! over the environment.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The body of a generated test; matching upstream, failures are
+/// surfaced by panicking (upstream would shrink first — we do not).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `fn name(pat in strategy, ..) { body }` items.
+/// Attributes (including the `#[test]` the caller writes, per upstream
+/// convention in this workspace) pass through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+            __runner.run_cases(|__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&{ $strat }, __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{TestRng, TestRunner};
+
+    #[test]
+    fn boxed_union_map_filter_compose() {
+        let s = prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2)]
+            .prop_filter("even only", |v| v % 2 == 0)
+            .boxed();
+        let cloned = s.clone();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(100));
+        runner.run_cases(|rng| {
+            // Just(1) is odd, so the filter forces a retry until the
+            // mapped arm hits: every value is even and in [20, 40).
+            for st in [&s, &cloned] {
+                let v = st.generate(rng);
+                assert!(v % 2 == 0 && (20..40).contains(&v), "got {v}");
+            }
+        });
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::seed(9);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!((1..=7).contains(&s.len()), "bad len: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let t = "[ -~]{0,16}".generate(&mut rng);
+            assert!(t.len() <= 16 && t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_generate_in_bounds() {
+        let mut rng = TestRng::seed(4);
+        let s = crate::collection::vec((0u8..4, any::<bool>()), 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|(n, _)| *n < 4));
+        }
+        let exact = crate::collection::vec(0i64..3, 7usize);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns bind, ranges stay in bounds.
+        #[test]
+        fn macro_generates_cases((a, b) in (0u32..10, 0u32..10), flag in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The regex subset behind `&str` strategies: a sequence of character
+//! classes, each optionally quantified.
+//!
+//! ```text
+//! pattern := ( class quant? )*
+//! class   := '[' ( ch '-' ch | ch )+ ']'            e.g. [a-z0-9_./ ]
+//! quant   := '{' n '}' | '{' n ',' m '}'            default: exactly 1
+//! ```
+//!
+//! This covers every pattern the workspace's property tests use
+//! (`"[a-z]{1,8}"`, `"[A-Z][a-z]{0,6}"`, `"[ -~]{0,16}"`, …); anything
+//! outside the subset panics loudly rather than silently mis-generating.
+
+use crate::test_runner::TestRng;
+
+struct Group {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Group> {
+    let mut groups = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        if c != '[' {
+            panic!("unsupported string-strategy pattern {pattern:?}: expected '[', got {c:?}");
+        }
+        let mut chars = Vec::new();
+        loop {
+            let c = it
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            if it.peek() == Some(&'-') {
+                // Peek past the '-': a trailing '-]' means a literal dash.
+                let mut ahead = it.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => chars.push(c),
+                    Some(&hi) => {
+                        it.next();
+                        it.next();
+                        assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+                        chars.extend((c..=hi).filter(|ch| ch.is_ascii()));
+                    }
+                }
+            } else {
+                chars.push(c);
+            }
+        }
+        assert!(!chars.is_empty(), "empty class in pattern {pattern:?}");
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            loop {
+                match it.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated quantifier in pattern {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier min"),
+                    hi.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        groups.push(Group { chars, min, max });
+    }
+    groups
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for g in parse(pattern) {
+        let n = g.min + rng.below(g.max - g.min + 1);
+        for _ in 0..n {
+            out.push(g.chars[rng.below(g.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_patterns_parse_and_bound() {
+        let mut rng = TestRng::seed(11);
+        for (pat, check) in [
+            ("[a-z]{1,8}", (1usize, 8usize)),
+            ("[A-Z][a-z]{0,6}", (1, 7)),
+            ("[ -~]{0,16}", (0, 16)),
+            ("[a-z/0-9]{1,16}", (1, 16)),
+            ("[a-z][a-z0-9_]{0,6}", (1, 7)),
+            ("[a-z0-9./]{0,8}", (0, 8)),
+            ("[a-z]{12}", (12, 12)),
+        ] {
+            for _ in 0..100 {
+                let s = generate_pattern(pat, &mut rng);
+                let n = s.chars().count();
+                assert!(
+                    (check.0..=check.1).contains(&n),
+                    "{pat}: bad length {n} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_membership_is_respected() {
+        let mut rng = TestRng::seed(12);
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z/0-9]{1,16}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+        }
+    }
+}

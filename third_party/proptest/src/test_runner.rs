@@ -1,0 +1,97 @@
+//! Case driving: the per-test config, the master-seeded RNG, and the
+//! loop that runs one closure per generated case.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Default case count when neither config nor environment says.
+const DEFAULT_CASES: u32 = 256;
+
+/// Master seed used when `PROPTEST_RNG_SEED` is unset. Arbitrary but
+/// fixed: every run of the suite sees the same inputs.
+const DEFAULT_SEED: u64 = 0x5eed_fa23_11c0_de01;
+
+/// The subset of proptest's config the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// An explicit case count; wins over `PROPTEST_CASES`.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per (master seed, case
+/// index), so a failing case reproduces under the same environment.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        RngExt::next_u64(&mut self.inner)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random()
+    }
+}
+
+/// Runs the per-case closure `config.cases` times, each on a fresh
+/// case-derived RNG.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    master_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        let master_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner {
+            config,
+            master_seed,
+        }
+    }
+
+    pub fn run_cases(&mut self, mut case: impl FnMut(&mut TestRng)) {
+        for i in 0..self.config.cases {
+            // Golden-ratio stride decorrelates neighbouring cases.
+            let seed = self
+                .master_seed
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::seed(seed);
+            case(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde`, present because this build runs with
+//! no network access and no crates.io registry. In this workspace the
+//! serde derives are inert decoration — nothing in-tree drives a
+//! serializer — so the traits are blanket-implemented markers and the
+//! derives (re-exported from the stub `serde_derive`) expand to nothing.
+//!
+//! Like real serde, the trait and the derive macro share one name: Rust
+//! resolves `#[derive(Serialize)]` in the macro namespace and trait
+//! bounds in the type namespace.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

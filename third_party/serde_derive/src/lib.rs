@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde_derive`, used because this build runs
+//! with no network access and no crates.io registry. The workspace only
+//! uses `#[derive(Serialize, Deserialize)]` as inert decoration (no
+//! serializer backend exists in-tree), so the derives expand to nothing;
+//! the marker traits in the sibling `serde` stub are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
