@@ -1071,6 +1071,13 @@ impl Farm {
                     seed,
                     attempts,
                 });
+                // Giving up on re-placement must not erase the seed's
+                // last known state: park the snapshot back in the
+                // checkpoint store so it stays exportable (and restores
+                // if the seed is ever planted again).
+                if let Some(snap) = item.snapshot.take() {
+                    self.checkpoints.insert(key, snap);
+                }
                 continue;
             }
             // Exponential backoff: base × 2^(attempts-1).
@@ -1272,12 +1279,23 @@ impl Farm {
 
     /// The checkpoint store as portable entries, sorted by the key's
     /// display form — what the daemon persists into a checkpoint file.
+    ///
+    /// Seeds sitting in the recovery queue carry their last checkpoint
+    /// with them (it left the store when they were orphaned); those are
+    /// exported too, so a daemon that dies mid-recovery still has every
+    /// crashed seed's state in its final file.
     pub fn export_checkpoints(&self) -> Vec<(SeedKey, SeedSnapshot)> {
         let mut out: Vec<(SeedKey, SeedSnapshot)> = self
             .checkpoints
             .iter()
             .map(|(k, s)| (k.clone(), s.clone()))
             .collect();
+        out.extend(self.recovery.iter().filter_map(|(k, item)| {
+            if self.checkpoints.contains_key(k) {
+                return None;
+            }
+            item.snapshot.as_ref().map(|s| (k.clone(), s.clone()))
+        }));
         out.sort_by_cached_key(|(k, _)| k.to_string());
         out
     }

@@ -2,10 +2,11 @@
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use farm_ctl::json::{array, Obj};
 use farm_ctl::CtlClient;
-use farm_net::{ControlOp, ControlReply, SeedDescriptor};
+use farm_net::{ControlOp, ControlReply, NetError, SeedDescriptor};
 
 const USAGE: &str = "\
 farmctl - FARM control-plane client
@@ -32,12 +33,16 @@ COMMANDS:
 OPTIONS:
     --addr <addr>   farmd address (default 127.0.0.1:7373)
     --json          Machine-readable output
+    --retry <n>     Retry a failed connection up to n times with
+                    exponential backoff (for upgrade windows where
+                    farmd is briefly down)
     -h, --help      Show this help
 ";
 
 fn main() -> ExitCode {
     let mut addr: SocketAddr = "127.0.0.1:7373".parse().expect("default addr");
     let mut json = false;
+    let mut retries = 0u64;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,6 +52,10 @@ fn main() -> ExitCode {
                 _ => return fail("bad or missing --addr value"),
             },
             "--json" => json = true,
+            "--retry" => match args.next().map(|a| a.parse()) {
+                Some(Ok(n)) => retries = n,
+                _ => return fail("--retry needs a non-negative attempt count"),
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -62,33 +71,72 @@ fn main() -> ExitCode {
         Ok(op) => op,
         Err(msg) => return fail(&msg),
     };
-    let client = CtlClient::connect(addr);
+    let mut session = Session::connect(addr, retries);
     // A bounded `list` streams: follow next_index until the listing is
     // exhausted, so `--limit` callers still see every seed.
     if let ControlOp::ListSeeds { from_index, limit } = &op {
         if *limit != 0 {
-            return list_pages(&client, addr, *from_index, *limit, json);
+            return list_pages(&mut session, *from_index, *limit, json);
         }
     }
-    match client.op(op) {
+    match session.op(op) {
         Ok(reply) => render(&reply, json),
         Err(e) => fail(&format!("{addr}: {e}")),
     }
 }
 
+/// A farmd session with bounded connection retry: ops that die on a
+/// connection-shaped error (`ECONNREFUSED` during an upgrade window, a
+/// timeout, a dropped session) are retried against a fresh connection
+/// with exponential backoff — the same 2× doubling shape farm-net's
+/// reconnect supervisor uses. Server-side rejections never retry.
+struct Session {
+    addr: SocketAddr,
+    retries: u64,
+    client: CtlClient,
+}
+
+impl Session {
+    fn connect(addr: SocketAddr, retries: u64) -> Session {
+        Session {
+            addr,
+            retries,
+            client: CtlClient::connect(addr),
+        }
+    }
+
+    fn op(&mut self, op: ControlOp) -> Result<ControlReply, NetError> {
+        let mut backoff = Duration::from_millis(50);
+        let mut attempt = 0u64;
+        loop {
+            match self.client.op(op.clone()) {
+                Err(e @ (NetError::Closed | NetError::Disconnected | NetError::Timeout))
+                    if attempt < self.retries =>
+                {
+                    attempt += 1;
+                    eprintln!(
+                        "farmctl: {}: {e}; retrying ({attempt}/{}) in {}ms",
+                        self.addr,
+                        self.retries,
+                        backoff.as_millis()
+                    );
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                    self.client = CtlClient::connect(self.addr);
+                }
+                out => return out,
+            }
+        }
+    }
+}
+
 /// Pages through `ListSeeds` with the given cursor, accumulating every
 /// page; the merged result renders exactly like an unpaginated listing.
-fn list_pages(
-    client: &CtlClient,
-    addr: SocketAddr,
-    mut from_index: u64,
-    limit: u64,
-    json: bool,
-) -> ExitCode {
+fn list_pages(session: &mut Session, mut from_index: u64, limit: u64, json: bool) -> ExitCode {
     let mut all: Vec<SeedDescriptor> = Vec::new();
     let mut total;
     loop {
-        match client.op(ControlOp::ListSeeds { from_index, limit }) {
+        match session.op(ControlOp::ListSeeds { from_index, limit }) {
             Ok(ControlReply::Seeds {
                 seeds,
                 next_index,
@@ -102,7 +150,7 @@ fn list_pages(
                 from_index = next_index;
             }
             Ok(other) => return render(&other, json),
-            Err(e) => return fail(&format!("{addr}: {e}")),
+            Err(e) => return fail(&format!("{}: {e}", session.addr)),
         }
     }
     render(
@@ -250,8 +298,25 @@ fn render(reply: &ControlReply, json: bool) -> ExitCode {
             actions,
             dropped_tasks,
         } => println!("replanned: {actions} actions, {dropped_tasks} dropped task(s)"),
-        ControlReply::Checkpointed { seeds } => println!("checkpointed {seeds} seed(s)"),
-        ControlReply::Restored { seeds } => println!("restored {seeds} seed(s)"),
+        ControlReply::Checkpointed {
+            seeds,
+            persist_error,
+        } => {
+            println!("checkpointed {seeds} seed(s)");
+            // Partial success: the in-memory checkpoint happened even
+            // though the file write failed — warn, don't fail.
+            if let Some(e) = persist_error {
+                eprintln!("farmctl: warning: checkpoint not persisted: {e}");
+            }
+        }
+        ControlReply::Restored { seeds, skipped } => {
+            println!("restored {seeds} seed(s)");
+            if *skipped != 0 {
+                eprintln!(
+                    "farmctl: warning: {skipped} checkpoint entr(ies) skipped (bad seed key)"
+                );
+            }
+        }
         ControlReply::Rejected { reason } => {
             eprintln!("farmctl: rejected: {reason}");
             return ExitCode::FAILURE;
@@ -332,14 +397,25 @@ fn reply_json(reply: &ControlReply) -> String {
             .num("actions", *actions)
             .num("dropped_tasks", *dropped_tasks)
             .finish(),
-        ControlReply::Checkpointed { seeds } => Obj::new()
-            .str("status", "checkpointed")
-            .num("seeds", *seeds)
-            .finish(),
-        ControlReply::Restored { seeds } => Obj::new()
-            .str("status", "restored")
-            .num("seeds", *seeds)
-            .finish(),
+        ControlReply::Checkpointed {
+            seeds,
+            persist_error,
+        } => {
+            let mut obj = Obj::new()
+                .str("status", "checkpointed")
+                .num("seeds", *seeds);
+            if let Some(e) = persist_error {
+                obj = obj.str("persist_error", e);
+            }
+            obj.finish()
+        }
+        ControlReply::Restored { seeds, skipped } => {
+            let mut obj = Obj::new().str("status", "restored").num("seeds", *seeds);
+            if *skipped != 0 {
+                obj = obj.num("skipped", *skipped);
+            }
+            obj.finish()
+        }
         ControlReply::Rejected { reason } => Obj::new()
             .str("status", "rejected")
             .str("reason", reason)

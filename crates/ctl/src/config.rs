@@ -135,6 +135,17 @@ impl Table {
         }
     }
 
+    fn bool(&mut self, key: &str) -> Result<Option<bool>, ConfigError> {
+        match self.take_known(key) {
+            None => Ok(None),
+            Some((_, Value::Bool(b))) => Ok(Some(b)),
+            Some((line, v)) => Err(err(
+                line,
+                format!("`{key}` must be a boolean, got {}", v.type_name()),
+            )),
+        }
+    }
+
     fn f64(&mut self, key: &str) -> Result<Option<f64>, ConfigError> {
         match self.take_known(key) {
             None => Ok(None),
@@ -208,6 +219,16 @@ pub struct FarmdConfig {
     /// versioned snapshot here, and `Restore` ops reload it (including
     /// files written by the pre-versioning layout).
     pub checkpoint_path: Option<PathBuf>,
+    /// Periodic checkpoint cadence (needs `checkpoint_path`); `None`
+    /// disables the ticker and leaves checkpoints manual.
+    pub checkpoint_interval: Option<Duration>,
+    /// Reload the checkpoint file at startup (programs recompiled, seed
+    /// state restored) before serving the first op. Default on; only
+    /// meaningful with `checkpoint_path`.
+    pub restore_on_boot: bool,
+    /// Optional PID file for external supervisors; written at startup,
+    /// removed on graceful exit.
+    pub pid_file: Option<PathBuf>,
     /// Hosted fabric shape: spine switches.
     pub spines: usize,
     /// Hosted fabric shape: leaf switches.
@@ -222,6 +243,21 @@ pub struct FarmdConfig {
     pub quota: f64,
     /// Largest accepted Almanac submission, bytes.
     pub max_program_bytes: usize,
+    /// Wall-clock cadence at which the core advances the hosted farm's
+    /// virtual clock (driving heartbeats, fault injection and recovery
+    /// while the daemon idles); `None` leaves virtual time op-driven.
+    pub tick_interval: Option<Duration>,
+    /// Deterministic churn injection: seed of a generated
+    /// [`farm_faults::FaultPlan`] over the leaf switches. `None` runs
+    /// fault-free. Only effective alongside `tick_interval`.
+    pub fault_seed: Option<u64>,
+    /// Virtual-time offset before the first injected fault — a warmup
+    /// window so submissions land on a healthy fabric before churn.
+    pub fault_start: Duration,
+    /// Mean gap between injected churn faults, virtual time.
+    pub fault_mean_gap: Duration,
+    /// How far into virtual time the generated churn plan extends.
+    pub fault_horizon: Duration,
 }
 
 impl Default for FarmdConfig {
@@ -232,12 +268,20 @@ impl Default for FarmdConfig {
             shutdown_drain: Duration::from_millis(100),
             event_log: None,
             checkpoint_path: None,
+            checkpoint_interval: None,
+            restore_on_boot: true,
+            pid_file: None,
             spines: 2,
             leaves: 3,
             replan_interval: None,
             placement_threads: 1,
             quota: 1.0,
             max_program_bytes: 1 << 20,
+            tick_interval: None,
+            fault_seed: None,
+            fault_start: Duration::ZERO,
+            fault_mean_gap: Duration::from_millis(40),
+            fault_horizon: Duration::from_secs(60),
         }
     }
 }
@@ -269,6 +313,15 @@ impl FarmdConfig {
         if let Some(p) = t.str("server.checkpoint_path")? {
             cfg.checkpoint_path = Some(PathBuf::from(p));
         }
+        if let Some(ms) = t.u64("server.checkpoint_interval_ms")? {
+            cfg.checkpoint_interval = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(b) = t.bool("server.restore_on_boot")? {
+            cfg.restore_on_boot = b;
+        }
+        if let Some(p) = t.str("server.pid_file")? {
+            cfg.pid_file = Some(PathBuf::from(p));
+        }
         if let Some(n) = t.u64("farm.spines")? {
             cfg.spines = n as usize;
         }
@@ -280,6 +333,21 @@ impl FarmdConfig {
         }
         if let Some(n) = t.u64("farm.placement_threads")? {
             cfg.placement_threads = n as usize;
+        }
+        if let Some(ms) = t.u64("farm.tick_interval_ms")? {
+            cfg.tick_interval = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(n) = t.u64("faults.seed")? {
+            cfg.fault_seed = Some(n);
+        }
+        if let Some(ms) = t.u64("faults.start_ms")? {
+            cfg.fault_start = Duration::from_millis(ms);
+        }
+        if let Some(ms) = t.u64("faults.mean_gap_ms")? {
+            cfg.fault_mean_gap = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = t.u64("faults.horizon_ms")? {
+            cfg.fault_horizon = Duration::from_millis(ms.max(1));
         }
         if let Some(q) = t.f64("admission.quota")? {
             if !(q > 0.0 && q <= 1.0) {
@@ -398,5 +466,42 @@ mod tests {
         let cfg =
             FarmdConfig::from_toml_str("[farm]\nreplan_interval_ms = 0 # disabled\n").unwrap();
         assert!(cfg.replan_interval.is_none());
+        let cfg = FarmdConfig::from_toml_str("[server]\ncheckpoint_interval_ms = 0\n").unwrap();
+        assert!(cfg.checkpoint_interval.is_none());
+    }
+
+    #[test]
+    fn lifecycle_keys_parse() {
+        let cfg = FarmdConfig::from_toml_str(
+            "[server]\ncheckpoint_interval_ms = 250\nrestore_on_boot = false\n\
+             pid_file = \"/tmp/farmd.pid\"\n[farm]\ntick_interval_ms = 5\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.checkpoint_interval, Some(Duration::from_millis(250)));
+        assert!(!cfg.restore_on_boot);
+        assert_eq!(
+            cfg.pid_file.as_deref(),
+            Some(std::path::Path::new("/tmp/farmd.pid"))
+        );
+        assert_eq!(cfg.tick_interval, Some(Duration::from_millis(5)));
+        // Defaults: restore-on-boot is opt-out, tickers are opt-in.
+        let d = FarmdConfig::default();
+        assert!(d.restore_on_boot);
+        assert!(d.checkpoint_interval.is_none() && d.tick_interval.is_none());
+    }
+
+    #[test]
+    fn fault_churn_keys_parse() {
+        let cfg = FarmdConfig::from_toml_str(
+            "[faults]\nseed = 1337\nstart_ms = 500\nmean_gap_ms = 15\nhorizon_ms = 2000\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.fault_seed, Some(1337));
+        assert_eq!(cfg.fault_start, Duration::from_millis(500));
+        assert_eq!(cfg.fault_mean_gap, Duration::from_millis(15));
+        assert_eq!(cfg.fault_horizon, Duration::from_millis(2000));
+        assert!(FarmdConfig::from_toml_str("").unwrap().fault_seed.is_none());
+        let e = FarmdConfig::from_toml_str("[server]\nrestore_on_boot = 1\n").unwrap_err();
+        assert!(e.message.contains("must be a boolean"), "{e}");
     }
 }

@@ -16,6 +16,7 @@
 //! every served op is audited through `ctl.*` counters, the
 //! `ctl.op_latency_us` histogram, and `control-op` events.
 
+pub mod ckpt;
 pub mod client;
 pub mod config;
 pub mod json;

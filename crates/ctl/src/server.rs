@@ -25,13 +25,14 @@ use farm_almanac::compile::compile_task_with_diagnostics;
 use farm_core::prelude::*;
 use farm_core::seeder::SeedKey;
 use farm_net::{
-    decode_checkpoint_file, encode_checkpoint_file, ControlOp, ControlReply, Diagnostic, Envelope,
-    Frame, NetServer, SeedDescriptor, VSeedSnapshot,
+    decode_checkpoint_any, encode_checkpoint_doc, CheckpointDoc, ControlOp, ControlReply,
+    Diagnostic, Envelope, Frame, NetServer, SeedDescriptor, VSeedSnapshot,
 };
 use farm_netsim::controller::SdnController;
 use farm_netsim::switch::{Resources, SwitchModel};
 use farm_netsim::types::SwitchId;
 
+use crate::ckpt;
 use crate::config::FarmdConfig;
 use crate::json::{array, snapshot_json, Obj};
 
@@ -171,7 +172,50 @@ impl Drop for Farmd {
     }
 }
 
-/// The core thread: owns the farm, serves ops in order, ticks replans.
+/// The daemon's single-threaded heart: the farm it owns, the catalog of
+/// submitted program sources (persisted into checkpoints so a cold
+/// restart can recompile them), and the durability telemetry.
+struct Core {
+    farm: Farm,
+    config: FarmdConfig,
+    /// Source of every submitted task, by name — what `FARMCKP2`
+    /// program records are written from.
+    programs: BTreeMap<String, String>,
+}
+
+impl Core {
+    fn telemetry(&self) -> Telemetry {
+        self.farm.telemetry().clone()
+    }
+}
+
+/// The deterministic churn plan `[faults] seed` asks for: crashes and
+/// PCIe degradation over the leaf tier (leaves host seeds; leaf↔leaf
+/// links don't exist in a spine-leaf fabric, so link flaps are left
+/// out). Faults begin `fault_start` into virtual time — the warmup
+/// window that lets the catalog load on a healthy fabric — and extend
+/// `fault_horizon` beyond that.
+fn churn_plan(config: &FarmdConfig, seed: u64) -> FaultPlan {
+    let leaves: Vec<SwitchId> = (config.spines..config.spines + config.leaves)
+        .map(|i| SwitchId(i as u32))
+        .collect();
+    let start = Time::ZERO + Dur::from_nanos(config.fault_start.as_nanos() as u64);
+    FaultPlan::churn(
+        seed,
+        &leaves,
+        start,
+        start + Dur::from_nanos(config.fault_horizon.as_nanos() as u64),
+        ChurnProfile {
+            mean_gap: Dur::from_nanos(config.fault_mean_gap.as_nanos() as u64),
+            weights: [2, 0, 1],
+            ..ChurnProfile::default()
+        },
+    )
+}
+
+/// The core thread: owns the farm, serves ops in order, ticks replans,
+/// periodic checkpoints and virtual time; on shutdown it drains queued
+/// ops and writes a final checkpoint.
 fn core_loop(
     config: FarmdConfig,
     rx: mpsc::Receiver<CoreMsg>,
@@ -185,6 +229,9 @@ fn core_loop(
         SwitchModel::accton_as5712(),
     );
     let mut builder = Farm::builder(topo).with_placement_threads(config.placement_threads);
+    if let Some(seed) = config.fault_seed {
+        builder = builder.with_fault_plan(churn_plan(&config, seed));
+    }
     if let Some(path) = &config.event_log {
         match std::fs::File::create(path) {
             Ok(f) => {
@@ -195,26 +242,45 @@ fn core_loop(
             Err(e) => eprintln!("farmd: cannot open event log {}: {e}", path.display()),
         }
     }
-    let mut farm = builder.build();
+    let farm = builder.build();
     let telemetry = farm.telemetry().clone();
+    let mut core = Core {
+        farm,
+        config,
+        programs: BTreeMap::new(),
+    };
+    if core.config.restore_on_boot && core.config.checkpoint_path.is_some() {
+        match restore(&mut core) {
+            ControlReply::Restored { seeds, skipped } if seeds > 0 || skipped > 0 => {
+                eprintln!("farmd: boot restore: {seeds} seed(s) restored, {skipped} skipped");
+            }
+            ControlReply::Rejected { reason } => {
+                eprintln!("farmd: boot restore failed: {reason}");
+            }
+            _ => {}
+        }
+    }
     if ready.send(telemetry.clone()).is_err() {
         return;
     }
     let ops = telemetry.counter("ctl.ops");
     let rejected = telemetry.counter("ctl.rejected");
     let latency = telemetry.latency_histogram("ctl.op_latency_us");
+    let booted = Instant::now();
     let mut last_replan = Instant::now();
+    let mut last_ckpt = Instant::now();
+    let mut last_tick = Instant::now();
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        match rx.recv_timeout(Duration::from_millis(25)) {
+        match rx.recv_timeout(Duration::from_millis(5)) {
             Ok(CoreMsg { op, reply }) => {
                 let started = Instant::now();
                 let kind = op.kind();
                 ops.inc();
                 telemetry.counter(&format!("ctl.op.{kind}")).inc();
-                let out = serve_op(&mut farm, &config, &op);
+                let out = serve_op(&mut core, &op);
                 let elapsed_us = started.elapsed().as_micros() as u64;
                 latency.record(elapsed_us);
                 let outcome = match &out {
@@ -224,7 +290,7 @@ fn core_loop(
                     }
                     _ => "ok",
                 };
-                let at_ns = farm.now().as_nanos();
+                let at_ns = core.farm.now().as_nanos();
                 telemetry.emit_with(|| Event::ControlOp {
                     at_ns,
                     op: kind.to_string(),
@@ -242,20 +308,49 @@ fn core_loop(
             // Farmd was dropped without a shutdown op.
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
-        if let Some(every) = config.replan_interval {
-            if last_replan.elapsed() >= every {
-                last_replan = Instant::now();
-                let _ = farm.replan();
+        if let Some(every) = core.config.tick_interval {
+            // Advance virtual time in wall-clock lockstep so heartbeats,
+            // fault injection and recovery run while the daemon idles;
+            // `tick_interval` bounds how stale the virtual clock runs.
+            if last_tick.elapsed() >= every {
+                last_tick = Instant::now();
+                let target = Time::ZERO + Dur::from_nanos(booted.elapsed().as_nanos() as u64);
+                core.farm.advance(target);
             }
         }
+        if let Some(every) = core.config.replan_interval {
+            if last_replan.elapsed() >= every {
+                last_replan = Instant::now();
+                let _ = core.farm.replan();
+            }
+        }
+        if let Some(every) = core.config.checkpoint_interval {
+            if last_ckpt.elapsed() >= every {
+                last_ckpt = Instant::now();
+                checkpoint(&mut core);
+            }
+        }
+    }
+    // Shutdown: serve whatever the handlers already queued (they block
+    // on these replies), then make the state durable one last time.
+    while let Ok(CoreMsg { op, reply }) = rx.try_recv() {
+        let out = match op {
+            ControlOp::Shutdown => ControlReply::Ok,
+            op => serve_op(&mut core, &op),
+        };
+        let _ = reply.send(out);
+    }
+    if core.config.checkpoint_path.is_some() {
+        checkpoint(&mut core);
     }
 }
 
 /// Serves one control op against the farm. Total: every failure becomes
 /// a structured reply, never a panic.
-fn serve_op(farm: &mut Farm, config: &FarmdConfig, op: &ControlOp) -> ControlReply {
+fn serve_op(core: &mut Core, op: &ControlOp) -> ControlReply {
+    let farm = &mut core.farm;
     match op {
-        ControlOp::SubmitProgram { name, source } => submit(farm, config, name, source),
+        ControlOp::SubmitProgram { name, source } => submit(core, name, source),
         ControlOp::ListSeeds { from_index, limit } => list_seeds(farm, *from_index, *limit),
         ControlOp::DescribeSeed { key } => describe(farm, key),
         ControlOp::Stats { from_index, limit } => ControlReply::Json {
@@ -288,15 +383,20 @@ fn serve_op(farm: &mut Farm, config: &FarmdConfig, op: &ControlOp) -> ControlRep
                 reason: e.to_string(),
             },
         },
-        ControlOp::Checkpoint => checkpoint(farm, config),
-        ControlOp::Restore => restore(farm, config),
+        ControlOp::Checkpoint => checkpoint(core),
+        ControlOp::Restore => restore(core),
         ControlOp::Shutdown => ControlReply::Ok,
     }
 }
 
 /// `SubmitProgram`: size gate → server-side compile with collected
 /// diagnostics → admission control → deploy.
-fn submit(farm: &mut Farm, config: &FarmdConfig, name: &str, source: &str) -> ControlReply {
+fn submit(core: &mut Core, name: &str, source: &str) -> ControlReply {
+    let Core {
+        farm,
+        config,
+        programs,
+    } = core;
     if name.is_empty()
         || !name
             .chars()
@@ -347,11 +447,16 @@ fn submit(farm: &mut Farm, config: &FarmdConfig, name: &str, source: &str) -> Co
     }
     let seeds = task.num_seeds() as u64;
     match farm.deploy_compiled(task) {
-        Ok(plan) => ControlReply::Submitted {
-            task: name.to_string(),
-            seeds,
-            actions: plan.actions.len() as u64,
-        },
+        Ok(plan) => {
+            // Remember the source: checkpoints persist the catalog so a
+            // restarted daemon can recompile and re-place every task.
+            programs.insert(name.to_string(), source.to_string());
+            ControlReply::Submitted {
+                task: name.to_string(),
+                seeds,
+                actions: plan.actions.len() as u64,
+            }
+        }
         Err(e) => ControlReply::Rejected {
             reason: e.to_string(),
         },
@@ -408,40 +513,89 @@ fn admission_check(
 }
 
 /// `Checkpoint`: captures every live seed, then — when a checkpoint
-/// path is configured — persists the store as a versioned
-/// [`VSeedSnapshot`] checkpoint file.
-fn checkpoint(farm: &mut Farm, config: &FarmdConfig) -> ControlReply {
-    let seeds = farm.checkpoint_seeds() as u64;
-    if let Some(path) = &config.checkpoint_path {
-        let entries: Vec<(String, VSeedSnapshot)> = farm
-            .export_checkpoints()
-            .into_iter()
-            .map(|(key, snap)| (key.to_string(), VSeedSnapshot::from(snap)))
-            .collect();
-        if let Err(e) = std::fs::write(path, encode_checkpoint_file(&entries)) {
-            return ControlReply::Rejected {
-                reason: format!(
-                    "checkpointed {seeds} seed(s) but could not write {}: {e}",
-                    path.display()
-                ),
-            };
+/// path is configured — persists the program catalog plus every
+/// snapshot as a `FARMCKP2` file, atomically (temp + fsync + rename).
+///
+/// Persistence failure is *partial success*, not rejection: the
+/// in-memory checkpoint already happened, so the reply carries the
+/// seed count alongside `persist_error` instead of discarding it.
+fn checkpoint(core: &mut Core) -> ControlReply {
+    let seeds = core.farm.checkpoint_seeds() as u64;
+    let mut persist_error = None;
+    if let Some(path) = &core.config.checkpoint_path {
+        // Drop catalog entries whose task has since been evicted or
+        // drained away entirely; the file mirrors the live farm.
+        let live = core.farm.seeder().task_names();
+        core.programs
+            .retain(|name, _| live.iter().any(|t| t == name));
+        let doc = CheckpointDoc {
+            programs: core
+                .programs
+                .iter()
+                .map(|(n, s)| (n.clone(), s.clone()))
+                .collect(),
+            seeds: core
+                .farm
+                .export_checkpoints()
+                .into_iter()
+                .map(|(key, snap)| (key.to_string(), VSeedSnapshot::from(snap)))
+                .collect(),
+        };
+        let bytes = encode_checkpoint_doc(&doc);
+        let telemetry = core.telemetry();
+        let started = Instant::now();
+        match ckpt::write_atomic(path, &bytes) {
+            Ok(()) => {
+                telemetry
+                    .latency_histogram("ckpt.write_us")
+                    .record(started.elapsed().as_micros() as u64);
+                telemetry.gauge("ckpt.bytes").set(bytes.len() as f64);
+                telemetry.counter("ckpt.writes").inc();
+            }
+            Err(e) => {
+                telemetry.counter("ckpt.write_errors").inc();
+                persist_error = Some(format!("could not write {}: {e}", path.display()));
+            }
         }
     }
-    ControlReply::Checkpointed { seeds }
+    ControlReply::Checkpointed {
+        seeds,
+        persist_error,
+    }
 }
 
 /// `Restore`: when a checkpoint path is configured and the file exists,
-/// reloads it (versioned or pre-versioning legacy layout alike) into
-/// the checkpoint store first, then rolls live seeds back. Entries for
-/// seeds that no longer exist are loaded but simply never matched.
-fn restore(farm: &mut Farm, config: &FarmdConfig) -> ControlReply {
-    if let Some(path) = &config.checkpoint_path {
-        match std::fs::read(path) {
-            Ok(bytes) => match decode_checkpoint_file(&bytes) {
-                Ok(entries) => {
-                    farm.import_checkpoints(entries.into_iter().filter_map(|(key, snap)| {
-                        Some((parse_seed_key(&key)?, snap.into_latest()))
-                    }));
+/// reloads it (any generation: salvageable `FARMCKP2`, strict
+/// `FARMCKP1`, pre-versioning legacy). Program records recompile and
+/// re-place any task missing from the live catalog — this is what lets
+/// a freshly started daemon come back whole — then snapshots land in
+/// the checkpoint store and live seeds roll back to them.
+///
+/// Entries whose seed key no longer parses are counted into `skipped`
+/// and the `ctl.restore_skipped` counter instead of vanishing.
+fn restore(core: &mut Core) -> ControlReply {
+    let telemetry = core.telemetry();
+    let mut skipped = 0u64;
+    if let Some(path) = core.config.checkpoint_path.clone() {
+        match std::fs::read(&path) {
+            Ok(bytes) => match decode_checkpoint_any(&bytes) {
+                Ok(load) => {
+                    if load.salvaged || load.corrupt_records > 0 {
+                        let recovered = load.doc.programs.len() + load.doc.seeds.len();
+                        telemetry
+                            .counter("ckpt.salvaged_entries")
+                            .add(recovered as u64);
+                        eprintln!(
+                            "farmd: checkpoint {} was damaged; salvaged {recovered} record(s), \
+                             dropped {}",
+                            path.display(),
+                            load.corrupt_records
+                        );
+                    }
+                    for (name, source) in &load.doc.programs {
+                        redeploy_program(core, name, source);
+                    }
+                    skipped = import_seed_entries(&mut core.farm, load.doc.seeds);
                 }
                 Err(e) => {
                     return ControlReply::Rejected {
@@ -458,8 +612,53 @@ fn restore(farm: &mut Farm, config: &FarmdConfig) -> ControlReply {
             }
         }
     }
+    if skipped > 0 {
+        telemetry.counter("ctl.restore_skipped").add(skipped);
+    }
     ControlReply::Restored {
-        seeds: farm.restore_seeds() as u64,
+        seeds: core.farm.restore_seeds() as u64,
+        skipped,
+    }
+}
+
+/// Loads checkpoint-file seed entries into the farm's checkpoint store,
+/// returning how many were dropped for unparseable keys.
+fn import_seed_entries(farm: &mut Farm, entries: Vec<(String, VSeedSnapshot)>) -> u64 {
+    let mut skipped = 0u64;
+    farm.import_checkpoints(entries.into_iter().filter_map(|(key, snap)| {
+        let Some(parsed) = parse_seed_key(&key) else {
+            skipped += 1;
+            return None;
+        };
+        Some((parsed, snap.into_latest()))
+    }));
+    skipped
+}
+
+/// Recompiles and re-places one program from a checkpoint's catalog
+/// records. Already-deployed tasks are left alone (a live `Restore`
+/// op), and compile or placement failures are logged, not fatal —
+/// crash recovery must restore every task it still can. Admission
+/// control is deliberately bypassed: these tasks were admitted before
+/// the restart.
+fn redeploy_program(core: &mut Core, name: &str, source: &str) {
+    if core.farm.seeder().task_names().iter().any(|t| t == name) {
+        core.programs
+            .entry(name.to_string())
+            .or_insert_with(|| source.to_string());
+        return;
+    }
+    let ctl = SdnController::new(core.farm.network().topology());
+    let report = compile_task_with_diagnostics(name, source, &BTreeMap::new(), &ctl);
+    let Some(task) = report.task else {
+        eprintln!("farmd: restore: program `{name}` no longer compiles; skipping");
+        return;
+    };
+    match core.farm.deploy_compiled(task) {
+        Ok(_) => {
+            core.programs.insert(name.to_string(), source.to_string());
+        }
+        Err(e) => eprintln!("farmd: restore: cannot re-place `{name}`: {e}"),
     }
 }
 

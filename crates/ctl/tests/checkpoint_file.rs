@@ -1,14 +1,16 @@
-//! Checkpoint-file persistence: farmd writes versioned `FARMCKP1`
-//! checkpoint files, and `Restore` accepts both those and the
-//! pre-versioning legacy layout (no magic, untagged snapshot bodies).
+//! Checkpoint-file persistence: farmd writes self-verifying `FARMCKP2`
+//! checkpoint files (CRC-framed records, salvageable after torn
+//! writes), and `Restore` accepts those plus both older generations —
+//! versioned `FARMCKP1` and the pre-versioning legacy layout (no magic,
+//! untagged snapshot bodies).
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use farm_ctl::{CtlClient, Farmd, FarmdConfig};
-use farm_net::snapshot::{encode_vsnapshot, VSeedSnapshot, CHECKPOINT_MAGIC};
+use farm_net::snapshot::{encode_vsnapshot, VSeedSnapshot, CHECKPOINT_MAGIC_V2};
 use farm_net::wire::{put_str, put_varint};
-use farm_net::{ControlOp, ControlReply};
+use farm_net::{decode_checkpoint_any, ControlOp, ControlReply};
 use farm_soil::SeedSnapshot;
 
 const WATCHER: &str = include_str!("../../../examples/load_watcher.alm");
@@ -67,18 +69,73 @@ fn checkpoint_writes_versioned_file_and_restore_round_trips() {
     submit_watcher(&client);
 
     match client.op(ControlOp::Checkpoint).expect("checkpoint rpc") {
-        ControlReply::Checkpointed { seeds } => assert_eq!(seeds, 1),
+        ControlReply::Checkpointed {
+            seeds,
+            persist_error,
+        } => {
+            assert_eq!(seeds, 1);
+            assert_eq!(persist_error, None, "durable write must succeed");
+        }
         other => panic!("checkpoint answered {other:?}"),
     }
     let bytes = std::fs::read(&path).expect("checkpoint file written");
     assert!(
-        bytes.starts_with(CHECKPOINT_MAGIC),
-        "file must lead with the FARMCKP1 magic, got {:?}",
+        bytes.starts_with(CHECKPOINT_MAGIC_V2),
+        "file must lead with the FARMCKP2 magic, got {:?}",
         &bytes[..bytes.len().min(8)]
     );
+    // The file carries the program catalog alongside the seed, so a
+    // cold restart can recompile and replant everything.
+    let load = decode_checkpoint_any(&bytes).expect("decode our own file");
+    assert!(!load.salvaged, "a completed write has no torn tail");
+    assert_eq!(load.doc.seeds.len(), 1);
+    assert_eq!(load.doc.programs.len(), 1);
+    assert_eq!(load.doc.programs[0].0, "load_watcher");
 
     match client.op(ControlOp::Restore).expect("restore rpc") {
-        ControlReply::Restored { seeds } => assert_eq!(seeds, 1),
+        ControlReply::Restored { seeds, skipped } => {
+            assert_eq!(seeds, 1);
+            assert_eq!(skipped, 0);
+        }
+        other => panic!("restore answered {other:?}"),
+    }
+    drop(client);
+    farmd.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Hand-truncate a `FARMCKP2` file mid-record: `Restore` must salvage
+/// the intact prefix instead of rejecting the whole file.
+#[test]
+fn truncated_v2_checkpoint_salvages_intact_prefix() {
+    let path = scratch_file("torn");
+    let _ = std::fs::remove_file(&path);
+    let farmd = Farmd::start(test_config(path.clone())).expect("start farmd");
+    let client = CtlClient::connect(farmd.local_addr());
+    submit_watcher(&client);
+
+    match client.op(ControlOp::Checkpoint).expect("checkpoint rpc") {
+        ControlReply::Checkpointed { seeds: 1, .. } => {}
+        other => panic!("checkpoint answered {other:?}"),
+    }
+    let bytes = std::fs::read(&path).expect("checkpoint file written");
+    // Tear off the tail of the final record (the seed snapshot); the
+    // program record before it stays CRC-valid.
+    let torn = &bytes[..bytes.len() - 3];
+    let load = decode_checkpoint_any(torn).expect("torn v2 still decodes");
+    assert!(load.salvaged, "a torn tail must raise the salvage flag");
+    assert_eq!(load.doc.programs.len(), 1, "intact program record kept");
+    assert!(load.doc.seeds.is_empty(), "damaged seed record dropped");
+    std::fs::write(&path, torn).expect("write torn checkpoint");
+
+    // Restore over the wire: the salvaged catalog recompiles the
+    // program, and with its seed record gone the live seed simply
+    // keeps its in-memory checkpoint state — no error, no wedge.
+    match client.op(ControlOp::Restore).expect("restore rpc") {
+        ControlReply::Restored { seeds, skipped } => {
+            assert_eq!(seeds, 1, "live seed restored from in-memory state");
+            assert_eq!(skipped, 0);
+        }
         other => panic!("restore answered {other:?}"),
     }
     drop(client);
@@ -119,7 +176,10 @@ fn legacy_untagged_checkpoint_file_restores() {
     std::fs::write(&path, &legacy).expect("write legacy checkpoint");
 
     match client.op(ControlOp::Restore).expect("restore rpc") {
-        ControlReply::Restored { seeds } => assert_eq!(seeds, 1),
+        ControlReply::Restored { seeds, skipped } => {
+            assert_eq!(seeds, 1);
+            assert_eq!(skipped, 0);
+        }
         other => panic!("restore answered {other:?}"),
     }
     let (_, vars) = describe(&client, &seed.key);

@@ -227,10 +227,17 @@ pub enum ControlReply {
     Drained { switch: u32, evacuated: u64 },
     /// Replan finished.
     Replanned { actions: u64, dropped_tasks: u64 },
-    /// Checkpoint finished over `seeds` live seeds.
-    Checkpointed { seeds: u64 },
-    /// Restore finished over `seeds` checkpointed seeds.
-    Restored { seeds: u64 },
+    /// Checkpoint finished over `seeds` live seeds. `persist_error` is
+    /// set when the in-memory checkpoint succeeded but writing the
+    /// checkpoint file failed — partial success, not a rejection.
+    Checkpointed {
+        seeds: u64,
+        persist_error: Option<String>,
+    },
+    /// Restore finished over `seeds` checkpointed seeds; `skipped`
+    /// counts file entries dropped because their seed key no longer
+    /// parses.
+    Restored { seeds: u64, skipped: u64 },
     /// The op was refused (admission control, unknown key, bad input).
     Rejected { reason: String },
     /// SubmitProgram failed to compile; nothing was deployed.
@@ -565,8 +572,24 @@ fn encode_control_reply(reply: &ControlReply, out: &mut Vec<u8>) {
             put_varint(out, *actions);
             put_varint(out, *dropped_tasks);
         }
-        ControlReply::Checkpointed { seeds } | ControlReply::Restored { seeds } => {
+        // Both replies append their newer field as a trailing optional
+        // extension (the cursor pattern): the common case — no persist
+        // error, nothing skipped — encodes byte-identically to the
+        // pre-extension revision, so old clients keep decoding it.
+        ControlReply::Checkpointed {
+            seeds,
+            persist_error,
+        } => {
             put_varint(out, *seeds);
+            if let Some(e) = persist_error {
+                put_str(out, e);
+            }
+        }
+        ControlReply::Restored { seeds, skipped } => {
+            put_varint(out, *seeds);
+            if *skipped != 0 {
+                put_varint(out, *skipped);
+            }
         }
         ControlReply::Rejected { reason } => put_str(out, reason),
         ControlReply::CompileFailed { diagnostics } => {
@@ -992,8 +1015,18 @@ fn decode_control_reply(r: &mut Reader<'_>) -> Result<ControlReply, WireError> {
             actions: r.varint()?,
             dropped_tasks: r.varint()?,
         }),
-        7 => Ok(ControlReply::Checkpointed { seeds: r.varint()? }),
-        8 => Ok(ControlReply::Restored { seeds: r.varint()? }),
+        7 => Ok(ControlReply::Checkpointed {
+            seeds: r.varint()?,
+            persist_error: if r.remaining() > 0 {
+                Some(r.str()?)
+            } else {
+                None
+            },
+        }),
+        8 => Ok(ControlReply::Restored {
+            seeds: r.varint()?,
+            skipped: if r.remaining() > 0 { r.varint()? } else { 0 },
+        }),
         9 => Ok(ControlReply::Rejected { reason: r.str()? }),
         10 => {
             let n = r.len_prefix(5)?;
@@ -1378,6 +1411,40 @@ mod tests {
     }
 
     #[test]
+    fn extensionless_checkpoint_replies_stay_wire_compatible() {
+        // The pre-extension revision encoded Checkpointed/Restored as
+        // tag + varint(seeds) and nothing else. A new reply without the
+        // trailing field must produce exactly those bytes, and exactly
+        // those bytes must decode to the defaults.
+        for (reply, tag) in [
+            (
+                ControlReply::Checkpointed {
+                    seeds: 7,
+                    persist_error: None,
+                },
+                7u8,
+            ),
+            (
+                ControlReply::Restored {
+                    seeds: 7,
+                    skipped: 0,
+                },
+                8u8,
+            ),
+        ] {
+            let env = Envelope::response(3, Frame::ControlReply { reply });
+            let mut buf = Vec::new();
+            encode_envelope(&env, &mut buf);
+            let mut old = vec![PROTOCOL_VERSION, 10, FLAG_RESPONSE];
+            put_varint(&mut old, 3); // corr
+            old.push(tag);
+            put_varint(&mut old, 7); // seeds
+            assert_eq!(&buf[1..], &old[..], "tag {tag} encoding drifted");
+            assert_eq!(decode_body(&old).expect("old bytes decode"), env);
+        }
+    }
+
+    #[test]
     fn response_flag_survives() {
         let env = Envelope::response(17, Frame::Ack);
         let got = round_trip(&env);
@@ -1512,8 +1579,22 @@ mod tests {
                 actions: 4,
                 dropped_tasks: 0,
             },
-            ControlReply::Checkpointed { seeds: 7 },
-            ControlReply::Restored { seeds: 7 },
+            ControlReply::Checkpointed {
+                seeds: 7,
+                persist_error: None,
+            },
+            ControlReply::Checkpointed {
+                seeds: 7,
+                persist_error: Some("disk full".into()),
+            },
+            ControlReply::Restored {
+                seeds: 7,
+                skipped: 0,
+            },
+            ControlReply::Restored {
+                seeds: 7,
+                skipped: 2,
+            },
             ControlReply::Rejected {
                 reason: "quota exceeded".into(),
             },

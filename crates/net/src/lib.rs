@@ -56,8 +56,11 @@ pub use frame::{
 pub use interceptor::{Interceptor, LossInterceptor, Passthrough, Verdict};
 pub use poll::{Interest, PollEvent, Poller, Readiness, Token};
 pub use server::{FrameHandler, NetServer};
-pub use snapshot::{decode_checkpoint_file, encode_checkpoint_file, VSeedSnapshot};
-pub use wire::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use snapshot::{
+    decode_checkpoint_any, decode_checkpoint_file, encode_checkpoint_doc, encode_checkpoint_file,
+    CheckpointDoc, CheckpointLoad, VSeedSnapshot,
+};
+pub use wire::{crc32, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
 #[cfg(test)]
 mod tests {

@@ -26,18 +26,31 @@
 //!
 //! ## Checkpoint files
 //!
-//! farmd persists checkpoints as `FARMCKP1` + varint count + entries
-//! (`str key` + versioned snapshot). A file without the magic is parsed
-//! as the legacy layout (count + key + untagged snapshot), so state
-//! saved before versioning restores cleanly.
+//! Three generations of checkpoint file decode here:
+//!
+//! * **`FARMCKP2`** (current) — magic + varint record count + records,
+//!   each framed as `varint body_len | u32-LE crc32(body) | body`. A
+//!   body is `u8 record_type` + payload: type 0 is a program source
+//!   (`str name` + `str source`, so a cold restart can recompile the
+//!   catalog), type 1 is a seed entry (`str key` + versioned snapshot).
+//!   The framing makes decoding *salvageable*: a torn tail yields the
+//!   valid prefix, a CRC-mismatched record is skipped, an unknown
+//!   record type is stepped over — never an error, never a panic.
+//! * **`FARMCKP1`** — magic + varint count + (`str key` + versioned
+//!   snapshot). Strict: any damage rejects the file.
+//! * **Legacy untagged** — no magic, count + key + untagged snapshot;
+//!   state saved before versioning restores cleanly.
 
 use farm_soil::SeedSnapshot;
 
 use crate::frame::{decode_value, encode_value};
-use crate::wire::{put_str, put_varint, Reader, WireError};
+use crate::wire::{crc32, put_str, put_varint, Reader, WireError};
 
 /// Magic prefix of a versioned checkpoint file.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FARMCKP1";
+
+/// Magic prefix of a record-framed (CRC-checked, salvageable) file.
+pub const CHECKPOINT_MAGIC_V2: &[u8; 8] = b"FARMCKP2";
 
 /// A seed snapshot tagged with its schema revision. Adding a revision
 /// means a new variant, a `From<old> for new` impl, and a decode arm —
@@ -163,6 +176,164 @@ pub fn decode_checkpoint_file(bytes: &[u8]) -> Result<Vec<(String, VSeedSnapshot
     Ok(entries)
 }
 
+/// Everything a farmd needs to come back from a cold start: the
+/// submitted program catalog (so seeds can be recompiled and replaced)
+/// plus every checkpointed seed's versioned snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointDoc {
+    /// Submitted Almanac programs, `(task name, source)`.
+    pub programs: Vec<(String, String)>,
+    /// Checkpointed seeds, `(seed key display form, snapshot)`.
+    pub seeds: Vec<(String, VSeedSnapshot)>,
+}
+
+/// The outcome of decoding a checkpoint file of any generation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointLoad {
+    pub doc: CheckpointDoc,
+    /// Format generation: 0 = legacy untagged, 1 = `FARMCKP1`,
+    /// 2 = `FARMCKP2`.
+    pub format: u8,
+    /// True when a torn tail was dropped (fewer records than the header
+    /// declared, or trailing bytes past the declared count).
+    pub salvaged: bool,
+    /// Records skipped for CRC mismatch or an unparseable body.
+    pub corrupt_records: u64,
+    /// Records stepped over because their type tag is from the future.
+    pub unknown_records: u64,
+}
+
+const RECORD_PROGRAM: u8 = 0;
+const RECORD_SEED: u8 = 1;
+
+fn put_record(out: &mut Vec<u8>, body: &[u8]) {
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Serializes a checkpoint document in the `FARMCKP2` layout.
+pub fn encode_checkpoint_doc(doc: &CheckpointDoc) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + doc.programs.len() * 128 + doc.seeds.len() * 64);
+    out.extend_from_slice(CHECKPOINT_MAGIC_V2);
+    put_varint(&mut out, (doc.programs.len() + doc.seeds.len()) as u64);
+    let mut body = Vec::new();
+    for (name, source) in &doc.programs {
+        body.clear();
+        body.push(RECORD_PROGRAM);
+        put_str(&mut body, name);
+        put_str(&mut body, source);
+        put_record(&mut out, &body);
+    }
+    for (key, snap) in &doc.seeds {
+        body.clear();
+        body.push(RECORD_SEED);
+        put_str(&mut body, key);
+        encode_vsnapshot(snap, &mut body);
+        put_record(&mut out, &body);
+    }
+    out
+}
+
+/// Decodes the body of one CRC-verified `FARMCKP2` record into `load`.
+fn decode_record_body(body: &[u8], load: &mut CheckpointLoad) {
+    let mut r = Reader::new(body);
+    // Trailing bytes inside a known record type are tolerated: a future
+    // revision may append fields, and the length framing already tells
+    // us where the record ends.
+    let parsed = match r.u8() {
+        Ok(RECORD_PROGRAM) => (|| {
+            let name = r.str()?;
+            let source = r.str()?;
+            load.doc.programs.push((name, source));
+            Ok::<(), WireError>(())
+        })()
+        .is_ok(),
+        Ok(RECORD_SEED) => (|| {
+            let key = r.str()?;
+            let snap = decode_vsnapshot(&mut r)?;
+            load.doc.seeds.push((key, snap));
+            Ok::<(), WireError>(())
+        })()
+        .is_ok(),
+        Ok(_) => {
+            load.unknown_records += 1;
+            return;
+        }
+        Err(_) => false,
+    };
+    if !parsed {
+        load.corrupt_records += 1;
+    }
+}
+
+/// Decodes a `FARMCKP2` body (the bytes after the magic). Total and
+/// salvaging: damage drops records, it never produces an error.
+fn decode_checkpoint_v2(body: &[u8]) -> CheckpointLoad {
+    let mut load = CheckpointLoad {
+        format: 2,
+        ..CheckpointLoad::default()
+    };
+    let mut r = Reader::new(body);
+    // The count is read unchecked: a truncated file declares more
+    // records than remain, and those that do remain must still salvage.
+    let Ok(declared) = r.varint() else {
+        load.salvaged = true;
+        return load;
+    };
+    for _ in 0..declared {
+        let record = (|| {
+            let len = r.varint()?;
+            let crc_bytes = r.take(4)?;
+            let mut crc = [0u8; 4];
+            crc.copy_from_slice(crc_bytes);
+            let body = r.take(len as usize)?;
+            Ok::<(u32, &[u8]), WireError>((u32::from_le_bytes(crc), body))
+        })();
+        match record {
+            Ok((crc, body)) if crc == crc32(body) => decode_record_body(body, &mut load),
+            // CRC mismatch: the framing held, so step to the next record.
+            Ok(_) => load.corrupt_records += 1,
+            // Torn framing: everything already decoded is the salvage.
+            Err(_) => {
+                load.salvaged = true;
+                return load;
+            }
+        }
+    }
+    if r.remaining() > 0 {
+        // More bytes than the header declared records — a damaged count
+        // varint. What decoded is still intact, but flag the mismatch.
+        load.salvaged = true;
+    }
+    load
+}
+
+/// Parses a checkpoint file of any generation.
+///
+/// `FARMCKP2` decodes with salvage semantics and never errors; the
+/// strict `FARMCKP1` and legacy untagged layouts reject damage exactly
+/// as [`decode_checkpoint_file`] always has.
+pub fn decode_checkpoint_any(bytes: &[u8]) -> Result<CheckpointLoad, WireError> {
+    if let Some(body) = bytes.strip_prefix(CHECKPOINT_MAGIC_V2.as_slice()) {
+        return Ok(decode_checkpoint_v2(body));
+    }
+    let format = if bytes.starts_with(CHECKPOINT_MAGIC) {
+        1
+    } else {
+        0
+    };
+    let seeds = decode_checkpoint_file(bytes)?;
+    Ok(CheckpointLoad {
+        doc: CheckpointDoc {
+            programs: Vec::new(),
+            seeds,
+        },
+        format,
+        ..CheckpointLoad::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +431,108 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, "hh/m0/s0");
         assert_eq!(got[0].1.clone().into_latest(), sample());
+    }
+
+    fn sample_doc() -> CheckpointDoc {
+        CheckpointDoc {
+            programs: vec![
+                ("hh".to_string(), "machine HH { }".to_string()),
+                ("lw".to_string(), "machine LW { }".to_string()),
+            ],
+            seeds: vec![
+                ("hh/m0/s0".to_string(), VSeedSnapshot::V1(sample())),
+                ("hh/m0/s1".to_string(), VSeedSnapshot::V1(sample())),
+                ("lw/m0/s0".to_string(), VSeedSnapshot::V1(sample())),
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_doc_round_trips() {
+        let doc = sample_doc();
+        let bytes = encode_checkpoint_doc(&doc);
+        assert!(bytes.starts_with(CHECKPOINT_MAGIC_V2));
+        let load = decode_checkpoint_any(&bytes).expect("decode");
+        assert_eq!(load.doc, doc);
+        assert_eq!(load.format, 2);
+        assert!(!load.salvaged);
+        assert_eq!((load.corrupt_records, load.unknown_records), (0, 0));
+    }
+
+    #[test]
+    fn truncated_v2_salvages_the_valid_prefix() {
+        let doc = sample_doc();
+        let bytes = encode_checkpoint_doc(&doc);
+        let mut prefix_entries = 0;
+        for cut in 0..bytes.len() {
+            let load = decode_checkpoint_any(&bytes[..cut.max(8).min(bytes.len())])
+                .expect("v2 never errors");
+            let got = load.doc.programs.len() + load.doc.seeds.len();
+            assert!(got <= 5, "cut {cut} invented records");
+            prefix_entries = prefix_entries.max(got);
+            if got < 5 {
+                assert!(load.salvaged, "cut {cut} lost records without flagging");
+            }
+        }
+        // The loop never reaches the intact file, so the deepest cut
+        // (one byte short) salvages all but the final record.
+        assert_eq!(prefix_entries, 4);
+    }
+
+    #[test]
+    fn crc_mismatched_record_is_skipped_not_fatal() {
+        let doc = sample_doc();
+        let mut bytes = encode_checkpoint_doc(&doc);
+        // Flip one bit in the middle of the second record's body (well
+        // past the first record: magic 8 + count 1 + frame ≈ 20+ bytes).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let load = decode_checkpoint_any(&bytes).expect("v2 never errors");
+        let got = load.doc.programs.len() + load.doc.seeds.len();
+        assert!(load.corrupt_records >= 1 || load.salvaged);
+        assert!(got < 5, "the damaged record must not survive");
+    }
+
+    #[test]
+    fn unknown_record_types_are_stepped_over() {
+        let doc = sample_doc();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CHECKPOINT_MAGIC_V2);
+        put_varint(&mut bytes, 2);
+        // A record from the future: type 9, opaque payload.
+        let future = [9u8, 0xde, 0xad, 0xbe, 0xef];
+        put_varint(&mut bytes, future.len() as u64);
+        bytes.extend_from_slice(&crc32(&future).to_le_bytes());
+        bytes.extend_from_slice(&future);
+        // Followed by a normal seed record that must still decode.
+        let mut body = vec![1u8];
+        put_str(&mut body, &doc.seeds[0].0);
+        encode_vsnapshot(&doc.seeds[0].1, &mut body);
+        put_varint(&mut bytes, body.len() as u64);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+
+        let load = decode_checkpoint_any(&bytes).expect("decode");
+        assert_eq!(load.unknown_records, 1);
+        assert_eq!(load.doc.seeds, vec![doc.seeds[0].clone()]);
+        assert!(!load.salvaged);
+    }
+
+    #[test]
+    fn decode_any_reads_older_generations() {
+        let entries = vec![("hh/m0/s0".to_string(), VSeedSnapshot::V1(sample()))];
+        let v1 = encode_checkpoint_file(&entries);
+        let load = decode_checkpoint_any(&v1).expect("v1");
+        assert_eq!((load.format, load.doc.seeds.clone()), (1, entries.clone()));
+        assert!(load.doc.programs.is_empty());
+
+        let mut legacy = Vec::new();
+        put_varint(&mut legacy, 1);
+        put_str(&mut legacy, "hh/m0/s0");
+        encode_snapshot_body(&sample(), &mut legacy);
+        let load = decode_checkpoint_any(&legacy).expect("legacy");
+        assert_eq!(load.format, 0);
+        assert_eq!(load.doc.seeds[0].0, "hh/m0/s0");
     }
 
     #[test]

@@ -60,6 +60,38 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup table, built at
+/// compile time so checksumming stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the per-record integrity check framing
+/// `FARMCKP2` checkpoint entries.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Appends an unsigned LEB128 varint (1–10 bytes).
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -249,6 +281,30 @@ mod tests {
         put_varint(&mut buf, 1 << 40);
         let got = Reader::new(&buf).len_prefix(1);
         assert_eq!(got, Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from the IEEE 802.3 polynomial (zlib's crc32).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"FARMCKP2 record body".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
     }
 
     #[test]

@@ -117,11 +117,17 @@ fn submit_list_drain_stats_shutdown_over_loopback() {
     // Checkpoint / restore / uncordon / replan round out the surface.
     assert!(matches!(
         client.op(ControlOp::Checkpoint).expect("checkpoint rpc"),
-        ControlReply::Checkpointed { seeds: 1 }
+        ControlReply::Checkpointed {
+            seeds: 1,
+            persist_error: None
+        }
     ));
     assert!(matches!(
         client.op(ControlOp::Restore).expect("restore rpc"),
-        ControlReply::Restored { seeds: 1 }
+        ControlReply::Restored {
+            seeds: 1,
+            skipped: 0
+        }
     ));
     assert!(matches!(
         client

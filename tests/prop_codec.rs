@@ -6,8 +6,9 @@
 use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatSubject, Value};
 use farm_net::wire::WireError;
 use farm_net::{
-    decode_envelope, encode_envelope, ControlOp, ControlReply, Decoded, Diagnostic, Envelope,
-    Frame, FrameDecoder, Report, SeedDescriptor,
+    decode_checkpoint_any, decode_envelope, encode_checkpoint_doc, encode_envelope, CheckpointDoc,
+    ControlOp, ControlReply, Decoded, Diagnostic, Envelope, Frame, FrameDecoder, Report,
+    SeedDescriptor, VSeedSnapshot,
 };
 use farm_netsim::switch::Resources;
 use farm_netsim::types::{FilterAtom, FilterFormula, FlowKey, Ipv4, PortSel, Prefix, Proto};
@@ -295,8 +296,16 @@ fn control_reply_strategy() -> BoxedStrategy<ControlReply> {
                 dropped_tasks,
             }
         }),
-        any::<u64>().prop_map(|seeds| ControlReply::Checkpointed { seeds }),
-        any::<u64>().prop_map(|seeds| ControlReply::Restored { seeds }),
+        (
+            any::<u64>(),
+            prop_oneof![Just(None), "[ -~]{0,24}".prop_map(Some)],
+        )
+            .prop_map(|(seeds, persist_error)| ControlReply::Checkpointed {
+                seeds,
+                persist_error,
+            }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seeds, skipped)| ControlReply::Restored { seeds, skipped }),
         "[ -~]{0,24}".prop_map(|reason| ControlReply::Rejected { reason }),
         vec(diagnostic_strategy(), 0..4)
             .prop_map(|diagnostics| ControlReply::CompileFailed { diagnostics }),
@@ -370,6 +379,21 @@ fn frame_strategy() -> BoxedStrategy<Frame> {
         Just(Frame::Shutdown),
     ]
     .boxed()
+}
+
+fn checkpoint_doc_strategy() -> BoxedStrategy<CheckpointDoc> {
+    (
+        vec(("[a-z_]{1,10}", "[ -~]{0,48}"), 0..4),
+        vec(("[a-z/0-9]{1,16}", snapshot_strategy()), 0..5),
+    )
+        .prop_map(|(programs, seeds)| CheckpointDoc {
+            programs,
+            seeds: seeds
+                .into_iter()
+                .map(|(key, snap)| (key, VSeedSnapshot::V1(snap)))
+                .collect(),
+        })
+        .boxed()
 }
 
 fn envelope_strategy() -> BoxedStrategy<Envelope> {
@@ -481,5 +505,69 @@ proptest! {
         }
         prop_assert_eq!(decoder.buffered(), 0, "no residual bytes after full replay");
         prop_assert_eq!(&incremental, &reference);
+    }
+
+    /// A `FARMCKP2` checkpoint document survives the disk round trip
+    /// losslessly: same programs, same seeds, no salvage flags raised.
+    #[test]
+    fn checkpoint_v2_round_trips(doc in checkpoint_doc_strategy()) {
+        let bytes = encode_checkpoint_doc(&doc);
+        let load = decode_checkpoint_any(&bytes).expect("intact file decodes");
+        prop_assert_eq!(load.format, 2);
+        prop_assert!(!load.salvaged);
+        prop_assert_eq!(load.corrupt_records, 0);
+        prop_assert_eq!(load.doc, doc);
+    }
+
+    /// Cutting a `FARMCKP2` file anywhere — a torn write — still yields
+    /// a clean load of some prefix of the original records, never a
+    /// panic and never invented entries. This is the crash-safety
+    /// contract the restore path leans on.
+    #[test]
+    fn checkpoint_v2_truncation_salvages_a_prefix(
+        doc in checkpoint_doc_strategy(),
+        frac in 0.0..1.0f64,
+    ) {
+        let bytes = encode_checkpoint_doc(&doc);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        match decode_checkpoint_any(&bytes[..cut]) {
+            Ok(load) => {
+                prop_assert!(load.doc.programs.len() <= doc.programs.len());
+                prop_assert!(load.doc.seeds.len() <= doc.seeds.len());
+                prop_assert_eq!(&load.doc.programs[..], &doc.programs[..load.doc.programs.len()]);
+                prop_assert_eq!(&load.doc.seeds[..], &doc.seeds[..load.doc.seeds.len()]);
+                let complete = load.doc.programs.len() == doc.programs.len()
+                    && load.doc.seeds.len() == doc.seeds.len();
+                prop_assert!(
+                    load.salvaged || complete,
+                    "lost records without raising the salvage flag (cut at {} of {})",
+                    cut, bytes.len()
+                );
+            }
+            // Cuts inside the 8-byte magic stop looking like v2 at all;
+            // those fall through to the strict legacy decoders and come
+            // back as a typed error, which is equally acceptable.
+            Err(_) => prop_assert!(cut < 8, "v2 body cut at {} must salvage", cut),
+        }
+    }
+
+    /// Flipping any single byte of a `FARMCKP2` file never panics: the
+    /// CRC framing either drops the damaged record (salvage) or the
+    /// file stops looking like a checkpoint and errors cleanly.
+    #[test]
+    fn checkpoint_v2_bit_flips_never_panic(
+        doc in checkpoint_doc_strategy(),
+        pos_frac in 0.0..1.0f64,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_checkpoint_doc(&doc);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        if let Ok(load) = decode_checkpoint_any(&bytes) {
+            // However the damage lands, nothing is invented out of thin
+            // air beyond what the original document contained.
+            prop_assert!(load.doc.programs.len() <= doc.programs.len());
+            prop_assert!(load.doc.seeds.len() <= doc.seeds.len());
+        }
     }
 }
