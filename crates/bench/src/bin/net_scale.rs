@@ -5,9 +5,12 @@
 //! it, and measures what the FARM control plane cares about: RPC
 //! round-trip latency under a mostly-idle fleet, pipelined frame
 //! throughput, and the connection count the event loop actually holds
-//! (read back from the `net.server_conns` gauge). Results land in
-//! `BENCH_net.json` in a stable schema (`farm-bench/net_scale/v1`)
-//! that future PRs append runs to.
+//! (read back from the `net.server_conns` gauge). The sweep covers two
+//! axes — connection count and message rate (the pipelining depth each
+//! chatty connection bursts before draining, `burst = 1` being strict
+//! request/response) — and results land in `BENCH_net.json` in a
+//! stable schema (`farm-bench/net_scale/v2`) that future PRs append
+//! runs to.
 //!
 //! ```text
 //! net_scale [--smoke] [--iters N] [--out PATH]
@@ -15,10 +18,11 @@
 //! ```
 //!
 //! `--check` re-reads a committed baseline and exits non-zero when any
-//! matching (conns) entry's RPC p50 regressed by more than
-//! `--max-regression` (default 3.0) — the CI `net-scale-smoke` gate.
-//! Loopback micro-latencies are noisier than solver wall times, hence
-//! the wider default than `placement_scale`.
+//! matching (conns, burst) entry's RPC p50 regressed — or its frame
+//! throughput dropped — by more than `--max-regression` (default 3.0),
+//! the CI `net-scale-smoke` gate. Loopback micro-latencies are noisier
+//! than solver wall times, hence the wider default than
+//! `placement_scale`.
 //!
 //! The full sweep needs ~2 file descriptors per connection (client +
 //! accepted side share the process). The harness probes `RLIMIT_NOFILE`
@@ -36,7 +40,7 @@ use farm_bench::perf::{percentile, Json};
 use farm_net::{encode_envelope, Decoded, Envelope, Frame, FrameDecoder, NetServer};
 use farm_telemetry::Telemetry;
 
-const SCHEMA: &str = "farm-bench/net_scale/v1";
+const SCHEMA: &str = "farm-bench/net_scale/v2";
 /// Spare descriptors left for the listener, epoll/pipe fds, stdio.
 const FD_HEADROOM: u64 = 64;
 
@@ -219,6 +223,7 @@ fn await_gauge(telemetry: &Telemetry, want: f64, deadline: Duration) -> f64 {
 struct ScaleResult {
     conns: usize,
     chatty: usize,
+    burst: usize,
     rpc_us: Vec<f64>,
     frames_per_sec: f64,
     bytes_per_sec: f64,
@@ -226,9 +231,18 @@ struct ScaleResult {
 }
 
 /// Ramps `conns` connections against a fresh server, runs the latency
-/// and pipelined-throughput phases over a `chatty` subset, and reads
-/// the concurrency high-water mark back from telemetry.
-fn run_scale(conns: usize, chatty: usize, iters: usize) -> std::io::Result<ScaleResult> {
+/// and throughput phases over a `chatty` subset, and reads the
+/// concurrency high-water mark back from telemetry. `burst` sets the
+/// message rate of the throughput phase: each chatty connection
+/// pipelines that many requests before draining the replies, so
+/// `burst = 1` measures strict request/response flow and larger values
+/// a firehose.
+fn run_scale(
+    conns: usize,
+    chatty: usize,
+    iters: usize,
+    burst: usize,
+) -> std::io::Result<ScaleResult> {
     let telemetry = Telemetry::new();
     // Every request gets an `Ack` from the event loop itself; the echo
     // handler keeps the worker path (decode → handle → encode) honest.
@@ -264,20 +278,24 @@ fn run_scale(conns: usize, chatty: usize, iters: usize) -> std::io::Result<Scale
         }
     }
 
-    // Phase 3: pipelined throughput — every chatty connection bursts
-    // `iters` requests back-to-back, then drains the replies. Frame and
-    // byte totals come from the server's own counters, so they include
-    // both directions exactly as the event loop accounted them.
+    // Phase 3: throughput at the requested message rate — every chatty
+    // connection pipelines `burst` requests back-to-back, then drains
+    // the replies, for enough rounds to cover `iters` requests. Frame
+    // and byte totals come from the server's own counters, so they
+    // include both directions exactly as the event loop accounted them.
+    let rounds = iters.div_ceil(burst);
     let before = telemetry.snapshot();
     let start = Instant::now();
-    for conn in &mut chatters {
-        for _ in 0..iters {
-            conn.send_request(corr)?;
-            corr += 1;
+    for _ in 0..rounds {
+        for conn in &mut chatters {
+            for _ in 0..burst {
+                conn.send_request(corr)?;
+                corr += 1;
+            }
         }
-    }
-    for conn in &mut chatters {
-        conn.drain_responses(iters)?;
+        for conn in &mut chatters {
+            conn.drain_responses(burst)?;
+        }
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let after = telemetry.snapshot();
@@ -291,6 +309,7 @@ fn run_scale(conns: usize, chatty: usize, iters: usize) -> std::io::Result<Scale
     Ok(ScaleResult {
         conns,
         chatty,
+        burst,
         rpc_us,
         frames_per_sec: frames as f64 / elapsed,
         bytes_per_sec: bytes as f64 / elapsed,
@@ -306,13 +325,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Connection counts; full mode keeps the smoke scale so a smoke
-    // `--check` run always finds a comparable baseline entry.
+    // Connection counts and message rates; full mode keeps the smoke
+    // scales so a smoke `--check` run always finds comparable baseline
+    // entries.
     let scales: &[usize] = if args.smoke { &[256] } else { &[256, 2_048] };
+    let bursts: &[usize] = if args.smoke { &[1, 64] } else { &[1, 64, 256] };
+
+    let mut sweep = Vec::new();
+    for &conns in scales {
+        for &burst in bursts {
+            sweep.push((conns, burst));
+        }
+    }
 
     let mut entries = Vec::new();
     let mut ok = true;
-    for &conns in scales {
+    for (conns, burst) in sweep {
         // 2 fds per connection (client socket + accepted socket live in
         // this process) plus fixed overhead.
         let need = (conns as u64) * 2 + FD_HEADROOM;
@@ -333,11 +361,11 @@ fn main() -> ExitCode {
             continue;
         }
         let chatty = conns.min(64);
-        println!("== {conns} connections ({chatty} chattering) ==");
-        let r = match run_scale(conns, chatty, args.iters) {
+        println!("== {conns} connections ({chatty} chattering, burst {burst}) ==");
+        let r = match run_scale(conns, chatty, args.iters, burst) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("net_scale: scale {conns} failed: {e}");
+                eprintln!("net_scale: scale {conns}x{burst} failed: {e}");
                 ok = false;
                 continue;
             }
@@ -361,6 +389,7 @@ fn main() -> ExitCode {
         entries.push(Json::obj([
             ("conns", Json::Num(r.conns as f64)),
             ("chatty", Json::Num(r.chatty as f64)),
+            ("burst", Json::Num(r.burst as f64)),
             ("iters", Json::Num(args.iters as f64)),
             (
                 "host_threads",
@@ -403,8 +432,10 @@ fn main() -> ExitCode {
 }
 
 /// Compares the run against a committed baseline: every entry sharing a
-/// connection count must keep `rpc_us.p50` within `max_regression ×`
-/// of the baseline.
+/// (conns, burst) key must keep `rpc_us.p50` within `max_regression ×`
+/// of the baseline, and `frames_per_sec` above `baseline ÷
+/// max_regression` — latency and throughput gate together so a change
+/// cannot trade one away silently.
 fn check_regression(
     doc: &Json,
     baseline_path: &str,
@@ -416,12 +447,18 @@ fn check_regression(
     if baseline.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("baseline {baseline_path} has a different schema"));
     }
-    let key = |e: &Json| -> Option<u64> { Some(e.get("conns")?.as_f64()? as u64) };
+    let key = |e: &Json| -> Option<(u64, u64)> {
+        Some((
+            e.get("conns")?.as_f64()? as u64,
+            e.get("burst")?.as_f64()? as u64,
+        ))
+    };
     let p50_of = |e: &Json| {
         e.get("rpc_us")
             .and_then(|t| t.get("p50"))
             .and_then(Json::as_f64)
     };
+    let fps_of = |e: &Json| e.get("frames_per_sec").and_then(Json::as_f64);
     let base_entries = baseline
         .get("entries")
         .and_then(Json::as_arr)
@@ -430,24 +467,30 @@ fn check_regression(
     let mut worst: f64 = 0.0;
     for entry in doc.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
         let Some(k) = key(entry) else { continue };
-        let Some(new_p50) = p50_of(entry) else {
-            continue;
-        };
-        let Some(base_p50) = base_entries
-            .iter()
-            .find(|b| key(b) == Some(k))
-            .and_then(p50_of)
-        else {
+        let Some(base) = base_entries.iter().find(|b| key(b) == Some(k)) else {
             continue; // scale not in the baseline
         };
-        let ratio = new_p50 / base_p50.max(1e-9);
+        let (conns, burst) = k;
         compared += 1;
-        worst = worst.max(ratio);
-        if ratio > max_regression {
-            return Err(format!(
-                "regression: conns={k} rpc p50 {new_p50:.0} us vs baseline {base_p50:.0} us \
-                 ({ratio:.2}x > {max_regression}x)"
-            ));
+        if let (Some(new_p50), Some(base_p50)) = (p50_of(entry), p50_of(base)) {
+            let ratio = new_p50 / base_p50.max(1e-9);
+            worst = worst.max(ratio);
+            if ratio > max_regression {
+                return Err(format!(
+                    "regression: conns={conns} burst={burst} rpc p50 {new_p50:.0} us vs \
+                     baseline {base_p50:.0} us ({ratio:.2}x > {max_regression}x)"
+                ));
+            }
+        }
+        if let (Some(new_fps), Some(base_fps)) = (fps_of(entry), fps_of(base)) {
+            let ratio = base_fps / new_fps.max(1e-9);
+            worst = worst.max(ratio);
+            if ratio > max_regression {
+                return Err(format!(
+                    "regression: conns={conns} burst={burst} {new_fps:.0} frames/s vs \
+                     baseline {base_fps:.0} ({ratio:.2}x slower > {max_regression}x)"
+                ));
+            }
         }
     }
     if compared == 0 {

@@ -519,6 +519,11 @@ impl Farm {
                 }
             }
         }
+        // Drop the task's checkpoints and recovery entries too, so a
+        // removed (e.g. migrated-away) task cannot leak stale snapshots
+        // into later checkpoint files or restores.
+        self.checkpoints.retain(|k, _| k.task != name);
+        self.recovery.retain(|k, _| k.task != name);
         Ok(())
     }
 
@@ -1322,6 +1327,36 @@ impl Farm {
         let placements: Vec<(SeedKey, SwitchId)> = self
             .seeder
             .placements()
+            .map(|(k, (sw, _))| (k.clone(), *sw))
+            .collect();
+        let mut restored = 0;
+        for (key, sw) in placements {
+            let Some(snap) = self.checkpoints.get(&key) else {
+                continue;
+            };
+            let Some(sid) = self.seed_ids.get(&key).copied() else {
+                continue;
+            };
+            if let Some(soil) = self.soils.get_mut(&sw) {
+                if soil.restore_seed(sid, snap).is_ok() {
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+
+    /// Rolls the live seeds of exactly one task back to their imported
+    /// or captured checkpoints, leaving every other task untouched —
+    /// the landing half of a snapshot-carrying deploy (a federation
+    /// migration deploys the program on the target pod, imports the
+    /// travelling snapshots, then restores only that task). Returns the
+    /// number restored.
+    pub fn restore_seeds_for(&mut self, task: &str) -> usize {
+        let placements: Vec<(SeedKey, SwitchId)> = self
+            .seeder
+            .placements()
+            .filter(|(k, _)| k.task == task)
             .map(|(k, (sw, _))| (k.clone(), *sw))
             .collect();
         let mut restored = 0;

@@ -12,7 +12,7 @@ const USAGE: &str = "\
 farmctl - FARM control-plane client
 
 USAGE:
-    farmctl [--addr <addr:port>] [--json] <command> [args]
+    farmctl [--addr <addr:port>] [--fed] [--json] <command> [args]
 
 COMMANDS:
     submit <file.alm> [--name <task>]   Compile and deploy a program
@@ -28,10 +28,17 @@ COMMANDS:
     replan                              Force a placement replan
     checkpoint                          Checkpoint all live seeds
     restore                             Restore seeds from checkpoints
+    remove <task>                       Remove a deployed task
+    pods                                List federation pods (fedd)
+    migrate <task> <pod>                Move a task to another pod (fedd)
     shutdown                            Gracefully stop the daemon
 
 OPTIONS:
-    --addr <addr>   farmd address (default 127.0.0.1:7373)
+    --addr <addr>   daemon address (default 127.0.0.1:7373, or
+                    127.0.0.1:7474 with --fed)
+    --fed           Talk to a fedd federation coordinator instead of a
+                    single farmd; submit/list/stats/metrics then span
+                    every live pod
     --json          Machine-readable output
     --retry <n>     Retry a failed connection up to n times with
                     exponential backoff (for upgrade windows where
@@ -40,7 +47,8 @@ OPTIONS:
 ";
 
 fn main() -> ExitCode {
-    let mut addr: SocketAddr = "127.0.0.1:7373".parse().expect("default addr");
+    let mut addr: Option<SocketAddr> = None;
+    let mut fed = false;
     let mut json = false;
     let mut retries = 0u64;
     let mut rest: Vec<String> = Vec::new();
@@ -48,9 +56,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next().map(|a| a.parse()) {
-                Some(Ok(a)) => addr = a,
+                Some(Ok(a)) => addr = Some(a),
                 _ => return fail("bad or missing --addr value"),
             },
+            "--fed" => fed = true,
             "--json" => json = true,
             "--retry" => match args.next().map(|a| a.parse()) {
                 Some(Ok(n)) => retries = n,
@@ -63,6 +72,14 @@ fn main() -> ExitCode {
             _ => rest.push(arg),
         }
     }
+    let addr = addr.unwrap_or_else(|| {
+        let default = if fed {
+            "127.0.0.1:7474"
+        } else {
+            "127.0.0.1:7373"
+        };
+        default.parse().expect("default addr")
+    });
     let Some(command) = rest.first().cloned() else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
@@ -216,6 +233,24 @@ fn build_op(command: &str, args: &[String]) -> Result<ControlOp, String> {
         "replan" => Ok(ControlOp::Replan),
         "checkpoint" => Ok(ControlOp::Checkpoint),
         "restore" => Ok(ControlOp::Restore),
+        "remove" => Ok(ControlOp::RemoveTask {
+            task: args
+                .first()
+                .cloned()
+                .ok_or("`remove` needs a task name".to_string())?,
+        }),
+        "pods" => Ok(ControlOp::ListPods),
+        "migrate" => {
+            let task = args
+                .first()
+                .cloned()
+                .ok_or("`migrate` needs a task name".to_string())?;
+            let to_pod = args
+                .get(1)
+                .cloned()
+                .ok_or("`migrate` needs a destination pod".to_string())?;
+            Ok(ControlOp::MigrateTask { task, to_pod })
+        }
         "shutdown" => Ok(ControlOp::Shutdown),
         other => Err(format!("unknown command `{other}` (see --help)")),
     }
@@ -333,6 +368,35 @@ fn render(reply: &ControlReply, json: bool) -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
+        ControlReply::PodRegistered { base } => {
+            println!("registered: global switch base {base}")
+        }
+        ControlReply::Pods { pods } => {
+            println!(
+                "{:<12} {:<22} {:>8} {:>8} {:>6} {:<5} {:>6} {:>8}",
+                "POD", "ADDR", "SWITCHES", "BASE", "QUOTA", "LIVE", "BEATS", "AGE_MS"
+            );
+            for p in pods {
+                println!(
+                    "{:<12} {:<22} {:>8} {:>8} {:>6.2} {:<5} {:>6} {:>8}",
+                    p.name, p.addr, p.switches, p.base, p.quota, p.live, p.beats, p.age_ms
+                );
+            }
+            println!("{} pod(s)", pods.len());
+        }
+        ControlReply::Migrated {
+            task,
+            from_pod,
+            to_pod,
+            seeds,
+        } => println!("migrated `{task}`: {seeds} seed(s) {from_pod} -> {to_pod}"),
+        ControlReply::TaskExport { source, seeds } => {
+            println!("exported {} seed snapshot(s)", seeds.len());
+            for (key, _) in seeds {
+                println!("  {key}");
+            }
+            println!("--- program ---\n{source}");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -433,6 +497,51 @@ fn reply_json(reply: &ControlReply) -> String {
                         .str("message", &d.message)
                         .finish()
                 })),
+            )
+            .finish(),
+        ControlReply::PodRegistered { base } => Obj::new()
+            .str("status", "registered")
+            .num("base", *base)
+            .finish(),
+        ControlReply::Pods { pods } => Obj::new()
+            .raw(
+                "pods",
+                &array(pods.iter().map(|p| {
+                    Obj::new()
+                        .str("name", &p.name)
+                        .str("addr", &p.addr)
+                        .num("switches", p.switches)
+                        .num("base", p.base)
+                        .float("quota", p.quota)
+                        .raw("live", if p.live { "true" } else { "false" })
+                        .num("beats", p.beats)
+                        .num("age_ms", p.age_ms)
+                        .finish()
+                })),
+            )
+            .finish(),
+        ControlReply::Migrated {
+            task,
+            from_pod,
+            to_pod,
+            seeds,
+        } => Obj::new()
+            .str("status", "migrated")
+            .str("task", task)
+            .str("from_pod", from_pod)
+            .str("to_pod", to_pod)
+            .num("seeds", *seeds)
+            .finish(),
+        ControlReply::TaskExport { source, seeds } => Obj::new()
+            .str("status", "task-export")
+            .str("source", source)
+            .raw(
+                "seeds",
+                &array(
+                    seeds
+                        .iter()
+                        .map(|(k, _)| format!("\"{}\"", farm_ctl::json::escape(k))),
+                ),
             )
             .finish(),
     }

@@ -18,10 +18,18 @@ impl CtlClient {
     /// Connects with client-appropriate defaults (fast failure, no
     /// endless reconnect storms).
     pub fn connect(addr: SocketAddr) -> CtlClient {
+        CtlClient::connect_as(addr, "farmctl", Duration::from_secs(10))
+    }
+
+    /// Connects under a caller-chosen node name and request timeout —
+    /// the coordinator (`fedd`) and the farmd registration loop reuse
+    /// the client this way so each peer is identifiable in `Hello`
+    /// frames and audit events.
+    pub fn connect_as(addr: SocketAddr, node: &str, request_timeout: Duration) -> CtlClient {
         let telemetry = Telemetry::new();
         let cfg = NetConfig {
-            node: "farmctl".into(),
-            request_timeout: Duration::from_secs(10),
+            node: node.into(),
+            request_timeout,
             max_reconnects: 2,
             ..NetConfig::default()
         };
@@ -30,6 +38,12 @@ impl CtlClient {
             conn,
             _telemetry: telemetry,
         }
+    }
+
+    /// Blocks until the underlying connection is established (or the
+    /// timeout passes); `true` when connected.
+    pub fn wait_connected(&self, timeout: Duration) -> bool {
+        self.conn.wait_connected(timeout)
     }
 
     /// Sends one control op and decodes the reply.

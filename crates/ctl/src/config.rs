@@ -29,7 +29,8 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-fn err(line: u32, message: impl Into<String>) -> ConfigError {
+/// Builds a [`ConfigError`] — shared by every consumer of [`Table`].
+pub fn err(line: u32, message: impl Into<String>) -> ConfigError {
     ConfigError {
         line,
         message: message.into(),
@@ -38,7 +39,7 @@ fn err(line: u32, message: impl Into<String>) -> ConfigError {
 
 /// One parsed value.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum Value {
     Str(String),
     Int(i64),
     Float(f64),
@@ -56,14 +57,16 @@ impl Value {
     }
 }
 
-/// Flat `section.key` → value view of one file.
+/// Flat `section.key` → value view of one file. Public so other
+/// daemons (fedd) can parse their own sections with the same TOML
+/// subset and unknown-key discipline.
 #[derive(Debug, Default)]
-struct Table {
+pub struct Table {
     entries: BTreeMap<String, (u32, Value)>,
 }
 
 impl Table {
-    fn parse(src: &str) -> Result<Table, ConfigError> {
+    pub fn parse(src: &str) -> Result<Table, ConfigError> {
         let mut entries = BTreeMap::new();
         let mut section = String::new();
         for (idx, raw) in src.lines().enumerate() {
@@ -103,7 +106,7 @@ impl Table {
         Ok(Table { entries })
     }
 
-    fn get(&self, key: &str) -> Option<&(u32, Value)> {
+    pub fn get(&self, key: &str) -> Option<&(u32, Value)> {
         self.entries.get(key)
     }
 
@@ -111,7 +114,16 @@ impl Table {
         self.entries.remove(key)
     }
 
-    fn str(&mut self, key: &str) -> Result<Option<String>, ConfigError> {
+    /// Fails on the first key no getter consumed, so typos fail loudly
+    /// instead of silently running defaults.
+    pub fn reject_unknown(&self) -> Result<(), ConfigError> {
+        if let Some((key, (line, _))) = self.entries.iter().next() {
+            return Err(err(*line, format!("unknown key `{key}`")));
+        }
+        Ok(())
+    }
+
+    pub fn str(&mut self, key: &str) -> Result<Option<String>, ConfigError> {
         match self.take_known(key) {
             None => Ok(None),
             Some((_, Value::Str(s))) => Ok(Some(s)),
@@ -122,7 +134,7 @@ impl Table {
         }
     }
 
-    fn u64(&mut self, key: &str) -> Result<Option<u64>, ConfigError> {
+    pub fn u64(&mut self, key: &str) -> Result<Option<u64>, ConfigError> {
         match self.take_known(key) {
             None => Ok(None),
             Some((line, Value::Int(i))) => u64::try_from(i)
@@ -135,7 +147,7 @@ impl Table {
         }
     }
 
-    fn bool(&mut self, key: &str) -> Result<Option<bool>, ConfigError> {
+    pub fn bool(&mut self, key: &str) -> Result<Option<bool>, ConfigError> {
         match self.take_known(key) {
             None => Ok(None),
             Some((_, Value::Bool(b))) => Ok(Some(b)),
@@ -146,7 +158,7 @@ impl Table {
         }
     }
 
-    fn f64(&mut self, key: &str) -> Result<Option<f64>, ConfigError> {
+    pub fn f64(&mut self, key: &str) -> Result<Option<f64>, ConfigError> {
         match self.take_known(key) {
             None => Ok(None),
             Some((_, Value::Float(x))) => Ok(Some(x)),
@@ -258,6 +270,23 @@ pub struct FarmdConfig {
     pub fault_mean_gap: Duration,
     /// How far into virtual time the generated churn plan extends.
     pub fault_horizon: Duration,
+    /// Federation membership: when set, farmd registers with a fedd
+    /// coordinator at startup and heartbeats it for liveness.
+    pub fed: Option<FedMembership>,
+}
+
+/// The `[fed]` section: how this farmd joins a federation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedMembership {
+    /// Wire address of the fedd coordinator.
+    pub coordinator: SocketAddr,
+    /// This pod's registration name (unique per federation).
+    pub pod_name: String,
+    /// Heartbeat cadence toward the coordinator.
+    pub heartbeat: Duration,
+    /// Address advertised in the registration manifest; defaults to
+    /// the control endpoint's actual bound address.
+    pub advertise: Option<SocketAddr>,
 }
 
 impl Default for FarmdConfig {
@@ -282,6 +311,7 @@ impl Default for FarmdConfig {
             fault_start: Duration::ZERO,
             fault_mean_gap: Duration::from_millis(40),
             fault_horizon: Duration::from_secs(60),
+            fed: None,
         }
     }
 }
@@ -361,10 +391,40 @@ impl FarmdConfig {
         if let Some(n) = t.u64("admission.max_program_bytes")? {
             cfg.max_program_bytes = n as usize;
         }
-        if let Some((line, _)) = t.entries.values().next() {
-            let key = t.entries.keys().next().expect("non-empty").clone();
-            return Err(err(*line, format!("unknown key `{key}`")));
+        let coord_line = line_of(&t, "fed.coordinator");
+        let advertise_line = line_of(&t, "fed.advertise");
+        let coordinator = t.str("fed.coordinator")?;
+        let pod_name = t.str("fed.pod_name")?;
+        let heartbeat_ms = t.u64("fed.heartbeat_ms")?;
+        let advertise = t.str("fed.advertise")?;
+        if let Some(c) = coordinator {
+            let coordinator = c.parse().map_err(|_| {
+                err(
+                    coord_line,
+                    format!("`fed.coordinator`: bad socket address `{c}`"),
+                )
+            })?;
+            let pod_name = pod_name
+                .ok_or_else(|| err(coord_line, "`fed.coordinator` requires `fed.pod_name`"))?;
+            let advertise = match advertise {
+                None => None,
+                Some(a) => Some(a.parse().map_err(|_| {
+                    err(
+                        advertise_line,
+                        format!("`fed.advertise`: bad socket address `{a}`"),
+                    )
+                })?),
+            };
+            cfg.fed = Some(FedMembership {
+                coordinator,
+                pod_name,
+                heartbeat: Duration::from_millis(heartbeat_ms.unwrap_or(500).max(1)),
+                advertise,
+            });
+        } else if pod_name.is_some() || heartbeat_ms.is_some() || advertise.is_some() {
+            return Err(err(0, "`[fed]` keys require `fed.coordinator`"));
         }
+        t.reject_unknown()?;
         if cfg.spines == 0 || cfg.leaves == 0 {
             return Err(err(0, "farm.spines and farm.leaves must be at least 1"));
         }
@@ -488,6 +548,33 @@ mod tests {
         let d = FarmdConfig::default();
         assert!(d.restore_on_boot);
         assert!(d.checkpoint_interval.is_none() && d.tick_interval.is_none());
+    }
+
+    #[test]
+    fn fed_membership_keys_parse() {
+        let cfg = FarmdConfig::from_toml_str(
+            "[fed]\ncoordinator = \"127.0.0.1:4600\"\npod_name = \"pod-a\"\n\
+             heartbeat_ms = 250\nadvertise = \"10.0.0.7:4520\"\n",
+        )
+        .unwrap();
+        let fed = cfg.fed.expect("fed section parsed");
+        assert_eq!(fed.coordinator, "127.0.0.1:4600".parse().unwrap());
+        assert_eq!(fed.pod_name, "pod-a");
+        assert_eq!(fed.heartbeat, Duration::from_millis(250));
+        assert_eq!(fed.advertise, Some("10.0.0.7:4520".parse().unwrap()));
+        // heartbeat/advertise default when omitted.
+        let cfg = FarmdConfig::from_toml_str(
+            "[fed]\ncoordinator = \"127.0.0.1:4600\"\npod_name = \"pod-a\"\n",
+        )
+        .unwrap();
+        let fed = cfg.fed.expect("minimal fed section");
+        assert_eq!(fed.heartbeat, Duration::from_millis(500));
+        assert!(fed.advertise.is_none());
+        // pod_name is mandatory alongside coordinator; stray fed keys
+        // without a coordinator are rejected.
+        assert!(FarmdConfig::from_toml_str("[fed]\ncoordinator = \"127.0.0.1:1\"\n").is_err());
+        assert!(FarmdConfig::from_toml_str("[fed]\npod_name = \"x\"\n").is_err());
+        assert!(FarmdConfig::from_toml_str("").unwrap().fed.is_none());
     }
 
     #[test]

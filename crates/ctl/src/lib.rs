@@ -23,5 +23,5 @@ pub mod json;
 pub mod server;
 
 pub use client::CtlClient;
-pub use config::{ConfigError, FarmdConfig};
+pub use config::{ConfigError, FarmdConfig, FedMembership};
 pub use server::Farmd;

@@ -33,7 +33,8 @@ use farm_netsim::switch::{Resources, SwitchModel};
 use farm_netsim::types::SwitchId;
 
 use crate::ckpt;
-use crate::config::FarmdConfig;
+use crate::client::CtlClient;
+use crate::config::{FarmdConfig, FedMembership};
 use crate::json::{array, snapshot_json, Obj};
 
 /// Human names of the four resource kinds, in `Resources` index order.
@@ -50,6 +51,7 @@ struct CoreMsg {
 pub struct Farmd {
     server: NetServer,
     core: Option<thread::JoinHandle<()>>,
+    fed_reg: Option<thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     shutdown_drain: Duration,
     telemetry: Telemetry,
@@ -113,9 +115,28 @@ impl Farmd {
             })
         };
         let server = NetServer::bind(config.listen, &telemetry, handler)?;
+        let fed_reg = match &config.fed {
+            Some(fed) => {
+                let fed = fed.clone();
+                let local = server.local_addr();
+                let switches = (config.spines + config.leaves) as u64;
+                let quota = config.quota;
+                let stop = Arc::clone(&stop);
+                let telemetry = telemetry.clone();
+                Some(
+                    thread::Builder::new()
+                        .name("farmd-fed-reg".into())
+                        .spawn(move || {
+                            registration_loop(fed, local, switches, quota, stop, telemetry)
+                        })?,
+                )
+            }
+            None => None,
+        };
         Ok(Farmd {
             server,
             core: Some(core),
+            fed_reg,
             stop,
             shutdown_drain: config.shutdown_drain,
             telemetry,
@@ -161,6 +182,9 @@ impl Farmd {
         if let Some(h) = self.core.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.fed_reg.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -170,6 +194,83 @@ impl Drop for Farmd {
             self.teardown();
         }
     }
+}
+
+/// The pod side of federation membership: register with the fedd
+/// coordinator, then heartbeat it until shutdown. A rejected heartbeat
+/// means the coordinator forgot us (it restarted), so the loop falls
+/// back to registration; transport errors back off and retry — the
+/// daemon keeps serving its own fabric whether or not the coordinator
+/// is reachable.
+fn registration_loop(
+    fed: FedMembership,
+    local: SocketAddr,
+    switches: u64,
+    quota: f64,
+    stop: Arc<AtomicBool>,
+    telemetry: Telemetry,
+) {
+    let advertise = fed.advertise.unwrap_or(local);
+    let registrations = telemetry.counter("fed.pod.registrations");
+    let beats = telemetry.counter("fed.pod.heartbeats");
+    let errors = telemetry.counter("fed.pod.errors");
+    let registered = telemetry.gauge("fed.pod.registered");
+    let mut seq = 0u64;
+    // Sleep in small steps so shutdown is never blocked on a beat gap.
+    let nap = |total: Duration| {
+        let step = Duration::from_millis(20);
+        let mut left = total;
+        while left > Duration::ZERO && !stop.load(Ordering::Relaxed) {
+            let d = left.min(step);
+            thread::sleep(d);
+            left = left.saturating_sub(d);
+        }
+    };
+    'session: while !stop.load(Ordering::Relaxed) {
+        let client = CtlClient::connect_as(
+            fed.coordinator,
+            &format!("farmd/{}", fed.pod_name),
+            Duration::from_secs(5),
+        );
+        match client.op(ControlOp::RegisterPod {
+            name: fed.pod_name.clone(),
+            addr: advertise.to_string(),
+            switches,
+            quota,
+        }) {
+            Ok(ControlReply::PodRegistered { .. }) => {
+                registrations.inc();
+                registered.set(1.0);
+            }
+            Ok(_) | Err(_) => {
+                errors.inc();
+                registered.set(0.0);
+                nap(fed.heartbeat);
+                continue 'session;
+            }
+        }
+        while !stop.load(Ordering::Relaxed) {
+            nap(fed.heartbeat);
+            if stop.load(Ordering::Relaxed) {
+                break 'session;
+            }
+            seq += 1;
+            match client.op(ControlOp::PodHeartbeat {
+                name: fed.pod_name.clone(),
+                seq,
+            }) {
+                Ok(ControlReply::Ok) => beats.inc(),
+                // Unknown pod (coordinator restarted) or transport
+                // trouble: start a fresh session and re-register.
+                Ok(_) | Err(_) => {
+                    errors.inc();
+                    registered.set(0.0);
+                    continue 'session;
+                }
+            }
+        }
+    }
+    registered.set(0.0);
 }
 
 /// The daemon's single-threaded heart: the farm it owns, the catalog of
@@ -386,7 +487,86 @@ fn serve_op(core: &mut Core, op: &ControlOp) -> ControlReply {
         ControlOp::Checkpoint => checkpoint(core),
         ControlOp::Restore => restore(core),
         ControlOp::Shutdown => ControlReply::Ok,
+        ControlOp::ExportTask { task } => export_task(core, task),
+        ControlOp::SubmitWithSnapshot {
+            name,
+            source,
+            seeds,
+        } => submit_with_snapshot(core, name, source, seeds),
+        ControlOp::RemoveTask { task } => {
+            if !farm.seeder().task_names().iter().any(|t| t == task) {
+                return ControlReply::Rejected {
+                    reason: format!("no task `{task}`"),
+                };
+            }
+            match farm.remove_task(task) {
+                Ok(()) => {
+                    core.programs.remove(task);
+                    ControlReply::Ok
+                }
+                Err(e) => ControlReply::Rejected {
+                    reason: e.to_string(),
+                },
+            }
+        }
+        // Coordinator-side ops: a pod answers with a rejection (not a
+        // wire error) so a misdirected farmctl gets a readable reason.
+        ControlOp::RegisterPod { .. }
+        | ControlOp::PodHeartbeat { .. }
+        | ControlOp::ListPods
+        | ControlOp::MigrateTask { .. } => ControlReply::Rejected {
+            reason: format!("`{}` is a coordinator op; this is a pod (farmd)", op.kind()),
+        },
     }
+}
+
+/// `ExportTask` (the migration export leg): checkpoint the task's live
+/// seeds and hand back its program source plus every snapshot. The task
+/// keeps running — removal is a separate op, so a failed import on the
+/// target pod leaves the source pod intact.
+fn export_task(core: &mut Core, task: &str) -> ControlReply {
+    if !core.farm.seeder().task_names().iter().any(|t| t == task) {
+        return ControlReply::Rejected {
+            reason: format!("no task `{task}`"),
+        };
+    }
+    let Some(source) = core.programs.get(task).cloned() else {
+        return ControlReply::Rejected {
+            reason: format!("task `{task}` has no recorded program source"),
+        };
+    };
+    core.farm.checkpoint_seeds();
+    let seeds = core
+        .farm
+        .export_checkpoints()
+        .into_iter()
+        .filter(|(key, _)| key.task == task)
+        .map(|(key, snap)| (key.to_string(), snap))
+        .collect();
+    ControlReply::TaskExport { source, seeds }
+}
+
+/// `SubmitWithSnapshot` (the migration import leg): a normal submit —
+/// same name rules, admission control and compilation — then the
+/// carried snapshots land in the checkpoint store and exactly this
+/// task's seeds roll forward to them.
+fn submit_with_snapshot(
+    core: &mut Core,
+    name: &str,
+    source: &str,
+    seeds: &[(String, farm_net::SeedSnapshot)],
+) -> ControlReply {
+    let submitted = submit(core, name, source);
+    if !matches!(submitted, ControlReply::Submitted { .. }) {
+        return submitted;
+    }
+    core.farm.import_checkpoints(
+        seeds
+            .iter()
+            .filter_map(|(key, snap)| parse_seed_key(key).map(|parsed| (parsed, snap.clone()))),
+    );
+    core.farm.restore_seeds_for(name);
+    submitted
 }
 
 /// `SubmitProgram`: size gate → server-side compile with collected

@@ -1,0 +1,128 @@
+//! fedd configuration — the same hand-rolled TOML subset (and the same
+//! unknown-key discipline) as farmd's, via [`farm_ctl::config::Table`].
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use farm_ctl::config::{err, Table};
+use farm_ctl::ConfigError;
+
+/// Everything fedd needs to come up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeddConfig {
+    /// Address the federated control endpoint binds; port 0 picks an
+    /// ephemeral port (see `Fedd::local_addr`).
+    pub listen: SocketAddr,
+    /// How long a connection handler waits for the core to answer one
+    /// op before giving the client a structured error.
+    pub request_timeout: Duration,
+    /// Grace period between the shutdown op and severing sessions.
+    pub shutdown_drain: Duration,
+    /// Optional PID file for external supervisors.
+    pub pid_file: Option<PathBuf>,
+    /// A pod whose last heartbeat is older than this is marked dead:
+    /// fan-outs skip it and federated stats degrade to the survivors.
+    pub liveness_timeout: Duration,
+    /// Per-RPC timeout toward a pod daemon.
+    pub pod_timeout: Duration,
+    /// Largest accepted Almanac submission, bytes.
+    pub max_program_bytes: usize,
+}
+
+impl Default for FeddConfig {
+    fn default() -> Self {
+        FeddConfig {
+            listen: "127.0.0.1:0".parse().expect("loopback parses"),
+            request_timeout: Duration::from_secs(10),
+            shutdown_drain: Duration::from_millis(100),
+            pid_file: None,
+            liveness_timeout: Duration::from_secs(2),
+            pod_timeout: Duration::from_secs(5),
+            max_program_bytes: 1 << 20,
+        }
+    }
+}
+
+impl FeddConfig {
+    /// Parses a config file body. Unknown keys are rejected so typos
+    /// fail loudly instead of silently running defaults.
+    pub fn from_toml_str(src: &str) -> Result<FeddConfig, ConfigError> {
+        let mut t = Table::parse(src)?;
+        let mut cfg = FeddConfig::default();
+        let listen_line = t.get("server.listen").map(|(l, _)| *l).unwrap_or(0);
+        if let Some(s) = t.str("server.listen")? {
+            cfg.listen = s.parse().map_err(|_| {
+                err(
+                    listen_line,
+                    format!("`server.listen`: bad socket address `{s}`"),
+                )
+            })?;
+        }
+        if let Some(ms) = t.u64("server.request_timeout_ms")? {
+            cfg.request_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = t.u64("server.shutdown_drain_ms")? {
+            cfg.shutdown_drain = Duration::from_millis(ms);
+        }
+        if let Some(p) = t.str("server.pid_file")? {
+            cfg.pid_file = Some(PathBuf::from(p));
+        }
+        if let Some(ms) = t.u64("fed.liveness_timeout_ms")? {
+            cfg.liveness_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = t.u64("fed.pod_timeout_ms")? {
+            cfg.pod_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = t.u64("admission.max_program_bytes")? {
+            cfg.max_program_bytes = n as usize;
+        }
+        t.reject_unknown()?;
+        Ok(cfg)
+    }
+
+    /// Loads and parses a config file.
+    pub fn from_file(path: &std::path::Path) -> Result<FeddConfig, ConfigError> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        FeddConfig::from_toml_str(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_parses() {
+        let cfg = FeddConfig::from_toml_str(
+            "[server]\nlisten = \"127.0.0.1:4600\"\nrequest_timeout_ms = 2500\n\
+             shutdown_drain_ms = 50\npid_file = \"/tmp/fedd.pid\"\n\
+             [fed]\nliveness_timeout_ms = 750\npod_timeout_ms = 1500\n\
+             [admission]\nmax_program_bytes = 4096\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.listen, "127.0.0.1:4600".parse().unwrap());
+        assert_eq!(cfg.request_timeout, Duration::from_millis(2500));
+        assert_eq!(cfg.shutdown_drain, Duration::from_millis(50));
+        assert_eq!(
+            cfg.pid_file.as_deref(),
+            Some(std::path::Path::new("/tmp/fedd.pid"))
+        );
+        assert_eq!(cfg.liveness_timeout, Duration::from_millis(750));
+        assert_eq!(cfg.pod_timeout, Duration::from_millis(1500));
+        assert_eq!(cfg.max_program_bytes, 4096);
+    }
+
+    #[test]
+    fn empty_input_is_all_defaults_and_unknown_keys_fail() {
+        assert_eq!(
+            FeddConfig::from_toml_str("").unwrap(),
+            FeddConfig::default()
+        );
+        let e = FeddConfig::from_toml_str("[fed]\nliveness = 1\n").unwrap_err();
+        assert!(e.message.contains("unknown key `fed.liveness`"), "{e}");
+        let e = FeddConfig::from_toml_str("[server]\nlisten = \"nowhere\"\n").unwrap_err();
+        assert!(e.message.contains("bad socket address"), "{e}");
+    }
+}

@@ -1,0 +1,261 @@
+//! A minimal, total JSON reader — just enough to merge the `Stats`
+//! bodies farmd emits (objects, arrays, strings, numbers, booleans,
+//! null). Write-side JSON stays in `farm_ctl::json`; this is the read
+//! side the coordinator needs to fan federated stats back together.
+//! Malformed input yields `Err`, never a panic.
+
+use std::collections::BTreeMap;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Jv {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Jv>),
+    Obj(BTreeMap<String, Jv>),
+}
+
+impl Jv {
+    pub fn get(&self, key: &str) -> Option<&Jv> {
+        match self {
+            Jv::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Jv::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Jv::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Jv]> {
+        match self {
+            Jv::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Jv>> {
+        match self {
+            Jv::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing garbage rejected).
+pub fn parse(src: &str) -> Result<Jv, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Jv::Obj(m));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Jv::Str(key) = string(b, pos)? else {
+                    unreachable!()
+                };
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                m.insert(key, value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Jv::Obj(m));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut v = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Jv::Arr(v));
+            }
+            loop {
+                v.push(value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Jv::Arr(v));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => string(b, pos),
+        Some(b't') => lit(b, pos, "true", Jv::Bool(true)),
+        Some(b'f') => lit(b, pos, "false", Jv::Bool(false)),
+        Some(b'n') => lit(b, pos, "null", Jv::Null),
+        Some(_) => number(b, pos),
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at offset {pos}", want as char))
+    }
+}
+
+fn lit(b: &[u8], pos: &mut usize, word: &str, v: Jv) -> Result<Jv, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(Jv::Str(out));
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input came in as &str).
+                let s = &b[*pos..];
+                let ch = std::str::from_utf8(s)
+                    .ok()
+                    .and_then(|s| s.chars().next())
+                    .ok_or("invalid utf-8 inside string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Jv::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_stats_shaped_body() {
+        let v = parse(
+            r#"{"now_ns":12,"tasks":["a","b"],"seeds":3,"cordoned":[1,7],
+               "counters":{"ctl.ops":9,"net.bytes":1024},"ok":true,"x":null}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("now_ns").and_then(Jv::as_u64), Some(12));
+        assert_eq!(
+            v.get("tasks").and_then(Jv::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+        let counters = v.get("counters").and_then(Jv::as_obj).unwrap();
+        assert_eq!(counters["net.bytes"].as_u64(), Some(1024));
+        assert_eq!(v.get("ok"), Some(&Jv::Bool(true)));
+        assert_eq!(v.get("x"), Some(&Jv::Null));
+    }
+
+    #[test]
+    fn escapes_and_nesting_parse() {
+        let v = parse(r#"{"k\n\"qA":[[],{},[{"a":-1.5e2}]]}"#).unwrap();
+        let key = "k\n\"qA";
+        assert!(v.get(key).is_some(), "{v:?}");
+    }
+
+    #[test]
+    fn malformed_input_errors_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"abc",
+            "{\"a\":1}x",
+            "nan",
+            "01e",
+            "{'a':1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

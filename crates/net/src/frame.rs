@@ -112,6 +112,39 @@ pub enum ControlOp {
     Restore,
     /// Stop the daemon after draining connections.
     Shutdown,
+    /// A farmd pod joins (or re-joins) a fedd coordinator, announcing
+    /// its topology manifest: wire address, switch count, and headroom
+    /// quota. Registration is idempotent per `name`; the reply carries
+    /// the pod's global switch-id base.
+    RegisterPod {
+        name: String,
+        addr: String,
+        switches: u64,
+        quota: f64,
+    },
+    /// Periodic pod liveness beacon. A `Rejected` reply means the
+    /// coordinator does not know this pod (e.g. it restarted) and the
+    /// pod must re-register.
+    PodHeartbeat { name: String, seq: u64 },
+    /// Enumerate registered pods with liveness state (fedd only).
+    ListPods,
+    /// Migrate every seed of `task` from its current pod to `to_pod`
+    /// (fedd only): drain-by-checkpoint on the source, snapshot export,
+    /// submit-with-snapshot on the target, then remove from the source.
+    MigrateTask { task: String, to_pod: String },
+    /// Checkpoint `task` on this pod and return its program source plus
+    /// every seed snapshot (fedd → farmd, the migration export leg).
+    ExportTask { task: String },
+    /// Deploy a program and immediately restore the carried snapshots
+    /// into its seeds (fedd → farmd, the migration import leg).
+    SubmitWithSnapshot {
+        name: String,
+        source: String,
+        seeds: Vec<(String, SeedSnapshot)>,
+    },
+    /// Remove a deployed task and its seeds (fedd → farmd; also the
+    /// rollback path when a split deployment partially fails).
+    RemoveTask { task: String },
 }
 
 impl ControlOp {
@@ -129,6 +162,13 @@ impl ControlOp {
             ControlOp::Checkpoint => "checkpoint",
             ControlOp::Restore => "restore",
             ControlOp::Shutdown => "shutdown",
+            ControlOp::RegisterPod { .. } => "register-pod",
+            ControlOp::PodHeartbeat { .. } => "pod-heartbeat",
+            ControlOp::ListPods => "list-pods",
+            ControlOp::MigrateTask { .. } => "migrate-task",
+            ControlOp::ExportTask { .. } => "export-task",
+            ControlOp::SubmitWithSnapshot { .. } => "submit-with-snapshot",
+            ControlOp::RemoveTask { .. } => "remove-task",
         }
     }
 
@@ -163,8 +203,37 @@ impl ControlOp {
             ControlOp::Checkpoint => 8,
             ControlOp::Restore => 9,
             ControlOp::Shutdown => 10,
+            ControlOp::RegisterPod { .. } => 11,
+            ControlOp::PodHeartbeat { .. } => 12,
+            ControlOp::ListPods => 13,
+            ControlOp::MigrateTask { .. } => 14,
+            ControlOp::ExportTask { .. } => 15,
+            ControlOp::SubmitWithSnapshot { .. } => 16,
+            ControlOp::RemoveTask { .. } => 17,
         }
     }
+}
+
+/// One registered pod as reported by [`ControlOp::ListPods`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodInfo {
+    /// Registration name (unique per federation).
+    pub name: String,
+    /// Wire address of the pod's farmd control endpoint.
+    pub addr: String,
+    /// Switches the pod manages (its local id space is `0..switches`).
+    pub switches: u64,
+    /// Global switch-id base assigned by the coordinator; global id
+    /// `base + i` is the pod's local switch `i`.
+    pub base: u64,
+    /// Admission headroom quota the pod advertised.
+    pub quota: f64,
+    /// True while heartbeats arrive within the liveness window.
+    pub live: bool,
+    /// Heartbeats observed since registration.
+    pub beats: u64,
+    /// Milliseconds since the last heartbeat (or registration).
+    pub age_ms: u64,
 }
 
 /// One deployed seed as reported over the control surface.
@@ -242,9 +311,48 @@ pub enum ControlReply {
     Rejected { reason: String },
     /// SubmitProgram failed to compile; nothing was deployed.
     CompileFailed { diagnostics: Vec<Diagnostic> },
+    /// RegisterPod succeeded; `base` is the pod's global switch base.
+    PodRegistered { base: u64 },
+    /// ListPods answer: every registered pod, sorted by name.
+    Pods { pods: Vec<PodInfo> },
+    /// MigrateTask finished: `seeds` snapshots moved between pods.
+    Migrated {
+        task: String,
+        from_pod: String,
+        to_pod: String,
+        seeds: u64,
+    },
+    /// ExportTask answer: program source plus one snapshot per seed
+    /// (keys are the pod-local `task/mN/sN` form).
+    TaskExport {
+        source: String,
+        seeds: Vec<(String, SeedSnapshot)>,
+    },
 }
 
 impl ControlReply {
+    /// Stable kebab-case name, mirroring [`ControlOp::kind`] — used by
+    /// the federation coordinator to report an unexpected reply shape.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ControlReply::Ok => "ok",
+            ControlReply::Submitted { .. } => "submitted",
+            ControlReply::Seeds { .. } => "seeds",
+            ControlReply::Seed { .. } => "seed",
+            ControlReply::Json { .. } => "json",
+            ControlReply::Drained { .. } => "drained",
+            ControlReply::Replanned { .. } => "replanned",
+            ControlReply::Checkpointed { .. } => "checkpointed",
+            ControlReply::Restored { .. } => "restored",
+            ControlReply::Rejected { .. } => "rejected",
+            ControlReply::CompileFailed { .. } => "compile-failed",
+            ControlReply::PodRegistered { .. } => "pod-registered",
+            ControlReply::Pods { .. } => "pods",
+            ControlReply::Migrated { .. } => "migrated",
+            ControlReply::TaskExport { .. } => "task-export",
+        }
+    }
+
     fn tag(&self) -> u8 {
         match self {
             ControlReply::Ok => 0,
@@ -258,6 +366,10 @@ impl ControlReply {
             ControlReply::Restored { .. } => 8,
             ControlReply::Rejected { .. } => 9,
             ControlReply::CompileFailed { .. } => 10,
+            ControlReply::PodRegistered { .. } => 11,
+            ControlReply::Pods { .. } => 12,
+            ControlReply::Migrated { .. } => 13,
+            ControlReply::TaskExport { .. } => 14,
         }
     }
 }
@@ -499,8 +611,85 @@ fn encode_control_op(op: &ControlOp, out: &mut Vec<u8>) {
         | ControlOp::Replan
         | ControlOp::Checkpoint
         | ControlOp::Restore
-        | ControlOp::Shutdown => {}
+        | ControlOp::Shutdown
+        | ControlOp::ListPods => {}
+        ControlOp::RegisterPod {
+            name,
+            addr,
+            switches,
+            quota,
+        } => {
+            put_str(out, name);
+            put_str(out, addr);
+            put_varint(out, *switches);
+            put_f64(out, *quota);
+        }
+        ControlOp::PodHeartbeat { name, seq } => {
+            put_str(out, name);
+            put_varint(out, *seq);
+        }
+        ControlOp::MigrateTask { task, to_pod } => {
+            put_str(out, task);
+            put_str(out, to_pod);
+        }
+        ControlOp::ExportTask { task } | ControlOp::RemoveTask { task } => put_str(out, task),
+        ControlOp::SubmitWithSnapshot {
+            name,
+            source,
+            seeds,
+        } => {
+            put_str(out, name);
+            put_str(out, source);
+            encode_snapshot_entries(seeds, out);
+        }
     }
+}
+
+/// Encodes a keyed snapshot list; each snapshot travels versioned, the
+/// same layout [`Frame::Migrate`] uses.
+fn encode_snapshot_entries(seeds: &[(String, SeedSnapshot)], out: &mut Vec<u8>) {
+    put_varint(out, seeds.len() as u64);
+    for (key, snap) in seeds {
+        put_str(out, key);
+        out.push(0x00);
+        out.push(VSeedSnapshot::CURRENT_VERSION);
+        crate::snapshot::encode_snapshot_body(snap, out);
+    }
+}
+
+fn decode_snapshot_entries(r: &mut Reader<'_>) -> Result<Vec<(String, SeedSnapshot)>, WireError> {
+    let n = r.len_prefix(5)?;
+    let mut seeds = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let key = r.str()?;
+        let snap = decode_vsnapshot(r)?.into_latest();
+        seeds.push((key, snap));
+    }
+    Ok(seeds)
+}
+
+fn encode_pod_info(p: &PodInfo, out: &mut Vec<u8>) {
+    put_str(out, &p.name);
+    put_str(out, &p.addr);
+    put_varint(out, p.switches);
+    put_varint(out, p.base);
+    put_f64(out, p.quota);
+    put_bool(out, p.live);
+    put_varint(out, p.beats);
+    put_varint(out, p.age_ms);
+}
+
+fn decode_pod_info(r: &mut Reader<'_>) -> Result<PodInfo, WireError> {
+    Ok(PodInfo {
+        name: r.str()?,
+        addr: r.str()?,
+        switches: r.varint()?,
+        base: r.varint()?,
+        quota: r.f64()?,
+        live: r.bool()?,
+        beats: r.varint()?,
+        age_ms: r.varint()?,
+    })
 }
 
 fn encode_seed_descriptor(d: &SeedDescriptor, out: &mut Vec<u8>) {
@@ -597,6 +786,28 @@ fn encode_control_reply(reply: &ControlReply, out: &mut Vec<u8>) {
             for d in diagnostics {
                 encode_diagnostic(d, out);
             }
+        }
+        ControlReply::PodRegistered { base } => put_varint(out, *base),
+        ControlReply::Pods { pods } => {
+            put_varint(out, pods.len() as u64);
+            for p in pods {
+                encode_pod_info(p, out);
+            }
+        }
+        ControlReply::Migrated {
+            task,
+            from_pod,
+            to_pod,
+            seeds,
+        } => {
+            put_str(out, task);
+            put_str(out, from_pod);
+            put_str(out, to_pod);
+            put_varint(out, *seeds);
+        }
+        ControlReply::TaskExport { source, seeds } => {
+            put_str(out, source);
+            encode_snapshot_entries(seeds, out);
         }
     }
 }
@@ -937,6 +1148,28 @@ fn decode_control_op(r: &mut Reader<'_>) -> Result<ControlOp, WireError> {
         8 => Ok(ControlOp::Checkpoint),
         9 => Ok(ControlOp::Restore),
         10 => Ok(ControlOp::Shutdown),
+        11 => Ok(ControlOp::RegisterPod {
+            name: r.str()?,
+            addr: r.str()?,
+            switches: r.varint()?,
+            quota: r.f64()?,
+        }),
+        12 => Ok(ControlOp::PodHeartbeat {
+            name: r.str()?,
+            seq: r.varint()?,
+        }),
+        13 => Ok(ControlOp::ListPods),
+        14 => Ok(ControlOp::MigrateTask {
+            task: r.str()?,
+            to_pod: r.str()?,
+        }),
+        15 => Ok(ControlOp::ExportTask { task: r.str()? }),
+        16 => Ok(ControlOp::SubmitWithSnapshot {
+            name: r.str()?,
+            source: r.str()?,
+            seeds: decode_snapshot_entries(r)?,
+        }),
+        17 => Ok(ControlOp::RemoveTask { task: r.str()? }),
         t => Err(WireError::Tag {
             what: "control op",
             tag: t,
@@ -1036,6 +1269,25 @@ fn decode_control_reply(r: &mut Reader<'_>) -> Result<ControlReply, WireError> {
             }
             Ok(ControlReply::CompileFailed { diagnostics })
         }
+        11 => Ok(ControlReply::PodRegistered { base: r.varint()? }),
+        12 => {
+            let n = r.len_prefix(16)?;
+            let mut pods = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                pods.push(decode_pod_info(r)?);
+            }
+            Ok(ControlReply::Pods { pods })
+        }
+        13 => Ok(ControlReply::Migrated {
+            task: r.str()?,
+            from_pod: r.str()?,
+            to_pod: r.str()?,
+            seeds: r.varint()?,
+        }),
+        14 => Ok(ControlReply::TaskExport {
+            source: r.str()?,
+            seeds: decode_snapshot_entries(r)?,
+        }),
         t => Err(WireError::Tag {
             what: "control reply",
             tag: t,
@@ -1612,6 +1864,135 @@ mod tests {
             let env = Envelope::response(5, Frame::ControlReply { reply });
             assert_eq!(round_trip(&env), env);
         }
+    }
+
+    #[test]
+    fn fed_control_ops_round_trip() {
+        let snap = SeedSnapshot {
+            machine: "HH".into(),
+            state: "Monitor".into(),
+            vars: vec![("threshold".into(), Value::Int(1000))],
+        };
+        let ops = vec![
+            ControlOp::RegisterPod {
+                name: "pod-a".into(),
+                addr: "127.0.0.1:7001".into(),
+                switches: 48,
+                quota: 0.8,
+            },
+            ControlOp::PodHeartbeat {
+                name: "pod-a".into(),
+                seq: 17,
+            },
+            ControlOp::ListPods,
+            ControlOp::MigrateTask {
+                task: "mon".into(),
+                to_pod: "pod-b".into(),
+            },
+            ControlOp::ExportTask { task: "mon".into() },
+            ControlOp::SubmitWithSnapshot {
+                name: "mon".into(),
+                source: "machine M { place any; state s { } }".into(),
+                seeds: vec![
+                    ("mon/m0/s0".into(), snap.clone()),
+                    ("mon/m0/s1".into(), snap),
+                ],
+            },
+            ControlOp::RemoveTask { task: "mon".into() },
+        ];
+        for op in ops {
+            let env = Envelope::request(6, Frame::Control { op });
+            assert_eq!(round_trip(&env), env);
+        }
+    }
+
+    #[test]
+    fn fed_control_replies_round_trip() {
+        let snap = SeedSnapshot {
+            machine: "HH".into(),
+            state: "Monitor".into(),
+            vars: vec![("seen".into(), Value::Int(3))],
+        };
+        let replies = vec![
+            ControlReply::PodRegistered { base: 96 },
+            ControlReply::Pods {
+                pods: vec![
+                    PodInfo {
+                        name: "pod-a".into(),
+                        addr: "127.0.0.1:7001".into(),
+                        switches: 48,
+                        base: 0,
+                        quota: 0.8,
+                        live: true,
+                        beats: 12,
+                        age_ms: 250,
+                    },
+                    PodInfo {
+                        name: "pod-b".into(),
+                        addr: "127.0.0.1:7002".into(),
+                        switches: 96,
+                        base: 48,
+                        quota: 0.5,
+                        live: false,
+                        beats: 0,
+                        age_ms: 30_000,
+                    },
+                ],
+            },
+            ControlReply::Pods { pods: vec![] },
+            ControlReply::Migrated {
+                task: "mon".into(),
+                from_pod: "pod-a".into(),
+                to_pod: "pod-b".into(),
+                seeds: 4,
+            },
+            ControlReply::TaskExport {
+                source: "machine M { place any; state s { } }".into(),
+                seeds: vec![("mon/m0/s0".into(), snap)],
+            },
+            ControlReply::TaskExport {
+                source: String::new(),
+                seeds: vec![],
+            },
+        ];
+        for reply in replies {
+            let env = Envelope::response(6, Frame::ControlReply { reply });
+            assert_eq!(round_trip(&env), env);
+        }
+    }
+
+    #[test]
+    fn fed_tags_are_additive_over_the_legacy_space() {
+        // The federation ops start at tag 11, one past Shutdown, and
+        // the replies at 11, one past CompileFailed. An old decoder
+        // that stops at 10 sees exactly WireError::Tag for each — the
+        // step-over contract the mixed-version property leans on.
+        assert_eq!(
+            ControlOp::RegisterPod {
+                name: String::new(),
+                addr: String::new(),
+                switches: 0,
+                quota: 0.0,
+            }
+            .tag(),
+            11
+        );
+        assert_eq!(
+            ControlOp::RemoveTask {
+                task: String::new()
+            }
+            .tag(),
+            17
+        );
+        assert_eq!(ControlReply::PodRegistered { base: 0 }.tag(), 11);
+        assert_eq!(
+            ControlReply::TaskExport {
+                source: String::new(),
+                seeds: vec![],
+            }
+            .tag(),
+            14
+        );
     }
 
     #[test]

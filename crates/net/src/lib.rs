@@ -51,7 +51,7 @@ pub use buf::{ByteRing, Decoded, FrameDecoder};
 pub use conn::{Connection, NetConfig, NetError};
 pub use frame::{
     decode_body, decode_envelope, decode_request_corr, encode_envelope, ControlOp, ControlReply,
-    Diagnostic, Envelope, Frame, Report, SeedDescriptor,
+    Diagnostic, Envelope, Frame, PodInfo, Report, SeedDescriptor,
 };
 pub use interceptor::{Interceptor, LossInterceptor, Passthrough, Verdict};
 pub use poll::{Interest, PollEvent, Poller, Readiness, Token};
@@ -61,6 +61,11 @@ pub use snapshot::{
     CheckpointDoc, CheckpointLoad, VSeedSnapshot,
 };
 pub use wire::{crc32, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+// The snapshot payload type carried by `Migrate` frames and the fed
+// snapshot-bearing ops, re-exported so wire-level consumers don't need
+// a direct farm-soil dependency.
+pub use farm_soil::SeedSnapshot;
 
 #[cfg(test)]
 mod tests {

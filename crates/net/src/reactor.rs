@@ -246,10 +246,18 @@ impl Reactor {
         self.senders.clear();
     }
 
+    /// Per-round accept cap. The listener is level-triggered, so a
+    /// backlog past the cap simply re-surfaces on the next poll round;
+    /// bounding the batch keeps a connection storm from starving
+    /// established connections' I/O within the round.
+    const ACCEPT_BATCH: usize = 64;
+
     fn accept_ready(&mut self) {
-        loop {
+        let mut accepted = 0usize;
+        while accepted < Self::ACCEPT_BATCH {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    accepted += 1;
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -273,7 +281,6 @@ impl Reactor {
                             closing: false,
                         },
                     );
-                    self.open_conns.set(self.conns.len() as f64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -281,6 +288,10 @@ impl Reactor {
                 // the loop a tick rather than spinning.
                 Err(_) => break,
             }
+        }
+        // One gauge settle per batch instead of one per accept.
+        if accepted > 0 {
+            self.open_conns.set(self.conns.len() as f64);
         }
     }
 

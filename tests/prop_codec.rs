@@ -7,7 +7,7 @@ use farm_almanac::value::{ActionValue, PacketRecord, RuleValue, StatEntry, StatS
 use farm_net::wire::WireError;
 use farm_net::{
     decode_checkpoint_any, decode_envelope, encode_checkpoint_doc, encode_envelope, CheckpointDoc,
-    ControlOp, ControlReply, Decoded, Diagnostic, Envelope, Frame, FrameDecoder, Report,
+    ControlOp, ControlReply, Decoded, Diagnostic, Envelope, Frame, FrameDecoder, PodInfo, Report,
     SeedDescriptor, VSeedSnapshot,
 };
 use farm_netsim::switch::Resources;
@@ -206,6 +206,12 @@ fn cursor_strategy() -> BoxedStrategy<(u64, u64)> {
     .boxed()
 }
 
+/// Keyed seed snapshots as carried by the migration frames
+/// (`SubmitWithSnapshot` / `TaskExport`).
+fn snapshot_entries_strategy() -> BoxedStrategy<Vec<(String, SeedSnapshot)>> {
+    vec(("[a-z/0-9]{1,16}", snapshot_strategy()), 0..4).boxed()
+}
+
 fn control_op_strategy() -> BoxedStrategy<ControlOp> {
     prop_oneof![
         ("[a-z]{1,8}", "[ -~]{0,48}")
@@ -221,8 +227,60 @@ fn control_op_strategy() -> BoxedStrategy<ControlOp> {
         Just(ControlOp::Checkpoint),
         Just(ControlOp::Restore),
         Just(ControlOp::Shutdown),
+        fed_control_op_strategy(),
     ]
     .boxed()
+}
+
+/// The federation additions to the op space (tags 11+), kept separate
+/// so the mixed-version property can generate exactly these.
+fn fed_control_op_strategy() -> BoxedStrategy<ControlOp> {
+    prop_oneof![
+        ("[a-z-]{1,8}", "[0-9.:]{1,16}", any::<u64>(), 0.0..1e3).prop_map(
+            |(name, addr, switches, quota)| ControlOp::RegisterPod {
+                name,
+                addr,
+                switches,
+                quota,
+            }
+        ),
+        ("[a-z-]{1,8}", any::<u64>()).prop_map(|(name, seq)| ControlOp::PodHeartbeat { name, seq }),
+        Just(ControlOp::ListPods),
+        ("[a-z]{1,8}", "[a-z-]{1,8}")
+            .prop_map(|(task, to_pod)| ControlOp::MigrateTask { task, to_pod }),
+        "[a-z]{1,8}".prop_map(|task| ControlOp::ExportTask { task }),
+        ("[a-z]{1,8}", "[ -~]{0,48}", snapshot_entries_strategy()).prop_map(
+            |(name, source, seeds)| ControlOp::SubmitWithSnapshot {
+                name,
+                source,
+                seeds,
+            }
+        ),
+        "[a-z]{1,8}".prop_map(|task| ControlOp::RemoveTask { task }),
+    ]
+    .boxed()
+}
+
+fn pod_info_strategy() -> BoxedStrategy<PodInfo> {
+    (
+        "[a-z-]{1,8}",
+        "[0-9.:]{1,16}",
+        (any::<u64>(), any::<u64>(), 0.0..1e3),
+        (0u8..2, any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(name, addr, (switches, base, quota), (live, beats, age_ms))| PodInfo {
+                name,
+                addr,
+                switches,
+                base,
+                quota,
+                live: live == 1,
+                beats,
+                age_ms,
+            },
+        )
+        .boxed()
 }
 
 fn seed_descriptor_strategy() -> BoxedStrategy<SeedDescriptor> {
@@ -309,6 +367,26 @@ fn control_reply_strategy() -> BoxedStrategy<ControlReply> {
         "[ -~]{0,24}".prop_map(|reason| ControlReply::Rejected { reason }),
         vec(diagnostic_strategy(), 0..4)
             .prop_map(|diagnostics| ControlReply::CompileFailed { diagnostics }),
+        fed_control_reply_strategy(),
+    ]
+    .boxed()
+}
+
+/// The federation additions to the reply space (tags 11+).
+fn fed_control_reply_strategy() -> BoxedStrategy<ControlReply> {
+    prop_oneof![
+        any::<u64>().prop_map(|base| ControlReply::PodRegistered { base }),
+        vec(pod_info_strategy(), 0..4).prop_map(|pods| ControlReply::Pods { pods }),
+        ("[a-z]{1,8}", "[a-z-]{1,8}", "[a-z-]{1,8}", any::<u64>()).prop_map(
+            |(task, from_pod, to_pod, seeds)| ControlReply::Migrated {
+                task,
+                from_pod,
+                to_pod,
+                seeds,
+            }
+        ),
+        ("[ -~]{0,48}", snapshot_entries_strategy())
+            .prop_map(|(source, seeds)| ControlReply::TaskExport { source, seeds }),
     ]
     .boxed()
 }
@@ -569,5 +647,56 @@ proptest! {
             prop_assert!(load.doc.programs.len() <= doc.programs.len());
             prop_assert!(load.doc.seeds.len() <= doc.seeds.len());
         }
+    }
+
+    /// Mixed-version federation: a decoder that predates the fed tags
+    /// must step over them without desyncing the stream. Simulated by
+    /// rewriting a fed control frame's op tag to a value *no* revision
+    /// knows — exactly the position a pre-federation decoder is in when
+    /// tags 11+ arrive — and asserting the framing consumes the whole
+    /// frame as a typed `Bad` and decodes the next frame intact.
+    #[test]
+    fn unknown_fed_tags_step_over_without_desync(
+        op in fed_control_op_strategy(),
+        corr in 1u64..1_000_000,
+        follow in envelope_strategy(),
+        unknown_tag in 200u8..=255,
+    ) {
+        let fed_env = Envelope { corr, response: false, frame: Frame::Control { op } };
+        let mut bytes = Vec::new();
+        encode_envelope(&fed_env, &mut bytes);
+        let framed_len = bytes.len();
+
+        // Walk the envelope header (len:varint | ver | kind | flags |
+        // corr:varint) to the first payload byte — the control op tag.
+        let mut at = 0;
+        while bytes[at] & 0x80 != 0 { at += 1; }
+        at += 1; // length varint
+        at += 3; // version, frame kind, flags
+        while bytes[at] & 0x80 != 0 { at += 1; }
+        at += 1; // correlation varint
+        bytes[at] = unknown_tag;
+
+        prop_assert_eq!(
+            decode_envelope(&bytes).err(),
+            Some(WireError::Tag { what: "control op", tag: unknown_tag })
+        );
+
+        encode_envelope(&follow, &mut bytes);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        match decoder.next().expect("framing survives an unknown tag") {
+            Some(Decoded::Bad { corr: recovered, error, nbytes }) => {
+                prop_assert_eq!(nbytes, framed_len, "Bad consumes exactly the framed bytes");
+                prop_assert_eq!(recovered, Some(corr), "corr recoverable for an Error reply");
+                prop_assert_eq!(error, WireError::Tag { what: "control op", tag: unknown_tag });
+            }
+            other => prop_assert!(false, "expected Bad, got {:?}", other),
+        }
+        match decoder.next().expect("stream stays in sync") {
+            Some(Decoded::Frame(env, _)) => prop_assert_eq!(env, follow),
+            other => prop_assert!(false, "expected next frame, got {:?}", other),
+        }
+        prop_assert_eq!(decoder.buffered(), 0);
     }
 }

@@ -17,14 +17,17 @@
 //! set, receives the post-restore stats JSON for artifact upload.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::path::Path;
+use std::process::Child;
 use std::time::{Duration, Instant};
 
 use farm_ctl::CtlClient;
 use farm_net::{decode_checkpoint_any, CheckpointDoc, ControlOp, ControlReply};
+
+#[path = "util/mod.rs"]
+mod util;
+use util::{scratch, wait_exit, write_config};
 
 /// Fabric shape used by the soak: 2 spines + 14 leaves = 16 switches,
 /// so each `place all` task plants 16 seeds and 7 tasks plant 112 —
@@ -65,51 +68,10 @@ fn fault_seed() -> u64 {
         .unwrap_or(7)
 }
 
-fn scratch(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("farm-soak-{}-{name}", std::process::id()))
-}
-
-/// Writes a farmd config file and returns its path.
-fn write_config(name: &str, body: String) -> PathBuf {
-    let path = scratch(name);
-    std::fs::write(&path, body).expect("write config");
-    path
-}
-
-/// Spawns the real farmd binary with `--print-addr` and blocks until it
-/// reports the bound address. Stderr is inherited so daemon-side
-/// diagnostics land in the test log.
+/// Spawns the real farmd binary via the shared harness.
 fn spawn_farmd(config: &Path) -> (Child, SocketAddr) {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_farmd"))
-        .arg("--config")
-        .arg(config)
-        .arg("--print-addr")
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()
-        .expect("spawn farmd");
-    let stdout = child.stdout.take().expect("farmd stdout piped");
-    let mut line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut line)
-        .expect("read farmd address line");
-    let addr = line
-        .trim()
-        .parse()
-        .unwrap_or_else(|_| panic!("farmd printed `{line}`, not an address"));
-    (child, addr)
-}
-
-/// Waits (bounded) for a child to exit and returns its status.
-fn wait_exit(child: &mut Child, why: &str) -> std::process::ExitStatus {
-    let deadline = Instant::now() + Duration::from_secs(20);
-    loop {
-        if let Some(status) = child.try_wait().expect("try_wait") {
-            return status;
-        }
-        assert!(Instant::now() < deadline, "farmd did not exit: {why}");
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    let bin = util::locate_bin("farmd", option_env!("CARGO_BIN_EXE_farmd"));
+    util::spawn_daemon(&bin, config)
 }
 
 fn submit_soak_tasks(client: &CtlClient) {
