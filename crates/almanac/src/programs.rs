@@ -1181,6 +1181,167 @@ machine FloodDefender {
 }
 "#;
 
+/// KISS-style volume anomaly detection (arXiv:1902.02082): simple
+/// statistics beat deep models for network anomaly detection. Tracks an
+/// EWMA mean and mean absolute deviation of the aggregate per-poll
+/// volume; alarms when the deviation is both statistically
+/// (`sigma × dev`) and practically (20 % of the mean) significant. The
+/// baseline is frozen while alarming so a sustained anomaly keeps
+/// reporting instead of being absorbed.
+pub const KISS_VOLUME_ANOMALY: &str = r#"
+fun sumVolume(list stats): long {
+  long total = 0;
+  int i = 0;
+  while (i < list_len(stats)) {
+    total = total + stat_tx_bytes(list_get(stats, i)) + stat_rx_bytes(list_get(stats, i));
+    i = i + 1;
+  }
+  return total;
+}
+machine KissVolume {
+  place all;
+  poll portStats = Poll { .ival = 100/res().PCIe, .what = port ANY };
+  external float sigma = 4.0;
+  external long warmup = 8;
+  float mean = 0.0;
+  float dev = 0.0;
+  float current = 0.0;
+  long samples = 0;
+  state estimating {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (portStats as stats) do {
+      current = to_float(sumVolume(stats));
+      samples = samples + 1;
+      float d = current - mean;
+      if (d < 0.0) then { d = 0.0 - d; }
+      bool hot = samples > warmup and d > sigma * dev and d > mean * 0.2;
+      if (hot) then {
+        transit alarmed;
+      } else {
+        mean = mean * 0.8 + current * 0.2;
+        dev = dev * 0.8 + d * 0.2;
+      }
+    }
+  }
+  state alarmed {
+    util (res) { return 80; }
+    when (enter) do {
+      send pair(current, mean) to harvester;
+      transit estimating;
+    }
+  }
+  when (recv float newSigma from harvester) do { sigma = newSigma; }
+}
+"#;
+
+/// KISS-style per-port spike detection: one EWMA baseline per port,
+/// alarm listing every port whose fresh delta exceeds `factor ×` its
+/// baseline. Baselines are not updated while a port is spiking, so a
+/// port stays reported for as long as it stays hot. The baseline list
+/// is kept positionally aligned with the poll result (an ANY-port poll
+/// returns ports in a fixed order), so a poll costs O(ports), not
+/// O(ports²) — at 54-port leaves this is what keeps the seed inside its
+/// switch-CPU allocation.
+pub const KISS_PORT_SPIKE: &str = r#"
+machine KissPortSpike {
+  place all;
+  poll portStats = Poll { .ival = 100/res().PCIe, .what = port ANY };
+  external float factor = 8.0;
+  external long warmup = 5;
+  external float minBytes = 1000.0;
+  list baseline;
+  list spikes;
+  long samples = 0;
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 200) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (portStats as stats) do {
+      samples = samples + 1;
+      list_clear(spikes);
+      bool seeded = list_len(baseline) == list_len(stats);
+      list fresh;
+      int i = 0;
+      while (i < list_len(stats)) {
+        float x = to_float(stat_tx_bytes(list_get(stats, i)));
+        if (not seeded) then {
+          list_push(fresh, x);
+        } else {
+          float base = to_float(list_get(baseline, i));
+          if (samples > warmup and x > factor * base and x > minBytes) then {
+            list_push(spikes, stat_port(list_get(stats, i)));
+            list_push(fresh, base);
+          } else {
+            list_push(fresh, base * 0.7 + x * 0.3);
+          }
+        }
+        i = i + 1;
+      }
+      baseline = fresh;
+      if (not is_list_empty(spikes)) then {
+        transit alarm;
+      }
+    }
+  }
+  state alarm {
+    util (res) { return 80; }
+    when (enter) do {
+      send spikes to harvester;
+      transit observe;
+    }
+  }
+  when (recv float newFactor from harvester) do { factor = newFactor; }
+}
+"#;
+
+/// DiG-style microburst watcher (arXiv:1806.02698): polls port counters
+/// at the fastest interval the PCIe budget sustains (sub-ms on the
+/// modelled switches) and reports any port whose per-poll delta crosses
+/// the burst threshold — the high-resolution regime the paper never
+/// measured.
+pub const DIG_MICROBURST: &str = r#"
+machine DigMicroburst {
+  place all;
+  poll fastStats = Poll { .ival = 1/res().PCIe, .what = port ANY };
+  external long burstBytes = 100000;
+  list bursting;
+  state watch {
+    util (res) {
+      if (res.vCPU >= 1 and res.PCIe >= 1) then { return res.PCIe; }
+    }
+    when (fastStats as stats) do {
+      list_clear(bursting);
+      int i = 0;
+      while (i < list_len(stats)) {
+        if (stat_tx_bytes(list_get(stats, i)) >= burstBytes) then {
+          list_push(bursting, stat_port(list_get(stats, i)));
+        }
+        i = i + 1;
+      }
+      if (not is_list_empty(bursting)) then {
+        send bursting to harvester;
+      }
+    }
+  }
+  when (recv long newBurst from harvester) do { burstBytes = newBurst; }
+}
+"#;
+
+/// The anomaly-detection programs added beyond Tab. I: KISS-style simple
+/// statistics (arXiv:1902.02082) and the DiG sub-ms poller
+/// (arXiv:1806.02698), as `(machine, source)` pairs.
+pub const ANOMALY_PROGRAMS: &[(&str, &str)] = &[
+    ("KissVolume", KISS_VOLUME_ANOMALY),
+    ("KissPortSpike", KISS_PORT_SPIKE),
+    ("DigMicroburst", DIG_MICROBURST),
+];
+
 /// All Tab. I use cases, in the paper's order.
 pub const USE_CASES: &[UseCase] = &[
     UseCase {
@@ -1331,6 +1492,14 @@ mod tests {
                 u.name,
                 u.machine
             );
+        }
+    }
+
+    #[test]
+    fn every_anomaly_program_compiles_and_declares_its_machine() {
+        for (machine, source) in ANOMALY_PROGRAMS {
+            let p = frontend(source).unwrap_or_else(|e| panic!("{machine} failed to compile: {e}"));
+            assert!(p.machine(machine).is_some(), "machine {machine} missing");
         }
     }
 

@@ -20,6 +20,7 @@
 //! Absolute numbers come from the simulator substrate; EXPERIMENTS.md
 //! records the paper-vs-measured comparison and which *shapes* hold.
 
+pub mod detection;
 pub mod fig10;
 pub mod fig4;
 pub mod fig5;

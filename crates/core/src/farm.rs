@@ -27,7 +27,7 @@ use farm_netsim::time::{Dur, Time};
 use farm_netsim::topology::Topology;
 use farm_netsim::traffic::Workload;
 use farm_netsim::types::{Proto, SwitchId};
-use farm_soil::{Endpoint, OutboundMessage, SeedId, SeedSnapshot, Soil, SoilConfig};
+use farm_soil::{Endpoint, OutboundMessage, SeedId, SeedSnapshot, Soil, SoilConfig, SoilStats};
 use farm_telemetry::{
     Counter, Event, EventSink, Histogram, ReplanOutcome, Telemetry, UndeployReason,
 };
@@ -391,6 +391,12 @@ impl Farm {
     /// The soil running on a switch.
     pub fn soil(&self, id: SwitchId) -> Option<&Soil> {
         self.soils.get(&id)
+    }
+
+    /// Fabric-wide soil statistics (summed across every switch) —
+    /// poll-aggregation savings, ASIC polls, deliveries.
+    pub fn soil_stats(&self) -> SoilStats {
+        self.soils.values().map(|s| s.stats()).sum()
     }
 
     /// The seeder (task catalog and placements).

@@ -1,0 +1,152 @@
+//! Properties of the hostile-traffic scenario generator.
+//!
+//! 1. **Determinism** — one `(class, scale, seed)` spec yields exactly
+//!    one trace and one ground truth, no matter how many times it is
+//!    built. Detection scores are only comparable across runs (and CI
+//!    gates only sound) when the input is bit-stable.
+//! 2. **Label/trace consistency** — for keyed attack windows, every
+//!    traffic event matching a window's flow keys falls inside that
+//!    window's span; an attack never leaks traffic outside its label.
+//! 3. **Window sanity** — same-kind label windows never overlap and
+//!    every window lies inside the scenario span, so "detected during
+//!    the window" is unambiguous.
+
+use farm_netsim::time::Time;
+use farm_netsim::topology::Topology;
+use farm_netsim::traffic::record_trace;
+use farm_netsim::types::{Prefix, SwitchId};
+use farm_scenario::{
+    AttackKind, ScenarioClass, ScenarioEnv, ScenarioScale, ScenarioSpec, TruthKey,
+};
+use proptest::prelude::*;
+
+fn env() -> ScenarioEnv {
+    ScenarioEnv {
+        switch: SwitchId(2),
+        n_ports: 54,
+        prefix: "10.0.1.0/24".parse::<Prefix>().unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same spec twice ⇒ identical event trace and identical truth.
+    #[test]
+    fn same_seed_is_deterministic(ci in 0usize..ScenarioClass::ALL.len(), seed in 0u64..10_000) {
+        let class = ScenarioClass::ALL[ci];
+        let spec = ScenarioSpec { class, scale: ScenarioScale::Smoke, seed };
+        let mut a = spec.build(&env());
+        let mut b = spec.build(&env());
+        prop_assert_eq!(&a.truth, &b.truth);
+        let ta = record_trace(&mut a.workload, a.until, a.tick);
+        let tb = record_trace(&mut b.workload, b.until, b.tick);
+        prop_assert_eq!(ta, tb);
+    }
+
+    /// A different seed must change the trace (the generator actually
+    /// consumes its seed).
+    #[test]
+    fn different_seeds_differ(ci in 0usize..ScenarioClass::ALL.len(), seed in 0u64..10_000) {
+        let class = ScenarioClass::ALL[ci];
+        let base = ScenarioSpec { class, scale: ScenarioScale::Smoke, seed };
+        let other = ScenarioSpec { seed: seed + 1, ..base };
+        let mut a = base.build(&env());
+        let mut b = other.build(&env());
+        let ta = record_trace(&mut a.workload, a.until, a.tick);
+        let tb = record_trace(&mut b.workload, b.until, b.tick);
+        prop_assert_ne!(ta, tb);
+    }
+
+    /// Keyed labels are consistent with the emitted trace: any event
+    /// whose flow matches a window's Src/Dst key happens inside that
+    /// window (attack primitives are window-gated).
+    #[test]
+    fn keyed_labels_cover_their_traffic(seed in 0u64..10_000) {
+        let spec = ScenarioSpec {
+            class: ScenarioClass::MultiVector,
+            scale: ScenarioScale::Smoke,
+            seed,
+        };
+        let mut s = spec.build(&env());
+        let trace = record_trace(&mut s.workload, s.until, s.tick);
+        for w in &s.truth.windows {
+            for (at, e) in &trace {
+                let hit = w.keys.iter().any(|k| match k {
+                    TruthKey::Src(ip) => e.flow.src == *ip,
+                    TruthKey::Dst(ip) => e.flow.dst == *ip,
+                    TruthKey::Port(_) => false,
+                });
+                if hit {
+                    prop_assert!(
+                        *at >= w.start && *at < w.end,
+                        "{:?} event at {at:?} outside its window [{:?}, {:?})",
+                        w.kind, w.start, w.end
+                    );
+                }
+            }
+        }
+    }
+
+    /// Windows of the same attack kind never overlap, and every window
+    /// sits inside the scenario's span with a non-empty extent.
+    #[test]
+    fn windows_are_sane(ci in 0usize..ScenarioClass::ALL.len(), seed in 0u64..10_000) {
+        let class = ScenarioClass::ALL[ci];
+        let spec = ScenarioSpec { class, scale: ScenarioScale::Smoke, seed };
+        let s = spec.build(&env());
+        prop_assert!(!s.truth.windows.is_empty());
+        for w in &s.truth.windows {
+            prop_assert!(w.start < w.end, "empty window {w:?}");
+            prop_assert!(w.end <= s.until, "window {w:?} past scenario end");
+        }
+        for kind in [
+            AttackKind::FlashCrowd,
+            AttackKind::VolumeBurst,
+            AttackKind::Ddos,
+            AttackKind::PortScan,
+            AttackKind::SshBruteForce,
+            AttackKind::HeavyHitter,
+            AttackKind::Microburst,
+        ] {
+            let of_kind = s.truth.of_kinds(&[kind]);
+            for (i, a) in of_kind.iter().enumerate() {
+                for b in of_kind.iter().skip(i + 1) {
+                    prop_assert!(
+                        a.end <= b.start || b.end <= a.start,
+                        "overlapping {kind:?} windows {a:?} / {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The scenario env derived from the replay fabric is the one the suite
+/// actually runs under; the determinism property must hold there too.
+#[test]
+fn fabric_env_matches_generator_expectations() {
+    let topo = Topology::spine_leaf(
+        2,
+        4,
+        farm_netsim::switch::SwitchModel::accton_as7712(),
+        farm_netsim::switch::SwitchModel::accton_as5712(),
+    );
+    let leaf = topo.leaves().next().unwrap();
+    let node = topo.node(leaf).unwrap();
+    assert!(node.prefix.is_some());
+    assert!(node.model.num_ports >= 12);
+    let e = ScenarioEnv {
+        switch: leaf,
+        n_ports: node.model.num_ports,
+        prefix: node.prefix.unwrap(),
+    };
+    let spec = ScenarioSpec {
+        class: ScenarioClass::FlashCrowd,
+        scale: ScenarioScale::Smoke,
+        seed: 7,
+    };
+    let s = spec.build(&e);
+    assert!(s.until > Time::ZERO);
+    assert_eq!(s.tasks.len(), 3);
+}

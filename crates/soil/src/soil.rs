@@ -178,6 +178,27 @@ pub struct SoilStats {
     pub messages_out: u64,
 }
 
+impl std::ops::Add for SoilStats {
+    type Output = SoilStats;
+
+    /// Field-wise sum, for fabric-wide aggregation across soils.
+    fn add(self, rhs: SoilStats) -> SoilStats {
+        SoilStats {
+            deliveries: self.deliveries + rhs.deliveries,
+            asic_polls: self.asic_polls + rhs.asic_polls,
+            polls_saved: self.polls_saved + rhs.polls_saved,
+            exec_iterations: self.exec_iterations + rhs.exec_iterations,
+            messages_out: self.messages_out + rhs.messages_out,
+        }
+    }
+}
+
+impl std::iter::Sum for SoilStats {
+    fn sum<I: Iterator<Item = SoilStats>>(iter: I) -> SoilStats {
+        iter.fold(SoilStats::default(), |a, b| a + b)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct TriggerSched {
     seed: SeedId,

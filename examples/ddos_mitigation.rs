@@ -7,11 +7,10 @@
 //! cargo run --example ddos_mitigation
 //! ```
 
-use std::collections::BTreeMap;
-
 use farm_core::prelude::*;
 use farm_netsim::tcam::RuleAction;
 use farm_netsim::traffic::{DdosConfig, DdosWorkload, Workload};
+use farm_scenario::suite;
 
 fn main() {
     let topology = Topology::spine_leaf(
@@ -34,17 +33,11 @@ fn main() {
         .unwrap();
     let victim = farm.network().topology().host_ip(leaf, 9).unwrap();
 
-    // Parameterize the Tab. I DDoS task for the victim's subnet.
-    let mut ext = BTreeMap::new();
-    ext.insert(
-        "DDoS".to_string(),
-        external(&[
-            ("protectedPrefix", Value::Str(victim_prefix.to_string())),
-            ("volumeThreshold", Value::Int(2_000_000)),
-            ("sustainWindows", Value::Int(2)),
-        ]),
-    );
-    farm.deploy_task("ddos", farm_almanac::programs::DDOS, &ext)
+    // Parameterize the Tab. I DDoS task for the victim's subnet, using
+    // the same task definition the hostile-traffic scenario suite scores
+    // (crates/scenario) so example and benchmark stay in lockstep.
+    let ext = suite::ddos_externals(&victim_prefix.to_string(), 2_000_000, 2);
+    farm.deploy_task(suite::DDOS_TASK.name, suite::DDOS_TASK.source, &ext)
         .expect("DDoS task compiles and places");
 
     // Attack begins at t = 200 ms: 200 sources flood the victim.

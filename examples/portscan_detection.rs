@@ -6,11 +6,10 @@
 //! cargo run --example portscan_detection
 //! ```
 
-use std::collections::BTreeMap;
-
 use farm_core::prelude::*;
 use farm_netsim::tcam::RuleAction;
 use farm_netsim::traffic::{PortScanConfig, PortScanWorkload, Workload};
+use farm_scenario::suite;
 
 fn main() {
     let topology = Topology::spine_leaf(
@@ -27,12 +26,10 @@ fn main() {
     let target = farm.network().topology().host_ip(leaf, 20).unwrap();
     let scanner = farm_netsim::types::Ipv4::new(192, 0, 2, 66);
 
-    let mut ext = BTreeMap::new();
-    ext.insert(
-        "PortScan".to_string(),
-        external(&[("portLimit", Value::Int(50))]),
-    );
-    farm.deploy_task("portscan", farm_almanac::programs::PORT_SCAN, &ext)
+    // The scenario suite's shared PortScan definition (crates/scenario):
+    // the example reacts to the same program the benchmark scores.
+    let ext = suite::portscan_externals(50);
+    farm.deploy_task(suite::PORTSCAN_TASK.name, suite::PORTSCAN_TASK.source, &ext)
         .expect("PortScan task compiles and places");
 
     let mut scan = PortScanWorkload::new(PortScanConfig {

@@ -1,0 +1,122 @@
+//! End-to-end detection-quality gates over the hostile-traffic scenario
+//! suite (crates/scenario → netsim → soil → harvester → scorer).
+//!
+//! Every FARM task in the smoke suite must clear fixed quality floors —
+//! recall ≥ 0.9 and precision ≥ 0.8 against the planted ground truth —
+//! and the whole pipeline must be deterministic: replaying the same
+//! seed yields a byte-identical `BENCH_detection.json` body.
+
+use farm_bench::detection::{bench_doc, drive};
+use farm_scenario::{ScenarioClass, ScenarioScale, ScenarioSpec};
+
+const RECALL_FLOOR: f64 = 0.9;
+const PRECISION_FLOOR: f64 = 0.8;
+
+fn floors_hold(class: ScenarioClass) {
+    let run = drive(&ScenarioSpec {
+        class,
+        scale: ScenarioScale::Smoke,
+        seed: 42,
+    })
+    .unwrap();
+    assert!(
+        run.tasks.iter().filter(|t| t.system == "farm").count() >= 2,
+        "{}: suite too small: {:?}",
+        class.name(),
+        run.tasks
+    );
+    for t in &run.tasks {
+        if t.system != "farm" {
+            continue; // sFlow/Sonata are comparison points, not gated
+        }
+        assert!(
+            t.score.recall >= RECALL_FLOOR,
+            "{}/{}: recall {:.2} below floor {RECALL_FLOOR} ({:?})",
+            run.class,
+            t.task,
+            t.score.recall,
+            t.score
+        );
+        assert!(
+            t.score.precision >= PRECISION_FLOOR,
+            "{}/{}: precision {:.2} below floor {PRECISION_FLOOR} ({:?})",
+            run.class,
+            t.task,
+            t.score.precision,
+            t.score
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "interpreter-bound replay; run with --release (CI: detection-smoke)"
+)]
+fn flash_crowd_meets_floors() {
+    floors_hold(ScenarioClass::FlashCrowd);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "interpreter-bound replay; run with --release (CI: detection-smoke)"
+)]
+fn diurnal_drift_meets_floors() {
+    floors_hold(ScenarioClass::DiurnalDrift);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "interpreter-bound replay; run with --release (CI: detection-smoke)"
+)]
+fn multi_vector_meets_floors() {
+    floors_hold(ScenarioClass::MultiVector);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "interpreter-bound replay; run with --release (CI: detection-smoke)"
+)]
+fn churn_hh_meets_floors() {
+    floors_hold(ScenarioClass::ChurnHh);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "interpreter-bound replay; run with --release (CI: detection-smoke)"
+)]
+fn microburst_meets_floors() {
+    floors_hold(ScenarioClass::Microburst);
+}
+
+/// Identical seeds ⇒ byte-identical benchmark bodies. This is the
+/// property the CI `--check` regression gate and committed baseline
+/// rest on.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "interpreter-bound replay; run with --release (CI: detection-smoke)"
+)]
+fn identical_seeds_produce_identical_bench_bodies() {
+    let spec = ScenarioSpec {
+        class: ScenarioClass::FlashCrowd,
+        scale: ScenarioScale::Smoke,
+        seed: 1337,
+    };
+    let a = drive(&spec).unwrap();
+    let b = drive(&spec).unwrap();
+    let body_a = bench_doc(std::slice::from_ref(&a)).pretty();
+    let body_b = bench_doc(std::slice::from_ref(&b)).pretty();
+    assert_eq!(body_a, body_b, "same seed must serialize byte-identically");
+    // And a different seed must actually change the measured trace.
+    let c = drive(&ScenarioSpec { seed: 7, ..spec }).unwrap();
+    assert_ne!(
+        bench_doc(std::slice::from_ref(&c)).pretty(),
+        body_a,
+        "different seed left the benchmark body unchanged"
+    );
+}
