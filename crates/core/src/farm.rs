@@ -121,6 +121,12 @@ struct FarmCounters {
     migration_bytes: Arc<Counter>,
     seed_errors: Arc<Counter>,
     replans: Arc<Counter>,
+    /// Planning rounds served warm by the incremental solver without
+    /// degrading to a full recompute.
+    replan_delta: Arc<Counter>,
+    /// Warm rounds whose dirty frontier exceeded the limit and fell back
+    /// to a full recompute.
+    delta_fallback_full: Arc<Counter>,
     heartbeats: Arc<Counter>,
     delivery_retries: Arc<Counter>,
     dead_letters: Arc<Counter>,
@@ -136,6 +142,9 @@ struct FarmCounters {
     /// Wall-clock duration of one placement round (plan + commit),
     /// microseconds.
     replan_us: Arc<Histogram>,
+    /// Same clock, but only rounds the incremental solver served warm
+    /// without a full fallback — the latency the delta path delivers.
+    replan_delta_us: Arc<Histogram>,
 }
 
 impl FarmCounters {
@@ -151,6 +160,8 @@ impl FarmCounters {
             migration_bytes: telemetry.counter("farm.migration_bytes"),
             seed_errors: telemetry.counter("farm.seed_errors"),
             replans: telemetry.counter("farm.replans"),
+            replan_delta: telemetry.counter("farm.replan_delta"),
+            delta_fallback_full: telemetry.counter("farm.delta_fallback_full"),
             heartbeats: telemetry.counter("farm.heartbeats"),
             delivery_retries: telemetry.counter("farm.delivery_retries"),
             dead_letters: telemetry.counter("farm.dead_letters"),
@@ -160,6 +171,7 @@ impl FarmCounters {
             detection_latency_us: telemetry.latency_histogram("detection.latency_us"),
             mttr_us: telemetry.latency_histogram("recovery.mttr_us"),
             replan_us: telemetry.latency_histogram("farm.replan_us"),
+            replan_delta_us: telemetry.latency_histogram("farm.replan_delta_us"),
         }
     }
 }
@@ -540,9 +552,21 @@ impl Farm {
     ///
     /// Soil-level failures while executing the plan.
     pub fn replan(&mut self) -> Result<Plan, Error> {
+        self.replan_with(&[])
+    }
+
+    /// [`Farm::replan`] that tells the incremental solver which switches
+    /// changed (faulted, drained, uncordoned) since the last round, so
+    /// unaffected switches can reuse their memoized LP outputs. The plan
+    /// is bit-identical to a full replan; only latency differs.
+    ///
+    /// # Errors
+    ///
+    /// Soil-level failures while executing the plan.
+    pub fn replan_with(&mut self, dirty_switches: &[SwitchId]) -> Result<Plan, Error> {
         let started = std::time::Instant::now();
         let caps = self.live_capacities();
-        let plan = match self.seeder.plan(&caps) {
+        let plan = match self.seeder.plan_delta(&caps, dirty_switches) {
             Ok(plan) => plan,
             Err(msg) => {
                 self.counters.replans.inc();
@@ -691,6 +715,14 @@ impl Farm {
         });
         let elapsed_us = started.elapsed().as_micros() as u64;
         self.counters.replan_us.record(elapsed_us);
+        if plan.delta.warm {
+            if plan.delta.fallback_full {
+                self.counters.delta_fallback_full.inc();
+            } else {
+                self.counters.replan_delta.inc();
+                self.counters.replan_delta_us.record(elapsed_us);
+            }
+        }
         let (mut deploys, mut migrations, mut reallocs, mut undeploys) = (0u64, 0u64, 0u64, 0u64);
         for action in &plan.actions {
             match action {
@@ -1053,7 +1085,11 @@ impl Farm {
             return Vec::new();
         }
         let caps = self.live_capacities();
-        let plan = self.seeder.plan(&caps).ok();
+        // Recovery follows host loss: the fenced switches are this
+        // round's actual delta (they are already absent from `caps`, so
+        // the solver purges their memo entries either way).
+        let fenced: Vec<SwitchId> = self.fenced.iter().copied().collect();
+        let plan = self.seeder.plan_delta(&caps, &fenced).ok();
         let mut outbound = Vec::new();
         for key in due {
             let Some(mut item) = self.recovery.remove(&key) else {
@@ -1188,7 +1224,7 @@ impl Farm {
     /// Planner or soil failures while evacuating.
     pub fn drain(&mut self, switch: SwitchId) -> Result<(Plan, usize), Error> {
         self.cordoned.insert(switch);
-        match self.replan() {
+        match self.replan_with(&[switch]) {
             Ok(plan) => {
                 let evacuated = plan
                     .actions
@@ -1211,7 +1247,7 @@ impl Farm {
     /// Planner or soil failures while executing the plan.
     pub fn uncordon(&mut self, switch: SwitchId) -> Result<Plan, Error> {
         self.cordoned.remove(&switch);
-        self.replan()
+        self.replan_with(&[switch])
     }
 
     /// Switches currently cordoned by [`Farm::drain`].

@@ -6,14 +6,15 @@
 //! deployments, migrations, reallocations and withdrawals that the
 //! [`crate::farm::Farm`] facade executes against the soils.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use farm_almanac::compile::{CompiledMachine, CompiledTask};
 use farm_netsim::switch::Resources;
 use farm_netsim::types::SwitchId;
 use farm_placement::build::instance_from_tasks;
-use farm_placement::heuristic::{solve_heuristic_traced, HeuristicOptions};
+use farm_placement::delta::{replan_delta, DeltaReport, ReplanDelta, SolveState};
+use farm_placement::heuristic::HeuristicOptions;
 use farm_placement::model::{PlacementResult, PreviousPlacement};
 use farm_telemetry::Telemetry;
 
@@ -63,6 +64,9 @@ pub struct Plan {
     pub result: PlacementResult,
     /// Names of tasks the optimizer dropped entirely.
     pub dropped_tasks: Vec<String>,
+    /// How much of the solve was served from the incremental solver's
+    /// memo (see [`farm_placement::delta::replan_delta`]).
+    pub delta: DeltaReport,
 }
 
 #[derive(Debug)]
@@ -80,6 +84,16 @@ pub struct Seeder {
     options: HeuristicOptions,
     /// Solver-phase timings land here when set (see [`Seeder::set_telemetry`]).
     telemetry: Option<Telemetry>,
+    /// Incremental-solver memory carried between planning rounds.
+    solver_state: SolveState,
+    /// Seed keys of the previous round, in instance order — the old→new
+    /// index correspondence for [`SolveState::remap`].
+    last_keys: Vec<SeedKey>,
+    /// Tasks whose *definitions* changed since the last plan. Residency
+    /// and capacity changes are caught by the solver's input signatures;
+    /// definition changes are not, so registration marks them here and
+    /// the next plan declares every affected seed dirty.
+    dirty_tasks: BTreeSet<String>,
 }
 
 impl Seeder {
@@ -99,9 +113,13 @@ impl Seeder {
         self.telemetry = Some(telemetry);
     }
 
-    /// Registers a compiled task (replacing any same-named task).
+    /// Registers a compiled task (replacing any same-named task). The
+    /// task's seeds are marked dirty for the incremental solver: their
+    /// utility/polling definitions may have changed in ways the solver's
+    /// input signatures cannot see.
     pub fn register_task(&mut self, task: CompiledTask) {
         let machines = task.machines.iter().cloned().map(Arc::new).collect();
+        self.dirty_tasks.insert(task.name.clone());
         self.tasks
             .insert(task.name.clone(), TaskEntry { task, machines });
     }
@@ -110,6 +128,9 @@ impl Seeder {
     /// memory (the caller is responsible for undeploying the live seeds).
     pub fn remove_task(&mut self, name: &str) -> bool {
         self.locations.retain(|k, _| k.task != name);
+        // The task's seed indices vanish from the next instance; the
+        // pre-plan remap drops every memo entry that mentions them.
+        self.dirty_tasks.remove(name);
         self.tasks.remove(name).is_some()
     }
 
@@ -142,7 +163,24 @@ impl Seeder {
     /// # Errors
     ///
     /// Propagates instance-construction failures (non-linear demands).
-    pub fn plan(&self, switches: &[(SwitchId, Resources)]) -> Result<Plan, String> {
+    pub fn plan(&mut self, switches: &[(SwitchId, Resources)]) -> Result<Plan, String> {
+        self.plan_delta(switches, &[])
+    }
+
+    /// [`Seeder::plan`] with the caller's change set: switches that
+    /// faulted, drained or returned since the last round are forcibly
+    /// re-solved; everything else is eligible for incremental reuse
+    /// through the retained [`SolveState`]. The result is bit-identical
+    /// to a from-scratch solve either way — the delta only buys time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance-construction failures (non-linear demands).
+    pub fn plan_delta(
+        &mut self,
+        switches: &[(SwitchId, Resources)],
+        dirty_switches: &[SwitchId],
+    ) -> Result<Plan, String> {
         // Flatten tasks in deterministic order and build the key map.
         let entries: Vec<&TaskEntry> = self.tasks.values().collect();
         let task_refs: Vec<&CompiledTask> = entries.iter().map(|e| &e.task).collect();
@@ -166,7 +204,37 @@ impl Seeder {
         }
         let has_previous = !previous.assignment.is_empty();
         let instance = instance_from_tasks(&task_refs, switches, has_previous.then_some(previous))?;
-        let result = solve_heuristic_traced(&instance, self.options, self.telemetry.as_ref());
+        // Re-key the solver memory to this round's seed numbering (tasks
+        // registered/removed since the last plan shift every index), then
+        // declare dirty whatever the signatures cannot detect.
+        if self.last_keys != keys {
+            let new_index: HashMap<&SeedKey, usize> =
+                keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+            let map: Vec<Option<usize>> = self
+                .last_keys
+                .iter()
+                .map(|k| new_index.get(k).copied())
+                .collect();
+            self.solver_state.remap(&map);
+        }
+        let delta = ReplanDelta {
+            dirty_seeds: keys
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| self.dirty_tasks.contains(&k.task))
+                .map(|(i, _)| i)
+                .collect(),
+            dirty_switches: dirty_switches.to_vec(),
+        };
+        let (result, report) = replan_delta(
+            &instance,
+            self.options,
+            &mut self.solver_state,
+            &delta,
+            self.telemetry.as_ref(),
+        );
+        self.last_keys = keys.clone();
+        self.dirty_tasks.clear();
 
         let mut actions = Vec::new();
         for (i, key) in keys.iter().enumerate() {
@@ -210,6 +278,7 @@ impl Seeder {
             actions,
             result,
             dropped_tasks,
+            delta: report,
         })
     }
 
@@ -400,6 +469,41 @@ mod tests {
             .filter(|a| matches!(a, PlannedAction::Deploy { .. }))
             .collect();
         assert_eq!(deploys.len(), evicted.len());
+    }
+
+    #[test]
+    fn warm_replans_reuse_the_solver_memo() {
+        let topo = fabric();
+        let ctl = SdnController::new(&topo);
+        let task = compile_task(
+            "hh",
+            farm_almanac::programs::HEAVY_HITTER,
+            &Default::default(),
+            &ctl,
+        )
+        .unwrap();
+        let mut seeder = Seeder::new();
+        seeder.register_task(task);
+        let caps = capacities(&topo);
+        let p1 = seeder.plan(&caps).unwrap();
+        assert!(!p1.delta.warm, "first plan is cold");
+        for a in &p1.actions {
+            seeder.commit(a);
+        }
+        let p2 = seeder.plan(&caps).unwrap();
+        assert!(p2.delta.warm);
+        for a in &p2.actions {
+            seeder.commit(a);
+        }
+        // By the third round the world is stable: the per-switch LP memo
+        // captured on round two must serve round three.
+        let p3 = seeder.plan(&caps).unwrap();
+        assert!(p3.delta.warm);
+        assert!(
+            p3.delta.reused > 0 && !p3.delta.fallback_full,
+            "stable replan should reuse memoized LPs: {:?}",
+            p3.delta
+        );
     }
 
     #[test]

@@ -950,6 +950,29 @@ fn stats_json(farm: &Farm, from_index: u64, limit: u64) -> String {
     );
     let cordoned = array(farm.cordoned_switches().iter().map(|s| s.0.to_string()));
     let fenced = array(farm.fenced_switches().iter().map(|s| s.0.to_string()));
+    // Planner health at a glance: how often the farm replans, how long a
+    // round takes, and whether the incremental solver is actually
+    // serving warm rounds or degrading to full recomputes.
+    let mut replan = Obj::new()
+        .num("replans", snap.counter("farm.replans"))
+        .num("replan_delta", snap.counter("farm.replan_delta"))
+        .num(
+            "delta_fallback_full",
+            snap.counter("farm.delta_fallback_full"),
+        );
+    if let Some(h) = snap.histogram("farm.replan_us") {
+        if let Some(p) = h.p50 {
+            replan = replan.float("replan_us_p50", p);
+        }
+        if let Some(p) = h.p95 {
+            replan = replan.float("replan_us_p95", p);
+        }
+    }
+    if let Some(h) = snap.histogram("farm.replan_delta_us") {
+        if let Some(p) = h.p95 {
+            replan = replan.float("replan_delta_us_p95", p);
+        }
+    }
     let mut obj = Obj::new()
         .num("now_ns", farm.now().as_nanos())
         .raw("tasks", &tasks)
@@ -958,6 +981,7 @@ fn stats_json(farm: &Farm, from_index: u64, limit: u64) -> String {
         .raw("cordoned", &cordoned)
         .raw("fenced", &fenced)
         .num("recovery_pending", farm.recovery_pending() as u64)
+        .raw("replan", &replan.finish())
         .raw("counters", &counters.finish());
     if paginated {
         obj = obj
@@ -1009,5 +1033,29 @@ mod tests {
         assert_eq!(parse_seed_key(&key.to_string()), Some(key));
         assert!(parse_seed_key("nope").is_none());
         assert!(parse_seed_key("t/mX/s1").is_none());
+    }
+
+    #[test]
+    fn stats_body_reports_replan_and_delta_health() {
+        let topo = Topology::spine_leaf(
+            2,
+            3,
+            SwitchModel::accton_as7712(),
+            SwitchModel::accton_as5712(),
+        );
+        let mut farm = FarmBuilder::new(topo).build();
+        farm.deploy_task("hh", farm_almanac::programs::HEAVY_HITTER, &BTreeMap::new())
+            .unwrap();
+        farm.replan().unwrap(); // a warm round so the delta counters move
+        let body = stats_json(&farm, 0, 0);
+        for field in [
+            "\"replan\":",
+            "\"replans\":",
+            "\"replan_delta\":",
+            "\"delta_fallback_full\":",
+            "\"replan_us_p95\":",
+        ] {
+            assert!(body.contains(field), "stats body missing {field}: {body}");
+        }
     }
 }

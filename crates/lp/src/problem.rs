@@ -100,9 +100,30 @@ impl Problem {
         self.add_var_kind(name, lower, upper, VarKind::Continuous)
     }
 
+    /// Adds a continuous variable without a debug name.
+    ///
+    /// Variable names are only ever read by humans (no solver path
+    /// consults them); model builders on hot paths use this to skip the
+    /// per-variable `String` formatting and allocation.
+    pub fn add_var_unnamed(&mut self, lower: f64, upper: f64) -> Var {
+        self.add_var_kind(String::new(), lower, upper, VarKind::Continuous)
+    }
+
     /// Adds a binary (0/1 integer) variable.
     pub fn add_binary(&mut self, name: impl Into<String>) -> Var {
         self.add_var_kind(name, 0.0, 1.0, VarKind::Integer)
+    }
+
+    /// Clears the problem back to an empty model with the given sense,
+    /// retaining the variable/constraint buffers' capacity. Lets callers
+    /// that solve many small LPs in a loop reuse one `Problem` as an
+    /// arena instead of reallocating per model.
+    pub fn reset(&mut self, sense: Sense) {
+        self.sense = sense;
+        self.vars.clear();
+        self.constraints.clear();
+        self.objective.clear();
+        self.objective_constant = 0.0;
     }
 
     /// Adds a general integer variable with inclusive bounds.
@@ -291,5 +312,22 @@ mod tests {
     fn rejects_inverted_bounds() {
         let mut p = Problem::new(Sense::Maximize);
         p.add_var("x", 1.0, 0.0);
+    }
+
+    #[test]
+    fn reset_yields_an_empty_model() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var_unnamed(0.0, 10.0);
+        p.add_constraint(x + 1.0, Cmp::Le, 3.0);
+        p.set_objective(2.0 * x + 1.0);
+        p.reset(Sense::Minimize);
+        assert_eq!(p.sense(), Sense::Minimize);
+        assert_eq!(p.num_vars(), 0);
+        assert_eq!(p.num_constraints(), 0);
+        assert_eq!(p.objective_constant(), 0.0);
+        // The reset arena builds a fresh model identical to a new one.
+        let y = p.add_var_unnamed(0.0, 1.0);
+        p.set_objective(LinExpr::from(y));
+        assert_eq!(p.num_vars(), 1);
     }
 }

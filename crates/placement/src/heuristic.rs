@@ -29,12 +29,20 @@
 //!   Removing the max entry lazily rebuilds that one subject's max.
 //! * Steps 3 and 4 — the per-switch LPs (independent by construction)
 //!   and the read-only migration-benefit scan — fan out over a scoped
-//!   worker pool when [`HeuristicOptions::threads`] > 1, with a
-//!   deterministic merge in stable switch/seed order, so the parallel
-//!   result is bit-identical to the sequential one.
+//!   worker pool when [`HeuristicOptions::threads`] > 1. Workers claim
+//!   items off a shared cursor (no chunk imbalance), reuse one LP arena
+//!   each ([`LpScratch`]), and the benefit scan emits pre-sorted runs
+//!   merged k-way; every merge is deterministic in stable switch/seed
+//!   order, so the parallel result is bit-identical to the sequential
+//!   one (`prop_parallel.rs` pins this).
+//! * Re-solves with a retained [`crate::delta::SolveState`] memoize the
+//!   per-switch LP outputs by exact input signature — see
+//!   [`crate::delta::replan_delta`].
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::time::Instant;
+
+use crate::fxhash::FxHashMap;
 
 use farm_almanac::analysis::{Poly, UtilExpr};
 use farm_lp::{record_phase, Cmp, LinExpr, Problem, Sense};
@@ -42,6 +50,7 @@ use farm_netsim::switch::{ResourceKind, Resources};
 use farm_netsim::types::SwitchId;
 use farm_telemetry::Telemetry;
 
+use crate::delta::{DeltaCtx, LpCacheEntry};
 use crate::model::{
     count_migrations, utility_of, PlacementInstance, PlacementResult, SubjectInterner,
 };
@@ -125,7 +134,7 @@ struct SwitchState {
     /// Non-poll resources in use (live seeds + lingering reservations).
     used: Resources,
     /// Poll demands per interned subject; consumption is the cached max.
-    poll: HashMap<u32, PollCell>,
+    poll: FxHashMap<u32, PollCell>,
     /// Cached `Σ_subject max(entries)` — the switch's aggregated poll
     /// consumption, maintained incrementally so `fits()` never refolds.
     poll_total: f64,
@@ -133,7 +142,7 @@ struct SwitchState {
     seeds: Vec<usize>,
     /// Migration reservations: seed → previous allocation still occupying
     /// this switch while the seed's state transfers away.
-    lingering: HashMap<usize, Resources>,
+    lingering: FxHashMap<usize, Resources>,
 }
 
 impl SwitchState {
@@ -141,10 +150,10 @@ impl SwitchState {
         SwitchState {
             ares,
             used: Resources::ZERO,
-            poll: HashMap::new(),
+            poll: FxHashMap::default(),
             poll_total: 0.0,
             seeds: Vec::new(),
-            lingering: HashMap::new(),
+            lingering: FxHashMap::default(),
         }
     }
 
@@ -171,6 +180,73 @@ impl SwitchState {
         }
         self.poll_total + self.poll_delta(polls, res)
             <= self.ares.get(ResourceKind::PciePoll) + 1e-9
+    }
+
+    /// Read-only probe: would `res` fit if the seed's reservation `prev`
+    /// were released first? Numerically identical to cloning the state,
+    /// calling [`SwitchState::remove_usage`]`(polls, prev)` and then
+    /// [`SwitchState::fits`]`(polls, res)` — the same clamped
+    /// subtractions and incremental `poll_total` adjustments in the same
+    /// order — but without cloning the per-switch bookkeeping. The greedy
+    /// home-stay check runs this once per previously-placed seed, so the
+    /// clone it replaces used to dominate the greedy phase on re-solves.
+    fn fits_after_release(&self, polls: &SeedPolls, prev: &Resources, res: &Resources) -> bool {
+        for k in ResourceKind::ALL {
+            if k == ResourceKind::PciePoll {
+                continue;
+            }
+            let used = (self.used.get(k) - prev.get(k)).max(0.0);
+            if used + res.get(k) > self.ares.get(k) + 1e-9 {
+                return false;
+            }
+        }
+        // Simulate the removal on copies of only the touched subjects,
+        // applying the same incremental poll_total adjustments in the
+        // order `remove_usage` would. An emptied cell stays in `touched`
+        // with no entries, standing in for the removed map slot.
+        let mut touched: Vec<(u32, Vec<f64>, f64)> = Vec::new();
+        let mut poll_total = self.poll_total;
+        for (subj, demand) in polls {
+            let d = demand.eval(prev).max(0.0);
+            let idx = match touched.iter().position(|(s, _, _)| s == subj) {
+                Some(i) => Some(i),
+                None => self.poll.get(subj).map(|c| {
+                    touched.push((*subj, c.entries.clone(), c.max));
+                    touched.len() - 1
+                }),
+            };
+            let Some(i) = idx else { continue };
+            let (_, entries, max) = &mut touched[i];
+            if entries.is_empty() {
+                continue; // cell already removed by an earlier poll of this seed
+            }
+            if let Some(pos) = entries.iter().position(|x| (x - d).abs() < 1e-12) {
+                entries.swap_remove(pos);
+                if entries.is_empty() {
+                    poll_total -= *max;
+                } else if d >= *max - 1e-12 {
+                    let new_max = entries.iter().copied().fold(0.0, f64::max);
+                    poll_total += new_max - *max;
+                    *max = new_max;
+                }
+            }
+        }
+        let mut delta = 0.0;
+        for (subj, demand) in polls {
+            let d = demand.eval(res).max(0.0);
+            let cur = match touched.iter().find(|(s, _, _)| s == subj) {
+                Some((_, entries, max)) => {
+                    if entries.is_empty() {
+                        0.0
+                    } else {
+                        *max
+                    }
+                }
+                None => self.poll.get(subj).map(|c| c.max).unwrap_or(0.0),
+            };
+            delta += (d - cur).max(0.0);
+        }
+        poll_total + delta <= self.ares.get(ResourceKind::PciePoll) + 1e-9
     }
 
     fn add_usage(&mut self, polls: &SeedPolls, res: &Resources) {
@@ -259,38 +335,147 @@ impl SwitchState {
 /// identical either way).
 const PARALLEL_MIN_ITEMS: usize = 8;
 
-/// Maps `f` over `items` on up to `threads` scoped workers, splitting
-/// into contiguous chunks and concatenating the chunk results in item
-/// order. Callers therefore observe exactly the sequential output —
-/// the merge is deterministic by construction.
+/// Maps `f` over `items` on up to `threads` scoped workers. Each worker
+/// claims items one at a time off a shared atomic cursor (so uneven item
+/// costs — e.g. per-switch LPs of very different sizes — cannot leave a
+/// worker idle the way fixed contiguous chunks did) and reuses a single
+/// scratch value, built once by `mk_scratch`, across every item it
+/// claims. Results are scattered back into item order, so callers
+/// observe exactly the sequential output: `f` must be pure with respect
+/// to the result (the scratch is an arena, never an input).
+fn parallel_map_scratch<T, R, S, MS, F>(threads: usize, items: &[T], mk_scratch: MS, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() < PARALLEL_MIN_ITEMS {
+        let mut scratch = mk_scratch();
+        return items.iter().map(|t| f(&mut scratch, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let f = &f;
+        let mk_scratch = &mk_scratch;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut scratch = mk_scratch();
+                    let mut got: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        got.push((i, f(&mut scratch, item)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("placement worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item produced exactly once"))
+        .collect()
+}
+
+/// [`parallel_map_scratch`] without a per-worker arena.
 fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads == 1 || items.len() < PARALLEL_MIN_ITEMS {
-        return items.iter().map(f).collect();
+    parallel_map_scratch(threads, items, || (), |_, t| f(t))
+}
+
+/// The migration-benefit comparator: decreasing benefit, `Equal` on any
+/// NaN so the sort never panics.
+fn benefit_cmp(a: &(f64, usize, SwitchId), b: &(f64, usize, SwitchId)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+/// Enumerates per-seed benefit lists and returns them globally sorted by
+/// decreasing benefit, ties in enumeration order. Sequentially this is a
+/// flatten + stable sort; in parallel each worker scans one contiguous
+/// seed range and emits a pre-sorted run, and the runs are merged k-way
+/// with ties taken from the earliest run — which reproduces the stable
+/// sort of the concatenation bit for bit, without re-sorting (or
+/// re-hashing) the merged list.
+fn scan_benefits<F>(threads: usize, n_seeds: usize, scan: F) -> Vec<(f64, usize, SwitchId)>
+where
+    F: Fn(usize) -> Vec<(f64, usize, SwitchId)> + Sync,
+{
+    let threads = threads.max(1).min(n_seeds.max(1));
+    if threads == 1 || n_seeds < PARALLEL_MIN_ITEMS {
+        let mut out: Vec<(f64, usize, SwitchId)> = (0..n_seeds).flat_map(scan).collect();
+        out.sort_by(benefit_cmp);
+        return out;
     }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    let mut out: Vec<R> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+    let chunk = n_seeds.div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> = (0..n_seeds)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(n_seeds))
+        .collect();
+    let scan = &scan;
+    let runs: Vec<Vec<(f64, usize, SwitchId)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut run: Vec<(f64, usize, SwitchId)> = range.flat_map(scan).collect();
+                    run.sort_by(benefit_cmp);
+                    run
+                })
+            })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("placement worker panicked"));
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("placement worker panicked"))
+            .collect()
     });
+    // Stable k-way merge: among run heads, take the smallest under the
+    // comparator; on ties the earliest run wins, preserving enumeration
+    // order exactly like the stable sort of the flattened list.
+    let total = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; runs.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for (ri, run) in runs.iter().enumerate() {
+            if cursors[ri] >= run.len() {
+                continue;
+            }
+            match best {
+                None => best = Some(ri),
+                Some(bi) => {
+                    if benefit_cmp(&run[cursors[ri]], &runs[bi][cursors[bi]])
+                        == std::cmp::Ordering::Less
+                    {
+                        best = Some(ri);
+                    }
+                }
+            }
+        }
+        let Some(bi) = best else { break };
+        out.push(runs[bi][cursors[bi]]);
+        cursors[bi] += 1;
+    }
     out
 }
 
 /// Runs Alg. 1 on an instance.
 pub fn solve_heuristic(instance: &PlacementInstance, options: HeuristicOptions) -> PlacementResult {
-    solve_heuristic_inner(instance, options, None, None)
+    solve_core(instance, options, None, None, None)
 }
 
 /// [`solve_heuristic`] with per-phase telemetry: each of the greedy,
@@ -301,7 +486,7 @@ pub fn solve_heuristic_traced(
     options: HeuristicOptions,
     telemetry: Option<&Telemetry>,
 ) -> PlacementResult {
-    solve_heuristic_inner(instance, options, None, telemetry)
+    solve_core(instance, options, None, telemetry, None)
 }
 
 /// A deliberately *generic* randomized construction: random task order,
@@ -326,7 +511,7 @@ pub fn solve_randomized(
         .map(|s| s.util.min_feasible())
         .collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
-    let mut states: HashMap<SwitchId, SwitchState> = instance
+    let mut states: FxHashMap<SwitchId, SwitchState> = instance
         .switches
         .iter()
         .map(|(n, ares)| (*n, SwitchState::new(*ares)))
@@ -383,6 +568,7 @@ pub fn solve_randomized(
     if lp_polish {
         let mut switch_ids: Vec<SwitchId> = states.keys().copied().collect();
         switch_ids.sort_unstable();
+        let mut scratch = LpScratch::new();
         for n in switch_ids {
             let seeds_here = states[&n].seeds.clone();
             if !seeds_here.is_empty() {
@@ -393,6 +579,7 @@ pub fn solve_randomized(
                     &seeds_here,
                     &states[&n],
                     &assignment,
+                    &mut scratch,
                 ) {
                     assignment[s] = Some((n, r));
                 }
@@ -416,26 +603,35 @@ pub fn solve_heuristic_ordered(
     options: HeuristicOptions,
     task_order: Option<Vec<usize>>,
 ) -> PlacementResult {
-    solve_heuristic_inner(instance, options, task_order, None)
+    solve_core(instance, options, task_order, None, None)
 }
 
-fn solve_heuristic_inner(
+/// The full Alg. 1 pipeline. When `delta` is given, the per-switch LP
+/// outputs of the redistribution phase are memoized in its cache:
+/// switches whose LP inputs (capacity, ordered residents and their
+/// greedy allocations, no lingering reservations) are bit-identical to
+/// the cached run reuse the cached output — `redistribute_switch` is a
+/// pure function of exactly those inputs, so the reuse is exact, not
+/// approximate. Everything else (greedy, state refresh, migration) runs
+/// verbatim, which is what makes `replan_delta` provably equivalent to
+/// a from-scratch solve.
+pub(crate) fn solve_core(
     instance: &PlacementInstance,
     options: HeuristicOptions,
     task_order: Option<Vec<usize>>,
     telemetry: Option<&Telemetry>,
+    mut delta: Option<&mut DeltaCtx>,
 ) -> PlacementResult {
     let start = Instant::now();
     let threads = effective_threads(&options, instance.seeds.len());
     // One-time per-solve precomputation: interned subjects and each
     // seed's minimum feasible allocation (both invariant across phases).
+    // The min-allocation scan is pure per seed, so it fans out with the
+    // same worker pool as the later phases (step 2's feeding scan).
     let (_, interned) = SubjectInterner::for_instance(instance);
-    let min_alloc: Vec<Option<(Resources, f64)>> = instance
-        .seeds
-        .iter()
-        .map(|s| s.util.min_feasible())
-        .collect();
-    let mut states: HashMap<SwitchId, SwitchState> = instance
+    let min_alloc: Vec<Option<(Resources, f64)>> =
+        parallel_map(threads, &instance.seeds, |s| s.util.min_feasible());
+    let mut states: FxHashMap<SwitchId, SwitchState> = instance
         .switches
         .iter()
         .map(|(n, ares)| (*n, SwitchState::new(*ares)))
@@ -471,7 +667,7 @@ fn solve_heuristic_inner(
         order
     });
 
-    let release_lingering = |states: &mut HashMap<SwitchId, SwitchState>,
+    let release_lingering = |states: &mut FxHashMap<SwitchId, SwitchState>,
                              interned: &[Vec<(u32, Poly)>],
                              s: usize,
                              n: SwitchId| {
@@ -502,37 +698,48 @@ fn solve_heuristic_inner(
                 .filter(|n| seed.candidates.contains(n));
             // Staying home releases the lingering reservation first, so
             // feasibility there is checked against the released state.
+            // Home wins unconditionally when feasible (its score is
+            // +inf), so probe it first and skip scoring the other
+            // candidates entirely — selection and all state mutations
+            // are exactly those of scanning the full candidate list.
             let mut best: Option<(SwitchId, f64, bool)> = None;
-            for &n in &seed.candidates {
-                // A candidate the instance does not offer (crashed or
-                // otherwise excluded switch) cannot host the seed.
-                let Some(st) = states.get(&n) else { continue };
-                let home = prev_switch == Some(n);
-                let feasible = if home {
-                    let mut trial = st.clone();
-                    if let Some(res) = trial.lingering.remove(&s) {
-                        trial.remove_usage(&interned[s], &res);
+            if let Some(h) = prev_switch {
+                if let Some(st) = states.get(&h) {
+                    let feasible = match st.lingering.get(&s) {
+                        Some(prev_res) => {
+                            let prev_res = *prev_res;
+                            st.fits_after_release(&interned[s], &prev_res, &min_res)
+                        }
+                        None => st.fits(&interned[s], &min_res),
+                    };
+                    if feasible {
+                        best = Some((h, f64::INFINITY, true));
                     }
-                    trial.fits(&interned[s], &min_res)
-                } else {
-                    st.fits(&interned[s], &min_res)
-                };
-                if !feasible {
-                    continue;
                 }
-                if home {
-                    best = Some((n, f64::INFINITY, true));
-                    break;
-                }
-                // Step 2a: "choose such s that adds the most to the
-                // utility" — score by the utility achievable on this
-                // switch given its spare capacity, discounted by the
-                // extra polling the placement would cost.
-                let poll_cap = st.ares.get(ResourceKind::PciePoll).max(1e-9);
-                let score = achievable_utility(seed, &interned[s], &min_res, st).unwrap_or(0.0)
-                    - st.poll_delta(&interned[s], &min_res) / poll_cap;
-                if best.as_ref().is_none_or(|(_, b, _)| score > *b) {
-                    best = Some((n, score, false));
+            }
+            if best.is_none() {
+                for &n in &seed.candidates {
+                    // A candidate the instance does not offer (crashed or
+                    // otherwise excluded switch) cannot host the seed;
+                    // the home switch was already probed and found
+                    // infeasible (or absent) above.
+                    if prev_switch == Some(n) {
+                        continue;
+                    }
+                    let Some(st) = states.get(&n) else { continue };
+                    if !st.fits(&interned[s], &min_res) {
+                        continue;
+                    }
+                    // Step 2a: "choose such s that adds the most to the
+                    // utility" — score by the utility achievable on this
+                    // switch given its spare capacity, discounted by the
+                    // extra polling the placement would cost.
+                    let poll_cap = st.ares.get(ResourceKind::PciePoll).max(1e-9);
+                    let score = achievable_utility(seed, &interned[s], &min_res, st).unwrap_or(0.0)
+                        - st.poll_delta(&interned[s], &min_res) / poll_cap;
+                    if best.as_ref().is_none_or(|(_, b, _)| score > *b) {
+                        best = Some((n, score, false));
+                    }
                 }
             }
             match best {
@@ -600,22 +807,90 @@ fn solve_heuristic_inner(
         work.sort_unstable_by_key(|(n, _)| *n);
         let lp_switches = work.len() as u64;
         {
-            let states = &states;
-            let assignment_view = &assignment;
-            let interned_view = &interned;
-            let updates: Vec<Vec<(usize, Resources)>> =
-                parallel_map(threads, &work, |(n, seeds_here)| {
-                    redistribute_switch(
-                        instance,
-                        interned_view,
-                        *n,
-                        seeds_here,
-                        &states[n],
-                        assignment_view,
-                    )
-                });
-            for ((n, _), ups) in work.iter().zip(updates) {
-                for (s, r) in ups {
+            // Cache probe (delta path): a switch whose LP inputs are
+            // bit-identical to the memoized run — same capacity, same
+            // residents in the same greedy order, same greedy
+            // allocations, no lingering reservations — reuses the
+            // memoized output. Everything that misses is the *dirty
+            // frontier*; past the configured fraction the solve degrades
+            // to a full recompute (the proven-equivalence fallback).
+            let mut planned: Vec<Option<Vec<(usize, Resources)>>> = vec![None; work.len()];
+            let mut frontier: Vec<usize> = Vec::new();
+            match &mut delta {
+                Some(ctx) if ctx.warm => {
+                    for (i, (n, seeds_here)) in work.iter().enumerate() {
+                        let st = &states[n];
+                        let hit = st.lingering.is_empty()
+                            && ctx
+                                .cache
+                                .get(n)
+                                .is_some_and(|e| e.matches(&st.ares, seeds_here, &assignment));
+                        if hit {
+                            planned[i] =
+                                Some(ctx.cache.get(n).expect("probed entry").updates.clone());
+                        } else {
+                            frontier.push(i);
+                        }
+                    }
+                    if frontier.len() * 100 > work.len() * ctx.frontier_limit_pct as usize {
+                        ctx.report.fallback_full = true;
+                        planned.iter_mut().for_each(|p| *p = None);
+                        frontier = (0..work.len()).collect();
+                    }
+                    ctx.report.lp_switches = work.len();
+                    ctx.report.frontier = frontier.len();
+                    ctx.report.reused = work.len() - frontier.len();
+                }
+                _ => {
+                    frontier = (0..work.len()).collect();
+                    if let Some(ctx) = &mut delta {
+                        ctx.report.lp_switches = work.len();
+                        ctx.report.frontier = work.len();
+                    }
+                }
+            }
+            let todo: Vec<(SwitchId, &Vec<usize>)> =
+                frontier.iter().map(|&i| (work[i].0, &work[i].1)).collect();
+            let updates: Vec<Vec<(usize, Resources)>> = {
+                let states = &states;
+                let assignment_view = &assignment;
+                let interned_view = &interned;
+                parallel_map_scratch(
+                    threads,
+                    &todo,
+                    LpScratch::new,
+                    |scratch, (n, seeds_here)| {
+                        redistribute_switch(
+                            instance,
+                            interned_view,
+                            *n,
+                            seeds_here,
+                            &states[n],
+                            assignment_view,
+                            scratch,
+                        )
+                    },
+                )
+            };
+            for (&i, ups) in frontier.iter().zip(updates) {
+                if let Some(ctx) = &mut delta {
+                    let (n, seeds_here) = &work[i];
+                    let st = &states[n];
+                    match LpCacheEntry::capture(&st.ares, seeds_here, &assignment, &ups) {
+                        Some(entry) if st.lingering.is_empty() => {
+                            ctx.cache.insert(*n, entry);
+                        }
+                        // Lingering reservations (or an unplaced resident)
+                        // make the LP inputs non-canonical: never memoize.
+                        _ => {
+                            ctx.cache.remove(n);
+                        }
+                    }
+                }
+                planned[i] = Some(ups);
+            }
+            for ((n, _), ups) in work.iter().zip(planned) {
+                for (s, r) in ups.expect("every switch planned or reused") {
                     assignment[s] = Some((*n, r));
                 }
             }
@@ -653,13 +928,12 @@ fn solve_heuristic_inner(
     let migration_start = Instant::now();
     let mut migrations = 0;
     if options.migration {
-        let seed_idx: Vec<usize> = (0..assignment.len()).collect();
-        let benefit_lists: Vec<Vec<(f64, usize, SwitchId)>> = {
+        let benefits: Vec<(f64, usize, SwitchId)> = {
             let states = &states;
             let assignment_view = &assignment;
             let interned_view = &interned;
             let min_alloc_view = &min_alloc;
-            parallel_map(threads, &seed_idx, |&s| {
+            scan_benefits(threads, assignment.len(), |s| {
                 let mut out = Vec::new();
                 let Some((cur, cur_res)) = &assignment_view[s] else {
                     return out;
@@ -687,9 +961,6 @@ fn solve_heuristic_inner(
                 out
             })
         };
-        let mut benefits: Vec<(f64, usize, SwitchId)> =
-            benefit_lists.into_iter().flatten().collect();
-        benefits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         for (_, s, n) in benefits {
             let seed = &instance.seeds[s];
             let Some((cur, cur_res)) = assignment[s] else {
@@ -715,6 +986,25 @@ fn solve_heuristic_inner(
             let new_u = seed.util.eval(&res).unwrap_or(0.0);
             if new_u <= cur_u * 1.15 + 1e-6 {
                 continue;
+            }
+            // Double occupancy must fit at the source too: migrating away
+            // swaps the live allocation for the *previous* reservation,
+            // which can be larger when the LP shrank the seed this round
+            // (its released headroom went to co-residents). Re-seating
+            // the old reservation would then oversubscribe the source —
+            // skip the move instead (C4 over a cheaper migration).
+            if let Some((_, pres)) = instance
+                .previous
+                .as_ref()
+                .and_then(|p| p.assignment.get(&s))
+                .filter(|(pn, _)| *pn == cur)
+            {
+                let Some(src) = states.get(&cur) else {
+                    continue;
+                };
+                if !src.fits_after_release(&interned[s], &cur_res, pres) {
+                    continue;
+                }
             }
             // Commit: occupy the target; on the source, swap the live
             // allocation for the lingering reservation (the *previous*
@@ -797,10 +1087,27 @@ fn opportunistic_alloc(polls: &SeedPolls, st: &SwitchState, min_res: &Resources)
 /// stops paying for itself; greedy minimum allocations are kept instead.
 const LP_SEEDS_PER_SWITCH_CAP: usize = 150;
 
+/// Per-worker arena for the per-switch LPs: one [`Problem`] reused
+/// across every switch a worker claims, so the model's variable,
+/// constraint and objective buffers are allocated once per worker per
+/// solve instead of once per switch.
+pub(crate) struct LpScratch {
+    p: Problem,
+}
+
+impl LpScratch {
+    pub(crate) fn new() -> LpScratch {
+        LpScratch {
+            p: Problem::new(Sense::Maximize),
+        }
+    }
+}
+
 /// Solves one switch's redistribution LP and returns the accepted
 /// per-seed reallocations. Pure with respect to the shared solve state
-/// (reads `assignment`, never writes), which is what lets step 3 fan the
-/// per-switch LPs out across the worker pool.
+/// (reads `assignment`, never writes — the scratch is an arena, not an
+/// input), which is what lets step 3 fan the per-switch LPs out across
+/// the worker pool and memoize outputs by input signature.
 fn redistribute_switch(
     instance: &PlacementInstance,
     interned: &[Vec<(u32, Poly)>],
@@ -808,6 +1115,7 @@ fn redistribute_switch(
     seeds_here: &[usize],
     st: &SwitchState,
     assignment: &[Option<(SwitchId, Resources)>],
+    scratch: &mut LpScratch,
 ) -> Vec<(usize, Resources)> {
     if seeds_here.len() > LP_SEEDS_PER_SWITCH_CAP {
         return Vec::new();
@@ -834,16 +1142,17 @@ fn redistribute_switch(
         .sum();
     let poll_cap = (st.ares.get(ResourceKind::PciePoll) - lingering_poll).max(0.0);
 
-    let mut p = Problem::new(Sense::Maximize);
-    let mut res_vars = HashMap::new();
+    scratch.p.reset(Sense::Maximize);
+    let p = &mut scratch.p;
+    let mut res_vars: FxHashMap<usize, Vec<farm_lp::Var>> = FxHashMap::default();
     let mut objective = LinExpr::new();
     for &s in seeds_here {
         let seed = &instance.seeds[s];
         let vars: Vec<farm_lp::Var> = ResourceKind::ALL
             .iter()
-            .map(|k| p.add_var(format!("res{s}_{}", k.index()), 0.0, cap.get(*k)))
+            .map(|k| p.add_var_unnamed(0.0, cap.get(*k)))
             .collect();
-        let u = p.add_var(format!("u{s}"), 0.0, 1e9);
+        let u = p.add_var_unnamed(0.0, 1e9);
         objective += LinExpr::from(u);
         let cur = assignment[s].as_ref().map(|(_, r)| *r).unwrap_or_default();
         let branch = seed
@@ -882,11 +1191,10 @@ fn redistribute_switch(
     subjects.sort_unstable();
     subjects.dedup();
     let mut poll_sum = LinExpr::new();
-    let poll_vars: HashMap<u32, farm_lp::Var> = subjects
+    let poll_vars: FxHashMap<u32, farm_lp::Var> = subjects
         .iter()
-        .enumerate()
-        .map(|(i, &subj)| {
-            let v = p.add_var(format!("pollres{i}"), 0.0, f64::INFINITY);
+        .map(|&subj| {
+            let v = p.add_var_unnamed(0.0, f64::INFINITY);
             poll_sum.add_term(v, 1.0);
             (subj, v)
         })
@@ -904,7 +1212,7 @@ fn redistribute_switch(
     p.add_constraint(poll_sum, Cmp::Le, poll_cap);
     p.set_objective(objective);
 
-    let Ok(sol) = farm_lp::simplex::solve(&p) else {
+    let Ok(sol) = farm_lp::simplex::solve(p) else {
         return Vec::new(); // keep the greedy allocations
     };
     let mut updates = Vec::new();

@@ -35,12 +35,15 @@
 //! ```
 
 pub mod build;
+pub mod delta;
+pub mod fxhash;
 pub mod heuristic;
 pub mod milp;
 pub mod model;
 pub mod workload;
 
 pub use build::instance_from_tasks;
+pub use delta::{replan_delta, DeltaReport, ReplanDelta, SolveState};
 pub use heuristic::{solve_heuristic, solve_heuristic_traced, HeuristicOptions};
 pub use milp::{solve_placement_milp, MilpPlacementOptions, MilpPlacementResult};
 pub use model::{

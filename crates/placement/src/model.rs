@@ -12,6 +12,8 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use crate::fxhash::FxHashMap;
+
 use farm_almanac::analysis::{Poly, UtilAnalysis};
 use farm_netsim::switch::{ResourceKind, Resources};
 use farm_netsim::types::SwitchId;
@@ -124,8 +126,10 @@ pub struct PlacementTask {
 /// A previous placement (`plc'`/`res'`) for migration-aware optimization.
 #[derive(Debug, Clone, Default)]
 pub struct PreviousPlacement {
-    /// Per seed id: previous switch and allocation.
-    pub assignment: HashMap<usize, (SwitchId, Resources)>,
+    /// Per seed id: previous switch and allocation. Keyed with the fixed
+    /// fast hasher — the greedy home probe and the migration pass look a
+    /// seed up here for every placed seed of every solve.
+    pub assignment: FxHashMap<usize, (SwitchId, Resources)>,
 }
 
 /// The optimization instance.

@@ -3,19 +3,15 @@
 //! `prop_placement.rs` trusts `model::validate`; these properties do
 //! not. Each constraint — C1 all-or-nothing and candidate membership,
 //! C2 utility-domain feasibility, C4 capacity with poll aggregation and
-//! migration double-occupancy — is recomputed here from scratch, so a
-//! bug shared between the heuristic and the validator cannot hide.
+//! migration double-occupancy — is recomputed in `util` from scratch,
+//! so a bug shared between the heuristic and the validator cannot hide.
 
-use std::collections::HashMap;
+mod util;
 
-use farm_netsim::switch::{ResourceKind, Resources};
-use farm_netsim::types::SwitchId;
 use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
-use farm_placement::model::{PlacementInstance, PreviousPlacement};
 use farm_placement::workload::{generate, WorkloadConfig};
 use proptest::prelude::*;
-
-const EPS: f64 = 1e-6;
+use util::{as_previous, check_all};
 
 fn workload() -> impl Strategy<Value = WorkloadConfig> {
     (2usize..20, 1usize..5, 3usize..80, 0u64..10_000, 0.0f64..0.9).prop_map(
@@ -28,140 +24,6 @@ fn workload() -> impl Strategy<Value = WorkloadConfig> {
             rng_seed,
         },
     )
-}
-
-/// C1: every task is placed completely or not at all, and each placed
-/// seed sits on one of its own candidates.
-fn check_c1(
-    inst: &PlacementInstance,
-    assignment: &[Option<(SwitchId, Resources)>],
-) -> Result<(), String> {
-    for task in &inst.tasks {
-        let placed = task
-            .seeds
-            .iter()
-            .filter(|&&s| assignment[s].is_some())
-            .count();
-        if placed != 0 && placed != task.seeds.len() {
-            return Err(format!(
-                "task `{}` placed {placed}/{} seeds",
-                task.name,
-                task.seeds.len()
-            ));
-        }
-    }
-    for (s, slot) in assignment.iter().enumerate() {
-        if let Some((n, _)) = slot {
-            if !inst.seeds[s].candidates.contains(n) {
-                return Err(format!("seed {s} on non-candidate switch {n}"));
-            }
-        }
-    }
-    Ok(())
-}
-
-/// C2: each placed seed's allocation is non-negative and inside at least
-/// one utility-branch domain.
-fn check_c2(
-    inst: &PlacementInstance,
-    assignment: &[Option<(SwitchId, Resources)>],
-) -> Result<(), String> {
-    for (s, slot) in assignment.iter().enumerate() {
-        if let Some((_, res)) = slot {
-            if res.0.iter().any(|&r| r < -EPS) {
-                return Err(format!("seed {s} negative allocation {res}"));
-            }
-            if inst.seeds[s].util.eval(res).is_none() {
-                return Err(format!(
-                    "seed {s} allocation {res} satisfies no util branch"
-                ));
-            }
-        }
-    }
-    Ok(())
-}
-
-/// C4 (with C3's aggregation): per switch, plain resources sum within
-/// capacity and per-subject poll demand aggregates by max, counting the
-/// lingering source-side allocation of every migrating seed.
-fn check_capacity(
-    inst: &PlacementInstance,
-    assignment: &[Option<(SwitchId, Resources)>],
-) -> Result<(), String> {
-    for (n, ares) in &inst.switches {
-        let mut plain = [0f64; 4];
-        let mut polls: HashMap<&str, f64> = HashMap::new();
-        let mut charge = |seed: usize, res: &Resources| {
-            for k in ResourceKind::ALL {
-                if k != ResourceKind::PciePoll {
-                    plain[k.index()] += res.get(k);
-                }
-            }
-            for p in &inst.seeds[seed].polls {
-                let d = p.demand.eval(res).max(0.0);
-                let e = polls.entry(p.subject.as_str()).or_insert(0.0);
-                *e = e.max(d);
-            }
-        };
-        for (s, slot) in assignment.iter().enumerate() {
-            if let Some((sn, res)) = slot {
-                if sn == n {
-                    charge(s, res);
-                }
-            }
-            if let Some(prev) = &inst.previous {
-                if let Some((old_n, old_res)) = prev.assignment.get(&s) {
-                    let moved_away =
-                        old_n == n && matches!(&assignment[s], Some((new_n, _)) if new_n != n);
-                    if moved_away {
-                        // Double occupancy: the old seat stays charged
-                        // while state transfers.
-                        charge(s, old_res);
-                    }
-                }
-            }
-        }
-        for k in ResourceKind::ALL {
-            if k == ResourceKind::PciePoll {
-                continue;
-            }
-            if plain[k.index()] > ares.get(k) + EPS {
-                return Err(format!(
-                    "switch {n} over {k}: {} > {}",
-                    plain[k.index()],
-                    ares.get(k)
-                ));
-            }
-        }
-        let poll_total: f64 = polls.values().sum();
-        if poll_total > ares.get(ResourceKind::PciePoll) + EPS {
-            return Err(format!(
-                "switch {n} over poll capacity: {poll_total} > {}",
-                ares.get(ResourceKind::PciePoll)
-            ));
-        }
-    }
-    Ok(())
-}
-
-fn check_all(
-    inst: &PlacementInstance,
-    assignment: &[Option<(SwitchId, Resources)>],
-) -> Result<(), String> {
-    check_c1(inst, assignment)?;
-    check_c2(inst, assignment)?;
-    check_capacity(inst, assignment)
-}
-
-/// Turns a result into the `previous` input of the next round.
-fn as_previous(assignment: &[Option<(SwitchId, Resources)>]) -> PreviousPlacement {
-    let mut prev = PreviousPlacement::default();
-    for (s, slot) in assignment.iter().enumerate() {
-        if let Some((n, res)) = slot {
-            prev.assignment.insert(s, (*n, *res));
-        }
-    }
-    prev
 }
 
 proptest! {

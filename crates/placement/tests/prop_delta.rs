@@ -1,0 +1,200 @@
+//! `replan_delta` equivalence under churn: for random instances and
+//! random single-event churn sequences (fault eviction, drain, cordon
+//! lift, fresh submission, capacity degradation, definition tweaks),
+//! the incremental solve through a retained [`SolveState`] must produce
+//! a placement **bit-identical** to a from-scratch `solve_heuristic` on
+//! the same instance — same assignment, same utility bits, same
+//! migration count, same dropped tasks — and satisfy the independently
+//! re-derived C1–C4 checkers from `util`.
+//!
+//! Degrade and Submit deliberately pass an *empty* [`ReplanDelta`]: the
+//! bit-exact LP signatures must catch capacity and residency changes on
+//! their own. Tweak mutates a seed's polling *definition*, which the
+//! signature cannot see — that is exactly the case the `dirty_seeds`
+//! contract exists for, so it declares the seed dirty.
+
+mod util;
+
+use farm_netsim::types::SwitchId;
+use farm_placement::delta::{replan_delta, ReplanDelta, SolveState};
+use farm_placement::heuristic::{solve_heuristic, HeuristicOptions};
+use farm_placement::model::PlacementInstance;
+use farm_placement::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+use util::{as_previous, check_all};
+
+fn workload() -> impl Strategy<Value = WorkloadConfig> {
+    (3usize..12, 1usize..4, 3usize..40, 0u64..10_000, 0.0f64..0.6).prop_map(
+        |(n_switches, n_tasks, n_seeds, rng_seed, pinned_fraction)| WorkloadConfig {
+            n_switches,
+            n_tasks,
+            n_seeds,
+            candidates_per_seed: 3,
+            pinned_fraction,
+            rng_seed,
+        },
+    )
+}
+
+/// One churn event. Indices are taken modulo the relevant population at
+/// apply time, so any `usize` is valid.
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    /// Fault eviction: the switch leaves the instance and its previous
+    /// placements are forgotten (the seeds were lost with it).
+    Evict(usize),
+    /// Drain: the switch leaves the instance but previous placements
+    /// still name it (the seeds are alive and must move).
+    Drain(usize),
+    /// Cordon lift: a previously removed switch returns at its original
+    /// capacity.
+    Restore(usize),
+    /// Fresh submission: one seed loses its previous placement and is
+    /// placed as if newly submitted. Empty delta — residency changes
+    /// must be caught by the LP signatures alone.
+    Submit(usize),
+    /// Capacity degradation: a switch loses 10 % vCPU. Empty delta —
+    /// the `ares` bits in the signature must catch it.
+    Degrade(usize),
+    /// Definition change: a seed's polling demand is re-registered with
+    /// a different constant. Invisible to the signatures, so the seed
+    /// is declared dirty.
+    Tweak(usize),
+}
+
+fn churn_event() -> impl Strategy<Value = Churn> {
+    (0usize..6, any::<usize>()).prop_map(|(kind, i)| match kind {
+        0 => Churn::Evict(i),
+        1 => Churn::Drain(i),
+        2 => Churn::Restore(i),
+        3 => Churn::Submit(i),
+        4 => Churn::Degrade(i),
+        _ => Churn::Tweak(i),
+    })
+}
+
+/// Applies one event to the instance, returning what the caller would
+/// declare dirty. Events that cannot apply (last switch, no polls, …)
+/// degrade to a no-op with an empty delta — still a valid replan.
+fn apply(inst: &mut PlacementInstance, base: &PlacementInstance, ev: Churn) -> ReplanDelta {
+    match ev {
+        Churn::Evict(i) | Churn::Drain(i) => {
+            if inst.switches.len() <= 1 {
+                return ReplanDelta::default();
+            }
+            let idx = i % inst.switches.len();
+            let (victim, _) = inst.switches.remove(idx);
+            if matches!(ev, Churn::Evict(_)) {
+                if let Some(prev) = &mut inst.previous {
+                    prev.assignment.retain(|_, (n, _)| *n != victim);
+                }
+            }
+            ReplanDelta::switches([victim])
+        }
+        Churn::Restore(i) => {
+            let present: Vec<SwitchId> = inst.switches.iter().map(|(n, _)| *n).collect();
+            let missing: Vec<&(SwitchId, _)> = base
+                .switches
+                .iter()
+                .filter(|(n, _)| !present.contains(n))
+                .collect();
+            if missing.is_empty() {
+                return ReplanDelta::default();
+            }
+            let (n, ares) = *missing[i % missing.len()];
+            inst.switches.push((n, ares));
+            ReplanDelta::switches([n])
+        }
+        Churn::Submit(i) => {
+            if inst.seeds.is_empty() {
+                return ReplanDelta::default();
+            }
+            let s = i % inst.seeds.len();
+            if let Some(prev) = &mut inst.previous {
+                prev.assignment.remove(&s);
+            }
+            ReplanDelta::default()
+        }
+        Churn::Degrade(i) => {
+            if inst.switches.is_empty() {
+                return ReplanDelta::default();
+            }
+            let idx = i % inst.switches.len();
+            inst.switches[idx].1 .0[0] *= 0.9;
+            ReplanDelta::default()
+        }
+        Churn::Tweak(i) => {
+            if inst.seeds.is_empty() {
+                return ReplanDelta::default();
+            }
+            let s = i % inst.seeds.len();
+            let Some(p) = inst.seeds[s].polls.first_mut() else {
+                return ReplanDelta::default();
+            };
+            p.demand.constant += 0.1;
+            ReplanDelta::seeds([s])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Churn replay: every incremental solve along a random event
+    /// sequence is bit-identical to a from-scratch solve and satisfies
+    /// the independent constraint checkers.
+    #[test]
+    fn delta_replans_match_full_solves_under_churn(
+        cfg in workload(),
+        events in proptest::collection::vec(churn_event(), 1..6),
+    ) {
+        let base = generate(&cfg);
+        let mut inst = base.clone();
+        let opts = HeuristicOptions::default();
+        let mut state = SolveState::new();
+        let (mut r, report) =
+            replan_delta(&inst, opts, &mut state, &ReplanDelta::default(), None);
+        prop_assert!(!report.warm);
+        for (step, &ev) in events.iter().enumerate() {
+            inst.previous = Some(as_previous(&r.assignment));
+            let delta = apply(&mut inst, &base, ev);
+            let (dr, report) = replan_delta(&inst, opts, &mut state, &delta, None);
+            let full = solve_heuristic(&inst, opts);
+            prop_assert_eq!(&dr.assignment, &full.assignment,
+                "step {} ({:?}): assignments diverge", step, ev);
+            prop_assert_eq!(dr.utility.to_bits(), full.utility.to_bits(),
+                "step {} ({:?}): utility {} vs {}", step, ev, dr.utility, full.utility);
+            prop_assert_eq!(dr.migrations, full.migrations, "step {} ({:?})", step, ev);
+            prop_assert_eq!(&dr.dropped_tasks, &full.dropped_tasks, "step {} ({:?})", step, ev);
+            prop_assert!(report.warm);
+            prop_assert!(check_all(&inst, &dr.assignment).is_ok(),
+                "step {} ({:?}): {:?}", step, ev, check_all(&inst, &dr.assignment));
+            r = dr;
+        }
+    }
+
+    /// The fallback path is equivalence-preserving too: with a zero
+    /// frontier budget every warm solve with any miss degrades to a
+    /// full recompute and must still match the from-scratch result.
+    #[test]
+    fn zero_frontier_budget_always_matches(
+        cfg in workload(),
+        events in proptest::collection::vec(churn_event(), 1..4),
+    ) {
+        let base = generate(&cfg);
+        let mut inst = base.clone();
+        let opts = HeuristicOptions::default();
+        let mut state = SolveState::new();
+        state.frontier_limit_pct = 0;
+        let (mut r, _) = replan_delta(&inst, opts, &mut state, &ReplanDelta::default(), None);
+        for &ev in &events {
+            inst.previous = Some(as_previous(&r.assignment));
+            let delta = apply(&mut inst, &base, ev);
+            let (dr, _) = replan_delta(&inst, opts, &mut state, &delta, None);
+            let full = solve_heuristic(&inst, opts);
+            prop_assert_eq!(&dr.assignment, &full.assignment);
+            prop_assert_eq!(dr.utility.to_bits(), full.utility.to_bits());
+            r = dr;
+        }
+    }
+}
